@@ -1,0 +1,83 @@
+"""Ablation: identity-camouflage defenses vs. the Marauder's map.
+
+The paper's future-work direction, measured: MAC pseudonyms alone are
+re-linked through directed probe requests (the Pang et al. implicit
+identifier the paper cites); probe hygiene breaks the linkage; silence
+and mix-zone style muting trade usability for fragmentation.
+"""
+
+from repro.defenses import (
+    DefendedStation,
+    ProbeHygiene,
+    PseudonymPolicy,
+    SilentPeriodPolicy,
+    evaluate_trackability,
+)
+from repro.geometry.point import Point
+from repro.net80211.mac import MacAddress
+from repro.net80211.ssid import Ssid
+from repro.net80211.station import PROFILES, MobileStation
+from repro.numerics.rng import make_rng
+from repro.sim import build_attack_scenario
+
+
+def _victim():
+    rng = make_rng(5)
+    return MobileStation(
+        mac=MacAddress.random_pseudonym(rng),
+        position=Point(250.0, 75.0),
+        profile=PROFILES["aggressive"],
+        preferred_networks=[Ssid("home-net"), Ssid("office")],
+    )
+
+
+def _evaluate(policies):
+    scenario = build_attack_scenario(seed=23, ap_count=70, area_m=500.0,
+                                     bystander_count=4)
+    defended = DefendedStation(inner=_victim(), seed=9, **policies)
+    scenario.world.add_station(defended, scenario.victim_route)
+    return evaluate_trackability(scenario.world, defended,
+                                 duration_s=300.0,
+                                 truth_db=scenario.truth_db)
+
+
+def test_ablation_defense_ladder(benchmark, reporter):
+    # Policies are stateful: build them fresh on every benchmark round.
+    ladder = {
+        "none": lambda: dict(),
+        "pseudonyms": lambda: dict(
+            pseudonyms=PseudonymPolicy(interval_s=60.0)),
+        "pseudonyms+hygiene": lambda: dict(
+            pseudonyms=PseudonymPolicy(interval_s=60.0),
+            silence=SilentPeriodPolicy(min_s=5.0, max_s=20.0),
+            hygiene=ProbeHygiene()),
+    }
+
+    def run_ladder():
+        return {name: _evaluate(make_policies())
+                for name, make_policies in ladder.items()}
+
+    results = benchmark(run_ladder)
+
+    reporter("", "=== Ablation: identity-camouflage defenses ===",
+             f"{'defense':20s} {'MACs':>5s} {'linked':>7s}"
+             f" {'fixes':>6s} {'muted':>6s}")
+    for name, rep in results.items():
+        reporter(f"{name:20s} {rep.macs_used:5d}"
+                 f" {rep.linked_by_attacker:7d} {rep.located_fixes:6d}"
+                 f" {100 * rep.muted_fraction:5.0f}%")
+
+    # Static MAC: one identity, trivially tracked end to end.
+    assert results["none"].macs_used == 1
+    # Pseudonyms rotate but the attacker re-links most of them.
+    assert results["pseudonyms"].macs_used >= 4
+    assert results["pseudonyms"].linked_by_attacker >= 3
+    # Hygiene breaks the linkage entirely.
+    assert results["pseudonyms+hygiene"].linkage_broken
+    # But every configuration still yields per-identity location fixes:
+    # camouflage fragments the track, it does not hide the device.
+    for rep in results.values():
+        assert rep.located_fixes > 0
+    reporter("Paper (conclusion/related work): pseudonyms alone are"
+             " broken by probing-traffic identifiers; suppressing"
+             " directed probes is required to break linkage.")

@@ -1,0 +1,47 @@
+"""Ablation: disc-intersection vs. the Nearest/Closest-AP baseline.
+
+Paper: "as long as the APs' locations and maximum transmission
+distances are accurate ... the disc-intersection approach always
+outperforms the nearest AP approach unless k = 1, when both approaches
+are essentially the same."
+"""
+
+from repro.analysis.experiments import run_localization_experiment
+from repro.localization import MLoc, NearestApLocalizer
+
+
+
+
+def test_ablation_nearest_ap(benchmark, campus_experiment, reporter):
+    exp = campus_experiment
+
+    def run():
+        localizers = {
+            "m-loc": MLoc(exp.mloc_db),
+            "nearest-ap": NearestApLocalizer(exp.mloc_db),
+        }
+        return run_localization_experiment(localizers, exp.cases)
+
+    reports = benchmark(run)
+
+    mloc = reports["m-loc"]
+    nearest = reports["nearest-ap"]
+    reporter("", "=== Ablation: disc-intersection vs nearest AP ===",
+           f"{'':12s} {'mean err':>9s} {'area@k>=2':>11s}")
+    reporter(f"{'m-loc':12s} {mloc.mean_error():7.1f} m"
+           f" {mloc.mean_area_vs_min_k(2):9.0f} m2")
+    reporter(f"{'nearest-ap':12s} {nearest.mean_error():7.1f} m"
+           f" {nearest.mean_area_vs_min_k(2):9.0f} m2")
+
+    assert mloc.mean_error() < nearest.mean_error()
+    # The intersected region is far tighter than one coverage disc.
+    assert mloc.mean_area_vs_min_k(2) < 0.5 * nearest.mean_area_vs_min_k(2)
+
+    # And at k = 1 the two coincide (checked per-case).
+    singles = [case for case in exp.cases if len(case.observed) == 1]
+    for case in singles:
+        a = MLoc(exp.mloc_db).locate(case.observed)
+        b = NearestApLocalizer(exp.mloc_db).locate(case.observed)
+        assert a.position.distance_to(b.position) < 1e-9
+    reporter(f"  k=1 cases where both coincide: {len(singles)}"
+           " (paper: 'essentially the same' at k=1)")

@@ -1,0 +1,61 @@
+"""Ablation: fixed over/underestimated radii vs. the LP estimation.
+
+Paper Section III-C2: "A simple approach is to set the maximum
+transmission distance to a pre-determined value ... if the value is set
+too high, the intersected area may become extremely large.  If the
+value is set too low, the mobile device's real location might not be
+covered."  The LP sits between the two failure modes.
+"""
+
+from repro.analysis.experiments import run_localization_experiment
+from repro.localization import MLoc
+
+
+
+
+def _fixed_radius_localizer(exp, radius):
+    db = exp.location_db
+    localizer = MLoc(db, fallback_range_m=radius)
+    localizer.name = f"fixed-{radius:.0f}m"
+    return localizer
+
+
+def test_ablation_fixed_vs_lp_radii(benchmark, campus_experiment,
+                                    campus_reports, reporter):
+    exp = campus_experiment
+    true_mean = sum(r.max_range_m for r in exp.truth_db) / len(exp.truth_db)
+
+    def run():
+        localizers = {
+            "under (0.5x)": _fixed_radius_localizer(exp, 0.5 * true_mean),
+            "exact-mean": _fixed_radius_localizer(exp, true_mean),
+            "over (2.0x)": _fixed_radius_localizer(exp, 2.0 * true_mean),
+        }
+        return run_localization_experiment(localizers, exp.cases)
+
+    fixed_reports = benchmark(run)
+    lp_report = campus_reports["ap-rad"]
+
+    reporter("", "=== Ablation: radius choices (location-only knowledge)"
+           " ===",
+           f"{'radii':14s} {'mean err':>9s} {'area':>9s}"
+           f" {'coverage':>9s}")
+    rows = list(fixed_reports.items()) + [("LP (AP-Rad)", lp_report)]
+    for name, rep in rows:
+        reporter(f"{name:14s} {rep.mean_error():7.1f} m"
+               f" {rep.mean_area_vs_min_k(1):7.0f} m2"
+               f" {rep.coverage_probability_vs_min_k(1):9.2f}")
+
+    under = fixed_reports["under (0.5x)"]
+    over = fixed_reports["over (2.0x)"]
+    # Underestimates destroy coverage (Theorem 3's p = (R/r)^2k).
+    assert (under.coverage_probability_vs_min_k(1)
+            < 0.5 * lp_report.coverage_probability_vs_min_k(1))
+    # Overestimates blow up the intersected area.
+    assert (over.mean_area_vs_min_k(1)
+            > 2.0 * lp_report.mean_area_vs_min_k(1))
+    # The LP is at least as accurate as either fixed guess.
+    assert lp_report.mean_error() <= min(under.mean_error(),
+                                         over.mean_error()) + 1.0
+    reporter("Paper: too low -> coverage collapses; too high -> huge"
+           " areas; the LP threads the needle.")

@@ -1,0 +1,70 @@
+"""Ablation: temporal smoothing of Marauder's-map tracks.
+
+The paper localizes each fix independently.  A walking victim moves
+smoothly, so simple temporal filters over the track reduce the
+per-fix error essentially for free — an engineering extension of the
+paper's tracking scenario ("a mobile device is carried around the
+campus").
+"""
+
+from repro.analysis.tracking import (
+    average_track_error,
+    exponential_smoothing,
+    moving_average,
+)
+from repro.localization import MLoc
+from repro.sim import build_attack_scenario
+from repro.sniffer import DeviceTracker
+
+
+def _victim_track():
+    scenario = build_attack_scenario(seed=19, ap_count=90, area_m=500.0,
+                                     bystander_count=4)
+    world = scenario.world
+    store = world.sniffer.store
+    mloc = MLoc(scenario.truth_db)
+    tracker = DeviceTracker()
+    epochs = 30
+    for _ in range(epochs):
+        world.run(duration_s=15.0)
+        gamma = store.gamma(scenario.victim.mac, at_time=world.now)
+        if not gamma:
+            continue
+        estimate = mloc.locate(gamma)
+        if estimate is not None:
+            tracker.record(scenario.victim.mac, world.now, estimate)
+    track = [(point.timestamp, point.estimate.position)
+             for point in tracker.track_of(scenario.victim.mac)]
+
+    def truth_at(timestamp):
+        return world.truth_at(scenario.victim.mac, timestamp,
+                              tolerance_s=1.0)
+
+    return track, truth_at
+
+
+def test_ablation_track_smoothing(benchmark, reporter):
+    track, truth_at = _victim_track()
+
+    def evaluate():
+        return {
+            "raw": average_track_error(track, truth_at),
+            "exp (a=0.5)": average_track_error(
+                exponential_smoothing(track, alpha=0.5), truth_at),
+            "avg (w=3)": average_track_error(
+                moving_average(track, window=3), truth_at),
+        }
+
+    errors = benchmark(evaluate)
+
+    reporter("", "=== Ablation: temporal smoothing of tracks ===",
+             f"  fixes in track : {len(track)}")
+    for name, value in errors.items():
+        reporter(f"  {name:12s}: {value:6.1f} m")
+
+    assert len(track) >= 10
+    # Some smoothing beats raw per-fix localization for a walking
+    # victim (lag vs noise: at least one filter wins).
+    assert min(errors["exp (a=0.5)"], errors["avg (w=3)"]) < errors["raw"]
+    reporter("Extension: track-level filtering tightens the paper's"
+             " per-fix estimates on moving targets.")

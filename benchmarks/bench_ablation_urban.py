@@ -1,0 +1,56 @@
+"""Ablation: the attack in a dense-urban (GWU-style) environment.
+
+The paper's motivation for the disc-model attack is that urban clutter
+breaks signal-strength/AOA positioning ("obstructing buildings often
+prevent the signal strength and AOA from being accurately measured")
+while mere *reachability* survives.  We run the identical attack on the
+open campus and on a Manhattan grid of buildings and compare what the
+sniffer captures and how well M-Loc localizes the victim.
+"""
+
+from repro.localization import MLoc
+from repro.sim import build_attack_scenario, build_urban_scenario
+
+
+def _run(scenario, duration_s=240.0):
+    scenario.world.run(duration_s=duration_s)
+    store = scenario.world.sniffer.store
+    gamma = store.gamma(scenario.victim.mac, at_time=scenario.world.now)
+    estimate = MLoc(scenario.truth_db).locate(gamma) if gamma else None
+    error = (estimate.error_to(scenario.victim.position)
+             if estimate is not None else None)
+    return {
+        "frames": store.frame_count,
+        "mobiles": len(store.seen_mobiles),
+        "victim_k": len(gamma),
+        "victim_error_m": error,
+    }
+
+
+def test_ablation_urban_environment(benchmark, reporter):
+    def run_both():
+        open_campus = _run(build_attack_scenario(
+            seed=38, ap_count=70, area_m=400.0, bystander_count=4))
+        urban = _run(build_urban_scenario(
+            seed=38, ap_count=70, area_m=400.0, bystander_count=4))
+        return open_campus, urban
+
+    open_campus, urban = benchmark(run_both)
+
+    reporter("", "=== Ablation: open campus vs urban canyon ===",
+             f"{'':14s} {'frames':>8s} {'mobiles':>8s} {'victim k':>9s}"
+             f" {'error':>8s}")
+    for name, row in (("open", open_campus), ("urban", urban)):
+        error = (f"{row['victim_error_m']:6.1f} m"
+                 if row["victim_error_m"] is not None else "      -")
+        reporter(f"{name:14s} {row['frames']:8d} {row['mobiles']:8d}"
+                 f" {row['victim_k']:9d} {error}")
+
+    # Urban blockage costs frames...
+    assert urban["frames"] < open_campus["frames"]
+    # ... but the attack still observes and localizes the victim.
+    assert urban["victim_k"] >= 1
+    assert urban["victim_error_m"] is not None
+    assert urban["victim_error_m"] < 150.0
+    reporter("Paper: urban clutter breaks RSSI/AOA positioning; the"
+             " reachability-based disc attack keeps working.")

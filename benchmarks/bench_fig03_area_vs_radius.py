@@ -1,0 +1,41 @@
+"""Figure 3: intersected area vs. maximum transmission distance.
+
+Paper (Corollary 1): at fixed AP density, the intersected area
+*decreases* as the maximum transmission range r grows — "the
+disc-intersection approach ... generates a smaller estimated area when
+the transmission range [increases]" (more APs become communicable and
+each adds a constraint).
+"""
+
+from repro.theory.theorem2 import expected_area_at_density
+
+
+
+DENSITY = 2.0  # APs per unit area
+RADII = (0.6, 0.8, 1.0, 1.25, 1.5, 2.0, 2.5, 3.0)
+
+
+def test_fig03_area_vs_radius(benchmark, reporter):
+    curve = benchmark(
+        lambda: [expected_area_at_density(DENSITY, r) for r in RADII])
+
+    reporter("", f"=== Fig 3: intersected area vs r (density {DENSITY}) ===",
+           f"{'r':>5s} {'expected k':>11s} {'CA':>10s}")
+    import math
+    for r, value in zip(RADII, curve):
+        expected_k = math.pi * r * r * DENSITY
+        reporter(f"{r:5.2f} {expected_k:11.1f} {value:10.4f}")
+
+    assert all(a > b for a, b in zip(curve, curve[1:]))
+    reporter("Paper: CA monotonically decreasing in r at fixed density"
+           " (Corollary 1).")
+
+
+def test_fig03_area_vs_density(benchmark, reporter):
+    densities = (0.5, 1.0, 2.0, 4.0, 8.0)
+    curve = benchmark(
+        lambda: [expected_area_at_density(d, 1.0) for d in densities])
+    reporter("", "=== Fig 3 companion: CA vs density (r = 1) ===")
+    for density, value in zip(densities, curve):
+        reporter(f"  density={density:4.1f}  CA={value:8.4f}")
+    assert all(a > b for a, b in zip(curve, curve[1:]))

@@ -1,0 +1,39 @@
+"""Figure 5: intersected area vs. estimated radius R >= r (k=10, r=1).
+
+Paper (Theorem 3): "when r' > r, the expected size of the intersected
+area grows rapidly with r'.  Thus, a theoretical upper bound also does
+not suffice for the estimation."
+"""
+
+from repro.numerics.rng import make_rng
+from repro.theory.theorem3 import (
+    expected_area_overestimate,
+    monte_carlo_overestimate,
+)
+
+
+
+K = 10
+R_VALUES = (1.0, 1.1, 1.2, 1.3, 1.4, 1.6, 1.8, 2.0)
+
+
+def test_fig05_area_vs_estimated_radius(benchmark, reporter):
+    curve = benchmark(
+        lambda: [expected_area_overestimate(K, 1.0, big_r)
+                 for big_r in R_VALUES])
+
+    rng = make_rng(5)
+    reporter("", f"=== Fig 5: intersected area vs R (k={K}, r=1) ===",
+           f"{'R':>5s} {'CA (Theorem 3)':>15s} {'Monte Carlo':>14s}")
+    for big_r, value in zip(R_VALUES, curve):
+        if big_r in (1.2, 1.6):
+            mc, stderr, _ = monte_carlo_overestimate(K, 1.0, big_r, rng,
+                                                     trials=200)
+            reporter(f"{big_r:5.2f} {value:15.4f} {mc:10.4f}±{stderr:.4f}")
+        else:
+            reporter(f"{big_r:5.2f} {value:15.4f}")
+
+    assert all(a < b for a, b in zip(curve, curve[1:]))
+    assert curve[-1] > 5.0 * curve[0]  # "grows rapidly"
+    reporter("Paper: area grows rapidly with the overestimate R"
+           " (a loose upper bound is costly).")

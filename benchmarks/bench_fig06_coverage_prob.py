@@ -1,0 +1,41 @@
+"""Figure 6: coverage probability vs. estimated radius R < r (k=10, r=1).
+
+Paper (Theorem 3, eq. 35): p = (R/r)^{2k} — "when r' < r, the
+probability of the intersected area covering the real location quickly
+becomes extremely small when k is large.  An overestimate of r is
+clearly preferred over an underestimate."
+"""
+
+from repro.numerics.rng import make_rng
+from repro.theory.theorem3 import (
+    coverage_probability_underestimate,
+    monte_carlo_overestimate,
+)
+
+
+
+K = 10
+R_VALUES = (0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95, 1.0)
+
+
+def test_fig06_coverage_probability(benchmark, reporter):
+    curve = benchmark(
+        lambda: [coverage_probability_underestimate(K, 1.0, big_r)
+                 for big_r in R_VALUES])
+
+    rng = make_rng(6)
+    reporter("", f"=== Fig 6: coverage probability vs R (k={K}, r=1) ===",
+           f"{'R':>5s} {'p = (R/r)^2k':>14s} {'Monte Carlo':>12s}")
+    for big_r, value in zip(R_VALUES, curve):
+        if big_r in (0.85, 0.95):
+            _, _, coverage = monte_carlo_overestimate(K, 1.0, big_r, rng,
+                                                      trials=2000)
+            reporter(f"{big_r:5.2f} {value:14.6f} {coverage:12.4f}")
+        else:
+            reporter(f"{big_r:5.2f} {value:14.6f}")
+
+    assert all(a < b for a, b in zip(curve, curve[1:]))
+    assert curve[0] < 1e-5       # R = 0.5: essentially never covers
+    assert curve[-1] == 1.0      # R = r: always covers
+    reporter("Paper: underestimates collapse the coverage probability;"
+           " overestimates are preferred.")

@@ -1,0 +1,35 @@
+"""Figure 11: percentage of probing mobiles per day.
+
+Paper: "In each day, the percentage of probing mobiles within all found
+mobiles is above 50%.  On Oct. 25, 2008, the ratio is 91.61%.  This
+validates the feasibility of passive attacks."  Weekends (transient
+visitors) probe more than weekday office laptops.
+"""
+
+import numpy as np
+
+from repro.numerics.rng import make_rng
+from repro.sim.population import PopulationConfig, simulate_week
+
+
+
+
+def test_fig11_probing_percentage(benchmark, reporter):
+    week = benchmark(
+        lambda: simulate_week(PopulationConfig(), make_rng(2008)))
+
+    reporter("", "=== Fig 11: probing percentage per day ===",
+           f"{'day':8s} {'dow':4s} {'probing %':>10s}")
+    for day in week:
+        reporter(f"{day.label:8s} {day.weekday:4s}"
+               f" {day.probing_percentage:9.1f}%")
+
+    percentages = [d.probing_percentage for d in week]
+    weekday = [d.probing_percentage for d in week if not d.is_weekend]
+    weekend = [d.probing_percentage for d in week if d.is_weekend]
+    reporter(f"  min {min(percentages):.1f}%  max {max(percentages):.1f}%"
+           f"  (paper: all >50%, peak 91.61% on Sat Oct 25)")
+
+    assert min(percentages) > 50.0
+    assert max(percentages) > 80.0
+    assert np.mean(weekend) > np.mean(weekday)

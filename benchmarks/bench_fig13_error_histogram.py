@@ -1,0 +1,45 @@
+"""Figure 13: histogram of estimation errors for M-Loc / AP-Rad / Centroid.
+
+Paper: "the average estimation error of M-Loc and AP-Rad is only 9.41
+and 13.75 meters, respectively, in comparison with an average error of
+17.28 meters for the Centroid approach."  Absolute numbers depend on
+the campus; the reproduced *ordering* and rough ratios are the claim.
+"""
+
+from repro.analysis.errors import histogram
+
+
+
+PAPER_MEANS = {"m-loc": 9.41, "ap-rad": 13.75, "centroid": 17.28,
+               "w-centroid": None}  # extra baseline, not in the paper
+BINS = [0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 40.0, 60.0]
+
+
+def test_fig13_error_histogram(benchmark, campus_reports, reporter):
+    reports = campus_reports
+
+    def summarize():
+        return {name: rep.mean_error() for name, rep in reports.items()}
+
+    means = benchmark(summarize)
+
+    reporter("", "=== Fig 13: localization error histogram ===")
+    for name in ("m-loc", "ap-rad", "centroid", "w-centroid"):
+        errors = reports[name].errors()
+        bins = histogram(errors, BINS)
+        paper = PAPER_MEANS[name]
+        paper_text = (f" paper {paper:.2f} m" if paper is not None
+                      else " extra baseline")
+        reporter(f"  {name} (mean {means[name]:.2f} m,{paper_text}):")
+        peak = max(count for _, _, count in bins) or 1
+        for low, high, count in bins:
+            bar = "#" * int(30 * count / peak)
+            reporter(f"    {low:4.0f}-{high:4.0f} m: {count:4d} {bar}")
+
+    # The paper's ordering and scale.
+    assert means["m-loc"] < means["ap-rad"] < means["centroid"]
+    assert means["m-loc"] < 25.0
+    assert means["centroid"] < 40.0
+    # M-Loc's advantage over Centroid is substantial (~1.8x in paper).
+    assert means["centroid"] / means["m-loc"] > 1.2
+    reporter("Paper ordering reproduced: M-Loc < AP-Rad < Centroid.")

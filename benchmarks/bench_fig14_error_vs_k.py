@@ -1,0 +1,44 @@
+"""Figure 14: average error vs. minimum number of communicable APs.
+
+Paper: "our approaches (particularly M-Loc) [have] average error
+monotonically decreasing with the number of communicable APs, while the
+average error of Centroid is increasing" — the skewed-AP-distribution
+vulnerability of Centroid.
+"""
+
+
+
+K_VALUES = (1, 2, 4, 6, 8, 10, 12, 16)
+
+
+def test_fig14_error_vs_min_k(benchmark, campus_reports, reporter):
+    reports = campus_reports
+
+    def slices():
+        return {
+            name: [rep.mean_error_vs_min_k(k) for k in K_VALUES]
+            for name, rep in reports.items()
+        }
+
+    table = benchmark(slices)
+
+    reporter("", "=== Fig 14: average error vs min #communicable APs ===",
+           "min k    " + "".join(f"{k:>8d}" for k in K_VALUES))
+    for name in ("m-loc", "ap-rad", "centroid"):
+        cells = "".join(
+            f"{value:8.1f}" if value is not None else f"{'-':>8s}"
+            for value in table[name])
+        reporter(f"{name:9s}{cells}")
+
+    mloc = [v for v in table["m-loc"] if v is not None]
+    centroid = [v for v in table["centroid"] if v is not None]
+    # M-Loc error decreases as k grows; Centroid error does not improve
+    # (it trends up into the clustered-AP regime).
+    assert mloc[-1] < mloc[0] * 0.75
+    assert centroid[-1] > centroid[0] * 0.9
+    # Our algorithms beat Centroid at every k.
+    for ours, baseline in zip(table["m-loc"], table["centroid"]):
+        if ours is not None and baseline is not None:
+            assert ours < baseline
+    reporter("Paper: M-Loc error falls with k; Centroid's does not"
+           " (skewed AP distributions).")

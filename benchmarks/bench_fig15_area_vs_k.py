@@ -1,0 +1,41 @@
+"""Figure 15: intersected area vs. minimum number of communicable APs.
+
+Paper: "AP-Rad generates a larger intersected area than M-Loc.  This is
+due to the error on the estimation of APs' radius in AP-Rad" — and both
+shrink as k grows (Theorem 2).
+"""
+
+
+
+K_VALUES = (1, 2, 4, 6, 8, 10, 12, 16)
+
+
+def test_fig15_area_vs_min_k(benchmark, campus_reports, reporter):
+    reports = campus_reports
+
+    def slices():
+        return {
+            name: [reports[name].mean_area_vs_min_k(k) for k in K_VALUES]
+            for name in ("m-loc", "ap-rad")
+        }
+
+    table = benchmark(slices)
+
+    reporter("", "=== Fig 15: intersected area (m^2) vs min #APs ===",
+           "min k    " + "".join(f"{k:>9d}" for k in K_VALUES))
+    for name in ("m-loc", "ap-rad"):
+        cells = "".join(
+            f"{value:9.0f}" if value is not None else f"{'-':>9s}"
+            for value in table[name])
+        reporter(f"{name:9s}{cells}")
+
+    mloc = table["m-loc"]
+    aprad = table["ap-rad"]
+    # AP-Rad's area exceeds M-Loc's at every k (radius-estimation error).
+    larger = sum(1 for m, a in zip(mloc, aprad)
+                 if m is not None and a is not None and a > m)
+    assert larger >= len(K_VALUES) - 1
+    # Both curves decrease with k (Theorem 2's shape, on real data).
+    valid_mloc = [v for v in mloc if v is not None]
+    assert valid_mloc[-1] < valid_mloc[0] * 0.5
+    reporter("Paper: AP-Rad area > M-Loc area; both fall steeply with k.")

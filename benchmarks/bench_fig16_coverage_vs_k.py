@@ -1,0 +1,42 @@
+"""Figure 16: probability the intersected area covers the true location.
+
+Paper: "the estimation error on APs' radius leads to a lower coverage
+probability for AP-Rad" (than M-Loc, whose measured radii keep the
+region honest).
+"""
+
+
+
+K_VALUES = (1, 2, 4, 6, 8, 10, 12, 16)
+
+
+def test_fig16_coverage_vs_min_k(benchmark, campus_reports, reporter):
+    reports = campus_reports
+
+    def slices():
+        return {
+            name: [reports[name].coverage_probability_vs_min_k(k)
+                   for k in K_VALUES]
+            for name in ("m-loc", "ap-rad")
+        }
+
+    table = benchmark(slices)
+
+    reporter("", "=== Fig 16: coverage probability vs min #APs ===",
+           "min k    " + "".join(f"{k:>8d}" for k in K_VALUES))
+    for name in ("m-loc", "ap-rad"):
+        cells = "".join(
+            f"{value:8.2f}" if value is not None else f"{'-':>8s}"
+            for value in table[name])
+        reporter(f"{name:9s}{cells}")
+
+    mloc = table["m-loc"]
+    aprad = table["ap-rad"]
+    # M-Loc covers more often than AP-Rad at every k.
+    for m, a in zip(mloc, aprad):
+        if m is not None and a is not None:
+            assert m >= a
+    # And M-Loc's coverage stays high overall.
+    assert mloc[0] > 0.85
+    reporter("Paper: AP-Rad's radius errors cost coverage probability;"
+           " M-Loc stays high.")

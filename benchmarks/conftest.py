@@ -1,0 +1,61 @@
+"""Shared fixtures for the figure-reproduction benches.
+
+The Fig 13–17 benches all consume the same campus experiment; building
+it once per session keeps the whole bench suite fast.  Every bench
+prints a paper-vs-measured table through ``report`` so that
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` records
+the reproduced series alongside the timing table.
+"""
+
+import sys
+
+import pytest
+
+from repro.analysis.experiments import run_localization_experiment
+from repro.localization import (
+    CentroidLocalizer,
+    MLoc,
+    WeightedCentroidLocalizer,
+)
+from repro.sim.scenarios import build_disc_model_experiment
+
+#: Seed used by every bench (reproducible end to end).
+BENCH_SEED = 11
+
+
+@pytest.fixture
+def reporter(capsys):
+    """Print reproduction tables past pytest's output capture.
+
+    The reproduced series must land in ``bench_output.txt`` (via tee)
+    even for passing benches, which the default capture would swallow —
+    each call temporarily disables capture.
+    """
+    def _report(*lines):
+        with capsys.disabled():
+            for line in lines:
+                print(line)
+            sys.stdout.flush()
+
+    return _report
+
+
+@pytest.fixture(scope="session")
+def campus_experiment():
+    """The Fig 13–16 campus (420 APs, 120 test points, full corpus)."""
+    return build_disc_model_experiment(seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def campus_reports(campus_experiment):
+    """Localization reports for M-Loc / AP-Rad / Centroid on the campus."""
+    exp = campus_experiment
+    aprad = exp.make_aprad()
+    aprad.fit(exp.corpus)
+    localizers = {
+        "m-loc": MLoc(exp.mloc_db),
+        "ap-rad": aprad,
+        "centroid": CentroidLocalizer(exp.location_db),
+        "w-centroid": WeightedCentroidLocalizer(exp.mloc_db),
+    }
+    return run_localization_experiment(localizers, exp.cases)

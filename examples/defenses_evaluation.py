@@ -1,0 +1,82 @@
+"""Defense evaluation: camouflage protocols vs. the Marauder's map.
+
+The paper's conclusion calls for "mobile identity camouflaging
+protocols".  This example pits four defense configurations against the
+full attack and reports what the adversary still recovers:
+
+  1. no defense (static MAC),
+  2. MAC pseudonyms only (rotation every 60 s),
+  3. pseudonyms + random silent periods,
+  4. pseudonyms + silence + probe hygiene (no directed probes).
+
+The headline: pseudonyms alone are *re-linked* through the directed
+probe requests (the Pang et al. implicit identifier cited in the
+paper); only probe hygiene actually breaks the linkage — at the cost of
+slower network discovery.
+
+Run:  python examples/defenses_evaluation.py
+"""
+
+from repro.defenses import (
+    DefendedStation,
+    ProbeHygiene,
+    PseudonymPolicy,
+    SilentPeriodPolicy,
+    evaluate_trackability,
+)
+from repro.geometry import Point
+from repro.net80211 import MobileStation, Ssid
+from repro.net80211.mac import MacAddress
+from repro.net80211.station import PROFILES
+from repro.numerics import make_rng
+from repro.sim import build_attack_scenario
+
+CONFIGS = [
+    ("no defense", dict()),
+    ("pseudonyms", dict(pseudonyms=PseudonymPolicy(interval_s=60.0))),
+    ("+ silence", dict(pseudonyms=PseudonymPolicy(interval_s=60.0),
+                       silence=SilentPeriodPolicy(min_s=5.0, max_s=20.0))),
+    ("+ hygiene", dict(pseudonyms=PseudonymPolicy(interval_s=60.0),
+                       silence=SilentPeriodPolicy(min_s=5.0, max_s=20.0),
+                       hygiene=ProbeHygiene())),
+]
+
+
+def make_victim():
+    rng = make_rng(5)
+    return MobileStation(
+        mac=MacAddress.random_pseudonym(rng),
+        position=Point(250.0, 75.0),
+        profile=PROFILES["aggressive"],
+        preferred_networks=[Ssid("home-net"), Ssid("office-eduroam")],
+    )
+
+
+def main() -> None:
+    print(f"{'defense':14s} {'MACs':>5s} {'linked':>7s} {'fixes':>6s}"
+          f" {'err (m)':>8s} {'muted':>6s}")
+    for name, policies in CONFIGS:
+        scenario = build_attack_scenario(seed=23, ap_count=70,
+                                         area_m=500.0,
+                                         bystander_count=4)
+        defended = DefendedStation(inner=make_victim(), seed=9,
+                                   **policies)
+        scenario.world.add_station(defended, scenario.victim_route)
+        report = evaluate_trackability(scenario.world, defended,
+                                       duration_s=300.0,
+                                       truth_db=scenario.truth_db)
+        error = (f"{report.mean_error_m:8.1f}"
+                 if report.mean_error_m is not None else f"{'-':>8s}")
+        print(f"{name:14s} {report.macs_used:5d}"
+              f" {report.linked_by_attacker:7d}"
+              f" {report.located_fixes:6d} {error}"
+              f" {100 * report.muted_fraction:5.0f}%")
+    print("\n'linked' = pseudonyms the attacker re-identified as one"
+          " device via the preferred-network fingerprint.")
+    print("Only probe hygiene (no directed probes) breaks the linkage;"
+          " each pseudonym remains individually locatable while it"
+          " transmits.")
+
+
+if __name__ == "__main__":
+    main()

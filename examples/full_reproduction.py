@@ -1,0 +1,109 @@
+"""Full reproduction in one run: a scaled-down pass over every claim.
+
+Walks the paper's evaluation top to bottom on small workloads (seconds,
+not the benches' minutes) and prints a single summary table.  For the
+publication-scale versions run ``pytest benchmarks/ --benchmark-only``.
+
+Run:  python examples/full_reproduction.py
+"""
+
+import numpy as np
+
+from repro.analysis import run_localization_experiment
+from repro.localization import CentroidLocalizer, MLoc
+from repro.numerics import make_rng
+from repro.radio.link_budget import LinkBudget, Transmitter
+from repro.sim.campus import CampusConfig, generate_campus, non_overlapping_share
+from repro.sim.population import PopulationConfig, simulate_week
+from repro.sim.scenarios import build_disc_model_experiment
+from repro.sniffer.receiver import build_marauder_chain, build_src_chain
+from repro.theory import (
+    coverage_probability_underestimate,
+    expected_area_overestimate,
+    expected_intersected_area,
+)
+
+
+def check(label, claim, ok):
+    status = "ok " if ok else "FAIL"
+    print(f"  [{status}] {label:34s} {claim}")
+    return ok
+
+
+def main() -> None:
+    print("The Digital Marauder's Map — one-shot reproduction summary\n")
+    results = []
+
+    # --- Theory -------------------------------------------------------
+    print("Theory (Theorems 1-3):")
+    ca = [expected_intersected_area(k) for k in (1, 5, 10, 20)]
+    results.append(check(
+        "Thm 2 / Fig 2", f"CA falls {ca[0]:.2f} -> {ca[-1]:.3f} over k",
+        all(a > b for a, b in zip(ca, ca[1:]))))
+    grow = expected_area_overestimate(10, 1.0, 2.0) / \
+        expected_area_overestimate(10, 1.0, 1.0)
+    results.append(check(
+        "Thm 3 / Fig 5", f"2x radius overestimate -> {grow:.0f}x area",
+        grow > 10))
+    p = coverage_probability_underestimate(10, 1.0, 0.8)
+    results.append(check(
+        "Thm 3 / Fig 6", f"20% underestimate -> coverage {p:.3f}",
+        p < 0.05))
+    src = LinkBudget(Transmitter(15.0), build_src_chain())
+    lna = LinkBudget(Transmitter(15.0), build_marauder_chain())
+    ratio = lna.coverage_radius_m() / src.coverage_radius_m()
+    results.append(check(
+        "Thm 1 / Fig 12", f"LNA chain out-ranges SRC card {ratio:.1f}x",
+        ratio > 3.0))
+
+    # --- Feasibility ----------------------------------------------------
+    print("Feasibility (Figs 8, 10, 11):")
+    aps, _ = generate_campus(CampusConfig(ap_count=400), make_rng(8))
+    share = non_overlapping_share(aps)
+    results.append(check(
+        "Fig 8", f"{100 * share:.1f}% of APs on ch 1/6/11 (paper 93.7%)",
+        share > 0.88))
+    week = simulate_week(PopulationConfig(), make_rng(2008))
+    minimum = min(d.probing_percentage for d in week)
+    results.append(check(
+        "Figs 10-11", f"probing >50% daily (min {minimum:.1f}%)",
+        minimum > 50.0))
+
+    # --- Localization accuracy -----------------------------------------
+    print("Localization (Figs 13-16):")
+    exp = build_disc_model_experiment(seed=11, ap_count=250,
+                                      area_m=400.0, case_count=60,
+                                      extra_corpus=400)
+    aprad = exp.make_aprad()
+    aprad.fit(exp.corpus)
+    reports = run_localization_experiment(
+        {"m-loc": MLoc(exp.mloc_db), "ap-rad": aprad,
+         "centroid": CentroidLocalizer(exp.location_db)},
+        exp.cases)
+    mloc = reports["m-loc"].mean_error()
+    rad = reports["ap-rad"].mean_error()
+    cen = reports["centroid"].mean_error()
+    results.append(check(
+        "Fig 13", f"errors {mloc:.1f} < {rad:.1f} < {cen:.1f} m "
+        "(paper 9.4 < 13.8 < 17.3)",
+        mloc < rad < cen))
+    k_lo = reports["m-loc"].mean_error_vs_min_k(1)
+    k_hi = reports["m-loc"].mean_error_vs_min_k(8)
+    results.append(check(
+        "Fig 14", f"M-Loc error falls with k ({k_lo:.1f} -> {k_hi:.1f})",
+        k_hi < k_lo))
+    area_gap = (reports["ap-rad"].mean_area_vs_min_k(2)
+                > reports["m-loc"].mean_area_vs_min_k(2))
+    results.append(check("Fig 15", "AP-Rad area > M-Loc area", area_gap))
+    cov_gap = (reports["ap-rad"].coverage_probability_vs_min_k(1)
+               < reports["m-loc"].coverage_probability_vs_min_k(1))
+    results.append(check("Fig 16", "AP-Rad coverage < M-Loc coverage",
+                         cov_gap))
+
+    passed = sum(results)
+    print(f"\n{passed}/{len(results)} claims reproduced.  Full-scale"
+          " versions: pytest benchmarks/ --benchmark-only")
+
+
+if __name__ == "__main__":
+    main()

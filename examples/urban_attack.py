@@ -1,0 +1,43 @@
+"""Urban attack: the Marauder's map in a downtown (GWU-style) grid.
+
+The paper deployed its second system on GWU's downtown campus.  Urban
+clutter is exactly why it rejects signal-strength/AOA localization —
+and why the disc-model attack, which only needs *whether* frames
+arrive, is dangerous: buildings cost the sniffer frames, not the
+attack its validity.
+
+This example runs the identical attack on an open campus and a
+Manhattan grid of buildings and prints the side-by-side outcome.
+
+Run:  python examples/urban_attack.py
+"""
+
+from repro.localization import MLoc
+from repro.sim import build_attack_scenario, build_urban_scenario
+
+
+def run(label, scenario, duration_s=240.0):
+    scenario.world.run(duration_s=duration_s)
+    store = scenario.world.sniffer.store
+    gamma = store.gamma(scenario.victim.mac, at_time=scenario.world.now)
+    estimate = MLoc(scenario.truth_db).locate(gamma) if gamma else None
+    error = (f"{estimate.error_to(scenario.victim.position):6.1f} m"
+             if estimate is not None else "      -")
+    print(f"{label:12s} frames={store.frame_count:5d}  "
+          f"mobiles={len(store.seen_mobiles):2d}  "
+          f"victim k={len(gamma):2d}  error={error}")
+
+
+def main() -> None:
+    print("Same attack, two environments (seed 38, 70 APs, 400 m):\n")
+    run("open campus", build_attack_scenario(
+        seed=38, ap_count=70, area_m=400.0, bystander_count=4))
+    run("urban grid", build_urban_scenario(
+        seed=38, ap_count=70, area_m=400.0, bystander_count=4))
+    print("\nBuildings absorb frames (the sniffer hears less) but the"
+          " reachability evidence that does arrive still pins the"
+          " victim — the paper's case against RSSI/AOA methods.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+``pip install -e .`` works in offline environments that lack the
+``wheel`` package required by PEP-660 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

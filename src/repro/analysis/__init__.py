@@ -1,0 +1,34 @@
+"""Experiment analysis: error statistics and the localization harness.
+
+Shared by the Figs 13–17 benches and the integration tests: run several
+localizers over the same test cases, then slice errors / intersected
+areas / coverage probabilities by the minimum number of communicable
+APs, exactly the axes of the paper's accuracy figures.
+"""
+
+from repro.analysis.errors import ErrorStats, histogram
+from repro.analysis.experiments import (
+    AlgorithmReport,
+    TestCase,
+    run_localization_experiment,
+)
+from repro.analysis.report import render_markdown_report
+from repro.analysis.tracking import (
+    average_track_error,
+    exponential_smoothing,
+    moving_average,
+    track_length_m,
+)
+
+__all__ = [
+    "ErrorStats",
+    "histogram",
+    "TestCase",
+    "AlgorithmReport",
+    "run_localization_experiment",
+    "render_markdown_report",
+    "average_track_error",
+    "exponential_smoothing",
+    "moving_average",
+    "track_length_m",
+]

@@ -1,0 +1,79 @@
+"""Error statistics helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ErrorStats:
+    """Summary statistics over a sample of scalar errors."""
+
+    count: int
+    mean: float
+    median: float
+    std: float
+    minimum: float
+    maximum: float
+    p90: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "ErrorStats":
+        if len(values) == 0:
+            raise ValueError("cannot summarize an empty sample")
+        array = np.asarray(values, dtype=float)
+        return cls(
+            count=int(array.size),
+            mean=float(array.mean()),
+            median=float(np.median(array)),
+            std=float(array.std(ddof=1)) if array.size > 1 else 0.0,
+            minimum=float(array.min()),
+            maximum=float(array.max()),
+            p90=float(np.percentile(array, 90.0)),
+        )
+
+    def format_row(self, label: str) -> str:
+        """One aligned report line (used by benches and the CLI)."""
+        return (f"{label:<12s} n={self.count:<5d} mean={self.mean:8.2f}  "
+                f"median={self.median:8.2f}  p90={self.p90:8.2f}  "
+                f"max={self.maximum:8.2f}")
+
+
+def histogram(values: Sequence[float], bin_edges: Sequence[float]
+              ) -> List[Tuple[float, float, int]]:
+    """Counts per bin: returns (low, high, count) triples.
+
+    Values at or beyond the last edge land in the final bin — the
+    Fig 13 histogram has an implicit ">= last edge" bucket.
+    """
+    if len(bin_edges) < 2:
+        raise ValueError("need at least two bin edges")
+    edges = list(bin_edges)
+    if any(edges[i] >= edges[i + 1] for i in range(len(edges) - 1)):
+        raise ValueError("bin edges must be strictly increasing")
+    counts = [0] * (len(edges) - 1)
+    for value in values:
+        if value < edges[0]:
+            continue
+        placed = False
+        for i in range(len(edges) - 1):
+            if edges[i] <= value < edges[i + 1]:
+                counts[i] += 1
+                placed = True
+                break
+        if not placed:  # value >= last edge
+            counts[-1] += 1
+    return [(edges[i], edges[i + 1], counts[i])
+            for i in range(len(edges) - 1)]
+
+
+def cumulative_fraction_below(values: Sequence[float],
+                              threshold: float) -> float:
+    """Fraction of errors below a threshold (CDF point)."""
+    if len(values) == 0:
+        raise ValueError("empty sample")
+    below = sum(1 for v in values if v < threshold)
+    return below / len(values)

@@ -1,0 +1,139 @@
+"""The shared localization-accuracy harness (Figs 13–16).
+
+Feeds identical test cases — (observed Γ, true position) pairs — to any
+set of localizers and produces per-algorithm reports sliceable along the
+paper's axes:
+
+* error histogram / averages (Fig 13),
+* average error vs. minimum number of communicable APs (Fig 14),
+* intersected area vs. minimum k (Fig 15),
+* coverage probability vs. minimum k (Fig 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.geometry.point import Point
+from repro.localization.base import LocalizationEstimate, Localizer
+from repro.net80211.mac import MacAddress
+
+
+@dataclass(frozen=True)
+class TestCase:
+    """One localization trial: the evidence and the ground truth."""
+
+    # Tell pytest this dataclass is not a test container.
+    __test__ = False
+
+    observed: frozenset
+    truth: Point
+
+    @classmethod
+    def of(cls, observed: Set[MacAddress], truth: Point) -> "TestCase":
+        return cls(frozenset(observed), truth)
+
+
+@dataclass
+class _CaseResult:
+    case: TestCase
+    estimate: LocalizationEstimate
+
+    @property
+    def error_m(self) -> float:
+        return self.estimate.error_to(self.case.truth)
+
+    @property
+    def k(self) -> int:
+        """Number of known APs that constrained this estimate."""
+        return self.estimate.used_ap_count
+
+    @property
+    def area_m2(self) -> float:
+        return self.estimate.area_m2
+
+    @property
+    def covered(self) -> bool:
+        return self.estimate.covers(self.case.truth)
+
+
+@dataclass
+class AlgorithmReport:
+    """All results of one localizer over the test cases."""
+
+    name: str
+    results: List[_CaseResult] = field(default_factory=list)
+    skipped: int = 0  # cases where the localizer returned None
+
+    # -- whole-sample metrics (Fig 13) ---------------------------------
+
+    def errors(self) -> List[float]:
+        return [result.error_m for result in self.results]
+
+    def mean_error(self) -> float:
+        errors = self.errors()
+        if not errors:
+            raise ValueError(f"{self.name}: no successful localizations")
+        return sum(errors) / len(errors)
+
+    def error_stats(self):
+        """Full :class:`repro.analysis.errors.ErrorStats` of the errors."""
+        from repro.analysis.errors import ErrorStats
+
+        return ErrorStats.from_values(self.errors())
+
+    def fraction_within(self, threshold_m: float) -> float:
+        """Fraction of estimates with error below ``threshold_m`` (CDF)."""
+        from repro.analysis.errors import cumulative_fraction_below
+
+        return cumulative_fraction_below(self.errors(), threshold_m)
+
+    # -- sliced metrics (Figs 14-16) -----------------------------------
+
+    def _with_min_k(self, min_k: int) -> List[_CaseResult]:
+        return [result for result in self.results if result.k >= min_k]
+
+    def mean_error_vs_min_k(self, min_k: int) -> Optional[float]:
+        """Average error over cases with at least ``min_k`` APs."""
+        subset = self._with_min_k(min_k)
+        if not subset:
+            return None
+        return sum(result.error_m for result in subset) / len(subset)
+
+    def mean_area_vs_min_k(self, min_k: int) -> Optional[float]:
+        """Average intersected area over cases with >= ``min_k`` APs.
+
+        Only meaningful for disc-based localizers; Centroid reports 0.
+        """
+        subset = self._with_min_k(min_k)
+        if not subset:
+            return None
+        return sum(result.area_m2 for result in subset) / len(subset)
+
+    def coverage_probability_vs_min_k(self, min_k: int) -> Optional[float]:
+        """Fraction of regions covering the truth, cases with k >= min_k."""
+        subset = self._with_min_k(min_k)
+        if not subset:
+            return None
+        covered = sum(1 for result in subset if result.covered)
+        return covered / len(subset)
+
+    def k_values(self) -> List[int]:
+        return [result.k for result in self.results]
+
+
+def run_localization_experiment(
+    localizers: Dict[str, Localizer],
+    cases: Sequence[TestCase],
+) -> Dict[str, AlgorithmReport]:
+    """Run every localizer over every case; collect per-algorithm reports."""
+    reports = {name: AlgorithmReport(name=name) for name in localizers}
+    for case in cases:
+        for name, localizer in localizers.items():
+            estimate = localizer.locate(case.observed)
+            if estimate is None:
+                reports[name].skipped += 1
+                continue
+            reports[name].results.append(_CaseResult(case, estimate))
+    return reports

@@ -1,0 +1,81 @@
+"""Markdown report rendering for localization experiments.
+
+Turns the harness output (:func:`run_localization_experiment` reports)
+into the kind of paper-vs-measured table EXPERIMENTS.md carries, so the
+CLI and scripts can emit shareable results without hand-formatting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.analysis.experiments import AlgorithmReport
+
+
+def render_markdown_report(
+    reports: Dict[str, AlgorithmReport],
+    paper_means: Optional[Dict[str, float]] = None,
+    k_values: Sequence[int] = (1, 4, 8, 12),
+    title: str = "Localization accuracy",
+) -> str:
+    """A markdown document summarizing an experiment run.
+
+    Contains the Fig 13-style mean/median table (with paper values when
+    given) and the Fig 14/15/16-style slices by minimum k for the
+    disc-based algorithms.
+    """
+    paper_means = paper_means or {}
+    lines = [f"# {title}", ""]
+
+    # --- summary table -------------------------------------------------
+    lines.append("| algorithm | n | mean (m) | median (m) | p90 (m) |"
+                 " paper (m) |")
+    lines.append("|---|---|---|---|---|---|")
+    for name, report in reports.items():
+        if not report.results:
+            lines.append(f"| {name} | 0 | - | - | - | - |")
+            continue
+        stats = report.error_stats()
+        paper = paper_means.get(name)
+        paper_text = f"{paper:.2f}" if paper is not None else "-"
+        lines.append(
+            f"| {name} | {stats.count} | {stats.mean:.2f} |"
+            f" {stats.median:.2f} | {stats.p90:.2f} | {paper_text} |")
+    lines.append("")
+
+    # --- slices by minimum k --------------------------------------------
+    header = "| algorithm | " + " | ".join(
+        f"err@k≥{k}" for k in k_values) + " |"
+    lines.append("## Error vs. minimum communicable APs")
+    lines.append("")
+    lines.append(header)
+    lines.append("|" + "---|" * (len(k_values) + 1))
+    for name, report in reports.items():
+        cells = []
+        for k in k_values:
+            value = report.mean_error_vs_min_k(k)
+            cells.append(f"{value:.1f}" if value is not None else "-")
+        lines.append(f"| {name} | " + " | ".join(cells) + " |")
+    lines.append("")
+
+    disc_based = {name: report for name, report in reports.items()
+                  if any(r.area_m2 > 0.0 for r in report.results)}
+    if disc_based:
+        lines.append("## Intersected area / coverage probability")
+        lines.append("")
+        lines.append("| algorithm | " + " | ".join(
+            f"area@k≥{k} (m²) / cov" for k in k_values) + " |")
+        lines.append("|" + "---|" * (len(k_values) + 1))
+        for name, report in disc_based.items():
+            cells = []
+            for k in k_values:
+                area = report.mean_area_vs_min_k(k)
+                coverage = report.coverage_probability_vs_min_k(k)
+                if area is None or coverage is None:
+                    cells.append("-")
+                else:
+                    cells.append(f"{area:.0f} / {coverage:.2f}")
+            lines.append(f"| {name} | " + " | ".join(cells) + " |")
+        lines.append("")
+
+    return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""Trajectory analysis: track metrics and smoothing.
+
+The Marauder's map produces a *track* — timestamped estimates — per
+device.  Raw per-window estimates jump around within the intersected
+area; because a walking victim moves smoothly, simple temporal filters
+recover accuracy essentially for free.  This module provides:
+
+* :func:`average_track_error` — mean distance between a track and the
+  true trajectory (the tracking analogue of the Fig 13 metric),
+* :func:`exponential_smoothing` — first-order smoothing of a track,
+* :func:`moving_average` — centered window average,
+
+all operating on ``(timestamp, Point)`` sequences so they compose with
+:class:`repro.sniffer.tracker.DeviceTracker` and the ground truth
+recorded by the world.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.geometry.point import Point
+
+#: A track sample: (timestamp, position).
+TrackSample = Tuple[float, Point]
+
+
+def average_track_error(
+    track: Sequence[TrackSample],
+    truth_at: Callable[[float], Optional[Point]],
+) -> float:
+    """Mean error of a track against a ground-truth lookup.
+
+    ``truth_at(timestamp)`` returns the true position (or ``None`` when
+    unavailable — such samples are skipped).  Raises when no sample has
+    ground truth.
+    """
+    errors: List[float] = []
+    for timestamp, position in track:
+        truth = truth_at(timestamp)
+        if truth is not None:
+            errors.append(position.distance_to(truth))
+    if not errors:
+        raise ValueError("no track samples with ground truth")
+    return sum(errors) / len(errors)
+
+
+def exponential_smoothing(track: Sequence[TrackSample],
+                          alpha: float = 0.5) -> List[TrackSample]:
+    """First-order exponential smoothing of the positions.
+
+    ``alpha`` is the weight on the *new* sample (1 = no smoothing).
+    Timestamps are preserved.
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    smoothed: List[TrackSample] = []
+    state: Optional[Point] = None
+    for timestamp, position in track:
+        if state is None:
+            state = position
+        else:
+            state = Point(alpha * position.x + (1.0 - alpha) * state.x,
+                          alpha * position.y + (1.0 - alpha) * state.y)
+        smoothed.append((timestamp, state))
+    return smoothed
+
+
+def moving_average(track: Sequence[TrackSample],
+                   window: int = 3) -> List[TrackSample]:
+    """Centered moving average over ``window`` samples (odd window).
+
+    Edge samples average over the available neighbors, so the output
+    has the same length and timestamps as the input.
+    """
+    if window < 1 or window % 2 == 0:
+        raise ValueError(f"window must be odd and >= 1, got {window}")
+    half = window // 2
+    samples = list(track)
+    averaged: List[TrackSample] = []
+    for i, (timestamp, _) in enumerate(samples):
+        lo = max(0, i - half)
+        hi = min(len(samples), i + half + 1)
+        xs = [p.x for _, p in samples[lo:hi]]
+        ys = [p.y for _, p in samples[lo:hi]]
+        averaged.append((timestamp,
+                         Point(sum(xs) / len(xs), sum(ys) / len(ys))))
+    return averaged
+
+
+def track_length_m(track: Sequence[TrackSample]) -> float:
+    """Total path length of a track (sum of segment lengths)."""
+    total = 0.0
+    for (_, a), (_, b) in zip(track, track[1:]):
+        total += a.distance_to(b)
+    return total

@@ -1,0 +1,46 @@
+"""Location-privacy defenses — the paper's future-work direction.
+
+The paper closes with: "We expect the results of this paper to
+stimulate the implementation of a set of mobile identity camouflaging
+protocols to preserve user location privacy in pervasive WiFi
+networks."  Its related-work section surveys the candidate mechanisms;
+this package implements them against our own attack so their real
+effect can be measured:
+
+* :mod:`repro.defenses.pseudonym` — randomized MAC addresses with
+  rotation policies (Hu & Wang [31], Singelee & Preneel [33]),
+* :mod:`repro.defenses.silent` — random silent periods: the device
+  stops transmitting for a random interval around each identifier
+  change, breaking trajectory continuity,
+* :mod:`repro.defenses.mixzone` — Mix Zones (Beresford & Stajano
+  [30]): spatial regions where every device keeps radio silence, so
+  identities mix,
+* :mod:`repro.defenses.probe_hygiene` — suppressing directed probe
+  requests, the implicit identifier (Pang et al. [13]) that otherwise
+  defeats pseudonyms,
+* :mod:`repro.defenses.evaluation` — trackability metrics: how much of
+  a device's trajectory the Marauder's map still recovers under a
+  defense.
+"""
+
+from repro.defenses.pseudonym import PseudonymPolicy, RotationTrigger
+from repro.defenses.silent import SilentPeriodPolicy
+from repro.defenses.mixzone import MixZone, MixZoneMap
+from repro.defenses.probe_hygiene import ProbeHygiene
+from repro.defenses.evaluation import (
+    DefendedStation,
+    TrackabilityReport,
+    evaluate_trackability,
+)
+
+__all__ = [
+    "PseudonymPolicy",
+    "RotationTrigger",
+    "SilentPeriodPolicy",
+    "MixZone",
+    "MixZoneMap",
+    "ProbeHygiene",
+    "DefendedStation",
+    "TrackabilityReport",
+    "evaluate_trackability",
+]

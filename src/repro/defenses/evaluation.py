@@ -1,0 +1,230 @@
+"""Trackability evaluation: defenses vs. the digital Marauder's map.
+
+Wraps a :class:`~repro.net80211.station.MobileStation` with the defense
+policies (:class:`DefendedStation`) and measures, against a live
+sniffing world, how much the attacker still gets:
+
+* how many distinct MACs the device burned,
+* how many of them the attacker *links back together* through the
+  preferred-network fingerprint (the Pang et al. side channel —
+  suppressed by probe hygiene),
+* in what fraction of observation windows the device was locatable at
+  all, and with what error,
+* the cost side: the fraction of time spent radio-silent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.defenses.mixzone import MixZoneMap
+from repro.defenses.probe_hygiene import ProbeHygiene
+from repro.defenses.pseudonym import PseudonymPolicy
+from repro.defenses.silent import SilentPeriodPolicy
+from repro.geometry.point import Point
+from repro.localization.mloc import MLoc
+from repro.net80211.frames import Dot11Frame
+from repro.net80211.mac import MacAddress
+from repro.net80211.station import MobileStation
+from repro.numerics.rng import make_rng
+from repro.sniffer.tracker import PseudonymLinker
+
+
+@dataclass
+class DefendedStation:
+    """A mobile station running identity-camouflage defenses.
+
+    Duck-types the station interface :class:`repro.sim.world.CampusWorld`
+    uses (``tick``, ``handle_frame``, ``move_to``,
+    ``schedule_first_scan``, ``position``, ``mac``), wrapping an inner
+    station and applying, in order: mix-zone silence, silent periods,
+    pseudonym rotation, and probe hygiene.
+    """
+
+    inner: MobileStation
+    pseudonyms: Optional[PseudonymPolicy] = None
+    silence: Optional[SilentPeriodPolicy] = None
+    mix_zones: Optional[MixZoneMap] = None
+    hygiene: Optional[ProbeHygiene] = None
+    #: Reset the 802.11 sequence counter on rotation.  A NIC that keeps
+    #: counting across MAC changes is linkable by sequence continuity
+    #: (:class:`repro.sniffer.tracker.SequenceNumberLinker`).
+    reset_sequence: bool = True
+    seed: Optional[int] = None
+    #: (mac, first-used-at) — the device's true identity timeline.
+    identity_history: List[Tuple[MacAddress, float]] = field(
+        default_factory=list)
+    _rng: np.random.Generator = field(init=False, repr=False)
+    _was_in_zone: bool = field(default=False, repr=False)
+    _muted_ticks: int = field(default=0, repr=False)
+    _total_ticks: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = make_rng(self.seed)
+        if self.hygiene is not None:
+            self.hygiene.apply_to_station(self.inner)
+        self.identity_history.append((self.inner.mac, 0.0))
+
+    # -- station interface -------------------------------------------
+
+    @property
+    def mac(self) -> MacAddress:
+        return self.inner.mac
+
+    @property
+    def position(self) -> Point:
+        return self.inner.position
+
+    @property
+    def associated_bssid(self):
+        return self.inner.associated_bssid
+
+    def schedule_first_scan(self, rng) -> None:
+        self.inner.schedule_first_scan(rng)
+
+    def move_to(self, position: Point) -> None:
+        self.inner.move_to(position)
+
+    def handle_frame(self, frame: Dot11Frame, now: float) -> None:
+        self.inner.handle_frame(frame, now)
+
+    def tick(self, now: float) -> List[Dot11Frame]:
+        self._total_ticks += 1
+        self._update_mix_zone_state(now)
+        if self._is_muted(now):
+            self._muted_ticks += 1
+            # The scan timer still runs; frames are simply not sent.
+            self.inner.tick(now)
+            return []
+        self._maybe_rotate(now)
+        frames = self.inner.tick(now)
+        if self.hygiene is not None:
+            frames = self.hygiene.filter_burst(frames)
+        return frames
+
+    # -- defense mechanics --------------------------------------------
+
+    def _is_muted(self, now: float) -> bool:
+        if self.mix_zones is not None and self.mix_zones.in_zone(
+                self.inner.position):
+            return True
+        if self.silence is not None and self.silence.is_silent(now):
+            return True
+        return False
+
+    def _update_mix_zone_state(self, now: float) -> None:
+        if self.mix_zones is None:
+            return
+        in_zone = self.mix_zones.in_zone(self.inner.position)
+        if self._was_in_zone and not in_zone:
+            # Exiting a mix zone: fresh identity + optional tail silence.
+            self._adopt(MacAddress.random_pseudonym(self._rng), now)
+            if self.silence is not None:
+                self.silence.begin(now, self._rng)
+        self._was_in_zone = in_zone
+
+    def _maybe_rotate(self, now: float) -> None:
+        if self.pseudonyms is None:
+            return
+        fresh = self.pseudonyms.maybe_rotate(now, self._rng)
+        if fresh is not None:
+            self._adopt(fresh, now)
+            if self.silence is not None:
+                self.silence.begin(now, self._rng)
+
+    def _adopt(self, mac: MacAddress, now: float) -> None:
+        self.inner.mac = mac
+        self.inner.associated_bssid = None
+        if self.reset_sequence:
+            self.inner._sequence = 0
+        self.identity_history.append((mac, now))
+
+    # -- costs ----------------------------------------------------------
+
+    @property
+    def macs_used(self) -> List[MacAddress]:
+        return [mac for mac, _ in self.identity_history]
+
+    @property
+    def muted_fraction(self) -> float:
+        """Fraction of ticks spent radio-silent (the usability cost)."""
+        if self._total_ticks == 0:
+            return 0.0
+        return self._muted_ticks / self._total_ticks
+
+
+@dataclass
+class TrackabilityReport:
+    """What the attacker recovered about one defended device."""
+
+    macs_used: int
+    linked_by_attacker: int     # largest fingerprint-linked MAC group
+    observed_macs: int          # pseudonyms that produced any evidence
+    located_fixes: int          # windows with a localization estimate
+    mean_error_m: Optional[float]
+    muted_fraction: float
+
+    @property
+    def linkage_broken(self) -> bool:
+        """True when no two pseudonyms could be linked."""
+        return self.linked_by_attacker <= 1
+
+
+def evaluate_trackability(world, defended: DefendedStation,
+                          duration_s: float, truth_db,
+                          step_s: float = 1.0,
+                          window_s: float = 30.0) -> TrackabilityReport:
+    """Run the world and measure the attacker's view of the device.
+
+    ``world`` must contain ``defended`` as a station and carry the
+    Marauder's-map sniffer; ``truth_db`` is the attacker's (full) AP
+    knowledge used for M-Loc.
+    """
+    world.sniffer.keep_frames = True
+    world.run(duration_s, step_s=step_s)
+
+    device_macs = set(defended.macs_used)
+
+    # Pseudonym linking from every captured probe request.
+    linker = PseudonymLinker()
+    for received in world.sniffer.captured:
+        linker.ingest(received.frame)
+    linked = 0
+    for group in linker.linked_groups():
+        overlap = len(set(group) & device_macs)
+        linked = max(linked, overlap)
+
+    # Localization attempts per (pseudonym, window).
+    store = world.sniffer.store
+    mloc = MLoc(truth_db)
+    errors: List[float] = []
+    observed_macs = 0
+    located = 0
+    for mac in device_macs:
+        gamma_all = store.gamma(mac)
+        if gamma_all:
+            observed_macs += 1
+        for window in store.windows():
+            if window.mobile != mac:
+                continue
+            estimate = mloc.locate(window.observed)
+            if estimate is None:
+                continue
+            located += 1
+            truth = world.truth_at(
+                mac, window.window_start + window_s / 2.0,
+                tolerance_s=window_s)
+            if truth is not None:
+                errors.append(estimate.error_to(truth))
+
+    return TrackabilityReport(
+        macs_used=len(device_macs),
+        linked_by_attacker=linked,
+        observed_macs=observed_macs,
+        located_fixes=located,
+        mean_error_m=(sum(errors) / len(errors)) if errors else None,
+        muted_fraction=defended.muted_fraction,
+    )

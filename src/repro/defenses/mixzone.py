@@ -1,0 +1,80 @@
+"""Mix Zones (Beresford & Stajano).
+
+"Mix Zones [30] uses the idea of silent zones, where users keep silent
+by not sending any requests in order to mix the identities of people
+within this zone."  A device entering a zone stops transmitting and
+exits under a fresh pseudonym; an attacker watching the borders cannot
+tell which exit matches which entry when several devices are inside.
+
+The paper notes "this approach may incur extensive inconvenience" —
+our evaluation quantifies it as the fraction of time devices spend
+mute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True)
+class MixZone:
+    """A circular silent zone."""
+
+    center: Point
+    radius_m: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.radius_m <= 0.0:
+            raise ValueError(f"zone radius must be > 0, got {self.radius_m}")
+
+    def contains(self, point: Point) -> bool:
+        return self.center.distance_to(point) <= self.radius_m
+
+    @property
+    def disc(self) -> Circle:
+        return Circle(self.center, self.radius_m)
+
+
+@dataclass
+class MixZoneMap:
+    """The deployed set of mix zones on a campus."""
+
+    zones: List[MixZone] = field(default_factory=list)
+
+    def add_zone(self, zone: MixZone) -> None:
+        self.zones.append(zone)
+
+    def zone_at(self, point: Point) -> Optional[MixZone]:
+        """The zone covering ``point``, or None."""
+        for zone in self.zones:
+            if zone.contains(point):
+                return zone
+        return None
+
+    def in_zone(self, point: Point) -> bool:
+        return self.zone_at(point) is not None
+
+    def coverage_fraction(self, width_m: float, height_m: float,
+                          grid: int = 50) -> float:
+        """Fraction of the campus rectangle inside some zone.
+
+        A coarse grid estimate — used to report the "inconvenience"
+        cost of a mix-zone deployment.
+        """
+        if grid < 2:
+            raise ValueError(f"grid must be >= 2, got {grid}")
+        covered = 0
+        total = 0
+        for i in range(grid):
+            for j in range(grid):
+                point = Point(width_m * (i + 0.5) / grid,
+                              height_m * (j + 0.5) / grid)
+                total += 1
+                if self.in_zone(point):
+                    covered += 1
+        return covered / total

@@ -1,0 +1,60 @@
+"""Probe hygiene: closing the implicit-identifier side channel.
+
+Pang et al. [13] — cited by the paper as the reason MAC pseudonyms
+fail — showed that "implicit identifiers such as network names in
+probing traffic may break those pseudonyms".  Probe hygiene is the
+countermeasure: never send directed probe requests (discover networks
+passively from beacons or via broadcast probes only), so rotating MACs
+leave nothing to link.
+
+The trade-off is real: hidden-SSID networks cannot be discovered
+without directed probes, and scans get slower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List
+
+from repro.net80211.frames import Dot11Frame
+from repro.net80211.station import MobileStation, ScanProfile
+
+
+@dataclass(frozen=True)
+class ProbeHygiene:
+    """Configuration of the probe-suppression defense.
+
+    ``suppress_directed`` removes directed (SSID-bearing) probes from
+    scan bursts; ``broadcast_only_interval_s`` can additionally slow the
+    broadcast scan cadence to reduce the probing footprint.
+    """
+
+    suppress_directed: bool = True
+    broadcast_only_interval_s: float = 0.0  # 0 = keep profile cadence
+
+    def apply_to_profile(self, profile: ScanProfile) -> ScanProfile:
+        """A hygienic copy of a scan profile."""
+        updated = profile
+        if self.suppress_directed and profile.directed_probes:
+            updated = replace(updated, directed_probes=False)
+        if self.broadcast_only_interval_s > 0.0:
+            updated = replace(
+                updated, scan_interval_s=max(
+                    updated.scan_interval_s,
+                    self.broadcast_only_interval_s))
+        return updated
+
+    def apply_to_station(self, station: MobileStation) -> None:
+        """Apply the defense to a live station, in place."""
+        station.profile = self.apply_to_profile(station.profile)
+
+    def filter_burst(self, frames: List[Dot11Frame]) -> List[Dot11Frame]:
+        """Drop directed probes from an already-generated burst.
+
+        Useful when the defense is deployed as a driver shim below an
+        OS that still produces directed probes.
+        """
+        if not self.suppress_directed:
+            return list(frames)
+        return [frame for frame in frames
+                if not frame.is_probe_request or frame.ssid.is_wildcard]

@@ -1,0 +1,71 @@
+"""MAC pseudonym rotation policies.
+
+"Hu and Wang [31] present a framework of location privacy using random
+identity addresses such as IP and MAC addresses" — the device replaces
+its MAC with a fresh locally-administered random address, periodically
+or at association boundaries.  The Marauder's map can still track a
+rotating device if something else links the pseudonyms (see
+:mod:`repro.defenses.probe_hygiene`), which is exactly the Pang et al.
+weakness the paper cites.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.net80211.mac import MacAddress
+
+
+class RotationTrigger(enum.Enum):
+    """When a new pseudonym is drawn."""
+
+    PERIODIC = "periodic"            # every ``interval_s`` seconds
+    PER_ASSOCIATION = "association"  # whenever the device (re)associates
+    NEVER = "never"                  # static MAC (no defense)
+
+
+@dataclass
+class PseudonymPolicy:
+    """Decides when to rotate and draws fresh pseudonym MACs.
+
+    ``interval_s`` applies to the PERIODIC trigger.  The policy is
+    stateful: call :meth:`maybe_rotate` each tick (and
+    :meth:`on_association` at association events) and apply the returned
+    MAC when one is produced.
+    """
+
+    trigger: RotationTrigger = RotationTrigger.PERIODIC
+    interval_s: float = 300.0
+    _next_rotation_at: float = field(default=0.0, repr=False)
+    rotations: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0.0:
+            raise ValueError(
+                f"rotation interval must be > 0 s, got {self.interval_s}")
+        self._next_rotation_at = self.interval_s
+
+    def maybe_rotate(self, now: float,
+                     rng: np.random.Generator) -> Optional[MacAddress]:
+        """A fresh pseudonym when the periodic timer fires, else None."""
+        if self.trigger is not RotationTrigger.PERIODIC:
+            return None
+        if now < self._next_rotation_at:
+            return None
+        self._next_rotation_at = now + self.interval_s
+        return self._draw(rng)
+
+    def on_association(self, rng: np.random.Generator
+                       ) -> Optional[MacAddress]:
+        """A fresh pseudonym at an association boundary, else None."""
+        if self.trigger is not RotationTrigger.PER_ASSOCIATION:
+            return None
+        return self._draw(rng)
+
+    def _draw(self, rng: np.random.Generator) -> MacAddress:
+        self.rotations += 1
+        return MacAddress.random_pseudonym(rng)

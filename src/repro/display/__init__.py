@@ -1,0 +1,14 @@
+"""The digital Marauder's-map display.
+
+The paper overlays AP locations, real mobile locations (red tags), and
+estimated mobile locations (blue tags) on Google Maps (Fig 7).  Offline,
+we render the same information as a self-contained SVG
+(:mod:`repro.display.svgmap`) wrapped in a standalone HTML page with a
+legend (:mod:`repro.display.htmlmap`).
+"""
+
+from repro.display.svgmap import MapRenderer
+from repro.display.htmlmap import render_html_map
+from repro.display.geojson import export_geojson
+
+__all__ = ["MapRenderer", "render_html_map", "export_geojson"]

@@ -1,0 +1,83 @@
+"""GeoJSON export: the Marauder's map for real GIS tools.
+
+The paper overlays results on Google Maps.  GeoJSON is today's
+interchange equivalent: this module converts AP knowledge and
+localization estimates into a FeatureCollection (through a
+:class:`~repro.geo.enu.LocalTangentPlane`) that drops straight into
+QGIS, Leaflet, geojson.io, or Google My Maps.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Tuple, Union
+
+from repro.geo.enu import LocalTangentPlane
+from repro.geometry.point import Point
+from repro.knowledge.apdb import ApDatabase
+from repro.localization.base import LocalizationEstimate
+from repro.net80211.mac import MacAddress
+
+PathLike = Union[str, Path]
+
+
+def _point_feature(plane: LocalTangentPlane, position: Point,
+                   properties: Dict) -> Dict:
+    coordinate = plane.from_point(position)
+    return {
+        "type": "Feature",
+        "geometry": {
+            "type": "Point",
+            "coordinates": [round(coordinate.longitude_deg, 7),
+                            round(coordinate.latitude_deg, 7)],
+        },
+        "properties": properties,
+    }
+
+
+def export_geojson(
+    plane: LocalTangentPlane,
+    database: Optional[ApDatabase] = None,
+    estimates: Optional[Dict[MacAddress,
+                             Optional[LocalizationEstimate]]] = None,
+    truths: Optional[Iterable[Tuple[MacAddress, Point]]] = None,
+    output_path: Optional[PathLike] = None,
+) -> Dict:
+    """Build (and optionally write) the GeoJSON FeatureCollection.
+
+    * APs get ``kind: "access_point"`` features with SSID/BSSID/channel,
+    * estimates get ``kind: "estimate"`` features with the algorithm,
+      constraining-AP count, and region area,
+    * ground-truth positions (when known, e.g. in simulation) get
+      ``kind: "truth"`` features — the paper's red tags.
+    """
+    features = []
+    for record in (database or []):
+        features.append(_point_feature(plane, record.location, {
+            "kind": "access_point",
+            "bssid": str(record.bssid),
+            "ssid": record.ssid.name,
+            "channel": record.channel,
+            "max_range_m": record.max_range_m,
+        }))
+    for mobile, estimate in (estimates or {}).items():
+        if estimate is None:
+            continue
+        features.append(_point_feature(plane, estimate.position, {
+            "kind": "estimate",
+            "mobile": str(mobile),
+            "algorithm": estimate.algorithm,
+            "used_ap_count": estimate.used_ap_count,
+            "region_area_m2": round(estimate.area_m2, 1),
+        }))
+    for mobile, position in (truths or []):
+        features.append(_point_feature(plane, position, {
+            "kind": "truth",
+            "mobile": str(mobile),
+        }))
+    collection = {"type": "FeatureCollection", "features": features}
+    if output_path is not None:
+        Path(output_path).write_text(json.dumps(collection, indent=2),
+                                     encoding="utf-8")
+    return collection

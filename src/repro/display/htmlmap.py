@@ -1,0 +1,73 @@
+"""Standalone HTML wrapper for the Marauder's-map SVG."""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.display.svgmap import (
+    COLOR_AP,
+    COLOR_ESTIMATE,
+    COLOR_SNIFFER,
+    COLOR_TRUE,
+    MapRenderer,
+)
+
+PathLike = Union[str, Path]
+
+_PAGE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{title}</title>
+<style>
+  body {{ font-family: Georgia, serif; margin: 2em; background: #fbfaf7; }}
+  h1 {{ font-size: 1.4em; }}
+  .legend span {{ margin-right: 1.6em; font-size: 0.95em; }}
+  .dot {{ display: inline-block; width: 10px; height: 10px;
+         border-radius: 50%; margin-right: 0.4em; }}
+  .sq  {{ display: inline-block; width: 10px; height: 10px;
+         margin-right: 0.4em; }}
+  figure {{ margin: 1em 0; }}
+</style>
+</head>
+<body>
+<h1>{title}</h1>
+<p class="legend">
+  <span><i class="dot" style="background:{color_true}"></i>real mobile
+  location</span>
+  <span><i class="dot" style="background:{color_estimate}"></i>estimated
+  mobile location</span>
+  <span><i class="dot" style="background:{color_ap}"></i>access point</span>
+  <span><i class="sq" style="background:{color_sniffer}"></i>sniffer</span>
+</p>
+<figure>
+{svg}
+</figure>
+<p><em>{caption}</em></p>
+</body>
+</html>
+"""
+
+
+def render_html_map(renderer: MapRenderer,
+                    title: str = "The Digital Marauder's Map",
+                    caption: str = "",
+                    output_path: Optional[PathLike] = None) -> str:
+    """Wrap a rendered map in a standalone HTML page.
+
+    Returns the HTML text; also writes it to ``output_path`` if given.
+    """
+    page = _PAGE.format(
+        title=html.escape(title),
+        caption=html.escape(caption),
+        svg=renderer.to_svg(),
+        color_true=COLOR_TRUE,
+        color_estimate=COLOR_ESTIMATE,
+        color_ap=COLOR_AP,
+        color_sniffer=COLOR_SNIFFER,
+    )
+    if output_path is not None:
+        Path(output_path).write_text(page, encoding="utf-8")
+    return page

@@ -1,0 +1,183 @@
+"""SVG rendering of the Marauder's map.
+
+Draws, in the planar campus frame:
+
+* AP markers (dots) with optional coverage discs,
+* the sniffer vantage point,
+* real mobile positions as red tags and estimates as blue tags —
+  the paper's Fig 7 color convention,
+* optional tracks (polylines) per device.
+
+The renderer accumulates layers and emits one SVG string; no third-party
+graphics dependency.
+"""
+
+from __future__ import annotations
+
+import html
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geometry.point import Point
+from repro.geometry.region import DiscIntersection
+
+#: Fig 7 convention: "the real mobile location in red tags and estimated
+#: mobile location in blue tags".
+COLOR_TRUE = "#cc2222"
+COLOR_ESTIMATE = "#2244cc"
+COLOR_AP = "#444444"
+COLOR_COVERAGE = "#88aadd"
+COLOR_SNIFFER = "#118833"
+
+
+@dataclass
+class _Element:
+    markup: str
+
+
+@dataclass
+class MapRenderer:
+    """Accumulates map layers and renders SVG.
+
+    ``width_m``/``height_m`` define the world rectangle; output is
+    scaled into a ``pixels``-wide image (aspect preserved, y-axis
+    flipped so north is up).
+    """
+
+    width_m: float
+    height_m: float
+    pixels: int = 800
+    _elements: List[_Element] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.width_m <= 0 or self.height_m <= 0:
+            raise ValueError("map dimensions must be positive")
+        self._scale = self.pixels / self.width_m
+
+    # ------------------------------------------------------------------
+    # Coordinate mapping
+    # ------------------------------------------------------------------
+
+    def _px(self, point: Point) -> Tuple[float, float]:
+        return (point.x * self._scale,
+                (self.height_m - point.y) * self._scale)
+
+    @property
+    def height_px(self) -> float:
+        return self.height_m * self._scale
+
+    # ------------------------------------------------------------------
+    # Layers
+    # ------------------------------------------------------------------
+
+    def add_access_point(self, position: Point, label: str = "",
+                         coverage_radius_m: Optional[float] = None) -> None:
+        """An AP dot, optionally with its coverage disc."""
+        x, y = self._px(position)
+        if coverage_radius_m is not None:
+            r = coverage_radius_m * self._scale
+            self._elements.append(_Element(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{r:.1f}" '
+                f'fill="{COLOR_COVERAGE}" fill-opacity="0.08" '
+                f'stroke="{COLOR_COVERAGE}" stroke-opacity="0.4"/>'))
+        title = (f"<title>{html.escape(label)}</title>" if label else "")
+        self._elements.append(_Element(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3" '
+            f'fill="{COLOR_AP}">{title}</circle>'))
+
+    def add_sniffer(self, position: Point, label: str = "sniffer") -> None:
+        x, y = self._px(position)
+        self._elements.append(_Element(
+            f'<rect x="{x - 6:.1f}" y="{y - 6:.1f}" width="12" height="12" '
+            f'fill="{COLOR_SNIFFER}"><title>{html.escape(label)}</title>'
+            f'</rect>'))
+
+    def add_true_position(self, position: Point, label: str = "") -> None:
+        """A red tag: where the mobile really is."""
+        self._add_tag(position, COLOR_TRUE, label)
+
+    def add_estimate(self, position: Point, label: str = "") -> None:
+        """A blue tag: where the attack places the mobile."""
+        self._add_tag(position, COLOR_ESTIMATE, label)
+
+    def add_region(self, region: DiscIntersection,
+                   color: str = COLOR_ESTIMATE) -> None:
+        """Overlay an intersected region (the localization uncertainty).
+
+        Renders the exact arc-polygon boundary: straight chords between
+        the region's vertices replaced by SVG elliptical-arc segments of
+        the supporting circles.  Empty regions and single-disc regions
+        fall back to nothing / a plain circle.
+        """
+        if region.is_empty:
+            return
+        arcs = region._arcs or []
+        vertices = region.vertices
+        if not arcs or len(vertices) < 2:
+            # Nested/single-disc region: draw the bounding disc.
+            full = region._full_disc
+            if full is not None:
+                x, y = self._px(full.center)
+                r = full.radius * self._scale
+                self._elements.append(_Element(
+                    f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{r:.1f}" '
+                    f'fill="{color}" fill-opacity="0.15" '
+                    f'stroke="{color}"/>'))
+            return
+        path: List[str] = []
+        for index, (circle, start_angle, sweep) in enumerate(arcs):
+            start = circle.point_at(start_angle)
+            end = circle.point_at(start_angle + sweep)
+            sx, sy = self._px(start)
+            ex, ey = self._px(end)
+            radius_px = circle.radius * self._scale
+            large = 1 if sweep > math.pi else 0
+            # The y-axis flip mirrors orientation: CCW world arcs become
+            # CW screen arcs (sweep flag 0).
+            if index == 0:
+                path.append(f"M {sx:.2f} {sy:.2f}")
+            path.append(f"A {radius_px:.2f} {radius_px:.2f} 0 "
+                        f"{large} 0 {ex:.2f} {ey:.2f}")
+        path.append("Z")
+        self._elements.append(_Element(
+            f'<path d="{" ".join(path)}" fill="{color}" '
+            f'fill-opacity="0.15" stroke="{color}" stroke-width="1"/>'))
+
+    def add_track(self, positions: Sequence[Point], color: str = COLOR_ESTIMATE
+                  ) -> None:
+        """A polyline through a device's successive estimates."""
+        if len(positions) < 2:
+            return
+        points = " ".join(f"{x:.1f},{y:.1f}"
+                          for x, y in (self._px(p) for p in positions))
+        self._elements.append(_Element(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="1.5" stroke-opacity="0.7"/>'))
+
+    def _add_tag(self, position: Point, color: str, label: str) -> None:
+        x, y = self._px(position)
+        title = (f"<title>{html.escape(label)}</title>" if label else "")
+        # A map-pin: circle head on a short stem.
+        self._elements.append(_Element(
+            f'<g>{title}'
+            f'<line x1="{x:.1f}" y1="{y:.1f}" x2="{x:.1f}" y2="{y - 10:.1f}" '
+            f'stroke="{color}" stroke-width="2"/>'
+            f'<circle cx="{x:.1f}" cy="{y - 13:.1f}" r="5" fill="{color}"/>'
+            f'</g>'))
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+
+    def to_svg(self) -> str:
+        """Render all layers to a complete SVG document."""
+        body = "\n  ".join(element.markup for element in self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.pixels}" height="{self.height_px:.0f}" '
+            f'viewBox="0 0 {self.pixels} {self.height_px:.0f}">\n'
+            f'  <rect width="100%" height="100%" fill="#f6f4ee"/>\n'
+            f'  {body}\n'
+            f'</svg>'
+        )

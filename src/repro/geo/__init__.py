@@ -1,0 +1,40 @@
+"""Geodetic coordinate substrate.
+
+The paper notes that "all coordinates used in the three algorithms are
+for the Earth-Centered, Earth-Fixed (ECEF) Cartesian coordinate system".
+External knowledge (WiGLE) and wardriving (GPS) produce WGS-84
+latitude/longitude, while the disc-intersection geometry is planar.
+This package provides the full conversion pipeline:
+
+    WGS-84 geodetic  ↔  ECEF Cartesian  ↔  local ENU tangent plane
+
+plus great-circle (haversine) distance for sanity checks.  Campus-scale
+experiments run in a :class:`LocalTangentPlane` anchored at the sniffer,
+where east/north coordinates are meters and the disc model applies
+directly.
+"""
+
+from repro.geo.wgs84 import (
+    GeodeticCoordinate,
+    WGS84_A,
+    WGS84_B,
+    WGS84_E2,
+    WGS84_F,
+)
+from repro.geo.ecef import EcefCoordinate, ecef_to_geodetic, geodetic_to_ecef
+from repro.geo.enu import LocalTangentPlane
+from repro.geo.distance import ecef_distance, haversine_distance
+
+__all__ = [
+    "GeodeticCoordinate",
+    "EcefCoordinate",
+    "LocalTangentPlane",
+    "geodetic_to_ecef",
+    "ecef_to_geodetic",
+    "haversine_distance",
+    "ecef_distance",
+    "WGS84_A",
+    "WGS84_B",
+    "WGS84_E2",
+    "WGS84_F",
+]

@@ -1,0 +1,32 @@
+"""Distance helpers on the sphere and in ECEF space."""
+
+from __future__ import annotations
+
+import math
+
+from repro.geo.ecef import EcefCoordinate
+from repro.geo.wgs84 import GeodeticCoordinate
+
+#: Mean Earth radius used by the haversine approximation (meters).
+MEAN_EARTH_RADIUS_M = 6371008.8
+
+
+def haversine_distance(a: GeodeticCoordinate,
+                       b: GeodeticCoordinate) -> float:
+    """Great-circle distance in meters between two geodetic coordinates.
+
+    Spherical approximation — accurate to ~0.5 % which is plenty for
+    sanity-checking the planar campus frames against GPS traces.
+    """
+    lat1 = math.radians(a.latitude_deg)
+    lat2 = math.radians(b.latitude_deg)
+    dlat = lat2 - lat1
+    dlon = math.radians(b.longitude_deg - a.longitude_deg)
+    h = (math.sin(dlat / 2.0) ** 2
+         + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2)
+    return 2.0 * MEAN_EARTH_RADIUS_M * math.asin(min(1.0, math.sqrt(h)))
+
+
+def ecef_distance(a: EcefCoordinate, b: EcefCoordinate) -> float:
+    """Straight-line (chord) distance in meters between ECEF points."""
+    return math.sqrt((a.x - b.x) ** 2 + (a.y - b.y) ** 2 + (a.z - b.z) ** 2)

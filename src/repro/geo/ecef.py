@@ -1,0 +1,72 @@
+"""WGS-84 geodetic ↔ ECEF Cartesian conversion.
+
+ECEF ("Earth-Centered, Earth-Fixed") is the Cartesian frame the paper
+states its algorithms use.  The forward conversion is closed form; the
+reverse uses Bowring's method, which is accurate to well under a
+millimeter for terrestrial altitudes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geo.wgs84 import (
+    GeodeticCoordinate,
+    WGS84_A,
+    WGS84_B,
+    WGS84_E2,
+    WGS84_EP2,
+)
+
+
+@dataclass(frozen=True)
+class EcefCoordinate:
+    """An ECEF Cartesian coordinate in meters."""
+
+    x: float
+    y: float
+    z: float
+
+
+def geodetic_to_ecef(coordinate: GeodeticCoordinate) -> EcefCoordinate:
+    """Convert WGS-84 geodetic coordinates to ECEF meters."""
+    lat = math.radians(coordinate.latitude_deg)
+    lon = math.radians(coordinate.longitude_deg)
+    alt = coordinate.altitude_m
+    sin_lat = math.sin(lat)
+    cos_lat = math.cos(lat)
+    # Prime-vertical radius of curvature.
+    n = WGS84_A / math.sqrt(1.0 - WGS84_E2 * sin_lat * sin_lat)
+    x = (n + alt) * cos_lat * math.cos(lon)
+    y = (n + alt) * cos_lat * math.sin(lon)
+    z = (n * (1.0 - WGS84_E2) + alt) * sin_lat
+    return EcefCoordinate(x, y, z)
+
+
+def ecef_to_geodetic(coordinate: EcefCoordinate) -> GeodeticCoordinate:
+    """Convert ECEF meters back to WGS-84 geodetic (Bowring's method)."""
+    x, y, z = coordinate.x, coordinate.y, coordinate.z
+    lon = math.atan2(y, x)
+    p = math.hypot(x, y)
+    if p < 1e-12:
+        # On the polar axis: latitude is ±90 and altitude is |z| - b.
+        lat = math.copysign(math.pi / 2.0, z) if z != 0.0 else 0.0
+        alt = abs(z) - WGS84_B
+        return GeodeticCoordinate(math.degrees(lat), math.degrees(lon), alt)
+    # Bowring's parametric latitude seed followed by one correction,
+    # then two fixed-point refinements for sub-millimeter accuracy.
+    theta = math.atan2(z * WGS84_A, p * WGS84_B)
+    sin_t = math.sin(theta)
+    cos_t = math.cos(theta)
+    lat = math.atan2(z + WGS84_EP2 * WGS84_B * sin_t ** 3,
+                     p - WGS84_E2 * WGS84_A * cos_t ** 3)
+    for _ in range(2):
+        sin_lat = math.sin(lat)
+        n = WGS84_A / math.sqrt(1.0 - WGS84_E2 * sin_lat * sin_lat)
+        alt = p / math.cos(lat) - n
+        lat = math.atan2(z, p * (1.0 - WGS84_E2 * n / (n + alt)))
+    sin_lat = math.sin(lat)
+    n = WGS84_A / math.sqrt(1.0 - WGS84_E2 * sin_lat * sin_lat)
+    alt = p / math.cos(lat) - n
+    return GeodeticCoordinate(math.degrees(lat), math.degrees(lon), alt)

@@ -1,0 +1,78 @@
+"""Local East-North-Up tangent plane anchored at a reference point.
+
+Campus-scale localization runs in a planar frame where the disc model
+applies directly.  :class:`LocalTangentPlane` converts between WGS-84
+geodetic coordinates (what GPS / WiGLE report) and planar east/north
+meters (what :mod:`repro.geometry` consumes), going through ECEF as the
+paper prescribes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geo.ecef import (
+    EcefCoordinate,
+    ecef_to_geodetic,
+    geodetic_to_ecef,
+)
+from repro.geo.wgs84 import GeodeticCoordinate
+from repro.geometry.point import Point
+
+
+class LocalTangentPlane:
+    """An ENU frame anchored at a reference geodetic coordinate.
+
+    The ``up`` component is carried through the conversions but the
+    planar :class:`~repro.geometry.point.Point` projection simply drops
+    it — campus terrain relief is handled separately by the propagation
+    models, not by the localization geometry.
+    """
+
+    def __init__(self, origin: GeodeticCoordinate):
+        self.origin = origin
+        self._origin_ecef = geodetic_to_ecef(origin)
+        lat = math.radians(origin.latitude_deg)
+        lon = math.radians(origin.longitude_deg)
+        sin_lat, cos_lat = math.sin(lat), math.cos(lat)
+        sin_lon, cos_lon = math.sin(lon), math.cos(lon)
+        # Rows of the ECEF→ENU rotation matrix.
+        self._east = (-sin_lon, cos_lon, 0.0)
+        self._north = (-sin_lat * cos_lon, -sin_lat * sin_lon, cos_lat)
+        self._up = (cos_lat * cos_lon, cos_lat * sin_lon, sin_lat)
+
+    def to_enu(self, coordinate: GeodeticCoordinate) -> tuple:
+        """Convert geodetic → (east, north, up) meters."""
+        ecef = geodetic_to_ecef(coordinate)
+        dx = ecef.x - self._origin_ecef.x
+        dy = ecef.y - self._origin_ecef.y
+        dz = ecef.z - self._origin_ecef.z
+        east = self._east[0] * dx + self._east[1] * dy + self._east[2] * dz
+        north = (self._north[0] * dx + self._north[1] * dy
+                 + self._north[2] * dz)
+        up = self._up[0] * dx + self._up[1] * dy + self._up[2] * dz
+        return (east, north, up)
+
+    def from_enu(self, east: float, north: float,
+                 up: float = 0.0) -> GeodeticCoordinate:
+        """Convert (east, north, up) meters → geodetic."""
+        dx = (self._east[0] * east + self._north[0] * north
+              + self._up[0] * up)
+        dy = (self._east[1] * east + self._north[1] * north
+              + self._up[1] * up)
+        dz = (self._east[2] * east + self._north[2] * north
+              + self._up[2] * up)
+        ecef = EcefCoordinate(self._origin_ecef.x + dx,
+                              self._origin_ecef.y + dy,
+                              self._origin_ecef.z + dz)
+        return ecef_to_geodetic(ecef)
+
+    def to_point(self, coordinate: GeodeticCoordinate) -> Point:
+        """Project a geodetic coordinate to a planar east/north point."""
+        east, north, _ = self.to_enu(coordinate)
+        return Point(east, north)
+
+    def from_point(self, point: Point,
+                   up: float = 0.0) -> GeodeticCoordinate:
+        """Lift a planar east/north point back to geodetic coordinates."""
+        return self.from_enu(point.x, point.y, up)

@@ -1,0 +1,32 @@
+"""The paper's experiment sites, as ready-made tangent planes.
+
+"We conducted experiments on two campuses: University of Massachusetts
+Lowell (UML) and George Washington University (GWU). ... we set up the
+tracking system on the roof of [the] Computer Science Department
+building at UML and [the] Academic building at GWU."
+
+The coordinates are the public campus locations (the paper does not
+list exact rooftop coordinates); they anchor the planar frames used by
+examples and the replay CLI.
+"""
+
+from __future__ import annotations
+
+from repro.geo.enu import LocalTangentPlane
+from repro.geo.wgs84 import GeodeticCoordinate
+
+#: UMass Lowell north campus (the main test site; ~1 km coverage).
+UML_NORTH_CAMPUS = GeodeticCoordinate(42.6555, -71.3262, 30.0)
+
+#: George Washington University, Foggy Bottom campus.
+GWU_CAMPUS = GeodeticCoordinate(38.8997, -77.0486, 20.0)
+
+
+def uml_plane() -> LocalTangentPlane:
+    """A tangent plane anchored at the UML north campus."""
+    return LocalTangentPlane(UML_NORTH_CAMPUS)
+
+
+def gwu_plane() -> LocalTangentPlane:
+    """A tangent plane anchored at the GWU campus."""
+    return LocalTangentPlane(GWU_CAMPUS)

@@ -1,0 +1,33 @@
+"""WGS-84 ellipsoid constants and the geodetic coordinate type."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Semi-major axis (equatorial radius) in meters.
+WGS84_A = 6378137.0
+#: Flattening.
+WGS84_F = 1.0 / 298.257223563
+#: Semi-minor axis (polar radius) in meters.
+WGS84_B = WGS84_A * (1.0 - WGS84_F)
+#: First eccentricity squared.
+WGS84_E2 = WGS84_F * (2.0 - WGS84_F)
+#: Second eccentricity squared.
+WGS84_EP2 = WGS84_E2 / (1.0 - WGS84_E2)
+
+
+@dataclass(frozen=True)
+class GeodeticCoordinate:
+    """A WGS-84 geodetic coordinate (degrees, degrees, meters)."""
+
+    latitude_deg: float
+    longitude_deg: float
+    altitude_m: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.latitude_deg <= 90.0:
+            raise ValueError(
+                f"latitude must be in [-90, 90], got {self.latitude_deg}")
+        if not -180.0 <= self.longitude_deg <= 180.0:
+            raise ValueError(
+                f"longitude must be in [-180, 180], got {self.longitude_deg}")

@@ -1,0 +1,51 @@
+"""Polygon helpers: signed shoelace area and centroid.
+
+Used by :class:`repro.geometry.region.DiscIntersection` to compute the
+straight-edged core of the arc-polygon bounded by disc arcs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.geometry.point import Point
+
+
+def polygon_area(vertices: Sequence[Point]) -> float:
+    """Signed shoelace area (positive for counter-clockwise order)."""
+    count = len(vertices)
+    if count < 3:
+        return 0.0
+    total = 0.0
+    for i in range(count):
+        a = vertices[i]
+        b = vertices[(i + 1) % count]
+        total += a.x * b.y - b.x * a.y
+    return 0.5 * total
+
+
+def polygon_centroid(vertices: Sequence[Point]) -> Point:
+    """Area centroid of a simple polygon.
+
+    Falls back to the vertex mean for degenerate (zero-area) inputs,
+    which is what we want for the two-vertex lens case where the
+    "polygon" is a chord.
+    """
+    count = len(vertices)
+    if count == 0:
+        raise ValueError("centroid of an empty polygon is undefined")
+    area = polygon_area(vertices)
+    if count < 3 or abs(area) < 1e-30:
+        sum_x = sum(v.x for v in vertices)
+        sum_y = sum(v.y for v in vertices)
+        return Point(sum_x / count, sum_y / count)
+    cx = 0.0
+    cy = 0.0
+    for i in range(count):
+        a = vertices[i]
+        b = vertices[(i + 1) % count]
+        cross = a.x * b.y - b.x * a.y
+        cx += (a.x + b.x) * cross
+        cy += (a.y + b.y) * cross
+    factor = 1.0 / (6.0 * area)
+    return Point(cx * factor, cy * factor)

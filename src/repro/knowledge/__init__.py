@@ -1,0 +1,27 @@
+"""External knowledge about APs, and how the adversary acquires it.
+
+The three localization algorithms differ only in what they know about
+APs (paper Section III-C):
+
+* M-Loc — locations *and* maximum transmission distances known,
+* AP-Rad — only locations known (e.g. from WiGLE),
+* AP-Loc — nothing known; a short wardriving/warwalking *training
+  phase* collects (location, observed-AP-set) tuples first.
+
+This package holds that knowledge: :class:`ApDatabase` (with the
+measurement noise real databases carry), WiGLE-format CSV import/export,
+and the wardriving collector producing :class:`TrainingTuple` records.
+"""
+
+from repro.knowledge.apdb import ApDatabase, ApRecord
+from repro.knowledge.wardrive import TrainingTuple, Wardriver
+from repro.knowledge.wigle import export_wigle_csv, import_wigle_csv
+
+__all__ = [
+    "ApRecord",
+    "ApDatabase",
+    "TrainingTuple",
+    "Wardriver",
+    "import_wigle_csv",
+    "export_wigle_csv",
+]

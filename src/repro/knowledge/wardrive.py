@@ -1,0 +1,80 @@
+"""Wardriving / warwalking: the optional training phase.
+
+"an adversary initiates the training phase by equipping its mobile
+device with GPS and wireless sniffing tools ... travels through the
+target area where the sniffing tools constantly probe APs and record
+training data including (i) the wireless packets ... and (ii) the
+spatial coordinates at which those wireless packets are captured."
+
+Each :class:`TrainingTuple` is exactly the paper's training data tuple:
+"an identifier which consists of the longitude and latitude of a
+training location, and a set of APs a mobile device can communicate with
+at the training location."  :class:`Wardriver` collects them along a
+route against any observation oracle (the simulated world, or a plain
+disc oracle built from ground truth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Iterable, List, Sequence
+
+from repro.geometry.point import Point
+from repro.net80211.mac import MacAddress
+
+#: An oracle mapping a training location to the set of observable APs.
+ObservationOracle = Callable[[Point], Iterable[MacAddress]]
+
+
+@dataclass(frozen=True)
+class TrainingTuple:
+    """One wardriving sample: where we stood, which APs answered."""
+
+    location: Point
+    observed: FrozenSet[MacAddress]
+    timestamp: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.observed, frozenset):
+            object.__setattr__(self, "observed", frozenset(self.observed))
+
+
+class Wardriver:
+    """Collects training tuples along a route.
+
+    The oracle abstracts the sniffing tool: in simulation it is the
+    world's communicability test; against recorded captures it can be a
+    lookup of probe responses near each GPS fix.
+    """
+
+    def __init__(self, oracle: ObservationOracle):
+        self._oracle = oracle
+
+    def collect(self, route: Sequence[Point],
+                start_time: float = 0.0,
+                seconds_per_stop: float = 5.0) -> List[TrainingTuple]:
+        """Drive the route, recording one tuple per stop."""
+        tuples: List[TrainingTuple] = []
+        timestamp = start_time
+        for location in route:
+            observed = frozenset(self._oracle(location))
+            tuples.append(TrainingTuple(location, observed, timestamp))
+            timestamp += seconds_per_stop
+        return tuples
+
+
+def aps_in_training_data(tuples: Iterable[TrainingTuple]) -> FrozenSet[MacAddress]:
+    """Every AP that appears in at least one training tuple."""
+    seen = set()
+    for entry in tuples:
+        seen.update(entry.observed)
+    return frozenset(seen)
+
+
+def tuples_observing(tuples: Iterable[TrainingTuple],
+                     bssid: MacAddress) -> List[TrainingTuple]:
+    """The training tuples whose location could communicate with ``bssid``.
+
+    These are the disc centers AP-Loc intersects to place the AP.
+    """
+    return [entry for entry in tuples if bssid in entry.observed]

@@ -1,0 +1,68 @@
+"""WiGLE-style CSV import/export for the AP knowledge base.
+
+WiGLE exposes per-network records with a BSSID (``netid``), SSID,
+trilaterated latitude/longitude (``trilat``/``trilong``), and channel.
+We read/write that shape, converting to the planar frame through a
+:class:`~repro.geo.enu.LocalTangentPlane` so the localization geometry
+can run in meters.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+from repro.geo.enu import LocalTangentPlane
+from repro.geo.wgs84 import GeodeticCoordinate
+from repro.knowledge.apdb import ApDatabase, ApRecord
+from repro.net80211.mac import MacAddress
+from repro.net80211.ssid import Ssid
+
+PathLike = Union[str, Path]
+
+FIELDNAMES = ["netid", "ssid", "trilat", "trilong", "channel"]
+
+
+def import_wigle_csv(path: PathLike,
+                     plane: LocalTangentPlane) -> ApDatabase:
+    """Load a WiGLE-style CSV into an :class:`ApDatabase`.
+
+    Locations are projected into ``plane``; ranges are left unknown
+    (WiGLE does not publish them), which is exactly the AP-Rad input.
+    """
+    database = ApDatabase()
+    with Path(path).open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.DictReader(handle)
+        missing = set(FIELDNAMES) - set(reader.fieldnames or [])
+        if missing:
+            raise ValueError(f"CSV is missing columns: {sorted(missing)}")
+        for row in reader:
+            coordinate = GeodeticCoordinate(float(row["trilat"]),
+                                            float(row["trilong"]))
+            channel_text = (row.get("channel") or "").strip()
+            database.add(ApRecord(
+                bssid=MacAddress.parse(row["netid"]),
+                ssid=Ssid(row.get("ssid") or ""),
+                location=plane.to_point(coordinate),
+                max_range_m=None,
+                channel=int(channel_text) if channel_text else None,
+            ))
+    return database
+
+
+def export_wigle_csv(database: ApDatabase, path: PathLike,
+                     plane: LocalTangentPlane) -> None:
+    """Write an :class:`ApDatabase` in WiGLE-style CSV."""
+    with Path(path).open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=FIELDNAMES)
+        writer.writeheader()
+        for record in database:
+            coordinate = plane.from_point(record.location)
+            writer.writerow({
+                "netid": str(record.bssid),
+                "ssid": record.ssid.name,
+                "trilat": f"{coordinate.latitude_deg:.8f}",
+                "trilong": f"{coordinate.longitude_deg:.8f}",
+                "channel": record.channel if record.channel else "",
+            })

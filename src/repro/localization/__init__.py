@@ -1,0 +1,39 @@
+"""Malicious localization — the paper's primary contribution.
+
+Given the set Γ of APs a mobile device was observed communicating with,
+estimate the device's location:
+
+* :class:`MLoc` — AP locations and maximum transmission distances known
+  (disc intersection, centroid of the intersection vertices),
+* :class:`APRad` — only AP locations known; estimates every AP's radius
+  by linear programming over co-observation constraints, then M-Loc,
+* :class:`APLoc` — no AP knowledge; estimates AP locations from
+  wardriving training tuples by disc intersection, then AP-Rad,
+* :class:`CentroidLocalizer` / :class:`NearestApLocalizer` — the prior
+  approaches the paper compares against.
+
+All localizers share the :class:`LocalizationEstimate` result type,
+which carries the estimated point, the intersected region (for the
+area / coverage-probability metrics of Figs 15–16), and diagnostics.
+"""
+
+from repro.localization.base import LocalizationEstimate, Localizer
+from repro.localization.mloc import MLoc
+from repro.localization.radius_lp import RadiusEstimator
+from repro.localization.aprad import APRad
+from repro.localization.aploc import APLoc
+from repro.localization.centroid import CentroidLocalizer
+from repro.localization.nearest import NearestApLocalizer
+from repro.localization.weighted import WeightedCentroidLocalizer
+
+__all__ = [
+    "Localizer",
+    "LocalizationEstimate",
+    "MLoc",
+    "APRad",
+    "APLoc",
+    "RadiusEstimator",
+    "CentroidLocalizer",
+    "NearestApLocalizer",
+    "WeightedCentroidLocalizer",
+]

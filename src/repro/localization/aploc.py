@@ -1,0 +1,184 @@
+"""AP-Loc: localization with no prior AP knowledge.
+
+Paper Section III-C3 / III-D: when no AP information is available, the
+adversary first collects training tuples by wardriving, then
+
+    1. locates each AP "by using, again, the disc-intersection
+       approach": intersect discs centered at the *training locations*
+       that observed the AP, using "a theoretical upper bound as the
+       radius", and take the centroid of the intersected area;
+    2. estimates radii with the AP-Rad linear program;
+    3. calls M-Loc.
+
+The training-disc radius upper bound plays the role of Theorem 3's
+``R >= r``: overestimation keeps the true AP inside the intersection at
+the cost of a larger region, which shrinks as tuples accumulate — the
+paper's Fig 17 (error vs. number of training tuples).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point, mean_point
+from repro.geometry.region import DiscIntersection
+from repro.knowledge.apdb import ApDatabase, ApRecord
+from repro.knowledge.wardrive import (
+    TrainingTuple,
+    aps_in_training_data,
+    tuples_observing,
+)
+from repro.localization.aprad import APRad
+from repro.localization.base import LocalizationEstimate, Localizer
+from repro.net80211.mac import MacAddress
+from repro.net80211.ssid import Ssid
+
+
+class APLoc(Localizer):
+    """The paper's AP-Loc algorithm.
+
+    Parameters
+    ----------
+    training:
+        The wardriving tuples (location, observed AP set).
+    training_radius_m:
+        The "theoretical upper bound" used as the disc radius around
+        each training location when placing APs.
+    r_max / r_min / solver:
+        Passed through to the AP-Rad radius LP.
+    refine_iterations:
+        Extension beyond the paper: after the radius LP, re-place each
+        AP using its *estimated* radius as the training-disc radius
+        (instead of the loose theoretical upper bound) and re-run the
+        LP.  A tighter radius shrinks the placement intersection, so
+        placement and radii improve together; an AP whose refined
+        intersection comes up empty keeps its previous placement.
+
+    Call :meth:`fit` with the attack-phase observation corpus before
+    :meth:`locate`.
+    """
+
+    name = "ap-loc"
+
+    def __init__(self, training: Sequence[TrainingTuple],
+                 training_radius_m: float, r_max: float,
+                 r_min: float = 1.0, solver: str = "simplex",
+                 mloc_mode: str = "vertex",
+                 max_separated_neighbors: Optional[int] = None,
+                 min_evidence: int = 1,
+                 overestimate_factor: float = 1.0,
+                 refine_iterations: int = 0):
+        if training_radius_m <= 0.0:
+            raise ValueError(
+                f"training radius must be > 0, got {training_radius_m}")
+        self.training = list(training)
+        self.training_radius_m = training_radius_m
+        self._aprad = None  # built lazily in fit()
+        self._r_max = r_max
+        self._r_min = r_min
+        self._solver = solver
+        self._mloc_mode = mloc_mode
+        self._max_separated_neighbors = max_separated_neighbors
+        self._min_evidence = min_evidence
+        self._overestimate_factor = overestimate_factor
+        if refine_iterations < 0:
+            raise ValueError(
+                f"refine_iterations must be >= 0, got {refine_iterations}")
+        self.refine_iterations = refine_iterations
+        self._estimated_locations: Optional[Dict[MacAddress, Point]] = None
+
+    # ------------------------------------------------------------------
+    # Step 1: AP placement from training tuples
+    # ------------------------------------------------------------------
+
+    def estimate_ap_locations(self) -> Dict[MacAddress, Point]:
+        """Place every AP seen in training by disc intersection.
+
+        For each AP: intersect discs of radius ``training_radius_m``
+        centered at the training locations that observed it, and take
+        the centroid of the intersected area.  If the intersection is
+        empty (an over-tight radius bound), fall back to the mean of the
+        observing training locations.
+        """
+        if self._estimated_locations is not None:
+            return dict(self._estimated_locations)
+        locations: Dict[MacAddress, Point] = {}
+        for bssid in sorted(aps_in_training_data(self.training)):
+            observers = tuples_observing(self.training, bssid)
+            discs = [Circle(entry.location, self.training_radius_m)
+                     for entry in observers]
+            region = DiscIntersection(discs)
+            centroid = region.centroid()
+            if centroid is None:
+                centroid = mean_point(e.location for e in observers)
+            locations[bssid] = centroid
+        self._estimated_locations = locations
+        return dict(locations)
+
+    # ------------------------------------------------------------------
+    # Steps 2–3: AP-Rad then M-Loc
+    # ------------------------------------------------------------------
+
+    def fit(self, observations: Sequence[Iterable[MacAddress]]):
+        """Build the estimated AP database and run the radius LP.
+
+        With ``refine_iterations > 0``, placement and radius estimation
+        alternate: LP radii → tighter placement discs → better
+        locations → re-run the LP.
+        """
+        locations = self.estimate_ap_locations()
+        estimate = None
+        for iteration in range(self.refine_iterations + 1):
+            database = ApDatabase(
+                ApRecord(bssid=bssid, ssid=Ssid(""), location=location)
+                for bssid, location in locations.items()
+            )
+            self._aprad = APRad(
+                database, r_max=self._r_max, r_min=self._r_min,
+                solver=self._solver, mloc_mode=self._mloc_mode,
+                max_separated_neighbors=self._max_separated_neighbors,
+                min_evidence=self._min_evidence,
+                overestimate_factor=self._overestimate_factor)
+            estimate = self._aprad.fit(observations)
+            if iteration < self.refine_iterations:
+                locations = self._refine_locations(locations,
+                                                   estimate.radii)
+        self._estimated_locations = locations
+        return estimate
+
+    def _refine_locations(self, previous: Dict[MacAddress, Point],
+                          radii: Dict[MacAddress, float]
+                          ) -> Dict[MacAddress, Point]:
+        """Re-place APs with their estimated radii as disc radii."""
+        refined: Dict[MacAddress, Point] = {}
+        for bssid, location in previous.items():
+            radius = radii.get(bssid)
+            if radius is None or radius >= self.training_radius_m:
+                refined[bssid] = location
+                continue
+            observers = tuples_observing(self.training, bssid)
+            discs = [Circle(entry.location, radius)
+                     for entry in observers]
+            region = DiscIntersection(discs)
+            centroid = region.centroid()
+            refined[bssid] = centroid if centroid is not None else location
+        return refined
+
+    def locate(self, observed: Iterable[MacAddress]
+               ) -> Optional[LocalizationEstimate]:
+        if self._aprad is None:
+            raise RuntimeError(
+                "APLoc.locate called before fit(); run fit() with the "
+                "attack-phase observations first")
+        estimate = self._aprad.locate(observed)
+        if estimate is not None:
+            estimate.algorithm = self.name
+        return estimate
+
+    def fit_and_locate_all(
+        self, observations: Sequence[Iterable[MacAddress]]
+    ) -> List[Optional[LocalizationEstimate]]:
+        """Full AP-Loc flow over an observation corpus."""
+        self.fit(observations)
+        return [self.locate(observed) for observed in observations]

@@ -1,0 +1,123 @@
+"""Shared localization interfaces and the estimate result type."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.geometry.point import Point
+from repro.geometry.region import DiscIntersection
+from repro.knowledge.apdb import ApRecord
+from repro.net80211.mac import MacAddress
+
+
+@dataclass
+class LocalizationEstimate:
+    """The outcome of localizing one mobile device.
+
+    Attributes
+    ----------
+    position:
+        The estimated location in the planar frame.
+    algorithm:
+        Which localizer produced this ("m-loc", "ap-rad", ...).
+    region:
+        The intersected region (when the algorithm is disc-based); this
+        is what the paper's "intersected area" and "coverage
+        probability" metrics are computed from.
+    used_ap_count:
+        |Γ ∩ knowledge| — how many known APs constrained the estimate.
+    region_empty:
+        True when the raw disc intersection was empty (possible with
+        noisy knowledge) and a fallback produced the position.
+    inflation_factor:
+        When radii had to be inflated to make the intersection
+        non-empty, the factor used (1.0 = no inflation).
+    """
+
+    position: Point
+    algorithm: str
+    region: Optional[DiscIntersection] = None
+    used_ap_count: int = 0
+    region_empty: bool = False
+    inflation_factor: float = 1.0
+
+    @property
+    def area_m2(self) -> float:
+        """Area of the intersected region (0 when empty / not disc-based)."""
+        if self.region is None:
+            return 0.0
+        return self.region.area
+
+    def covers(self, truth: Point) -> bool:
+        """Whether the intersected region contains the true location.
+
+        This is the paper's coverage-probability event (Fig 16); it is
+        evaluated on the *raw* region, so an empty region never covers.
+        """
+        if self.region is None or self.region_empty:
+            return False
+        return self.region.contains(truth)
+
+    def error_to(self, truth: Point) -> float:
+        """Estimation error in meters."""
+        return self.position.distance_to(truth)
+
+    def confidence_radius_m(self, fraction: float = 0.5,
+                            samples: int = 4000,
+                            seed: int = 0) -> Optional[float]:
+        """The radius around the estimate containing ``fraction`` of the
+        intersected region's area (a CEP-style uncertainty figure).
+
+        Assumes the device is uniformly distributed over the region —
+        the honest prior given only communicability evidence.  Returns
+        ``None`` for empty / non-disc-based estimates.  Estimated by
+        rejection sampling, deterministic for a given ``seed``.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        if self.region is None or self.region_empty:
+            return None
+        min_x, min_y, max_x, max_y = self.region.bounding_box()
+        if min_x >= max_x or min_y >= max_y:
+            return 0.0
+        rng = np.random.default_rng(seed)
+        xs = rng.uniform(min_x, max_x, samples)
+        ys = rng.uniform(min_y, max_y, samples)
+        distances = [
+            self.position.distance_to(Point(x, y))
+            for x, y in zip(xs, ys)
+            if self.region.contains(Point(x, y), tol=0.0)
+        ]
+        if not distances:
+            return 0.0
+        return float(np.quantile(distances, fraction))
+
+
+class Localizer(abc.ABC):
+    """Interface all localization algorithms implement."""
+
+    #: Short algorithm name used in reports.
+    name: str = "localizer"
+
+    @abc.abstractmethod
+    def locate(self, observed: Iterable[MacAddress]
+               ) -> Optional[LocalizationEstimate]:
+        """Estimate a device's location from its communicable-AP set Γ.
+
+        Returns ``None`` when no known AP appears in Γ — the device is
+        outside the adversary's knowledge and cannot be positioned.
+        """
+
+    def locate_many(self, observations: Iterable[Iterable[MacAddress]]
+                    ) -> List[Optional[LocalizationEstimate]]:
+        """Vector convenience over :meth:`locate`."""
+        return [self.locate(observed) for observed in observations]
+
+
+def known_records(database, observed: Iterable[MacAddress]) -> List[ApRecord]:
+    """Γ restricted to APs present in the knowledge base, stable order."""
+    return database.records_for(observed, skip_unknown=True)

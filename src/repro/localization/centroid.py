@@ -1,0 +1,43 @@
+"""The Centroid baseline (the paper's existing comparison approach).
+
+"the previous approach of estimating a mobile device's location as the
+centroid of communicable APs (i.e., x = Σx_i/n, y = Σy_i/n)".  The paper
+shows this is vulnerable to biased AP distributions (Fig 4), where extra
+clustered APs *increase* its error while disc-intersection can only
+improve.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.geometry.point import mean_point
+from repro.knowledge.apdb import ApDatabase
+from repro.localization.base import (
+    LocalizationEstimate,
+    Localizer,
+    known_records,
+)
+from repro.net80211.mac import MacAddress
+
+
+class CentroidLocalizer(Localizer):
+    """Estimate a mobile's location as the mean of its APs' locations."""
+
+    name = "centroid"
+
+    def __init__(self, database: ApDatabase):
+        self.database = database
+
+    def locate(self, observed: Iterable[MacAddress]
+               ) -> Optional[LocalizationEstimate]:
+        records = known_records(self.database, observed)
+        if not records:
+            return None
+        position = mean_point(record.location for record in records)
+        return LocalizationEstimate(
+            position=position,
+            algorithm=self.name,
+            region=None,
+            used_ap_count=len(records),
+        )

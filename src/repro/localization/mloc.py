@@ -1,0 +1,159 @@
+"""M-Loc: localization from AP locations and maximum transmission distances.
+
+The paper's pseudocode (Section III-D):
+
+    1. For each pair of APs in Γ, compute the intersection points of
+       their coverage circles.
+    2. Keep the points that lie inside *every* AP's disc — the set Δ.
+    3. Return AVG(Δ), the centroid of the surviving vertices.
+
+That is ``mode="vertex"`` here.  The pseudocode is undefined when Δ is
+empty — which happens for k = 1 (no pairs), nested discs, and noisy
+knowledge that makes the intersection empty.  ``mode="region"`` computes
+the exact area centroid of the intersection region instead (identical in
+spirit, defined whenever the region is non-empty).  Both modes share the
+documented fallback chain for empty intersections: optionally inflate
+all radii by the smallest factor that makes the region non-empty
+(bisection), else fall back to the mean of the AP locations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point, mean_point
+from repro.geometry.region import DiscIntersection
+from repro.knowledge.apdb import ApDatabase
+from repro.localization.base import (
+    LocalizationEstimate,
+    Localizer,
+    known_records,
+)
+from repro.net80211.mac import MacAddress
+
+#: Largest radius inflation tried before giving up on a non-empty region.
+_MAX_INFLATION = 16.0
+
+
+class MLoc(Localizer):
+    """The paper's M-Loc algorithm.
+
+    Parameters
+    ----------
+    database:
+        AP knowledge with locations *and* ``max_range_m`` set (records
+        without a range use ``fallback_range_m``; if neither is
+        available the record is skipped).
+    mode:
+        ``"vertex"`` — the paper's AVG(Δ) over intersection vertices;
+        ``"region"`` — exact centroid of the intersection region.
+    inflate_to_feasible:
+        When the raw intersection is empty (noisy knowledge), scale all
+        radii by the smallest factor in ``[1, 16]`` that yields a
+        non-empty region and estimate from that.  The reported region
+        and ``covers``/area metrics still refer to the *raw* discs.
+    """
+
+    name = "m-loc"
+
+    def __init__(self, database: ApDatabase, mode: str = "vertex",
+                 fallback_range_m: Optional[float] = None,
+                 inflate_to_feasible: bool = True):
+        if mode not in ("vertex", "region"):
+            raise ValueError(f"mode must be 'vertex' or 'region', got {mode!r}")
+        self.database = database
+        self.mode = mode
+        self.fallback_range_m = fallback_range_m
+        self.inflate_to_feasible = inflate_to_feasible
+
+    def locate(self, observed: Iterable[MacAddress]
+               ) -> Optional[LocalizationEstimate]:
+        discs = self._discs_for(observed)
+        if not discs:
+            return None
+        return self.locate_discs(discs)
+
+    def _discs_for(self, observed: Iterable[MacAddress]) -> List[Circle]:
+        discs: List[Circle] = []
+        for record in known_records(self.database, observed):
+            radius = record.max_range_m
+            if radius is None:
+                radius = self.fallback_range_m
+            if radius is None:
+                continue
+            discs.append(Circle(record.location, radius))
+        return discs
+
+    def locate_discs(self, discs: List[Circle]) -> LocalizationEstimate:
+        """Run the disc-intersection estimate on explicit discs.
+
+        Exposed separately so AP-Loc can reuse the machinery with
+        training-location discs.
+        """
+        region = DiscIntersection(discs)
+        position = self._estimate_from_region(region)
+        inflation = 1.0
+        region_empty = region.is_empty
+        if position is None:
+            position, inflation = self._fallback(discs)
+        return LocalizationEstimate(
+            position=position,
+            algorithm=self.name,
+            region=region,
+            used_ap_count=len(discs),
+            region_empty=region_empty,
+            inflation_factor=inflation,
+        )
+
+    def _estimate_from_region(self,
+                              region: DiscIntersection) -> Optional[Point]:
+        if region.is_empty:
+            return None
+        if self.mode == "vertex":
+            vertex_estimate = region.vertex_centroid()
+            if vertex_estimate is not None:
+                return vertex_estimate
+            # Δ is empty but the region is not (k = 1 or nested discs):
+            # the paper's AVG(Δ) is undefined, so use the region
+            # centroid, which equals the disc center in those cases.
+        return region.centroid()
+
+    def _fallback(self, discs: List[Circle]) -> tuple:
+        """Empty raw intersection: inflate radii or take the AP mean."""
+        centers = [disc.center for disc in discs]
+        if not self.inflate_to_feasible:
+            return mean_point(centers), 1.0
+        factor = self._smallest_feasible_inflation(discs)
+        if factor is None:
+            return mean_point(centers), _MAX_INFLATION
+        inflated = [Circle(d.center, d.radius * factor) for d in discs]
+        region = DiscIntersection(inflated)
+        position = self._estimate_from_region(region)
+        if position is None:
+            position = mean_point(centers)
+        return position, factor
+
+    @staticmethod
+    def _smallest_feasible_inflation(discs: List[Circle]) -> Optional[float]:
+        """Bisect for the smallest radius scale giving a non-empty region.
+
+        Non-emptiness is monotone in the scale factor, so bisection on
+        ``[1, 16]`` converges; returns ``None`` when even 16x fails.
+        """
+        def non_empty(scale: float) -> bool:
+            scaled = [Circle(d.center, d.radius * scale) for d in discs]
+            return not DiscIntersection(scaled).is_empty
+
+        low, high = 1.0, _MAX_INFLATION
+        if not non_empty(high):
+            return None
+        for _ in range(40):
+            mid = 0.5 * (low + high)
+            if non_empty(mid):
+                high = mid
+            else:
+                low = mid
+            if high - low < 1e-3:
+                break
+        return high

@@ -1,0 +1,57 @@
+"""The Closest-AP baseline.
+
+The paper's category (iv): "directly using the location of APs or
+sensors with the strongest signal strength", which it criticizes for
+"poor localization accuracy due to the large coverage area of an AP".
+Without per-mobile signal strength (the whole point of the attack is not
+needing it), the best single-AP proxy is the *most constraining* AP —
+the one with the smallest known coverage radius among Γ.  When no radii
+are known at all, any member of Γ is as good as another and we take the
+first in stable order.
+
+The paper notes the disc-intersection approach degenerates to this when
+k = 1: "the intersected area is the maximum coverage area of the AP, and
+the disc-intersection approach is essentially reduced to the nearest AP
+approach."
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.geometry.region import DiscIntersection
+from repro.knowledge.apdb import ApDatabase
+from repro.localization.base import (
+    LocalizationEstimate,
+    Localizer,
+    known_records,
+)
+from repro.net80211.mac import MacAddress
+
+
+class NearestApLocalizer(Localizer):
+    """Estimate a mobile's location as one AP's location."""
+
+    name = "nearest-ap"
+
+    def __init__(self, database: ApDatabase):
+        self.database = database
+
+    def locate(self, observed: Iterable[MacAddress]
+               ) -> Optional[LocalizationEstimate]:
+        records = known_records(self.database, observed)
+        if not records:
+            return None
+        with_range = [r for r in records if r.max_range_m is not None]
+        if with_range:
+            chosen = min(with_range, key=lambda r: r.max_range_m)
+            region = DiscIntersection([chosen.coverage_disc()])
+        else:
+            chosen = records[0]
+            region = None
+        return LocalizationEstimate(
+            position=chosen.location,
+            algorithm=self.name,
+            region=region,
+            used_ap_count=len(records),
+        )

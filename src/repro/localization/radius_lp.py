@@ -1,0 +1,236 @@
+"""LP-based estimation of AP maximum transmission distances (AP-Rad core).
+
+Paper Section III-C2: "if a mobile device can observe two APs within a
+short period of time, then the maximum transmission distances of the two
+APs, r1 and r2, must satisfy r1 + r2 >= d12 ... if over a sufficient
+amount of time, the two APs have never been observed by the same mobile
+device, then it is highly likely that r1 + r2 < d12. ... we would like
+to find a solution in the feasibility region which maximizes Σ r_j".
+
+Practical deviations (documented in DESIGN.md):
+
+* Strict inequalities are not expressible in an LP; the never-co-observed
+  constraints become ``r_i + r_j <= d_ij - margin`` with a small margin.
+* Never-co-observed constraints are only *likely* true, and real
+  observation sets can make the program infeasible.  We keep the
+  co-observation constraints hard (they are direct evidence) and soften
+  the never-co-observed ones with penalized slack variables, so the
+  program is always feasible and slack is only used where the evidence
+  conflicts.
+* Pairs farther apart than ``2 * r_max`` are skipped: with radii bounded
+  by ``r_max`` their "<" constraints can never bind, and skipping them
+  keeps the LP at a few thousand rows for campus-scale AP counts.
+* A co-observed pair with ``d_ij > 2 * r_max`` (possible with noisy
+  locations) has its ">=" right-hand side clamped to ``2 * r_max``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.geometry.point import Point
+from repro.lp.problem import LpProblem
+from repro.net80211.mac import MacAddress
+
+#: Objective weight penalizing slack on never-co-observed constraints.
+_SLACK_PENALTY = 10.0
+#: Margin standing in for the strict "<" of the paper.
+_STRICT_MARGIN_M = 1e-6
+
+
+@dataclass
+class RadiusEstimate:
+    """The result of an LP radius fit."""
+
+    radii: Dict[MacAddress, float]
+    co_observed_pairs: int
+    separated_pairs: int
+    total_slack: float
+
+    def radius_of(self, bssid: MacAddress) -> float:
+        return self.radii[bssid]
+
+
+class RadiusEstimator:
+    """Estimates every AP's maximum transmission distance by LP.
+
+    Parameters
+    ----------
+    locations:
+        Known AP locations (the AP-Rad input).
+    r_max:
+        Upper bound on any radius — the theoretical maximum transmission
+        distance (Theorem 1 provides one; 802.11g APs rarely exceed a
+        few hundred meters outdoors).
+    r_min:
+        Lower bound; a working AP has some nonzero range.
+    solver:
+        ``"simplex"`` (our solver) or ``"scipy"``.
+    """
+
+    def __init__(self, locations: Dict[MacAddress, Point], r_max: float,
+                 r_min: float = 1.0, solver: str = "simplex",
+                 max_separated_neighbors: Optional[int] = None,
+                 min_evidence: int = 1,
+                 overestimate_factor: float = 1.0):
+        if r_max <= 0.0:
+            raise ValueError(f"r_max must be > 0, got {r_max}")
+        if not 0.0 <= r_min <= r_max:
+            raise ValueError(
+                f"need 0 <= r_min <= r_max, got r_min={r_min}, r_max={r_max}")
+        if max_separated_neighbors is not None and max_separated_neighbors < 1:
+            raise ValueError("max_separated_neighbors must be >= 1")
+        self.locations = dict(locations)
+        self.r_max = r_max
+        self.r_min = r_min
+        if min_evidence < 1:
+            raise ValueError(f"min_evidence must be >= 1, got {min_evidence}")
+        self.solver = solver
+        self.max_separated_neighbors = max_separated_neighbors
+        #: "if over a *sufficient amount of time*, the two APs have
+        #: never been observed by the same mobile device" — a
+        #: never-co-observed "<" constraint is only added when both APs
+        #: individually appeared in at least ``min_evidence``
+        #: observations, i.e. absence of co-observation is meaningful.
+        self.min_evidence = min_evidence
+        if overestimate_factor < 1.0:
+            raise ValueError(
+                f"overestimate_factor must be >= 1, got {overestimate_factor}")
+        #: Safety margin applied to the solved radii (capped at r_max).
+        #: "an overestimate of r is clearly preferred over an
+        #: underestimate" (Theorem 3): a modest inflation protects the
+        #: intersection from per-AP estimation scatter.
+        self.overestimate_factor = overestimate_factor
+
+    def fit(self, observations: Sequence[Iterable[MacAddress]]
+            ) -> RadiusEstimate:
+        """Solve the radius LP from a corpus of observed Γ sets.
+
+        ``observations`` is one Γ (AP set) per monitored mobile device
+        (or per mobile per observation window).
+        """
+        bssids = sorted(self.locations.keys())
+        index_of = {bssid: i for i, bssid in enumerate(bssids)}
+        co_observed = self._co_observed_pairs(observations, index_of)
+        appearances = self._appearance_counts(observations, index_of)
+
+        problem = LpProblem(maximize=True)
+        radius_vars = [
+            problem.add_variable(f"r_{bssid}", low=self.r_min, up=self.r_max)
+            for bssid in bssids
+        ]
+        objective: Dict[int, float] = {v: 1.0 for v in radius_vars}
+
+        co_count = 0
+        sep_count = 0
+        slack_vars: List[int] = []
+        n = len(bssids)
+        separated = self._separated_pairs(bssids, co_observed, appearances)
+        for i in range(n):
+            for j in range(i + 1, n):
+                if (i, j) not in co_observed:
+                    continue
+                distance = self.locations[bssids[i]].distance_to(
+                    self.locations[bssids[j]])
+                co_count += 1
+                rhs = min(distance, 2.0 * self.r_max)
+                problem.add_constraint(
+                    {radius_vars[i]: 1.0, radius_vars[j]: 1.0}, ">=", rhs)
+        for i, j, distance in separated:
+            sep_count += 1
+            slack = problem.add_variable(f"s_{i}_{j}", low=0.0, up=None)
+            slack_vars.append(slack)
+            objective[slack] = -_SLACK_PENALTY
+            problem.add_constraint(
+                {radius_vars[i]: 1.0, radius_vars[j]: 1.0, slack: -1.0},
+                "<=", max(self.r_min * 2.0, distance - _STRICT_MARGIN_M))
+
+        problem.set_objective(objective)
+        result = problem.solve(solver=self.solver)
+        if not result.is_optimal:
+            raise RuntimeError(
+                f"radius LP did not solve: status={result.status}")
+        radii = {
+            bssid: min(self.r_max,
+                       float(result.x[index_of[bssid]])
+                       * self.overestimate_factor)
+            for bssid in bssids
+        }
+        total_slack = float(sum(result.x[v] for v in slack_vars))
+        return RadiusEstimate(radii=radii, co_observed_pairs=co_count,
+                              separated_pairs=sep_count,
+                              total_slack=total_slack)
+
+    def _appearance_counts(
+        self,
+        observations: Sequence[Iterable[MacAddress]],
+        index_of: Dict[MacAddress, int],
+    ) -> Dict[int, int]:
+        """How many observations each known AP appeared in."""
+        counts: Dict[int, int] = {i: 0 for i in index_of.values()}
+        for observed in observations:
+            for bssid in observed:
+                index = index_of.get(bssid)
+                if index is not None:
+                    counts[index] += 1
+        return counts
+
+    def _separated_pairs(
+        self,
+        bssids: List[MacAddress],
+        co_observed: Set[Tuple[int, int]],
+        appearances: Dict[int, int],
+    ) -> List[Tuple[int, int, float]]:
+        """Never-co-observed pairs whose "<" constraint can bind.
+
+        Pairs at distance >= ``2 * r_max`` are skipped (never binding
+        under the radius bounds).  With ``max_separated_neighbors`` set,
+        each AP keeps only its nearest ``m`` separated partners — the
+        closest pairs give the tightest (near-dominating) upper bounds,
+        so this is a good approximation that keeps the from-scratch
+        simplex tractable on dense campuses.
+        """
+        n = len(bssids)
+        candidates: Dict[int, List[Tuple[float, int]]] = {
+            i: [] for i in range(n)}
+        for i in range(n):
+            if appearances.get(i, 0) < self.min_evidence:
+                continue
+            for j in range(i + 1, n):
+                if appearances.get(j, 0) < self.min_evidence:
+                    continue
+                if (i, j) in co_observed:
+                    continue
+                distance = self.locations[bssids[i]].distance_to(
+                    self.locations[bssids[j]])
+                if distance >= 2.0 * self.r_max:
+                    continue
+                candidates[i].append((distance, j))
+                candidates[j].append((distance, i))
+        kept: Set[Tuple[int, int]] = set()
+        limit = self.max_separated_neighbors
+        for i, neighbors in candidates.items():
+            neighbors.sort()
+            selected = neighbors if limit is None else neighbors[:limit]
+            for distance, j in selected:
+                kept.add((min(i, j), max(i, j)))
+        return sorted(
+            (i, j, self.locations[bssids[i]].distance_to(
+                self.locations[bssids[j]]))
+            for i, j in kept
+        )
+
+    def _co_observed_pairs(
+        self,
+        observations: Sequence[Iterable[MacAddress]],
+        index_of: Dict[MacAddress, int],
+    ) -> Set[Tuple[int, int]]:
+        """Index pairs of APs seen together in at least one Γ."""
+        pairs: Set[Tuple[int, int]] = set()
+        for observed in observations:
+            indices = sorted(index_of[b] for b in observed if b in index_of)
+            for a_pos in range(len(indices)):
+                for b_pos in range(a_pos + 1, len(indices)):
+                    pairs.add((indices[a_pos], indices[b_pos]))
+        return pairs

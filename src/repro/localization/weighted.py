@@ -1,0 +1,64 @@
+"""Weighted-centroid baseline.
+
+A standard refinement of the centroid approach from the range-free
+localization literature the paper cites (e.g. Bulusu et al. [26]):
+weight each AP's location by the inverse of its coverage radius, since
+being heard by a *short-range* AP says more about where the device is
+than being heard by a long-range one.
+
+It needs radii (known or estimated), so it sits between plain Centroid
+(locations only) and M-Loc (full disc intersection) — a useful extra
+comparison point for the Fig 13 analysis: it beats Centroid but not the
+disc intersection, because averaging still ignores the geometry of the
+constraint regions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.geometry.point import Point
+from repro.knowledge.apdb import ApDatabase
+from repro.localization.base import (
+    LocalizationEstimate,
+    Localizer,
+    known_records,
+)
+from repro.net80211.mac import MacAddress
+
+
+class WeightedCentroidLocalizer(Localizer):
+    """Centroid of AP locations weighted by ``1 / radius**power``."""
+
+    name = "weighted-centroid"
+
+    def __init__(self, database: ApDatabase, power: float = 1.0,
+                 fallback_range_m: Optional[float] = None):
+        if power < 0.0:
+            raise ValueError(f"power must be >= 0, got {power}")
+        self.database = database
+        self.power = power
+        self.fallback_range_m = fallback_range_m
+
+    def locate(self, observed: Iterable[MacAddress]
+               ) -> Optional[LocalizationEstimate]:
+        records = known_records(self.database, observed)
+        weighted = []
+        for record in records:
+            radius = record.max_range_m
+            if radius is None:
+                radius = self.fallback_range_m
+            if radius is None or radius <= 0.0:
+                continue
+            weighted.append((record.location, radius ** -self.power))
+        if not weighted:
+            return None
+        total = sum(weight for _, weight in weighted)
+        x = sum(location.x * weight for location, weight in weighted)
+        y = sum(location.y * weight for location, weight in weighted)
+        return LocalizationEstimate(
+            position=Point(x / total, y / total),
+            algorithm=self.name,
+            region=None,
+            used_ap_count=len(weighted),
+        )

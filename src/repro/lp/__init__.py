@@ -1,0 +1,21 @@
+"""Linear-programming substrate for the AP-Rad radius estimation.
+
+AP-Rad (paper Section III-C2) estimates every AP's maximum transmission
+distance by solving::
+
+    maximize   sum(r_i)
+    subject to r_i + r_j >= d_ij   for co-observed AP pairs
+               r_i + r_j <  d_ij   for never-co-observed pairs
+               0 <= r_i <= r_max
+
+This package provides a from-scratch dense two-phase simplex solver
+(:func:`solve_lp`) plus a small modeling layer (:class:`LpProblem`).
+The solver is cross-checked against ``scipy.optimize.linprog`` in the
+test suite, and :class:`LpProblem` can delegate to scipy for large
+instances.
+"""
+
+from repro.lp.simplex import LpResult, solve_lp
+from repro.lp.problem import LpProblem
+
+__all__ = ["solve_lp", "LpResult", "LpProblem"]

@@ -1,0 +1,186 @@
+"""A small LP modeling layer over the simplex solver.
+
+Lets AP-Rad express its radius-estimation program naturally::
+
+    problem = LpProblem(maximize=True)
+    radii = [problem.add_variable(f"r_{bssid}", low=0, up=r_max) ...]
+    problem.add_constraint({i: 1.0, j: 1.0}, ">=", d_ij)
+    problem.set_objective({i: 1.0 for i in range(n)})
+    result = problem.solve()
+
+The ``solver`` argument selects the from-scratch simplex (default) or
+``scipy.optimize.linprog`` (useful for large instances and used by the
+test suite as a cross-check).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.lp.simplex import LpResult, solve_lp
+
+_SENSES = ("<=", ">=", "==")
+
+
+@dataclass
+class _Constraint:
+    coefficients: Dict[int, float]
+    sense: str
+    rhs: float
+    name: str = ""
+
+
+@dataclass
+class LpProblem:
+    """A linear program assembled incrementally."""
+
+    maximize: bool = False
+    _names: List[str] = field(default_factory=list)
+    _bounds: List[Tuple[float, Optional[float]]] = field(default_factory=list)
+    _constraints: List[_Constraint] = field(default_factory=list)
+    _objective: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._names)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._constraints)
+
+    def add_variable(self, name: str = "", low: float = 0.0,
+                     up: Optional[float] = None) -> int:
+        """Add a variable and return its index."""
+        if up is not None and up < low:
+            raise ValueError(
+                f"variable {name!r}: upper bound {up} < lower bound {low}")
+        index = len(self._names)
+        self._names.append(name or f"x{index}")
+        self._bounds.append((low, up))
+        return index
+
+    def add_constraint(self, coefficients: Dict[int, float], sense: str,
+                       rhs: float, name: str = "") -> None:
+        """Add ``sum(coef_i * x_i) <sense> rhs``."""
+        if sense not in _SENSES:
+            raise ValueError(f"sense must be one of {_SENSES}, got {sense!r}")
+        for index in coefficients:
+            if not 0 <= index < len(self._names):
+                raise IndexError(f"unknown variable index {index}")
+        self._constraints.append(
+            _Constraint(dict(coefficients), sense, float(rhs), name))
+
+    def set_objective(self, coefficients: Dict[int, float]) -> None:
+        """Set the (sparse) objective vector."""
+        for index in coefficients:
+            if not 0 <= index < len(self._names):
+                raise IndexError(f"unknown variable index {index}")
+        self._objective = dict(coefficients)
+
+    def _assemble(self):
+        n = len(self._names)
+        cost = np.zeros(n)
+        for index, value in self._objective.items():
+            cost[index] = value
+        a_ub: List[np.ndarray] = []
+        b_ub: List[float] = []
+        a_eq: List[np.ndarray] = []
+        b_eq: List[float] = []
+        for constraint in self._constraints:
+            row = np.zeros(n)
+            for index, value in constraint.coefficients.items():
+                row[index] = value
+            if constraint.sense == "<=":
+                a_ub.append(row)
+                b_ub.append(constraint.rhs)
+            elif constraint.sense == ">=":
+                a_ub.append(-row)
+                b_ub.append(-constraint.rhs)
+            else:
+                a_eq.append(row)
+                b_eq.append(constraint.rhs)
+        return cost, a_ub, b_ub, a_eq, b_eq
+
+    def solve(self, solver: str = "simplex",
+              max_iter: int = 20000) -> LpResult:
+        """Solve with the chosen backend ("simplex" or "scipy").
+
+        The from-scratch simplex is the reference implementation; the
+        scipy backend (sparse HiGHS) is for large AP-Rad instances.
+        """
+        if solver == "simplex":
+            cost, a_ub, b_ub, a_eq, b_eq = self._assemble()
+            return solve_lp(cost, a_ub or None, b_ub or None,
+                            a_eq or None, b_eq or None,
+                            bounds=self._bounds, maximize=self.maximize,
+                            max_iter=max_iter)
+        if solver == "scipy":
+            return self._solve_scipy()
+        raise ValueError(f"unknown solver {solver!r}")
+
+    def _solve_scipy(self) -> LpResult:
+        from scipy.optimize import linprog
+        from scipy.sparse import csr_matrix
+
+        n = len(self._names)
+        cost = np.zeros(n)
+        for index, value in self._objective.items():
+            cost[index] = value
+
+        # Sparse triplet assembly: AP-Rad instances have thousands of
+        # rows with only 2-3 nonzeros each.
+        ub_rows: List[int] = []
+        ub_cols: List[int] = []
+        ub_data: List[float] = []
+        b_ub: List[float] = []
+        eq_rows: List[int] = []
+        eq_cols: List[int] = []
+        eq_data: List[float] = []
+        b_eq: List[float] = []
+        for constraint in self._constraints:
+            if constraint.sense == "==":
+                row_index = len(b_eq)
+                for col, value in constraint.coefficients.items():
+                    eq_rows.append(row_index)
+                    eq_cols.append(col)
+                    eq_data.append(value)
+                b_eq.append(constraint.rhs)
+            else:
+                sign = 1.0 if constraint.sense == "<=" else -1.0
+                row_index = len(b_ub)
+                for col, value in constraint.coefficients.items():
+                    ub_rows.append(row_index)
+                    ub_cols.append(col)
+                    ub_data.append(sign * value)
+                b_ub.append(sign * constraint.rhs)
+
+        a_ub = (csr_matrix((ub_data, (ub_rows, ub_cols)),
+                           shape=(len(b_ub), n)) if b_ub else None)
+        a_eq = (csr_matrix((eq_data, (eq_rows, eq_cols)),
+                           shape=(len(b_eq), n)) if b_eq else None)
+        obj_sign = -1.0 if self.maximize else 1.0
+        outcome = linprog(
+            obj_sign * cost,
+            A_ub=a_ub,
+            b_ub=np.array(b_ub) if b_ub else None,
+            A_eq=a_eq,
+            b_eq=np.array(b_eq) if b_eq else None,
+            bounds=self._bounds,
+            method="highs",
+        )
+        if outcome.status == 0:
+            return LpResult("optimal", outcome.x, float(cost @ outcome.x))
+        if outcome.status == 2:
+            return LpResult("infeasible", None, None)
+        if outcome.status == 3:
+            return LpResult("unbounded", None, None)
+        return LpResult("iteration_limit", None, None)
+
+    def value(self, result: LpResult, index: int) -> float:
+        """Value of variable ``index`` in an optimal result."""
+        if not result.is_optimal or result.x is None:
+            raise ValueError("LP result is not optimal")
+        return float(result.x[index])

@@ -1,0 +1,314 @@
+"""Dense two-phase simplex solver.
+
+Solves::
+
+    minimize (or maximize)  c . x
+    subject to              A_ub x <= b_ub
+                            A_eq x == b_eq
+                            lower <= x <= upper
+
+by conversion to standard form (shifted variables, slack/surplus
+columns, phase-1 artificials) and a tableau simplex with Dantzig pivot
+selection that falls back to Bland's rule after a pivot budget, which
+guarantees termination on degenerate problems.
+
+The implementation is deliberately straightforward dense numpy — the
+AP-Rad instances it serves have hundreds of variables and a few thousand
+constraints, well within dense-tableau territory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+_EPS = 1e-9
+
+
+@dataclass
+class LpResult:
+    """Outcome of an LP solve."""
+
+    status: str  # "optimal" | "infeasible" | "unbounded" | "iteration_limit"
+    x: Optional[np.ndarray]
+    objective: Optional[float]
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status == "optimal"
+
+
+def solve_lp(
+    c: Sequence[float],
+    a_ub: Optional[Sequence[Sequence[float]]] = None,
+    b_ub: Optional[Sequence[float]] = None,
+    a_eq: Optional[Sequence[Sequence[float]]] = None,
+    b_eq: Optional[Sequence[float]] = None,
+    bounds: Optional[Sequence[Tuple[float, Optional[float]]]] = None,
+    maximize: bool = False,
+    max_iter: int = 20000,
+) -> LpResult:
+    """Solve a bounded LP; see module docstring for the problem form.
+
+    ``bounds`` is a per-variable list of ``(lower, upper)`` where
+    ``upper`` may be ``None`` for unbounded above.  Lower bounds must be
+    finite (the AP-Rad radii are naturally bounded below by zero).
+    """
+    cost = np.asarray(c, dtype=float)
+    n = cost.shape[0]
+    if maximize:
+        cost = -cost
+
+    a_ub_m = _as_matrix(a_ub, n)
+    b_ub_v = _as_vector(b_ub)
+    a_eq_m = _as_matrix(a_eq, n)
+    b_eq_v = _as_vector(b_eq)
+    if a_ub_m.shape[0] != b_ub_v.shape[0]:
+        raise ValueError("a_ub and b_ub row counts differ")
+    if a_eq_m.shape[0] != b_eq_v.shape[0]:
+        raise ValueError("a_eq and b_eq row counts differ")
+
+    lower, upper = _normalize_bounds(bounds, n)
+
+    # Shift x = x' + lower so that x' >= 0.
+    constant = float(cost @ lower)
+    b_ub_shift = b_ub_v - a_ub_m @ lower if a_ub_m.size else b_ub_v
+    b_eq_shift = b_eq_v - a_eq_m @ lower if a_eq_m.size else b_eq_v
+
+    # Finite upper bounds become extra <= rows.
+    extra_rows: List[np.ndarray] = []
+    extra_rhs: List[float] = []
+    for index in range(n):
+        if upper[index] is not None:
+            span = upper[index] - lower[index]
+            if span < -_EPS:
+                return LpResult("infeasible", None, None)
+            row = np.zeros(n)
+            row[index] = 1.0
+            extra_rows.append(row)
+            extra_rhs.append(max(0.0, span))
+    if extra_rows:
+        a_ub_all = np.vstack([a_ub_m, np.array(extra_rows)]) \
+            if a_ub_m.size else np.array(extra_rows)
+        b_ub_all = np.concatenate([b_ub_shift, np.array(extra_rhs)]) \
+            if b_ub_shift.size else np.array(extra_rhs)
+    else:
+        a_ub_all, b_ub_all = a_ub_m, b_ub_shift
+
+    solution, status = _two_phase_simplex(
+        cost, a_ub_all, b_ub_all, a_eq_m, b_eq_shift, max_iter)
+    if status != "optimal":
+        return LpResult(status, None, None)
+    x = solution[:n] + lower
+    objective = float(np.asarray(c, dtype=float) @ x)
+    return LpResult("optimal", x, objective)
+
+
+def _as_matrix(rows, n: int) -> np.ndarray:
+    if rows is None:
+        return np.zeros((0, n))
+    matrix = np.asarray(rows, dtype=float)
+    if matrix.size == 0:
+        return np.zeros((0, n))
+    if matrix.ndim != 2 or matrix.shape[1] != n:
+        raise ValueError(
+            f"constraint matrix must have {n} columns, got {matrix.shape}")
+    return matrix
+
+
+def _as_vector(values) -> np.ndarray:
+    if values is None:
+        return np.zeros(0)
+    return np.asarray(values, dtype=float)
+
+
+def _normalize_bounds(bounds, n: int):
+    if bounds is None:
+        lower = np.zeros(n)
+        upper: List[Optional[float]] = [None] * n
+        return lower, upper
+    if len(bounds) != n:
+        raise ValueError(f"expected {n} bound pairs, got {len(bounds)}")
+    lower = np.zeros(n)
+    upper: List[Optional[float]] = [None] * n
+    for index, (low, high) in enumerate(bounds):
+        if low is None or not np.isfinite(low):
+            raise ValueError(
+                "lower bounds must be finite (shift variables if needed)")
+        lower[index] = float(low)
+        if high is not None and np.isfinite(high):
+            upper[index] = float(high)
+    return lower, upper
+
+
+def _two_phase_simplex(cost, a_ub, b_ub, a_eq, b_eq, max_iter):
+    """Standard-form two-phase tableau simplex on shifted variables."""
+    n = cost.shape[0]
+    num_ub = a_ub.shape[0]
+    num_eq = a_eq.shape[0]
+    rows = num_ub + num_eq
+
+    if rows == 0:
+        # Only nonnegativity: minimum at 0 unless some cost is negative
+        # with no upper bound (unbounded).
+        if np.any(cost < -_EPS):
+            return None, "unbounded"
+        return np.zeros(n), "optimal"
+
+    # Assemble A x (+ slack) = b with b >= 0.
+    slack_count = num_ub
+    total_structural = n + slack_count
+    table = np.zeros((rows, total_structural))
+    rhs = np.zeros(rows)
+    needs_artificial = np.zeros(rows, dtype=bool)
+
+    for i in range(num_ub):
+        row = a_ub[i].copy()
+        value = b_ub[i]
+        if value < 0.0:
+            row = -row
+            value = -value
+            table[i, :n] = row
+            table[i, n + i] = -1.0  # surplus
+            needs_artificial[i] = True
+        else:
+            table[i, :n] = row
+            table[i, n + i] = 1.0  # slack
+        rhs[i] = value
+    for j in range(num_eq):
+        i = num_ub + j
+        row = a_eq[j].copy()
+        value = b_eq[j]
+        if value < 0.0:
+            row = -row
+            value = -value
+        table[i, :n] = row
+        rhs[i] = value
+        needs_artificial[i] = True
+
+    artificial_rows = np.nonzero(needs_artificial)[0]
+    num_art = artificial_rows.shape[0]
+    full = np.zeros((rows, total_structural + num_art))
+    full[:, :total_structural] = table
+    basis = np.full(rows, -1, dtype=int)
+    for i in range(num_ub):
+        if not needs_artificial[i]:
+            basis[i] = n + i
+    for art_index, row_index in enumerate(artificial_rows):
+        column = total_structural + art_index
+        full[row_index, column] = 1.0
+        basis[row_index] = column
+
+    # ---- Phase 1: minimize sum of artificials ----
+    if num_art > 0:
+        phase1_cost = np.zeros(total_structural + num_art)
+        phase1_cost[total_structural:] = 1.0
+        status = _run_simplex(full, rhs, phase1_cost, basis, max_iter)
+        if status != "optimal":
+            return None, status
+        phase1_value = sum(rhs[i] for i in range(rows)
+                           if basis[i] >= total_structural)
+        if phase1_value > 1e-7:
+            return None, "infeasible"
+        _drive_out_artificials(full, rhs, basis, total_structural)
+        # Remove artificial columns entirely.
+        full = full[:, :total_structural]
+
+    # ---- Phase 2 ----
+    phase2_cost = np.zeros(full.shape[1])
+    phase2_cost[:n] = cost
+    status = _run_simplex(full, rhs, phase2_cost, basis, max_iter)
+    if status != "optimal":
+        return None, status
+    solution = np.zeros(full.shape[1])
+    for i in range(rows):
+        if 0 <= basis[i] < full.shape[1]:
+            solution[basis[i]] = rhs[i]
+    return solution[:n], "optimal"
+
+
+def _drive_out_artificials(full, rhs, basis, total_structural) -> None:
+    """Pivot basic artificials out (or mark their redundant rows)."""
+    rows = full.shape[0]
+    for i in range(rows):
+        if basis[i] < total_structural:
+            continue
+        # Find any structural column with a nonzero entry in this row.
+        pivot_col = -1
+        for j in range(total_structural):
+            if abs(full[i, j]) > 1e-7:
+                pivot_col = j
+                break
+        if pivot_col < 0:
+            # Redundant row (all-zero): clear it and keep the artificial
+            # basic at value zero by zeroing its column reference.
+            full[i, :] = 0.0
+            rhs[i] = 0.0
+            basis[i] = -1
+            continue
+        _pivot(full, rhs, basis, i, pivot_col)
+
+
+def _run_simplex(full, rhs, cost, basis, max_iter) -> str:
+    """Minimize ``cost`` over the current tableau; Dantzig then Bland."""
+    rows, cols = full.shape
+    bland_after = max(1000, 10 * (rows + cols))
+    for iteration in range(max_iter):
+        reduced = _reduced_costs(full, cost, basis)
+        if iteration < bland_after:
+            entering = int(np.argmin(reduced))
+            if reduced[entering] >= -_EPS:
+                return "optimal"
+        else:
+            entering = -1
+            for j in range(cols):
+                if reduced[j] < -_EPS:
+                    entering = j
+                    break
+            if entering < 0:
+                return "optimal"
+        # Ratio test.
+        leaving = -1
+        best_ratio = np.inf
+        for i in range(rows):
+            coef = full[i, entering]
+            if coef > _EPS:
+                ratio = rhs[i] / coef
+                if ratio < best_ratio - _EPS or (
+                        abs(ratio - best_ratio) <= _EPS
+                        and (leaving < 0 or basis[i] < basis[leaving])):
+                    best_ratio = ratio
+                    leaving = i
+        if leaving < 0:
+            return "unbounded"
+        _pivot(full, rhs, basis, leaving, entering)
+    return "iteration_limit"
+
+
+def _reduced_costs(full, cost, basis) -> np.ndarray:
+    rows = full.shape[0]
+    basic_cost = np.zeros(rows)
+    for i in range(rows):
+        if basis[i] >= 0:
+            basic_cost[i] = cost[basis[i]]
+    # y^T = c_B^T B^{-1} is implicit in the tableau form: rows are already
+    # B^{-1} A, so reduced cost = c - c_B^T (B^{-1} A).
+    return cost - basic_cost @ full
+
+
+def _pivot(full, rhs, basis, row: int, col: int) -> None:
+    pivot_value = full[row, col]
+    full[row, :] /= pivot_value
+    rhs[row] /= pivot_value
+    for i in range(full.shape[0]):
+        if i == row:
+            continue
+        factor = full[i, col]
+        if factor != 0.0:
+            full[i, :] -= factor * full[row, :]
+            rhs[i] -= factor * rhs[row]
+            if rhs[i] < 0.0 and rhs[i] > -1e-11:
+                rhs[i] = 0.0
+    basis[row] = col

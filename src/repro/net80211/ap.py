@@ -1,0 +1,121 @@
+"""Access-point behaviour.
+
+An AP in this system is characterized by exactly what the attack needs:
+identity (BSSID/SSID), channel, planar position, transmit parameters,
+and its *maximum transmission distance* — the radius of the coverage
+disc that M-Loc intersects.  The radius can be supplied directly (the
+paper measured it "while traveling around the neighborhood") or derived
+from a link budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.net80211.frames import (
+    Dot11Frame,
+    FrameType,
+    association_response,
+    beacon,
+    probe_response,
+)
+from repro.net80211.mac import MacAddress
+from repro.net80211.ssid import Ssid
+
+
+@dataclass
+class AccessPoint:
+    """A WiFi access point in the simulated world."""
+
+    bssid: MacAddress
+    ssid: Ssid
+    channel: int
+    position: Point
+    max_range_m: float
+    tx_power_dbm: float = 18.0
+    antenna_gain_dbi: float = 2.0
+    beacon_interval_s: float = 0.1024
+    hidden: bool = False  # hidden SSID: beacons omit the name
+    _sequence: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_range_m <= 0.0:
+            raise ValueError(
+                f"max_range_m must be > 0, got {self.max_range_m}")
+
+    # ------------------------------------------------------------------
+    # Coverage
+    # ------------------------------------------------------------------
+
+    @property
+    def coverage_disc(self) -> Circle:
+        """The maximum coverage area: disc centered at the AP.
+
+        "we can compute a maximum coverage area for each AP as a disc
+        centered as the AP's location with radius of the maximum
+        transmission distance.  Such a disc is a superset of all
+        locations that can communicate with the AP."
+        """
+        return Circle(self.position, self.max_range_m)
+
+    def covers(self, point: Point) -> bool:
+        """True when a device at ``point`` can communicate with this AP."""
+        return self.position.distance_to(point) <= self.max_range_m
+
+    # ------------------------------------------------------------------
+    # Frame generation
+    # ------------------------------------------------------------------
+
+    def next_sequence(self) -> int:
+        self._sequence = (self._sequence + 1) & 0xFFF
+        return self._sequence
+
+    def make_beacon(self, timestamp: float) -> Dot11Frame:
+        """The periodic beacon (SSID withheld when hidden)."""
+        advertised = Ssid("") if self.hidden else self.ssid
+        return beacon(self.bssid, self.channel, timestamp, advertised,
+                      sequence=self.next_sequence(),
+                      tx_power_dbm=self.tx_power_dbm)
+
+    def respond_to_probe(self, request: Dot11Frame,
+                         timestamp: float) -> Optional[Dot11Frame]:
+        """Answer a probe request heard on our channel, or ``None``.
+
+        APs answer wildcard (broadcast) probes and probes directed at
+        their own SSID; hidden APs only answer directed probes.
+        """
+        if not request.is_probe_request:
+            return None
+        if request.channel != self.channel:
+            return None
+        if request.ssid.is_wildcard:
+            if self.hidden:
+                return None
+        elif request.ssid != self.ssid:
+            return None
+        return probe_response(self.bssid, request.source, self.channel,
+                              timestamp, self.ssid,
+                              sequence=self.next_sequence(),
+                              tx_power_dbm=self.tx_power_dbm)
+
+    def handle_association(self, request: Dot11Frame,
+                           timestamp: float) -> Optional[Dot11Frame]:
+        """Grant an association request addressed to this AP.
+
+        Open-system: any station in range that names this BSS is
+        accepted.  Returns the association response, or ``None`` for
+        frames that are not association requests for us.
+        """
+        if request.frame_type is not FrameType.ASSOCIATION_REQUEST:
+            return None
+        if request.destination != self.bssid:
+            return None
+        if request.channel != self.channel:
+            return None
+        return association_response(self.bssid, request.source,
+                                    self.channel, timestamp, self.ssid,
+                                    sequence=self.next_sequence(),
+                                    tx_power_dbm=self.tx_power_dbm)

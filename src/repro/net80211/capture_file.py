@@ -1,0 +1,116 @@
+"""Capture persistence: a JSONL stand-in for tcpdump/pcap files.
+
+The paper "dumped the wireless traffic by tcpdump for a duration of 7
+days".  We persist captures as one JSON object per line — trivially
+greppable, append-friendly, and sufficient for the management-frame
+metadata the attack consumes.  :class:`CaptureWriter` and
+:class:`CaptureReader` round-trip :class:`ReceivedFrame` records.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, Union
+
+from repro.net80211.frames import Dot11Frame, FrameType
+from repro.net80211.mac import MacAddress
+from repro.net80211.medium import ReceivedFrame
+from repro.net80211.ssid import Ssid
+
+PathLike = Union[str, Path]
+
+FORMAT_VERSION = 1
+
+
+def frame_to_dict(frame: Dot11Frame) -> dict:
+    """Serialize a frame to plain JSON-compatible types."""
+    return {
+        "type": frame.frame_type.value,
+        "src": str(frame.source),
+        "dst": str(frame.destination),
+        "bssid": str(frame.bssid) if frame.bssid is not None else None,
+        "ssid": frame.ssid.name,
+        "channel": frame.channel,
+        "ts": frame.timestamp,
+        "seq": frame.sequence,
+        "tx_power_dbm": frame.tx_power_dbm,
+        "tx_gain_dbi": frame.tx_antenna_gain_dbi,
+        "elements": dict(frame.elements),
+    }
+
+
+def frame_from_dict(data: dict) -> Dot11Frame:
+    """Deserialize a frame written by :func:`frame_to_dict`."""
+    bssid = data.get("bssid")
+    return Dot11Frame(
+        frame_type=FrameType(data["type"]),
+        source=MacAddress.parse(data["src"]),
+        destination=MacAddress.parse(data["dst"]),
+        channel=int(data["channel"]),
+        timestamp=float(data["ts"]),
+        ssid=Ssid(data.get("ssid", "")),
+        bssid=MacAddress.parse(bssid) if bssid else None,
+        sequence=int(data.get("seq", 0)),
+        tx_power_dbm=float(data.get("tx_power_dbm", 15.0)),
+        tx_antenna_gain_dbi=float(data.get("tx_gain_dbi", 0.0)),
+        elements=dict(data.get("elements", {})),
+    )
+
+
+class CaptureWriter:
+    """Append :class:`ReceivedFrame` records to a JSONL capture file."""
+
+    def __init__(self, path: PathLike):
+        self.path = Path(path)
+        self._handle = self.path.open("a", encoding="utf-8")
+        if self.path.stat().st_size == 0:
+            header = {"capture_format": FORMAT_VERSION}
+            self._handle.write(json.dumps(header) + "\n")
+
+    def write(self, received: ReceivedFrame) -> None:
+        record = {
+            "frame": frame_to_dict(received.frame),
+            "rssi_dbm": received.rssi_dbm,
+            "snr_db": received.snr_db,
+            "rx_channel": received.rx_channel,
+            "rx_ts": received.rx_timestamp,
+        }
+        self._handle.write(json.dumps(record) + "\n")
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "CaptureWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class CaptureReader:
+    """Iterate the records of a JSONL capture file."""
+
+    def __init__(self, path: PathLike):
+        self.path = Path(path)
+
+    def __iter__(self) -> Iterator[ReceivedFrame]:
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                data = json.loads(line)
+                if "capture_format" in data:
+                    version = data["capture_format"]
+                    if version != FORMAT_VERSION:
+                        raise ValueError(
+                            f"unsupported capture format {version}")
+                    continue
+                yield ReceivedFrame(
+                    frame=frame_from_dict(data["frame"]),
+                    rssi_dbm=float(data["rssi_dbm"]),
+                    snr_db=float(data["snr_db"]),
+                    rx_channel=int(data["rx_channel"]),
+                    rx_timestamp=float(data["rx_ts"]),
+                )

@@ -1,0 +1,200 @@
+"""802.11 management frames (the slice the attack observes).
+
+The tracker never needs data payloads — only who probed what, from
+where, on which channel.  :class:`Dot11Frame` therefore carries exactly
+the header fields the sniffer extracts ("SSIDs and AP MAC addresses from
+the recorded packets") plus transmit metadata consumed by the medium.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.net80211.mac import BROADCAST_MAC, MacAddress
+from repro.net80211.ssid import Ssid, WILDCARD_SSID
+
+
+class FrameType(enum.Enum):
+    """Management/data frame subtypes the system handles."""
+
+    BEACON = "beacon"
+    PROBE_REQUEST = "probe_request"
+    PROBE_RESPONSE = "probe_response"
+    DEAUTHENTICATION = "deauthentication"
+    AUTHENTICATION = "authentication"
+    ASSOCIATION_REQUEST = "association_request"
+    ASSOCIATION_RESPONSE = "association_response"
+    DATA = "data"
+
+    @property
+    def is_probe_traffic(self) -> bool:
+        """Frames the localization pipeline counts as probing traffic."""
+        return self in (FrameType.PROBE_REQUEST, FrameType.PROBE_RESPONSE)
+
+
+@dataclass(frozen=True)
+class Dot11Frame:
+    """An 802.11 frame as seen on the air.
+
+    ``source``/``destination`` are MAC addresses; ``bssid`` identifies
+    the AP side (``None`` in broadcast probe requests, which are not yet
+    bound to any BSS).  ``tx_power_dbm`` and ``tx_antenna_gain_dbi`` are
+    physical transmit metadata used by the medium, not header fields.
+    """
+
+    frame_type: FrameType
+    source: MacAddress
+    destination: MacAddress
+    channel: int
+    timestamp: float
+    ssid: Ssid = WILDCARD_SSID
+    bssid: Optional[MacAddress] = None
+    sequence: int = 0
+    tx_power_dbm: float = 15.0
+    tx_antenna_gain_dbi: float = 0.0
+    elements: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def is_probe_request(self) -> bool:
+        return self.frame_type is FrameType.PROBE_REQUEST
+
+    @property
+    def is_from_ap(self) -> bool:
+        """True for frames an AP originates (beacon / probe response)."""
+        return self.frame_type in (FrameType.BEACON,
+                                   FrameType.PROBE_RESPONSE)
+
+
+def probe_request(source: MacAddress, channel: int, timestamp: float,
+                  ssid: Ssid = WILDCARD_SSID, sequence: int = 0,
+                  tx_power_dbm: float = 15.0) -> Dot11Frame:
+    """A probe request: broadcast (wildcard SSID) or directed."""
+    return Dot11Frame(
+        frame_type=FrameType.PROBE_REQUEST,
+        source=source,
+        destination=BROADCAST_MAC,
+        channel=channel,
+        timestamp=timestamp,
+        ssid=ssid,
+        sequence=sequence,
+        tx_power_dbm=tx_power_dbm,
+    )
+
+
+def probe_response(ap_mac: MacAddress, station: MacAddress, channel: int,
+                   timestamp: float, ssid: Ssid, sequence: int = 0,
+                   tx_power_dbm: float = 18.0) -> Dot11Frame:
+    """An AP's unicast answer to a probe request."""
+    return Dot11Frame(
+        frame_type=FrameType.PROBE_RESPONSE,
+        source=ap_mac,
+        destination=station,
+        channel=channel,
+        timestamp=timestamp,
+        ssid=ssid,
+        bssid=ap_mac,
+        sequence=sequence,
+        tx_power_dbm=tx_power_dbm,
+    )
+
+
+def beacon(ap_mac: MacAddress, channel: int, timestamp: float,
+           ssid: Ssid, sequence: int = 0,
+           tx_power_dbm: float = 18.0) -> Dot11Frame:
+    """A periodic AP beacon."""
+    return Dot11Frame(
+        frame_type=FrameType.BEACON,
+        source=ap_mac,
+        destination=BROADCAST_MAC,
+        channel=channel,
+        timestamp=timestamp,
+        ssid=ssid,
+        bssid=ap_mac,
+        sequence=sequence,
+        tx_power_dbm=tx_power_dbm,
+    )
+
+
+def authentication(station: MacAddress, ap_mac: MacAddress, channel: int,
+                   timestamp: float, sequence: int = 0,
+                   tx_power_dbm: float = 15.0) -> Dot11Frame:
+    """An (open-system) authentication frame, station → AP."""
+    return Dot11Frame(
+        frame_type=FrameType.AUTHENTICATION,
+        source=station,
+        destination=ap_mac,
+        channel=channel,
+        timestamp=timestamp,
+        bssid=ap_mac,
+        sequence=sequence,
+        tx_power_dbm=tx_power_dbm,
+    )
+
+
+def association_request(station: MacAddress, ap_mac: MacAddress,
+                        channel: int, timestamp: float, ssid: Ssid,
+                        sequence: int = 0,
+                        tx_power_dbm: float = 15.0) -> Dot11Frame:
+    """An association request, station → AP (carries the SSID)."""
+    return Dot11Frame(
+        frame_type=FrameType.ASSOCIATION_REQUEST,
+        source=station,
+        destination=ap_mac,
+        channel=channel,
+        timestamp=timestamp,
+        ssid=ssid,
+        bssid=ap_mac,
+        sequence=sequence,
+        tx_power_dbm=tx_power_dbm,
+    )
+
+
+def association_response(ap_mac: MacAddress, station: MacAddress,
+                         channel: int, timestamp: float, ssid: Ssid,
+                         sequence: int = 0,
+                         tx_power_dbm: float = 18.0) -> Dot11Frame:
+    """An association response, AP → station (grants the association)."""
+    return Dot11Frame(
+        frame_type=FrameType.ASSOCIATION_RESPONSE,
+        source=ap_mac,
+        destination=station,
+        channel=channel,
+        timestamp=timestamp,
+        ssid=ssid,
+        bssid=ap_mac,
+        sequence=sequence,
+        tx_power_dbm=tx_power_dbm,
+    )
+
+
+def deauthentication(source: MacAddress, destination: MacAddress,
+                     bssid: MacAddress, channel: int, timestamp: float,
+                     reason_code: int = 7,
+                     tx_power_dbm: float = 20.0,
+                     protected: bool = False) -> Dot11Frame:
+    """A deauthentication frame.
+
+    The active attack spoofs these (source = the victim's AP) to force a
+    silent station off its association so it re-scans and emits probe
+    requests the sniffer can capture.
+
+    ``protected=True`` marks the frame as carrying a valid 802.11w
+    (management frame protection) integrity code — only the real AP can
+    produce it, so an attacker's forgeries always have
+    ``protected=False`` and PMF-enabled stations discard them.
+    """
+    elements = {"reason_code": str(reason_code)}
+    if protected:
+        elements["mic_valid"] = "1"
+    return Dot11Frame(
+        frame_type=FrameType.DEAUTHENTICATION,
+        source=source,
+        destination=destination,
+        channel=channel,
+        timestamp=timestamp,
+        bssid=bssid,
+        tx_power_dbm=tx_power_dbm,
+        elements=elements,
+    )

@@ -1,0 +1,97 @@
+"""The wireless medium: frame delivery through propagation + decode model.
+
+Given a transmitted frame and a receiver (its position, receiver chain,
+and listening channel), the medium computes the received power through
+the propagation model, the SNR through the chain's noise figure, and a
+decode probability through the cross-channel model — then flips a coin.
+The result is a :class:`ReceivedFrame` carrying RSSI/SNR metadata (which
+the localization attack pointedly does *not* need — only the fact of
+reception matters to the disc model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.point import Point
+from repro.net80211.frames import Dot11Frame
+from repro.radio.chain import ReceiverChain
+from repro.radio.channels import center_frequency_hz, decode_probability
+from repro.radio.propagation import PropagationModel
+
+
+@dataclass(frozen=True)
+class ReceivedFrame:
+    """A frame as captured by a receiver, with PHY metadata."""
+
+    frame: Dot11Frame
+    rssi_dbm: float
+    snr_db: float
+    rx_channel: int
+    rx_timestamp: float
+
+    @property
+    def source(self):
+        return self.frame.source
+
+    @property
+    def frame_type(self):
+        return self.frame.frame_type
+
+
+@dataclass
+class Medium:
+    """Frame delivery over a propagation model.
+
+    One :class:`Medium` instance is shared by the whole simulated world
+    so every receiver experiences the same radio environment.
+    """
+
+    propagation: PropagationModel
+
+    def received_power_dbm(self, frame: Dot11Frame, tx_position: Point,
+                           rx_position: Point,
+                           rx_antenna_gain_dbi: float) -> float:
+        """Antenna-referred received power for ``frame`` at a receiver."""
+        frequency = center_frequency_hz(frame.channel)
+        loss = self.propagation.path_loss_db(tx_position, rx_position,
+                                             frequency)
+        return (frame.tx_power_dbm + frame.tx_antenna_gain_dbi
+                + rx_antenna_gain_dbi - loss)
+
+    def deliver(self, frame: Dot11Frame, tx_position: Point,
+                rx_position: Point, chain: ReceiverChain,
+                rx_channel: int,
+                rng: np.random.Generator) -> Optional[ReceivedFrame]:
+        """Attempt delivery of ``frame`` to a receiver chain.
+
+        Returns the captured frame or ``None`` (below sensitivity, wrong
+        channel, or an unlucky decode draw).
+        """
+        rssi = self.received_power_dbm(frame, tx_position, rx_position,
+                                       chain.antenna_gain_dbi)
+        snr = chain.snr_db(rssi)
+        probability = decode_probability(snr, frame.channel, rx_channel,
+                                         chain.nic.snr_min_db)
+        if probability <= 0.0:
+            return None
+        if probability < 1.0 and rng.random() >= probability:
+            return None
+        return ReceivedFrame(frame=frame, rssi_dbm=rssi, snr_db=snr,
+                             rx_channel=rx_channel,
+                             rx_timestamp=frame.timestamp)
+
+    def deliver_to_many(
+        self,
+        frame: Dot11Frame,
+        tx_position: Point,
+        receivers: Sequence[Tuple[Point, ReceiverChain, int]],
+        rng: np.random.Generator,
+    ) -> List[Optional[ReceivedFrame]]:
+        """Deliver one frame to several receivers; order is preserved."""
+        return [self.deliver(frame, tx_position, rx_position, chain,
+                             rx_channel, rng)
+                for rx_position, chain, rx_channel in receivers]

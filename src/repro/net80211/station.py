@@ -1,0 +1,213 @@
+"""Mobile-station scanning behaviour.
+
+The feasibility of the passive attack rests on the observation that
+"most mobile devices actively scan for available access points by
+sending out probing requests" (paper Section IV-B: >50 % daily, up to
+91.61 %).  :class:`ScanProfile` captures per-OS probing habits and
+:class:`MobileStation` runs the scan state machine:
+
+* periodic active scans: a burst of broadcast probe requests across the
+  scan channels, plus directed probes for each preferred network
+  (the implicit identifier that defeats MAC pseudonyms),
+* passive devices never probe — until a spoofed deauthentication
+  (the *active attack*) knocks them off their association and forces a
+  rescan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.point import Point
+from repro.net80211.frames import (
+    Dot11Frame,
+    FrameType,
+    probe_request,
+)
+from repro.net80211.mac import MacAddress
+from repro.net80211.ssid import Ssid
+from repro.radio.channels import CHANNELS_80211BG
+
+
+@dataclass(frozen=True)
+class ScanProfile:
+    """How a device's OS scans for networks.
+
+    ``probes_actively`` — whether the OS sends probe requests at all
+    (passive scanners only listen for beacons).
+    ``scan_interval_s`` — time between unsolicited scan bursts.
+    ``directed_probes`` — whether the burst includes directed probes
+    for the preferred-network list.
+    ``rescans_after_deauth`` — whether losing an association triggers
+    an immediate scan (what the active attack exploits; true for every
+    real OS, since reconnection requires discovery).
+    """
+
+    name: str
+    probes_actively: bool = True
+    scan_interval_s: float = 60.0
+    directed_probes: bool = True
+    rescans_after_deauth: bool = True
+
+    def __post_init__(self) -> None:
+        if self.scan_interval_s <= 0.0:
+            raise ValueError(
+                f"scan interval must be > 0 s, got {self.scan_interval_s}")
+
+
+#: Ready-made profiles loosely modeled on 2008-era operating systems.
+PROFILES = {
+    "aggressive": ScanProfile("aggressive", scan_interval_s=15.0),
+    "standard": ScanProfile("standard", scan_interval_s=60.0),
+    "conservative": ScanProfile("conservative", scan_interval_s=300.0,
+                                directed_probes=False),
+    "passive": ScanProfile("passive", probes_actively=False,
+                           scan_interval_s=60.0),
+}
+
+
+@dataclass
+class MobileStation:
+    """A WiFi-enabled mobile device."""
+
+    mac: MacAddress
+    position: Point
+    profile: ScanProfile
+    preferred_networks: List[Ssid] = field(default_factory=list)
+    tx_power_dbm: float = 15.0
+    scan_channels: Sequence[int] = CHANNELS_80211BG
+    associated_bssid: Optional[MacAddress] = None
+    associated_channel: Optional[int] = None
+    #: Associate to a responding AP automatically after a scan (what a
+    #: real supplicant does when a preferred network answers).
+    auto_associate: bool = False
+    #: Interval between data frames while associated (0 = no data
+    #: traffic).  Data frames reveal the (mobile, BSS) pair to the
+    #: sniffer even when the device never probes.
+    data_interval_s: float = 0.0
+    #: 802.11w management frame protection: deauthentications without a
+    #: valid integrity code (i.e. every spoofed one) are discarded.
+    #: The standardized defense against the paper's active attack —
+    #: ratified in 2009, the same year as the paper.
+    pmf_enabled: bool = False
+    _sequence: int = field(default=0, repr=False)
+    _next_scan_at: float = field(default=0.0, repr=False)
+    _forced_scan: bool = field(default=False, repr=False)
+    _next_data_at: float = field(default=0.0, repr=False)
+
+    def next_sequence(self) -> int:
+        self._sequence = (self._sequence + 1) & 0xFFF
+        return self._sequence
+
+    def move_to(self, position: Point) -> None:
+        """Update the device's ground-truth position."""
+        self.position = position
+
+    # ------------------------------------------------------------------
+    # Scanning state machine
+    # ------------------------------------------------------------------
+
+    def schedule_first_scan(self, rng: np.random.Generator) -> None:
+        """Randomize the first scan phase so devices don't synchronize."""
+        self._next_scan_at = float(
+            rng.uniform(0.0, self.profile.scan_interval_s))
+
+    def tick(self, now: float) -> List[Dot11Frame]:
+        """Advance to time ``now``; return any frames transmitted.
+
+        A scan burst fires when the scan timer elapses (active scanners
+        only) or when a deauthentication forced a rescan (all profiles
+        with ``rescans_after_deauth``).
+        """
+        frames: List[Dot11Frame] = []
+        due = (self.profile.probes_actively
+               and now >= self._next_scan_at)
+        if due or self._forced_scan:
+            self._forced_scan = False
+            self._next_scan_at = now + self.profile.scan_interval_s
+            frames.extend(self._scan_burst(now))
+        frames.extend(self._data_traffic(now))
+        return frames
+
+    def _scan_burst(self, now: float) -> List[Dot11Frame]:
+        frames: List[Dot11Frame] = []
+        for channel in self.scan_channels:
+            frames.append(probe_request(
+                self.mac, channel, now,
+                sequence=self.next_sequence(),
+                tx_power_dbm=self.tx_power_dbm))
+            if self.profile.directed_probes:
+                for ssid in self.preferred_networks:
+                    frames.append(probe_request(
+                        self.mac, channel, now, ssid=ssid,
+                        sequence=self.next_sequence(),
+                        tx_power_dbm=self.tx_power_dbm))
+        return frames
+
+    def _data_traffic(self, now: float) -> List[Dot11Frame]:
+        """Periodic data frames to the associated BSS."""
+        if (self.data_interval_s <= 0.0
+                or self.associated_bssid is None
+                or now < self._next_data_at):
+            return []
+        self._next_data_at = now + self.data_interval_s
+        channel = self.associated_channel or 6
+        return [Dot11Frame(
+            frame_type=FrameType.DATA,
+            source=self.mac,
+            destination=self.associated_bssid,
+            channel=channel,
+            timestamp=now,
+            bssid=self.associated_bssid,
+            sequence=self.next_sequence(),
+            tx_power_dbm=self.tx_power_dbm,
+        )]
+
+    # ------------------------------------------------------------------
+    # Frame handling
+    # ------------------------------------------------------------------
+
+    def handle_frame(self, frame: Dot11Frame, now: float) -> None:
+        """React to a received frame (only deauth matters here).
+
+        A deauthentication addressed to this station from its current
+        BSS drops the association and — for every realistic profile —
+        forces an immediate rescan on the next tick.  This is the hook
+        the active attack uses to make silent devices observable.
+        """
+        if frame.frame_type is not FrameType.DEAUTHENTICATION:
+            return
+        if frame.destination != self.mac and not frame.destination.is_broadcast:
+            return
+        if (self.associated_bssid is not None
+                and frame.bssid is not None
+                and frame.bssid != self.associated_bssid):
+            return
+        if self.pmf_enabled and frame.elements.get("mic_valid") != "1":
+            return  # 802.11w: reject the forged deauthentication
+        self.associated_bssid = None
+        self.associated_channel = None
+        if self.profile.rescans_after_deauth:
+            self._forced_scan = True
+
+    def associate(self, bssid: MacAddress,
+                  channel: Optional[int] = None) -> None:
+        """Record an association with an AP."""
+        self.associated_bssid = bssid
+        self.associated_channel = channel
+
+    @property
+    def is_associated(self) -> bool:
+        return self.associated_bssid is not None
+
+    def with_new_pseudonym(self, rng: np.random.Generator) -> "MobileStation":
+        """A copy of this station under a fresh randomized MAC.
+
+        Used by the pseudonym-tracking tests: the MAC changes but the
+        preferred-network fingerprint stays, which is exactly the
+        linkage Pang et al. demonstrated.
+        """
+        return replace(self, mac=MacAddress.random_pseudonym(rng))

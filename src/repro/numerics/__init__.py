@@ -1,0 +1,26 @@
+"""Numerical substrates: quadrature, root finding, and RNG helpers.
+
+The paper evaluates Theorems 2 and 3 numerically ("computed from the
+theorem using Matlab simulation").  This package provides the numeric
+machinery we use instead of Matlab: Gauss-Legendre quadrature and
+adaptive Simpson integration (cross-checked against :mod:`scipy` in the
+test suite), bisection root finding for inverting monotone theory
+curves, and seeded random-number helpers shared by the simulators.
+"""
+
+from repro.numerics.quadrature import (
+    adaptive_simpson,
+    gauss_legendre,
+    integrate,
+)
+from repro.numerics.rootfind import bisect
+from repro.numerics.rng import make_rng, spawn_rngs
+
+__all__ = [
+    "adaptive_simpson",
+    "gauss_legendre",
+    "integrate",
+    "bisect",
+    "make_rng",
+    "spawn_rngs",
+]

@@ -1,0 +1,40 @@
+"""Seeded random-number helpers shared by all simulators.
+
+Every stochastic component in this library takes either a seed or a
+``numpy.random.Generator``.  These helpers normalize between the two and
+support deterministic fan-out of independent child streams, so that an
+entire campus simulation is reproducible from a single integer seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` from a seed or pass one through."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
+    """Deterministically derive ``count`` independent generators.
+
+    Uses ``SeedSequence.spawn`` so child streams are statistically
+    independent regardless of how many draws each consumer makes.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # Derive children from the generator's own bit stream.
+        children = np.random.SeedSequence(
+            int(seed.integers(0, 2**63 - 1))
+        ).spawn(count)
+    else:
+        children = np.random.SeedSequence(seed).spawn(count)
+    return [np.random.default_rng(child) for child in children]

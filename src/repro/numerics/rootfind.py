@@ -1,0 +1,45 @@
+"""Root finding helpers (bisection) for inverting monotone curves.
+
+Used e.g. to answer "how many communicable APs are needed for the
+expected intersected area of Theorem 2 to drop below X?" and to invert
+the Theorem 1 link budget for a target coverage radius.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def bisect(
+    func: Callable[[float], float],
+    lower: float,
+    upper: float,
+    tol: float = 1e-12,
+    max_iter: int = 200,
+) -> float:
+    """Find a root of ``func`` in ``[lower, upper]`` by bisection.
+
+    Requires a sign change over the bracket; raises ``ValueError``
+    otherwise.  Returns the midpoint of the final bracket.
+    """
+    f_lower = func(lower)
+    f_upper = func(upper)
+    if f_lower == 0.0:
+        return lower
+    if f_upper == 0.0:
+        return upper
+    if (f_lower > 0.0) == (f_upper > 0.0):
+        raise ValueError(
+            f"bisect: no sign change on [{lower}, {upper}] "
+            f"(f(lower)={f_lower}, f(upper)={f_upper})"
+        )
+    for _ in range(max_iter):
+        mid = 0.5 * (lower + upper)
+        f_mid = func(mid)
+        if f_mid == 0.0 or (upper - lower) < tol:
+            return mid
+        if (f_mid > 0.0) == (f_lower > 0.0):
+            lower, f_lower = mid, f_mid
+        else:
+            upper = mid
+    return 0.5 * (lower + upper)

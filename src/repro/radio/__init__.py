@@ -1,0 +1,83 @@
+"""Radio substrate: link budget, RF components, propagation, channels.
+
+This package models the paper's *wireless receiver chain* (Section II-B
+component 1 and Section III-A): high-gain antenna → low-noise amplifier
+→ signal splitter → wireless NICs, with the cascaded noise figure
+(Friis formula, paper equation (12)) and the Theorem 1 link budget that
+bounds the coverage radius.  It also provides the propagation models the
+simulator uses in place of the real 2.4 GHz campus environment, and the
+802.11 channel plan with the adjacent-channel decode model behind the
+paper's Figure 9 experiment.
+"""
+
+from repro.radio.units import (
+    db_to_linear,
+    dbm_to_milliwatts,
+    linear_to_db,
+    milliwatts_to_dbm,
+    noise_factor_to_figure,
+    noise_figure_to_factor,
+)
+from repro.radio.components import (
+    Antenna,
+    Connector,
+    LowNoiseAmplifier,
+    Splitter,
+    WirelessNic,
+    catalog,
+)
+from repro.radio.chain import ReceiverChain
+from repro.radio.link_budget import (
+    LinkBudget,
+    Transmitter,
+    coverage_radius_m,
+    free_space_path_loss_db,
+    receiver_sensitivity_dbm,
+)
+from repro.radio.propagation import (
+    FreeSpaceModel,
+    LogDistanceModel,
+    ObstructedModel,
+    PropagationModel,
+)
+from repro.radio.channels import (
+    CHANNELS_80211A,
+    CHANNELS_80211BG,
+    NON_OVERLAPPING_BG,
+    adjacent_channel_rejection_db,
+    center_frequency_mhz,
+    decode_probability,
+    spectral_overlap_fraction,
+)
+
+__all__ = [
+    "db_to_linear",
+    "linear_to_db",
+    "dbm_to_milliwatts",
+    "milliwatts_to_dbm",
+    "noise_figure_to_factor",
+    "noise_factor_to_figure",
+    "Antenna",
+    "Connector",
+    "LowNoiseAmplifier",
+    "Splitter",
+    "WirelessNic",
+    "catalog",
+    "ReceiverChain",
+    "LinkBudget",
+    "Transmitter",
+    "coverage_radius_m",
+    "free_space_path_loss_db",
+    "receiver_sensitivity_dbm",
+    "PropagationModel",
+    "FreeSpaceModel",
+    "LogDistanceModel",
+    "ObstructedModel",
+    "CHANNELS_80211BG",
+    "CHANNELS_80211A",
+    "NON_OVERLAPPING_BG",
+    "center_frequency_mhz",
+    "spectral_overlap_fraction",
+    "adjacent_channel_rejection_db",
+    "decode_probability",
+]

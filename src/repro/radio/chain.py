@@ -1,0 +1,166 @@
+"""The wireless receiver chain and its cascaded noise figure.
+
+Models the paper's receiver chain (antenna → connector → LNA → splitter
+→ wireless NIC) and computes:
+
+* the cascaded noise figure via the Friis formula (paper eq. (12)–(14)),
+* the pre-NIC gain, including the splitter loss (the "39 dB of
+  amplification" remark),
+* the effective sensitivity of the chain (paper eq. (16)),
+
+which feed the Theorem 1 link budget in :mod:`repro.radio.link_budget`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Union
+
+from repro.radio.components import (
+    Antenna,
+    Connector,
+    LowNoiseAmplifier,
+    Splitter,
+    WirelessNic,
+)
+from repro.radio.units import (
+    THERMAL_NOISE_DBM_PER_HZ,
+    db_to_linear,
+    linear_to_db,
+    noise_factor_to_figure,
+)
+
+MidBlock = Union[Connector, LowNoiseAmplifier, Splitter]
+
+
+@dataclass
+class ReceiverChain:
+    """An ordered receiver chain: antenna, middle blocks, then a NIC.
+
+    Parameters
+    ----------
+    antenna:
+        The receive antenna (its gain is the Theorem 1 ``G_rx``; it is
+        *not* part of the noise cascade, matching the link-budget
+        convention where antenna gain enters the signal term).
+    blocks:
+        Connectors, LNAs, and splitters between antenna and card, in
+        physical order.
+    nic:
+        The wireless card terminating the chain.
+    """
+
+    antenna: Antenna
+    nic: WirelessNic
+    blocks: List[MidBlock] = field(default_factory=list)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            parts = [self.antenna.name] + [b.name for b in self.blocks]
+            parts.append(self.nic.name)
+            self.name = " -> ".join(parts)
+
+    # ------------------------------------------------------------------
+    # Gains
+    # ------------------------------------------------------------------
+
+    @property
+    def antenna_gain_dbi(self) -> float:
+        """Theorem 1's ``G_rx``."""
+        return self.antenna.gain_dbi
+
+    @property
+    def pre_nic_gain_db(self) -> float:
+        """Net gain between antenna output and NIC input (dB).
+
+        For the paper's chain this is 45 dB (LNA) − ~6 dB (4-way split)
+        ≈ 39 dB: "each thread of signal (and noise) out of the splitter
+        still achieves 45 − 10log4 = 39 dB of amplification".
+        """
+        return sum(block.gain_db for block in self.blocks)
+
+    # ------------------------------------------------------------------
+    # Noise
+    # ------------------------------------------------------------------
+
+    @property
+    def noise_factor(self) -> float:
+        """Cascaded noise factor via Friis (paper eq. (12)).
+
+        The cascade covers the middle blocks and the NIC.  Passive
+        blocks are treated as noiseless unity-noise-factor stages whose
+        (negative) gain still divides downstream noise contributions —
+        their loss therefore raises the effective NF exactly as in
+        practice.
+        """
+        total = 1.0
+        gain_product = 1.0
+        stages: List = list(self.blocks) + [self.nic]
+        for stage in stages:
+            stage_factor = stage.noise_factor
+            total += (stage_factor - 1.0) / gain_product
+            gain_product *= db_to_linear(stage.gain_db)
+        return total
+
+    @property
+    def noise_figure_db(self) -> float:
+        """Cascaded noise figure in dB.
+
+        With a high-gain LNA first, this collapses to (approximately)
+        the LNA's own noise figure — paper eq. (15):
+        ``NF = 10 log(F_lna) = NF_lna``.
+        """
+        return noise_factor_to_figure(self.noise_factor)
+
+    # ------------------------------------------------------------------
+    # Sensitivity
+    # ------------------------------------------------------------------
+
+    @property
+    def sensitivity_dbm(self) -> float:
+        """Minimum antenna-referred signal power the chain can decode.
+
+        Paper eq. (16): ``P_rx,min = -174 + NF + SNR_min + 10 log B``,
+        with the cascaded NF of the whole chain.
+        """
+        return (THERMAL_NOISE_DBM_PER_HZ
+                + self.noise_figure_db
+                + self.nic.snr_min_db
+                + 10.0 * math.log10(self.nic.bandwidth_hz))
+
+    def snr_db(self, signal_dbm_at_antenna: float) -> float:
+        """SNR at the demodulator for an antenna-referred signal level.
+
+        The antenna-referred noise floor is
+        ``-174 + NF + 10 log B`` dBm; gain between antenna and NIC
+        amplifies signal and noise alike, so SNR is computed at the
+        antenna reference plane.
+        """
+        noise_floor = (THERMAL_NOISE_DBM_PER_HZ
+                       + self.noise_figure_db
+                       + 10.0 * math.log10(self.nic.bandwidth_hz))
+        return signal_dbm_at_antenna - noise_floor
+
+    def can_decode(self, signal_dbm_at_antenna: float) -> bool:
+        """True when the signal clears the chain sensitivity."""
+        return self.snr_db(signal_dbm_at_antenna) >= self.nic.snr_min_db
+
+    def split_outputs(self) -> int:
+        """Number of NIC feeds the chain's splitters provide."""
+        outputs = 1
+        for block in self.blocks:
+            if isinstance(block, Splitter):
+                outputs *= block.ways
+        return outputs
+
+    def describe(self) -> str:
+        """Human-readable chain summary (used by the CLI and examples)."""
+        lines = [f"Receiver chain: {self.name}"]
+        lines.append(f"  antenna gain     : {self.antenna_gain_dbi:+.1f} dBi")
+        lines.append(f"  pre-NIC gain     : {self.pre_nic_gain_db:+.1f} dB")
+        lines.append(f"  noise figure     : {self.noise_figure_db:.2f} dB")
+        lines.append(f"  sensitivity      : {self.sensitivity_dbm:.1f} dBm")
+        lines.append(f"  splitter outputs : {self.split_outputs()}")
+        return "\n".join(lines)

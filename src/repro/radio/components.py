@@ -1,0 +1,191 @@
+"""RF components of the wireless receiver chain.
+
+Parametric models of the hardware the paper uses (Section IV-A):
+
+* HyperLink HG2415U 2.4 GHz 15 dBi omnidirectional antenna,
+* RF-Lambda narrow-band LNA (45 dB gain, 1.5 dB noise figure),
+* HyperLink 4-way signal splitter,
+* Ubiquiti Super Range Cardbus SRC 300 mW 802.11a/b/g card,
+* D-Link DWL-G650 PCMCIA card (the "stock laptop" baseline of Fig 12).
+
+Each component contributes (gain_db, noise_factor) to the Friis cascade
+in :mod:`repro.radio.chain`.  Passive components (antenna, connector,
+splitter) are modeled as noiseless per the paper's assumption that
+"non-powered blocks don't introduce noise".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.radio.units import (
+    db_to_linear,
+    noise_figure_to_factor,
+)
+
+
+@dataclass(frozen=True)
+class Antenna:
+    """A receive (or transmit) antenna with gain in dBi."""
+
+    name: str
+    gain_dbi: float
+
+    @property
+    def gain_db(self) -> float:
+        return self.gain_dbi
+
+    @property
+    def noise_factor(self) -> float:
+        return 1.0  # passive, noiseless per the paper's model
+
+
+@dataclass(frozen=True)
+class Connector:
+    """A cable/connector with insertion loss in dB (loss >= 0)."""
+
+    name: str
+    loss_db: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.loss_db < 0.0:
+            raise ValueError(f"connector loss must be >= 0, got {self.loss_db}")
+
+    @property
+    def gain_db(self) -> float:
+        return -self.loss_db
+
+    @property
+    def noise_factor(self) -> float:
+        return 1.0
+
+
+@dataclass(frozen=True)
+class LowNoiseAmplifier:
+    """A powered LNA: high gain, low noise figure.
+
+    The paper's RF-Lambda unit: 45 dB gain, NF 1.5 dB.  Being the first
+    powered block after the antenna, its noise figure dominates the
+    chain noise figure (paper equation (15)).
+    """
+
+    name: str
+    gain_db: float
+    noise_figure_db: float
+
+    def __post_init__(self) -> None:
+        if self.gain_db < 0.0:
+            raise ValueError(f"LNA gain must be >= 0 dB, got {self.gain_db}")
+        if self.noise_figure_db < 0.0:
+            raise ValueError(
+                f"noise figure must be >= 0 dB, got {self.noise_figure_db}")
+
+    @property
+    def noise_factor(self) -> float:
+        return noise_figure_to_factor(self.noise_figure_db)
+
+
+@dataclass(frozen=True)
+class Splitter:
+    """An N-way signal splitter.
+
+    Splitting power N ways costs ``10 log10(N)`` dB per output plus an
+    ``excess_loss_db`` implementation loss.  The paper: "With a 4-way
+    splitter, each thread of signal (and noise) out of the splitter
+    still achieves 45 - 10 log 4 = 39 dB of amplification."
+    """
+
+    name: str
+    ways: int
+    excess_loss_db: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.ways < 1:
+            raise ValueError(f"splitter ways must be >= 1, got {self.ways}")
+        if self.excess_loss_db < 0.0:
+            raise ValueError(
+                f"excess loss must be >= 0, got {self.excess_loss_db}")
+
+    @property
+    def split_loss_db(self) -> float:
+        return 10.0 * math.log10(self.ways)
+
+    @property
+    def gain_db(self) -> float:
+        return -(self.split_loss_db + self.excess_loss_db)
+
+    @property
+    def noise_factor(self) -> float:
+        return 1.0
+
+
+@dataclass(frozen=True)
+class WirelessNic:
+    """A wireless network interface card (the chain's final block).
+
+    ``snr_min_db`` is the minimum SNR for acceptable demodulation and
+    ``bandwidth_hz`` the baseband filter bandwidth — together with the
+    chain noise figure they define the sensitivity (paper eq. (11)).
+    ``tx_power_dbm``/``tx_antenna_gain_dbi`` describe the card when it
+    transmits (used for the AP/mobile side of the link).
+    """
+
+    name: str
+    noise_figure_db: float
+    snr_min_db: float = 10.0
+    bandwidth_hz: float = 22e6
+    tx_power_dbm: float = 15.0
+    tx_antenna_gain_dbi: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.noise_figure_db < 0.0:
+            raise ValueError(
+                f"noise figure must be >= 0 dB, got {self.noise_figure_db}")
+        if self.bandwidth_hz <= 0.0:
+            raise ValueError(
+                f"bandwidth must be > 0 Hz, got {self.bandwidth_hz}")
+
+    @property
+    def noise_factor(self) -> float:
+        return noise_figure_to_factor(self.noise_figure_db)
+
+    @property
+    def gain_db(self) -> float:
+        return 0.0
+
+
+def catalog() -> Dict[str, object]:
+    """The paper's hardware, by the names used in its Figure 12.
+
+    Returns a dict of ready-made component instances:
+
+    * ``"HG2415U"`` — HyperLink 15 dBi omni antenna,
+    * ``"RF-Lambda-LNA"`` — 45 dB gain, 1.5 dB NF LNA,
+    * ``"4-way-splitter"`` — HyperLink splitter,
+    * ``"SRC"`` — Ubiquiti Super Range Cardbus (300 mW ≈ 24.8 dBm),
+    * ``"SRC-clip-antenna"`` — tri-band laptop clip mount 4 dBi antenna,
+    * ``"DLink"`` — D-Link DWL-G650 with its ~2 dBi internal antenna.
+
+    Noise figures follow the paper's ranges ("a common WNIC has a noise
+    figure around 4.0 ~ 6.0 dB"; the RF-Lambda LNA "is 1.5 dB").
+    """
+    return {
+        "HG2415U": Antenna("HyperLink HG2415U", gain_dbi=15.0),
+        "RF-Lambda-LNA": LowNoiseAmplifier(
+            "RF-Lambda Narrow Band LNA", gain_db=45.0, noise_figure_db=1.5),
+        "4-way-splitter": Splitter("HyperLink 4-way splitter", ways=4,
+                                   excess_loss_db=0.5),
+        "SRC": WirelessNic(
+            "Ubiquiti Super Range Cardbus SRC",
+            noise_figure_db=4.0, snr_min_db=10.0, bandwidth_hz=22e6,
+            tx_power_dbm=24.8, tx_antenna_gain_dbi=0.0),
+        "SRC-clip-antenna": Antenna(
+            "Tri-band laptop clip mount", gain_dbi=4.0),
+        "DLink": WirelessNic(
+            "D-Link DWL-G650",
+            noise_figure_db=6.0, snr_min_db=10.0, bandwidth_hz=22e6,
+            tx_power_dbm=15.0, tx_antenna_gain_dbi=2.0),
+        "DLink-antenna": Antenna("DWL-G650 internal", gain_dbi=2.0),
+    }

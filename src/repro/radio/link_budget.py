@@ -1,0 +1,136 @@
+"""Theorem 1: the link budget that bounds the coverage radius.
+
+Implements the paper's equations:
+
+* free-space path loss (eq. (9)),
+* received power (eq. (10)),
+* receiver sensitivity (eq. (11)/(16)),
+* the Theorem 1 coverage bound (eq. (6)/(18))::
+
+      20 log10 D < G_rx - NF - SNR_min + C
+      C = P_tx + G_tx - 20 log10(4π/λ) - 10 log10 B + 174
+
+The free-space model is the paper's stated *worst case*: it
+overestimates AP coverage, so localization built on it never excludes
+the true location.  Urban attenuation is layered on separately by
+:mod:`repro.radio.propagation`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.radio.chain import ReceiverChain
+from repro.radio.units import (
+    SPEED_OF_LIGHT_M_S,
+    THERMAL_NOISE_DBM_PER_HZ,
+)
+
+#: Default carrier: 802.11b/g channel 6 center (2.437 GHz).
+DEFAULT_FREQUENCY_HZ = 2.437e9
+
+
+@dataclass(frozen=True)
+class Transmitter:
+    """The remote end of the link: a mobile device or AP transmitting."""
+
+    power_dbm: float
+    antenna_gain_dbi: float = 0.0
+    frequency_hz: float = DEFAULT_FREQUENCY_HZ
+
+    @property
+    def wavelength_m(self) -> float:
+        return SPEED_OF_LIGHT_M_S / self.frequency_hz
+
+    @property
+    def eirp_dbm(self) -> float:
+        """Effective isotropic radiated power."""
+        return self.power_dbm + self.antenna_gain_dbi
+
+
+def free_space_path_loss_db(distance_m: float, frequency_hz: float) -> float:
+    """Free-space path loss, paper eq. (9): ``20 log10(4 π D / λ)``."""
+    if distance_m <= 0.0:
+        raise ValueError(f"distance must be > 0 m, got {distance_m}")
+    wavelength = SPEED_OF_LIGHT_M_S / frequency_hz
+    return 20.0 * math.log10(4.0 * math.pi * distance_m / wavelength)
+
+
+def received_power_dbm(transmitter: Transmitter, receiver_gain_dbi: float,
+                       distance_m: float) -> float:
+    """Received power at the antenna reference plane, paper eq. (10)."""
+    return (transmitter.power_dbm + transmitter.antenna_gain_dbi
+            + receiver_gain_dbi
+            - free_space_path_loss_db(distance_m, transmitter.frequency_hz))
+
+
+def receiver_sensitivity_dbm(noise_figure_db: float, snr_min_db: float,
+                             bandwidth_hz: float) -> float:
+    """Receiver sensitivity, paper eq. (11): ``-174 + NF + SNR + 10logB``."""
+    if bandwidth_hz <= 0.0:
+        raise ValueError(f"bandwidth must be > 0 Hz, got {bandwidth_hz}")
+    return (THERMAL_NOISE_DBM_PER_HZ + noise_figure_db + snr_min_db
+            + 10.0 * math.log10(bandwidth_hz))
+
+
+def theorem1_constant_c(transmitter: Transmitter,
+                        bandwidth_hz: float) -> float:
+    """The constant ``C`` of Theorem 1 (paper eq. (7))."""
+    wavelength = transmitter.wavelength_m
+    return (transmitter.power_dbm + transmitter.antenna_gain_dbi
+            - 20.0 * math.log10(4.0 * math.pi / wavelength)
+            - 10.0 * math.log10(bandwidth_hz)
+            - THERMAL_NOISE_DBM_PER_HZ)
+
+
+def coverage_radius_m(receiver_gain_dbi: float, noise_figure_db: float,
+                      snr_min_db: float, transmitter: Transmitter,
+                      bandwidth_hz: float) -> float:
+    """Theorem 1's free-space coverage radius.
+
+    Solves ``20 log10 D = G_rx - NF - SNR_min + C`` for ``D``; signals
+    from any closer transmitter clear the chain sensitivity.
+    """
+    c = theorem1_constant_c(transmitter, bandwidth_hz)
+    exponent = (receiver_gain_dbi - noise_figure_db - snr_min_db + c) / 20.0
+    return 10.0 ** exponent
+
+
+@dataclass
+class LinkBudget:
+    """A transmitter paired with a receiver chain.
+
+    Ties Theorem 1 to concrete hardware: ask it for received power, SNR,
+    decodability at a distance, or the coverage radius of the chain.
+    """
+
+    transmitter: Transmitter
+    chain: ReceiverChain
+
+    def received_power_dbm(self, distance_m: float) -> float:
+        """Antenna-referred received power at ``distance_m`` (free space)."""
+        return received_power_dbm(self.transmitter,
+                                  self.chain.antenna_gain_dbi, distance_m)
+
+    def snr_db(self, distance_m: float) -> float:
+        """Demodulator SNR at ``distance_m`` (free space)."""
+        return self.chain.snr_db(self.received_power_dbm(distance_m))
+
+    def can_receive(self, distance_m: float) -> bool:
+        """True when a frame at ``distance_m`` clears the sensitivity."""
+        return self.snr_db(distance_m) >= self.chain.nic.snr_min_db
+
+    def coverage_radius_m(self) -> float:
+        """The Theorem 1 radius for this transmitter/chain pair."""
+        return coverage_radius_m(
+            self.chain.antenna_gain_dbi,
+            self.chain.noise_figure_db,
+            self.chain.nic.snr_min_db,
+            self.transmitter,
+            self.chain.nic.bandwidth_hz,
+        )
+
+    def link_margin_db(self, distance_m: float) -> float:
+        """Spare SNR above the decode threshold at ``distance_m``."""
+        return self.snr_db(distance_m) - self.chain.nic.snr_min_db

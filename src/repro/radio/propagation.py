@@ -1,0 +1,125 @@
+"""Propagation models — the simulated stand-in for the real campus RF.
+
+The paper's Theorem 1 uses the free-space model as the *worst case*
+("this spherical model overestimates the AP coverage").  Its Figure 12
+experiment, however, is shaped by the real environment: "the area is not
+flat and the sniffer is obstructed by small hills", which flattens the
+LNA advantage.  We therefore provide:
+
+* :class:`FreeSpaceModel` — the analytic baseline of Theorem 1,
+* :class:`LogDistanceModel` — urban path-loss exponent with
+  deterministic per-link log-normal shadowing (reproducible: the
+  shadowing draw is keyed on the endpoint coordinates),
+* :class:`ObstructedModel` — any base model plus an obstruction
+  callable (terrain, buildings) contributing extra loss.
+
+All models map a (tx point, rx point, frequency) triple to a path loss
+in dB; the medium and link-budget layers consume that number.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import struct
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.geometry.point import Point
+from repro.radio.units import SPEED_OF_LIGHT_M_S
+
+#: Loss below this separation is clamped to the 1 m free-space value so
+#: that co-located endpoints never produce negative path loss.
+_MIN_DISTANCE_M = 1.0
+
+
+class PropagationModel:
+    """Interface: path loss in dB between two planar points."""
+
+    def path_loss_db(self, tx: Point, rx: Point,
+                     frequency_hz: float) -> float:
+        raise NotImplementedError
+
+
+@dataclass
+class FreeSpaceModel(PropagationModel):
+    """Free-space (Friis) path loss — Theorem 1's worst-case model."""
+
+    def path_loss_db(self, tx: Point, rx: Point,
+                     frequency_hz: float) -> float:
+        distance = max(_MIN_DISTANCE_M, tx.distance_to(rx))
+        wavelength = SPEED_OF_LIGHT_M_S / frequency_hz
+        return 20.0 * math.log10(4.0 * math.pi * distance / wavelength)
+
+
+@dataclass
+class LogDistanceModel(PropagationModel):
+    """Log-distance path loss with deterministic log-normal shadowing.
+
+    ``PL(d) = PL_fs(d0) + 10 n log10(d / d0) + X``, where ``n`` is the
+    path-loss exponent (≈2 free space, 2.7–3.5 urban) and ``X`` a
+    zero-mean Gaussian in dB with standard deviation
+    ``shadowing_sigma_db``, drawn deterministically per unordered link
+    (so the channel is reciprocal and every simulation run with the same
+    ``seed`` sees the same radio environment).
+    """
+
+    exponent: float = 3.0
+    reference_distance_m: float = 1.0
+    shadowing_sigma_db: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.exponent <= 0.0:
+            raise ValueError(f"exponent must be > 0, got {self.exponent}")
+        if self.reference_distance_m <= 0.0:
+            raise ValueError("reference distance must be > 0 m")
+        if self.shadowing_sigma_db < 0.0:
+            raise ValueError("shadowing sigma must be >= 0 dB")
+
+    def path_loss_db(self, tx: Point, rx: Point,
+                     frequency_hz: float) -> float:
+        distance = max(_MIN_DISTANCE_M, tx.distance_to(rx))
+        wavelength = SPEED_OF_LIGHT_M_S / frequency_hz
+        reference_loss = 20.0 * math.log10(
+            4.0 * math.pi * self.reference_distance_m / wavelength)
+        loss = reference_loss + 10.0 * self.exponent * math.log10(
+            distance / self.reference_distance_m)
+        if self.shadowing_sigma_db > 0.0:
+            loss += self.shadowing_sigma_db * self._shadowing_draw(tx, rx)
+        return loss
+
+    def _shadowing_draw(self, tx: Point, rx: Point) -> float:
+        """Standard-normal draw keyed on the unordered endpoint pair."""
+        a = (round(tx.x, 3), round(tx.y, 3))
+        b = (round(rx.x, 3), round(rx.y, 3))
+        low, high = (a, b) if a <= b else (b, a)
+        payload = struct.pack("<4dq", low[0], low[1], high[0], high[1],
+                              self.seed)
+        digest = hashlib.blake2b(payload, digest_size=8).digest()
+        key = int.from_bytes(digest, "little")
+        return float(np.random.default_rng(key).standard_normal())
+
+
+@dataclass
+class ObstructedModel(PropagationModel):
+    """A base model plus an obstruction loss callable.
+
+    ``obstruction_db(tx, rx)`` returns extra attenuation in dB — the
+    campus terrain model (:mod:`repro.sim.terrain`) supplies hills and
+    buildings through this hook without the radio layer knowing about
+    world geometry.
+    """
+
+    base: PropagationModel
+    obstruction_db: Callable[[Point, Point], float]
+
+    def path_loss_db(self, tx: Point, rx: Point,
+                     frequency_hz: float) -> float:
+        extra = self.obstruction_db(tx, rx)
+        if extra < 0.0:
+            raise ValueError(
+                f"obstruction loss must be >= 0 dB, got {extra}")
+        return self.base.path_loss_db(tx, rx, frequency_hz) + extra

@@ -1,0 +1,63 @@
+"""Decibel / power unit conversions used throughout the radio stack.
+
+Conventions:
+
+* ``dB`` — dimensionless power ratio in decibels.
+* ``dBm`` — absolute power referenced to 1 mW.
+* *noise factor* ``F`` — linear ratio (paper: "the ratio of the noise
+  produced by a real resistor to the thermal noise of an ideal
+  resistor"); *noise figure* ``NF = 10 log10(F)`` is its dB form.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Thermal noise power density at the NIC input impedance, dBm/Hz
+#: (paper equation (7): "-174 (dBm/Hz) is the value of the noise power
+#: density of the wireless NIC input impedance (normally 50 Ohm)").
+THERMAL_NOISE_DBM_PER_HZ = -174.0
+
+#: Speed of light, m/s.
+SPEED_OF_LIGHT_M_S = 299_792_458.0
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a dB power ratio to a linear ratio."""
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to dB."""
+    if ratio <= 0.0:
+        raise ValueError(f"power ratio must be > 0, got {ratio}")
+    return 10.0 * math.log10(ratio)
+
+
+def dbm_to_milliwatts(dbm: float) -> float:
+    """Convert absolute power in dBm to milliwatts."""
+    return 10.0 ** (dbm / 10.0)
+
+
+def milliwatts_to_dbm(milliwatts: float) -> float:
+    """Convert absolute power in milliwatts to dBm."""
+    if milliwatts <= 0.0:
+        raise ValueError(f"power must be > 0 mW, got {milliwatts}")
+    return 10.0 * math.log10(milliwatts)
+
+
+def noise_figure_to_factor(noise_figure_db: float) -> float:
+    """Noise figure (dB) → noise factor (linear)."""
+    return db_to_linear(noise_figure_db)
+
+
+def noise_factor_to_figure(noise_factor: float) -> float:
+    """Noise factor (linear) → noise figure (dB)."""
+    return linear_to_db(noise_factor)
+
+
+def wavelength_m(frequency_hz: float) -> float:
+    """Free-space wavelength in meters for a carrier frequency in Hz."""
+    if frequency_hz <= 0.0:
+        raise ValueError(f"frequency must be > 0 Hz, got {frequency_hz}")
+    return SPEED_OF_LIGHT_M_S / frequency_hz

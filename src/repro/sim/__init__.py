@@ -1,0 +1,43 @@
+"""The campus world simulator — the stand-in for the paper's field tests.
+
+The paper evaluated on two real campuses (UML, GWU).  We replace the
+field environment with a reproducible discrete-event world:
+
+* :mod:`repro.sim.terrain` — hills/buildings adding obstruction loss
+  (the Fig 12 effect that flattens the LNA advantage),
+* :mod:`repro.sim.campus` — AP layout generator matching the measured
+  channel distribution (93.7 % on 1/6/11) with clustered placement
+  (the biased distributions of Fig 4),
+* :mod:`repro.sim.mobility` — routes and random-waypoint walks,
+* :mod:`repro.sim.world` — the event loop tying stations, APs, medium,
+  sniffer, and active attacker together,
+* :mod:`repro.sim.population` — the 7-day office population model
+  behind the Fig 10/11 probing statistics,
+* :mod:`repro.sim.scenarios` — canned configurations used by the
+  benches and examples.
+"""
+
+from repro.sim.terrain import Building, Hill, Terrain
+from repro.sim.campus import CampusConfig, generate_campus
+from repro.sim.mobility import FixedRoute, RandomWaypoint, grid_route
+from repro.sim.world import CampusWorld, GroundTruth
+from repro.sim.population import DayStats, PopulationConfig, simulate_week
+from repro.sim.scenarios import build_attack_scenario, build_urban_scenario
+
+__all__ = [
+    "Terrain",
+    "Hill",
+    "Building",
+    "CampusConfig",
+    "generate_campus",
+    "FixedRoute",
+    "RandomWaypoint",
+    "grid_route",
+    "CampusWorld",
+    "GroundTruth",
+    "PopulationConfig",
+    "DayStats",
+    "simulate_week",
+    "build_attack_scenario",
+    "build_urban_scenario",
+]

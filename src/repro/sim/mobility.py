@@ -1,0 +1,142 @@
+"""Mobility models: fixed routes and random waypoint.
+
+Routes serve two roles in the reproduction: the victim's walk around
+campus (the Fig 13–16 test points — "a mobile device is carried around
+the campus") and the adversary's wardriving path (the AP-Loc training
+route — "traveling around the neighborhood").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.geometry.point import Point
+
+
+@dataclass
+class FixedRoute:
+    """Piecewise-linear motion through waypoints at constant speed."""
+
+    waypoints: Sequence[Point]
+    speed_m_s: float = 1.4  # walking pace
+
+    def __post_init__(self) -> None:
+        if len(self.waypoints) < 1:
+            raise ValueError("route needs at least one waypoint")
+        if self.speed_m_s <= 0.0:
+            raise ValueError(f"speed must be > 0, got {self.speed_m_s}")
+        self._cumulative: List[float] = [0.0]
+        for i in range(1, len(self.waypoints)):
+            step = self.waypoints[i - 1].distance_to(self.waypoints[i])
+            self._cumulative.append(self._cumulative[-1] + step)
+
+    @property
+    def length_m(self) -> float:
+        return self._cumulative[-1]
+
+    @property
+    def duration_s(self) -> float:
+        return self.length_m / self.speed_m_s
+
+    def position_at(self, time_s: float) -> Point:
+        """Position after walking for ``time_s`` (clamps at the ends)."""
+        if time_s <= 0.0 or len(self.waypoints) == 1:
+            return self.waypoints[0]
+        distance = min(self.length_m, time_s * self.speed_m_s)
+        # Find the segment containing this arc length.
+        for i in range(1, len(self.waypoints)):
+            if distance <= self._cumulative[i] or i == len(self.waypoints) - 1:
+                segment_len = self._cumulative[i] - self._cumulative[i - 1]
+                if segment_len <= 0.0:
+                    return self.waypoints[i]
+                t = (distance - self._cumulative[i - 1]) / segment_len
+                t = min(1.0, max(0.0, t))
+                a, b = self.waypoints[i - 1], self.waypoints[i]
+                return Point(a.x + t * (b.x - a.x), a.y + t * (b.y - a.y))
+        return self.waypoints[-1]
+
+
+@dataclass
+class RandomWaypoint:
+    """The classic random-waypoint model inside a rectangle.
+
+    Deterministic given the generator: each device gets its own child
+    stream from :func:`repro.numerics.rng.spawn_rngs`.
+    """
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+    rng: np.random.Generator
+    speed_m_s: float = 1.4
+    pause_s: float = 5.0
+    _position: Point = field(init=False)
+    _target: Point = field(init=False)
+    _pause_left: float = field(init=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.max_x <= self.min_x or self.max_y <= self.min_y:
+            raise ValueError("degenerate rectangle for RandomWaypoint")
+        self._position = self._random_point()
+        self._target = self._random_point()
+
+    def _random_point(self) -> Point:
+        return Point(float(self.rng.uniform(self.min_x, self.max_x)),
+                     float(self.rng.uniform(self.min_y, self.max_y)))
+
+    @property
+    def position(self) -> Point:
+        return self._position
+
+    def step(self, dt_s: float) -> Point:
+        """Advance the walker by ``dt_s`` seconds; returns new position."""
+        if dt_s < 0.0:
+            raise ValueError(f"dt must be >= 0, got {dt_s}")
+        remaining = dt_s
+        while remaining > 0.0:
+            if self._pause_left > 0.0:
+                pause = min(self._pause_left, remaining)
+                self._pause_left -= pause
+                remaining -= pause
+                continue
+            to_target = self._position.distance_to(self._target)
+            if to_target < 1e-9:
+                self._target = self._random_point()
+                self._pause_left = self.pause_s
+                continue
+            travel = self.speed_m_s * remaining
+            if travel >= to_target:
+                self._position = self._target
+                remaining -= to_target / self.speed_m_s
+                self._pause_left = self.pause_s
+                self._target = self._random_point()
+            else:
+                t = travel / to_target
+                self._position = Point(
+                    self._position.x + t * (self._target.x - self._position.x),
+                    self._position.y + t * (self._target.y - self._position.y))
+                remaining = 0.0
+        return self._position
+
+
+def grid_route(min_x: float, min_y: float, max_x: float, max_y: float,
+               rows: int, points_per_row: int) -> List[Point]:
+    """A boustrophedon ("lawnmower") sweep — the wardriving route.
+
+    Covers the rectangle in ``rows`` horizontal passes, alternating
+    direction, with ``points_per_row`` stops per pass.
+    """
+    if rows < 1 or points_per_row < 2:
+        raise ValueError("need rows >= 1 and points_per_row >= 2")
+    route: List[Point] = []
+    for row in range(rows):
+        y = min_y if rows == 1 else min_y + (max_y - min_y) * row / (rows - 1)
+        xs = np.linspace(min_x, max_x, points_per_row)
+        if row % 2 == 1:
+            xs = xs[::-1]
+        route.extend(Point(float(x), float(y)) for x in xs)
+    return route

@@ -1,0 +1,147 @@
+"""Terrain: obstruction losses from hills and buildings.
+
+The paper's Fig 12 observation — "'HG2415U' can cover as large an area
+as 'LNA'.  This is due to the geographical feature of the area.  The
+area is not flat and the sniffer is obstructed by small hills." — means
+coverage is terrain-limited, not budget-limited, beyond some distance.
+
+:class:`Terrain` holds a set of :class:`Hill` obstacles; a radio path
+crossing a hill's footprint picks up that hill's loss.  The object
+plugs into :class:`repro.radio.propagation.ObstructedModel` as the
+``obstruction_db`` callable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True)
+class Hill:
+    """A circular obstacle with a diffraction/penetration loss in dB."""
+
+    center: Point
+    radius_m: float
+    loss_db: float
+
+    def __post_init__(self) -> None:
+        if self.radius_m <= 0.0:
+            raise ValueError(f"hill radius must be > 0, got {self.radius_m}")
+        if self.loss_db < 0.0:
+            raise ValueError(f"hill loss must be >= 0, got {self.loss_db}")
+
+    def blocks(self, tx: Point, rx: Point) -> bool:
+        """True when the tx→rx segment crosses the hill footprint.
+
+        Endpoints sitting inside the footprint do not count as blocked
+        — a device *on* the hill still talks to its neighborhood.
+        """
+        if (tx.distance_to(self.center) < self.radius_m
+                or rx.distance_to(self.center) < self.radius_m):
+            return False
+        return _segment_distance(tx, rx, self.center) < self.radius_m
+
+
+@dataclass(frozen=True)
+class Building:
+    """An axis-aligned rectangular obstacle (urban-canyon walls).
+
+    The paper's urban discussion ("obstructing buildings often prevent
+    the signal strength and AOA from being accurately measured") is
+    what makes signal-strength-free localization attractive; buildings
+    here provide the matching simulated environment for GWU-style
+    dense-urban scenarios.
+    """
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+    loss_db: float
+
+    def __post_init__(self) -> None:
+        if self.max_x <= self.min_x or self.max_y <= self.min_y:
+            raise ValueError("degenerate building rectangle")
+        if self.loss_db < 0.0:
+            raise ValueError(f"building loss must be >= 0, got {self.loss_db}")
+
+    def contains(self, point: Point) -> bool:
+        return (self.min_x <= point.x <= self.max_x
+                and self.min_y <= point.y <= self.max_y)
+
+    def blocks(self, tx: Point, rx: Point) -> bool:
+        """True when the tx→rx segment crosses the building.
+
+        Endpoints inside the building don't count as blocked (a device
+        indoors still talks through its own walls via the base loss).
+        """
+        if self.contains(tx) or self.contains(rx):
+            return False
+        return _segment_hits_rect(tx, rx, self.min_x, self.min_y,
+                                  self.max_x, self.max_y)
+
+
+@dataclass
+class Terrain:
+    """Hills and buildings; total obstruction sums the crossed losses."""
+
+    hills: List[Hill] = field(default_factory=list)
+    buildings: List[Building] = field(default_factory=list)
+
+    def add_hill(self, hill: Hill) -> None:
+        self.hills.append(hill)
+
+    def add_building(self, building: Building) -> None:
+        self.buildings.append(building)
+
+    def obstruction_db(self, tx: Point, rx: Point) -> float:
+        """Total obstruction loss along the path, in dB."""
+        total = sum(hill.loss_db for hill in self.hills
+                    if hill.blocks(tx, rx))
+        total += sum(building.loss_db for building in self.buildings
+                     if building.blocks(tx, rx))
+        return total
+
+    def line_of_sight(self, tx: Point, rx: Point) -> bool:
+        """True when no obstacle lies between the endpoints."""
+        return self.obstruction_db(tx, rx) == 0.0
+
+
+def _segment_hits_rect(a: Point, b: Point, min_x: float, min_y: float,
+                       max_x: float, max_y: float) -> bool:
+    """Liang-Barsky style segment/AABB intersection test."""
+    dx = b.x - a.x
+    dy = b.y - a.y
+    t0, t1 = 0.0, 1.0
+    for p, q in ((-dx, a.x - min_x), (dx, max_x - a.x),
+                 (-dy, a.y - min_y), (dy, max_y - a.y)):
+        if p == 0.0:
+            if q < 0.0:
+                return False  # parallel and outside
+            continue
+        t = q / p
+        if p < 0.0:
+            if t > t1:
+                return False
+            t0 = max(t0, t)
+        else:
+            if t < t0:
+                return False
+            t1 = min(t1, t)
+    return t0 <= t1
+
+
+def _segment_distance(a: Point, b: Point, p: Point) -> float:
+    """Distance from point ``p`` to the segment ``a``–``b``."""
+    ab_x = b.x - a.x
+    ab_y = b.y - a.y
+    length_sq = ab_x * ab_x + ab_y * ab_y
+    if length_sq <= 0.0:
+        return p.distance_to(a)
+    t = ((p.x - a.x) * ab_x + (p.y - a.y) * ab_y) / length_sq
+    t = min(1.0, max(0.0, t))
+    closest = Point(a.x + t * ab_x, a.y + t * ab_y)
+    return p.distance_to(closest)

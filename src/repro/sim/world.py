@@ -1,0 +1,240 @@
+"""The campus world: the event loop of the whole attack simulation.
+
+Each simulation step:
+
+1. stations move (fixed routes or random waypoint),
+2. the active attacker (if armed) injects spoofed deauthentications,
+   which reach stations in its transmit range and force rescans,
+3. stations tick their scan state machines, emitting probe requests,
+4. every emitted probe is offered to the sniffer, and every AP on the
+   probed channel whose coverage disc contains the station answers with
+   a probe response — also offered to the sniffer,
+5. ground-truth positions are recorded for later error measurement.
+
+The sniffer's observation store ends up holding exactly what a real
+deployment would: per-mobile communicable-AP sets assembled from
+captured probe responses.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.geometry.point import Point
+from repro.net80211.ap import AccessPoint
+from repro.net80211.frames import Dot11Frame
+from repro.net80211.medium import Medium
+from repro.net80211.station import MobileStation
+from repro.numerics.rng import make_rng
+from repro.sim.mobility import FixedRoute, RandomWaypoint
+from repro.sniffer.active import ActiveAttacker
+from repro.sniffer.capture import Sniffer
+
+Mobility = Union[FixedRoute, RandomWaypoint, None]
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """Where a mobile really was at a point in time."""
+
+    timestamp: float
+    mobile: "object"  # MacAddress; typed loosely to avoid import cycle
+    position: Point
+
+
+class CampusWorld:
+    """The simulated campus tying all actors together."""
+
+    def __init__(self, access_points: Sequence[AccessPoint],
+                 medium: Medium, sniffer: Optional[Sniffer] = None,
+                 seed: Optional[int] = None,
+                 attacker_range_m: float = 300.0):
+        self.access_points = list(access_points)
+        self.medium = medium
+        self.sniffer = sniffer
+        self.rng = make_rng(seed)
+        self.attacker: Optional[ActiveAttacker] = None
+        self.attacker_interval_s: float = 60.0
+        self.attacker_range_m = attacker_range_m
+        self._next_attack_at = 0.0
+        self._stations: List[MobileStation] = []
+        self._mobility: Dict[int, Mobility] = {}
+        self._route_start: Dict[int, float] = {}
+        self.truths: List[GroundTruth] = []
+        self.now = 0.0
+        self._aps_by_channel: Dict[int, List[AccessPoint]] = defaultdict(list)
+        for ap in self.access_points:
+            self._aps_by_channel[ap.channel].append(ap)
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def add_station(self, station: MobileStation,
+                    mobility: Mobility = None) -> None:
+        """Register a mobile device, optionally with a mobility model."""
+        index = len(self._stations)
+        station.schedule_first_scan(self.rng)
+        self._stations.append(station)
+        self._mobility[index] = mobility
+        self._route_start[index] = self.now
+
+    def arm_attacker(self, attacker: ActiveAttacker,
+                     interval_s: float = 60.0,
+                     targeted: bool = False) -> None:
+        """Enable the active attack with a deauth cadence.
+
+        ``targeted=True`` uses the associations the sniffer learned from
+        captured data frames to forge per-station deauths (quieter than
+        spraying broadcast deauths in every AP's name); stations the
+        store has not yet seen still receive broadcast deauths.
+        """
+        if interval_s <= 0.0:
+            raise ValueError(f"interval must be > 0 s, got {interval_s}")
+        self.attacker = attacker
+        self.attacker_interval_s = interval_s
+        self.attacker_targeted = targeted
+        self._next_attack_at = self.now
+
+    @property
+    def stations(self) -> List[MobileStation]:
+        return list(self._stations)
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+
+    def run(self, duration_s: float, step_s: float = 1.0,
+            record_truth: bool = True) -> None:
+        """Advance the world by ``duration_s`` in ``step_s`` increments."""
+        if duration_s < 0.0 or step_s <= 0.0:
+            raise ValueError("need duration >= 0 and step > 0")
+        steps = int(round(duration_s / step_s))
+        for _ in range(steps):
+            self._step(step_s, record_truth)
+
+    def _step(self, step_s: float, record_truth: bool) -> None:
+        self.now += step_s
+        self._move_stations(step_s)
+        if self.attacker is not None and self.now >= self._next_attack_at:
+            self._run_active_attack()
+            self._next_attack_at = self.now + self.attacker_interval_s
+        for station in self._stations:
+            for frame in station.tick(self.now):
+                self._transmit_from_station(station, frame)
+        if record_truth:
+            for station in self._stations:
+                self.truths.append(GroundTruth(
+                    self.now, station.mac, station.position))
+
+    def _move_stations(self, step_s: float) -> None:
+        for index, station in enumerate(self._stations):
+            mobility = self._mobility[index]
+            if mobility is None:
+                continue
+            if isinstance(mobility, RandomWaypoint):
+                station.move_to(mobility.step(step_s))
+            elif isinstance(mobility, FixedRoute):
+                elapsed = self.now - self._route_start[index]
+                station.move_to(mobility.position_at(elapsed))
+
+    def _run_active_attack(self) -> None:
+        """Spoof deauthentications (targeted where possible).
+
+        Stations accept a deauth when it is addressed to them (or
+        broadcast) from their associated BSS and the attacker is within
+        radio range of the station.
+        """
+        assert self.attacker is not None
+        targeted_macs = set()
+        if (getattr(self, "attacker_targeted", False)
+                and self.sniffer is not None):
+            associations = self.sniffer.store.known_associations()
+            frames = self.attacker.craft_deauths(associations, self.now)
+            by_destination = {frame.destination: frame
+                              for frame in frames}
+            targeted_macs = set(by_destination)
+            for station in self._stations:
+                frame = by_destination.get(station.mac)
+                if frame is None:
+                    continue
+                if (self.attacker.position.distance_to(station.position)
+                        <= self.attacker_range_m):
+                    station.handle_frame(frame, self.now)
+        for ap in self.access_points:
+            frame = self.attacker.craft_broadcast_deauth(
+                ap.bssid, ap.channel, self.now)
+            for station in self._stations:
+                if station.mac in targeted_macs:
+                    continue  # already handled by the targeted frame
+                if (station.associated_bssid == ap.bssid
+                        and self.attacker.position.distance_to(
+                            station.position) <= self.attacker_range_m):
+                    station.handle_frame(frame, self.now)
+
+    def _transmit_from_station(self, station: MobileStation,
+                               frame: Dot11Frame) -> None:
+        if self.sniffer is not None:
+            self.sniffer.hear(frame, station.position, self.rng)
+        if not frame.is_probe_request:
+            return
+        # Ground-truth communicability: APs on the probed channel whose
+        # coverage disc contains the station answer.
+        responders: List[AccessPoint] = []
+        for ap in self._aps_by_channel.get(frame.channel, []):
+            if not ap.covers(station.position):
+                continue
+            response = ap.respond_to_probe(frame, self.now)
+            if response is None:
+                continue
+            responders.append(ap)
+            if self.sniffer is not None:
+                self.sniffer.hear(response, ap.position, self.rng)
+        # Supplicant behaviour: an unassociated auto-associating station
+        # joins the closest AP that answered its probe, via the on-air
+        # auth/assoc handshake (which the sniffer can also capture).
+        if (responders and getattr(station, "auto_associate", False)
+                and station.associated_bssid is None):
+            closest = min(responders,
+                          key=lambda ap: ap.position.distance_to(
+                              station.position))
+            self._perform_association(station, closest)
+
+    def _perform_association(self, station: MobileStation,
+                             ap) -> None:
+        from repro.net80211.frames import association_request, authentication
+
+        auth = authentication(station.mac, ap.bssid, ap.channel, self.now)
+        request = association_request(station.mac, ap.bssid, ap.channel,
+                                      self.now, ap.ssid)
+        if self.sniffer is not None:
+            self.sniffer.hear(auth, station.position, self.rng)
+            self.sniffer.hear(request, station.position, self.rng)
+        response = ap.handle_association(request, self.now)
+        if response is not None and self.sniffer is not None:
+            self.sniffer.hear(response, ap.position, self.rng)
+        station.associate(ap.bssid, ap.channel)
+
+    # ------------------------------------------------------------------
+    # Ground-truth queries (for evaluation only)
+    # ------------------------------------------------------------------
+
+    def true_gamma(self, position: Point) -> set:
+        """The exact communicable-AP set at a position (disc model)."""
+        return {ap.bssid for ap in self.access_points
+                if ap.covers(position)}
+
+    def truth_at(self, mobile, timestamp: float,
+                 tolerance_s: float = 0.5) -> Optional[Point]:
+        """The recorded true position of ``mobile`` near ``timestamp``."""
+        best: Optional[GroundTruth] = None
+        for truth in self.truths:
+            if truth.mobile != mobile:
+                continue
+            if abs(truth.timestamp - timestamp) <= tolerance_s:
+                if (best is None or abs(truth.timestamp - timestamp)
+                        < abs(best.timestamp - timestamp)):
+                    best = truth
+        return best.position if best else None

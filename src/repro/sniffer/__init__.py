@@ -1,0 +1,62 @@
+"""The malicious sniffing system (the attack-phase hardware + software).
+
+Maps the paper's Figure 1 architecture onto code:
+
+* :mod:`repro.sniffer.capture` — sniffer cards (fixed-channel or
+  frequency-hopping) fed by one receiver chain, capturing frames off
+  the simulated medium,
+* :mod:`repro.sniffer.observation` — the capture database: per-mobile
+  communicable-AP sets Γ, observation windows, probing statistics,
+* :mod:`repro.sniffer.receiver` — factory functions assembling the
+  paper's exact receiver chains (HG2415U + RF-Lambda LNA + 4-way
+  splitter + SRC cards; the laptop-card baselines),
+* :mod:`repro.sniffer.active` — the active attack: spoofed
+  deauthentication frames that force silent stations to re-scan,
+* :mod:`repro.sniffer.tracker` — device tracks over time and the
+  SSID-fingerprint pseudonym linker (Pang et al.).
+"""
+
+from repro.sniffer.capture import ChannelHopper, Sniffer, SnifferCard
+from repro.sniffer.observation import ObservationStore
+from repro.sniffer.receiver import (
+    build_dlink_chain,
+    build_hg2415u_chain,
+    build_marauder_chain,
+    build_marauder_sniffer,
+    build_src_chain,
+)
+from repro.sniffer.active import ActiveAttacker
+from repro.sniffer.tracker import (
+    DeviceTracker,
+    PseudonymLinker,
+    SequenceNumberLinker,
+)
+from repro.sniffer.planning import (
+    ChannelPlan,
+    coverage_of,
+    hopping_capture_probability,
+    plan_channels,
+)
+from repro.sniffer.replay import ReplayResult, replay_capture
+
+__all__ = [
+    "ChannelPlan",
+    "plan_channels",
+    "coverage_of",
+    "hopping_capture_probability",
+    "ReplayResult",
+    "replay_capture",
+    "SnifferCard",
+    "ChannelHopper",
+    "Sniffer",
+    "ObservationStore",
+    "build_marauder_chain",
+    "build_marauder_sniffer",
+    "build_hg2415u_chain",
+    "build_src_chain",
+    "build_dlink_chain",
+    "ActiveAttacker",
+    "DeviceTracker",
+    "PseudonymLinker",
+    "SequenceNumberLinker",
+]

@@ -1,0 +1,79 @@
+"""The active attack: forcing silent devices to probe.
+
+Passive capture only sees devices that scan on their own (>50 % daily in
+the paper's 7-day study).  For the rest, the paper proposes an active
+attack: make the device transmit.  The canonical mechanism — and the
+one we implement — is spoofed *deauthentication*: a frame forged in the
+name of the victim's AP knocks the station off its association, and
+every real OS immediately re-scans (emitting probe requests the sniffer
+can capture) to reconnect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Tuple
+
+from repro.geometry.point import Point
+from repro.net80211.frames import Dot11Frame, deauthentication
+from repro.net80211.mac import BROADCAST_MAC, MacAddress
+
+#: (station MAC, association BSSID, AP channel) — what the attacker must
+#: know to forge a believable deauthentication.
+Association = Tuple[MacAddress, MacAddress, int]
+
+
+@dataclass
+class ActiveAttacker:
+    """Crafts spoofed deauthentication frames.
+
+    The attacker learns associations from captured traffic (data frames
+    reveal station↔BSSID pairs) and forges deauths *from the AP* so the
+    station accepts them.  ``tx_power_dbm`` reflects that the attack
+    transmitter also benefits from a high-gain antenna.
+    """
+
+    position: Point
+    tx_power_dbm: float = 20.0
+    tx_antenna_gain_dbi: float = 15.0
+    frames_sent: int = field(default=0, init=False)
+
+    def craft_deauths(self, associations: Iterable[Association],
+                      now: float) -> List[Dot11Frame]:
+        """One spoofed deauthentication per known association."""
+        frames: List[Dot11Frame] = []
+        for station, bssid, channel in associations:
+            frame = deauthentication(
+                source=bssid,  # forged: pretends to be the AP
+                destination=station,
+                bssid=bssid,
+                channel=channel,
+                timestamp=now,
+                tx_power_dbm=self.tx_power_dbm,
+            )
+            frame = self._with_gain(frame)
+            frames.append(frame)
+        self.frames_sent += len(frames)
+        return frames
+
+    def craft_broadcast_deauth(self, bssid: MacAddress, channel: int,
+                               now: float) -> Dot11Frame:
+        """A broadcast deauthentication: knocks every client of one AP.
+
+        Broadcast deauths reach stations the attacker has not yet
+        identified individually — the bluntest form of the attack.
+        """
+        frame = deauthentication(
+            source=bssid,
+            destination=BROADCAST_MAC,
+            bssid=bssid,
+            channel=channel,
+            timestamp=now,
+            tx_power_dbm=self.tx_power_dbm,
+        )
+        self.frames_sent += 1
+        return self._with_gain(frame)
+
+    def _with_gain(self, frame: Dot11Frame) -> Dot11Frame:
+        from dataclasses import replace
+        return replace(frame, tx_antenna_gain_dbi=self.tx_antenna_gain_dbi)

@@ -1,0 +1,113 @@
+"""Sniffer cards and the capture front-end.
+
+A :class:`Sniffer` is one receiver chain feeding several cards (through
+the splitter), each card pinned to a channel or driven by a
+:class:`ChannelHopper` (the feasibility experiment's "frequency hopping
+... with a dwell time of 4 seconds").  Every frame transmitted in the
+simulated world is offered to the sniffer; the medium and decode model
+decide what is actually captured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.geometry.point import Point
+from repro.net80211.frames import Dot11Frame
+from repro.net80211.medium import Medium, ReceivedFrame
+from repro.radio.chain import ReceiverChain
+from repro.sniffer.observation import ObservationStore
+
+
+@dataclass
+class ChannelHopper:
+    """Cycles through channels with a fixed dwell time."""
+
+    channels: Sequence[int]
+    dwell_s: float = 4.0
+    offset_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.channels:
+            raise ValueError("hopper needs at least one channel")
+        if self.dwell_s <= 0.0:
+            raise ValueError(f"dwell must be > 0 s, got {self.dwell_s}")
+
+    def channel_at(self, time_s: float) -> int:
+        """The channel the card listens on at ``time_s``."""
+        slot = int((time_s + self.offset_s) // self.dwell_s)
+        return self.channels[slot % len(self.channels)]
+
+    def cycle_s(self) -> float:
+        """Time to sweep all channels once."""
+        return self.dwell_s * len(self.channels)
+
+
+@dataclass
+class SnifferCard:
+    """One wireless card: a fixed channel or a hopping schedule."""
+
+    chain: ReceiverChain
+    channel: Union[int, ChannelHopper]
+    label: str = ""
+
+    def channel_at(self, time_s: float) -> int:
+        if isinstance(self.channel, ChannelHopper):
+            return self.channel.channel_at(time_s)
+        return self.channel
+
+
+@dataclass
+class Sniffer:
+    """The full capture system at a fixed vantage point.
+
+    ``hear`` offers a transmitted frame to every card; the first card
+    that decodes it contributes the capture (duplicate decodes across
+    cards are collapsed, as a real multi-card rig would dedupe on
+    frame identity).
+
+    Captures can be retained in memory (``keep_frames``) and/or
+    streamed to a capture file via :meth:`attach_writer` — the
+    tcpdump-style record-now-analyze-later workflow of the paper's
+    feasibility study.
+    """
+
+    position: Point
+    cards: List[SnifferCard]
+    medium: Medium
+    store: ObservationStore = field(default_factory=ObservationStore)
+    keep_frames: bool = False
+    captured: List[ReceivedFrame] = field(default_factory=list)
+    _writer: Optional[object] = field(default=None, repr=False)
+
+    def attach_writer(self, writer) -> None:
+        """Stream every capture to a
+        :class:`repro.net80211.capture_file.CaptureWriter`."""
+        self._writer = writer
+
+    def detach_writer(self) -> None:
+        self._writer = None
+
+    def hear(self, frame: Dot11Frame, tx_position: Point,
+             rng: np.random.Generator) -> Optional[ReceivedFrame]:
+        """Offer one on-air frame to the sniffer; return any capture."""
+        for card in self.cards:
+            rx_channel = card.channel_at(frame.timestamp)
+            received = self.medium.deliver(frame, tx_position,
+                                           self.position, card.chain,
+                                           rx_channel, rng)
+            if received is not None:
+                self.store.ingest(received)
+                if self.keep_frames:
+                    self.captured.append(received)
+                if self._writer is not None:
+                    self._writer.write(received)
+                return received
+        return None
+
+    def channels_at(self, time_s: float) -> List[int]:
+        """The set of channels currently monitored."""
+        return [card.channel_at(time_s) for card in self.cards]

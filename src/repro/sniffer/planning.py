@@ -1,0 +1,90 @@
+"""Channel planning for the sniffing system.
+
+The paper works through this decision (Section III-B1, IV-A): 11
+overlapping channels, cross-channel decoding ruled out by the Fig 9
+experiment, "a total of 11 cards ... not only incurs significant cost
+... but also reduces the mobility", so they measure the channel
+distribution and pick 1/6/11 (93.7 % of APs) for three cards.
+
+:func:`plan_channels` automates exactly that: given a measured channel
+histogram and a card budget, return the channel set maximizing the
+share of AP traffic captured.  :func:`hopping_capture_probability`
+quantifies the alternative (one hopping card) used in the feasibility
+study: the chance of catching a periodic probe burst given dwell and
+cycle times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.radio.channels import CHANNELS_80211BG
+
+
+@dataclass(frozen=True)
+class ChannelPlan:
+    """The chosen monitoring channels and their expected coverage."""
+
+    channels: Tuple[int, ...]
+    covered_fraction: float
+    histogram_total: int
+
+    def describe(self) -> str:
+        channel_list = ", ".join(str(c) for c in self.channels)
+        return (f"monitor channels [{channel_list}] -> "
+                f"{100 * self.covered_fraction:.1f}% of AP population")
+
+
+def plan_channels(histogram: Dict[int, int], cards: int) -> ChannelPlan:
+    """Pick the ``cards`` channels covering the most APs.
+
+    Cross-channel decoding contributes essentially nothing (Fig 9), so
+    coverage is simply the histogram mass on the chosen channels; the
+    greedy top-k choice is optimal.  Ties break toward lower channel
+    numbers for determinism.
+    """
+    if cards < 1:
+        raise ValueError(f"cards must be >= 1, got {cards}")
+    for channel in histogram:
+        if channel not in CHANNELS_80211BG:
+            raise ValueError(f"unknown 802.11b/g channel {channel}")
+    total = sum(histogram.values())
+    if total == 0:
+        raise ValueError("empty channel histogram")
+    ranked = sorted(histogram.items(), key=lambda item: (-item[1], item[0]))
+    chosen = tuple(sorted(channel for channel, _ in ranked[:cards]))
+    covered = sum(histogram.get(channel, 0) for channel in chosen)
+    return ChannelPlan(channels=chosen,
+                       covered_fraction=covered / total,
+                       histogram_total=total)
+
+
+def coverage_of(histogram: Dict[int, int],
+                channels: Sequence[int]) -> float:
+    """Fraction of the AP population on the given channels."""
+    total = sum(histogram.values())
+    if total == 0:
+        raise ValueError("empty channel histogram")
+    return sum(histogram.get(channel, 0) for channel in channels) / total
+
+
+def hopping_capture_probability(dwell_s: float, cycle_s: float,
+                                burst_span_s: float = 0.5,
+                                bursts: int = 1) -> float:
+    """Chance a hopping card catches at least one of ``bursts`` probe
+    bursts on a given channel.
+
+    A burst spanning ``burst_span_s`` is caught when it overlaps the
+    card's dwell on that channel: per-burst probability
+    ``min(1, (dwell + burst_span) / cycle)``; bursts are treated as
+    independent (they are minutes apart).  This is the trade the
+    feasibility experiment made: one card, 4 s dwell, 11-channel cycle
+    — fine over a 7-day capture, hopeless for real-time tracking.
+    """
+    if dwell_s <= 0.0 or cycle_s <= 0.0 or dwell_s > cycle_s:
+        raise ValueError("need 0 < dwell <= cycle")
+    if burst_span_s < 0.0 or bursts < 1:
+        raise ValueError("need burst_span >= 0 and bursts >= 1")
+    per_burst = min(1.0, (dwell_s + burst_span_s) / cycle_s)
+    return 1.0 - (1.0 - per_burst) ** bursts

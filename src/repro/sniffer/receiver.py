@@ -1,0 +1,91 @@
+"""Factory functions for the paper's receiver chains.
+
+Builds the exact configurations of the paper's Figure 12:
+
+* ``DLink``   — a D-Link DWL-G650 card with its internal antenna,
+* ``SRC``     — a Ubiquiti SRC card with the 4 dBi clip-mount antenna,
+* ``HG2415U`` — the 15 dBi HyperLink antenna straight into an SRC card,
+* ``LNA``     — the full Marauder's-map chain: HG2415U antenna,
+  RF-Lambda LNA, 4-way splitter, SRC cards,
+
+plus :func:`build_marauder_sniffer`, which assembles the deployed
+system: the LNA chain split into three cards monitoring channels
+1, 6, and 11 ("most APs (93.7%) use Channels 1, 6 and 11. So we chose to
+use three cards ... to monitor these three channels").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.geometry.point import Point
+from repro.net80211.medium import Medium
+from repro.radio.chain import ReceiverChain
+from repro.radio.components import catalog
+from repro.sniffer.capture import Sniffer, SnifferCard
+from repro.sniffer.observation import ObservationStore
+
+#: The channels the deployed system monitors.
+DEFAULT_MONITOR_CHANNELS = (1, 6, 11)
+
+
+def build_dlink_chain() -> ReceiverChain:
+    """The stock-laptop baseline: DWL-G650 with its internal antenna."""
+    parts = catalog()
+    return ReceiverChain(antenna=parts["DLink-antenna"],
+                         nic=parts["DLink"], blocks=[], name="DLink")
+
+
+def build_src_chain() -> ReceiverChain:
+    """SRC card with the tri-band 4 dBi clip-mount antenna."""
+    parts = catalog()
+    return ReceiverChain(antenna=parts["SRC-clip-antenna"],
+                         nic=parts["SRC"], blocks=[], name="SRC")
+
+
+def build_hg2415u_chain() -> ReceiverChain:
+    """15 dBi HyperLink antenna directly into an SRC card (no LNA)."""
+    parts = catalog()
+    return ReceiverChain(antenna=parts["HG2415U"], nic=parts["SRC"],
+                         blocks=[], name="HG2415U")
+
+
+def build_marauder_chain() -> ReceiverChain:
+    """The full chain: HG2415U + RF-Lambda LNA + 4-way splitter + SRC.
+
+    This is one splitter output's view; :func:`build_marauder_sniffer`
+    instantiates one card per monitored channel behind the same chain.
+    """
+    parts = catalog()
+    return ReceiverChain(
+        antenna=parts["HG2415U"],
+        nic=parts["SRC"],
+        blocks=[parts["RF-Lambda-LNA"], parts["4-way-splitter"]],
+        name="LNA",
+    )
+
+
+def build_marauder_sniffer(
+    position: Point,
+    medium: Medium,
+    channels: Sequence[int] = DEFAULT_MONITOR_CHANNELS,
+    store: Optional[ObservationStore] = None,
+    keep_frames: bool = False,
+) -> Sniffer:
+    """Assemble the deployed digital-Marauder's-map sniffer.
+
+    One antenna + LNA + splitter feeding ``len(channels)`` cards (the
+    paper deploys three on channels 1/6/11; the fourth splitter output
+    is spare).
+    """
+    chain = build_marauder_chain()
+    if len(channels) > chain.split_outputs():
+        raise ValueError(
+            f"chain provides {chain.split_outputs()} splitter outputs, "
+            f"cannot feed {len(channels)} cards")
+    cards = [SnifferCard(chain=chain, channel=channel,
+                         label=f"NIC-ch{channel}")
+             for channel in channels]
+    return Sniffer(position=position, cards=cards, medium=medium,
+                   store=store or ObservationStore(),
+                   keep_frames=keep_frames)

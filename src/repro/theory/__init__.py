@@ -1,0 +1,47 @@
+"""Numeric evaluation of the paper's theorems.
+
+* :mod:`repro.theory.theorem1` — the link-budget coverage bound and the
+  LNA noise-figure improvement analysis (Section III-A),
+* :mod:`repro.theory.theorem2` — expected intersected area vs. number of
+  communicable APs (Fig 2) and vs. radius/density (Fig 3, Corollary 1),
+* :mod:`repro.theory.theorem3` — effect of an estimated radius R:
+  expected area for R >= r (Fig 5) and coverage probability
+  ``(R/r)^{2k}`` for R < r (Fig 6),
+
+each with a Monte-Carlo counterpart used to validate the closed-form
+integrals in the test suite and benches.
+"""
+
+from repro.theory.theorem1 import (
+    coverage_improvement_factor,
+    lna_noise_figure_improvement_db,
+    required_receiver_gain_dbi,
+    theorem1_max_distance_m,
+)
+from repro.theory.theorem2 import (
+    expected_intersected_area,
+    expected_area_at_density,
+    monte_carlo_intersected_area,
+    single_ap_probability,
+)
+from repro.theory.theorem3 import (
+    coverage_probability_underestimate,
+    expected_area_overestimate,
+    lens_area_c12,
+    monte_carlo_overestimate,
+)
+
+__all__ = [
+    "theorem1_max_distance_m",
+    "lna_noise_figure_improvement_db",
+    "coverage_improvement_factor",
+    "required_receiver_gain_dbi",
+    "expected_intersected_area",
+    "expected_area_at_density",
+    "single_ap_probability",
+    "monte_carlo_intersected_area",
+    "expected_area_overestimate",
+    "coverage_probability_underestimate",
+    "lens_area_c12",
+    "monte_carlo_overestimate",
+]

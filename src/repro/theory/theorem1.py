@@ -1,0 +1,77 @@
+"""Theorem 1: the coverage bound and the LNA improvement analysis.
+
+The theorem: ``20 log10 D < G_rx - NF_lna - SNR_min + C`` with
+``C = P_tx + G_tx - 20 log10(4π/λ) - 10 log10 B + 174``.
+
+Beyond the bound itself (shared with :mod:`repro.radio.link_budget`),
+this module quantifies the paper's two design observations:
+
+* adding a high-gain LNA replaces the chain noise figure (NIC NF,
+  4–6 dB) with the LNA's (1.5 dB), a 2.5–4.5 dB SNR improvement,
+* every 20 dB of link-budget improvement is a 10x coverage radius
+  (from the ``20 log10 D`` slope).
+"""
+
+from __future__ import annotations
+
+from repro.radio.link_budget import Transmitter, coverage_radius_m
+
+
+def theorem1_max_distance_m(receiver_gain_dbi: float,
+                            noise_figure_db: float, snr_min_db: float,
+                            tx_power_dbm: float, tx_gain_dbi: float,
+                            frequency_hz: float,
+                            bandwidth_hz: float) -> float:
+    """The Theorem 1 free-space coverage radius for raw parameters."""
+    transmitter = Transmitter(power_dbm=tx_power_dbm,
+                              antenna_gain_dbi=tx_gain_dbi,
+                              frequency_hz=frequency_hz)
+    return coverage_radius_m(receiver_gain_dbi, noise_figure_db,
+                             snr_min_db, transmitter, bandwidth_hz)
+
+
+def lna_noise_figure_improvement_db(nic_noise_figure_db: float,
+                                    lna_noise_figure_db: float) -> float:
+    """SNR improvement from putting a high-gain LNA before the NIC.
+
+    "Without LNA, the noise figure of the receiver chain is that of the
+    WNIC ... the noise figure of the receiver chain with an LNA
+    decreases by NF_nic - NF_lna."  For the paper's numbers
+    (NIC 4–6 dB, LNA 1.5 dB) this is 2.5–4.5 dB.
+    """
+    return nic_noise_figure_db - lna_noise_figure_db
+
+
+def required_receiver_gain_dbi(target_radius_m: float,
+                               noise_figure_db: float, snr_min_db: float,
+                               tx_power_dbm: float, tx_gain_dbi: float,
+                               frequency_hz: float,
+                               bandwidth_hz: float) -> float:
+    """Invert Theorem 1: the antenna gain needed for a target radius.
+
+    The coverage-planning question an adversary actually asks: "I want
+    to cover the whole campus (D meters) — what antenna do I need?"
+    Solves ``20 log10 D = G_rx - NF - SNR_min + C`` for ``G_rx``.
+    """
+    import math
+
+    from repro.radio.link_budget import theorem1_constant_c
+
+    if target_radius_m <= 0.0:
+        raise ValueError(
+            f"target radius must be > 0 m, got {target_radius_m}")
+    transmitter = Transmitter(power_dbm=tx_power_dbm,
+                              antenna_gain_dbi=tx_gain_dbi,
+                              frequency_hz=frequency_hz)
+    c = theorem1_constant_c(transmitter, bandwidth_hz)
+    return (20.0 * math.log10(target_radius_m)
+            + noise_figure_db + snr_min_db - c)
+
+
+def coverage_improvement_factor(link_budget_gain_db: float) -> float:
+    """Coverage-radius multiplier from a link-budget gain in dB.
+
+    From ``20 log10 D``: radius scales as ``10^(gain/20)``, so the
+    2.5–4.5 dB LNA improvement buys a 1.33x–1.68x radius.
+    """
+    return 10.0 ** (link_budget_gain_db / 20.0)

@@ -1,0 +1,100 @@
+"""Theorem 2: expected intersected area vs. number of communicable APs.
+
+For APs with maximum transmission distance ``r`` uniformly distributed,
+a mobile communicable with ``k`` APs has expected intersected area::
+
+    CA = 8 π r² ∫₀¹ y · p(y)^k dy,
+    p(y) = (2/π) (cos⁻¹ y − y √(1−y²))
+
+(the paper's equation (20), in the integrable form of its proof,
+equations (24)–(27); ``y = x / 2r`` where ``x`` is the distance from the
+mobile).  ``p(y)`` is the probability that one uniformly-placed AP is
+visible from both the mobile and a point at distance ``2ry``.
+
+Corollary 1: CA decreases monotonically in ``k`` — and hence in the AP
+density ``ρ`` via ``k = π r² ρ`` — and, at fixed density, in ``r``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.geometry.region import DiscIntersection
+from repro.numerics.quadrature import integrate
+
+
+def single_ap_probability(y: float) -> float:
+    """``p(y)``: chance one AP lands in the lens (paper eq. (24)).
+
+    ``y`` is the normalized distance ``x / 2r`` in [0, 1].
+    """
+    if not 0.0 <= y <= 1.0:
+        raise ValueError(f"y must be in [0, 1], got {y}")
+    return (2.0 / math.pi) * (math.acos(y) - y * math.sqrt(1.0 - y * y))
+
+
+def expected_intersected_area(k: int, r: float = 1.0) -> float:
+    """``CA(k)`` — the Fig 2 curve (``r = 1`` reproduces the paper's)."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if r <= 0.0:
+        raise ValueError(f"r must be > 0, got {r}")
+
+    def integrand(y: float) -> float:
+        return y * single_ap_probability(y) ** k
+
+    return 8.0 * math.pi * r * r * integrate(integrand, 0.0, 1.0)
+
+
+def expected_area_at_density(density: float, r: float) -> float:
+    """``CA`` at AP density ``ρ`` via ``k = π r² ρ`` (Corollary 1).
+
+    ``k`` is real-valued here; ``p(y)^k`` extends smoothly, matching the
+    corollary's monotonicity argument.  This is the Fig 3 curve when
+    swept over ``r`` at fixed ``ρ``.
+    """
+    if density <= 0.0:
+        raise ValueError(f"density must be > 0, got {density}")
+    if r <= 0.0:
+        raise ValueError(f"r must be > 0, got {r}")
+    k = math.pi * r * r * density
+    if k < 1e-9:
+        raise ValueError(f"density*area gives k={k}, too small")
+
+    def integrand(y: float) -> float:
+        return y * single_ap_probability(y) ** k
+
+    return 8.0 * math.pi * r * r * integrate(integrand, 0.0, 1.0)
+
+
+def monte_carlo_intersected_area(k: int, r: float,
+                                 rng: np.random.Generator,
+                                 trials: int = 200) -> Tuple[float, float]:
+    """Monte-Carlo estimate of ``CA(k)``: (mean, standard error).
+
+    Each trial places the mobile at the origin, draws ``k`` APs
+    uniformly in the disc of radius ``r`` (they must be communicable),
+    and measures the exact area of the intersection of the APs'
+    coverage discs.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    areas = np.empty(trials)
+    for trial in range(trials):
+        # Uniform points in a disc via sqrt radius sampling.
+        radii = r * np.sqrt(rng.uniform(0.0, 1.0, k))
+        angles = rng.uniform(0.0, 2.0 * math.pi, k)
+        discs = [
+            Circle(Point(radius * math.cos(angle),
+                         radius * math.sin(angle)), r)
+            for radius, angle in zip(radii, angles)
+        ]
+        areas[trial] = DiscIntersection(discs).area
+    mean = float(areas.mean())
+    stderr = float(areas.std(ddof=1) / math.sqrt(trials)) if trials > 1 else 0.0
+    return mean, stderr

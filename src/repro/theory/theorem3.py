@@ -1,0 +1,127 @@
+"""Theorem 3: the cost of an estimated radius R that differs from r.
+
+Two regimes (paper Section III-C2, Figs 5–6):
+
+* ``R >= r`` (overestimate): the intersection always covers the true
+  location but its expected size grows with R::
+
+      CA = π ∫₀^{2R} (A(C12)/(π r²))^k d(x²)
+
+  where ``A(C12)`` is the overlap area of the mobile's true
+  communicability disc (radius r) and the candidate point's disc
+  (radius R) at separation x — with the containment case
+  (``x <= R - r``, overlap = π r²) handled explicitly.
+
+* ``R < r`` (underestimate): the intersection may miss the true
+  location entirely; the probability it still covers it is
+  ``p = (R/r)^{2k}``, which collapses quickly ("the probability of the
+  intersected area covering the real location quickly becomes extremely
+  small when k is large") — the paper's argument for preferring
+  overestimates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.geometry.region import DiscIntersection
+from repro.numerics.quadrature import integrate
+
+
+def lens_area_c12(x: float, r: float, big_r: float) -> float:
+    """Overlap area of discs of radius ``r`` and ``big_r`` at distance ``x``.
+
+    The paper's equation (36), made piecewise-total: full containment
+    below ``|R - r|``, zero beyond ``R + r``.
+    """
+    if x < 0.0:
+        raise ValueError(f"distance must be >= 0, got {x}")
+    if x >= r + big_r:
+        return 0.0
+    if x <= abs(big_r - r):
+        smaller = min(r, big_r)
+        return math.pi * smaller * smaller
+    cos_r = (x * x + r * r - big_r * big_r) / (2.0 * x * r)
+    cos_big = (x * x + big_r * big_r - r * r) / (2.0 * x * big_r)
+    cos_r = min(1.0, max(-1.0, cos_r))
+    cos_big = min(1.0, max(-1.0, cos_big))
+    root = math.sqrt(max(0.0, ((r + big_r) ** 2 - x * x)
+                         * (x * x - (r - big_r) ** 2)))
+    return (r * r * math.acos(cos_r)
+            + big_r * big_r * math.acos(cos_big)
+            - 0.5 * root)
+
+
+def expected_area_overestimate(k: int, r: float, big_r: float) -> float:
+    """Expected intersected area with estimated radius ``R >= r`` (Fig 5).
+
+    ``R = r`` recovers Theorem 2's ``CA(k)``.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if r <= 0.0 or big_r < r:
+        raise ValueError(
+            f"need R >= r > 0, got r={r}, R={big_r} "
+            "(use coverage_probability_underestimate for R < r)")
+
+    denominator = math.pi * r * r
+
+    def integrand(u: float) -> float:
+        # u = x²; Pr{alpha in region} = (A(C12)/πr²)^k.
+        return (lens_area_c12(math.sqrt(u), r, big_r) / denominator) ** k
+
+    # Split at the containment kink u = (R - r)² where the integrand
+    # stops being identically 1, and integrate in u = x² as the paper
+    # writes it (d x²).
+    containment_limit = (big_r - r) ** 2
+    upper = (big_r + r) ** 2  # integrand is 0 beyond R + r
+    tail = integrate(integrand, containment_limit, upper)
+    return math.pi * (containment_limit + tail)
+
+
+def coverage_probability_underestimate(k: int, r: float,
+                                       big_r: float) -> float:
+    """``p = (R/r)^{2k}`` for ``R < r`` (paper eq. (35), Fig 6)."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if not 0.0 < big_r <= r:
+        raise ValueError(f"need 0 < R <= r, got r={r}, R={big_r}")
+    return (big_r / r) ** (2 * k)
+
+
+def monte_carlo_overestimate(k: int, r: float, big_r: float,
+                             rng: np.random.Generator,
+                             trials: int = 200) -> Tuple[float, float, float]:
+    """Monte-Carlo check of Theorem 3: (mean area, stderr, coverage rate).
+
+    Draws ``k`` communicable APs (uniform in the disc of radius ``r``
+    around the mobile at the origin), builds the intersection with the
+    *estimated* radius ``R``, and reports the exact region area plus the
+    fraction of trials whose region covers the origin.  Valid for any
+    ``R > 0`` — with ``R < r`` the coverage rate estimates eq. (35).
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    areas = np.empty(trials)
+    covered = 0
+    origin = Point(0.0, 0.0)
+    for trial in range(trials):
+        radii = r * np.sqrt(rng.uniform(0.0, 1.0, k))
+        angles = rng.uniform(0.0, 2.0 * math.pi, k)
+        discs = [
+            Circle(Point(radius * math.cos(angle),
+                         radius * math.sin(angle)), big_r)
+            for radius, angle in zip(radii, angles)
+        ]
+        region = DiscIntersection(discs)
+        areas[trial] = region.area
+        if not region.is_empty and region.contains(origin):
+            covered += 1
+    mean = float(areas.mean())
+    stderr = float(areas.std(ddof=1) / math.sqrt(trials)) if trials > 1 else 0.0
+    return mean, stderr, covered / trials

@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.knowledge.apdb import ApDatabase
+
+from tests.helpers import make_record
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator; tests needing their own seed make one."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def square_db():
+    """Four APs on a 100 m square, each with 80 m range.
+
+    Their coverage discs all contain the square's center (50, 50), so a
+    device there is communicable with all four.
+    """
+    return ApDatabase([
+        make_record(0, 0.0, 0.0, 80.0),
+        make_record(1, 100.0, 0.0, 80.0),
+        make_record(2, 100.0, 100.0, 80.0),
+        make_record(3, 0.0, 100.0, 80.0),
+    ])

@@ -1,0 +1,18 @@
+"""Shared test helpers (importable as ``tests.helpers``)."""
+
+from repro.geometry.point import Point
+from repro.knowledge.apdb import ApRecord
+from repro.net80211.mac import MacAddress
+from repro.net80211.ssid import Ssid
+
+
+def make_record(index: int, x: float, y: float,
+                max_range_m=None, channel=6) -> ApRecord:
+    """A deterministic AP record for hand-built databases."""
+    return ApRecord(
+        bssid=MacAddress(0x001B63000000 + index),
+        ssid=Ssid(f"test-ap-{index}"),
+        location=Point(x, y),
+        max_range_m=max_range_m,
+        channel=channel,
+    )

@@ -1,0 +1,74 @@
+"""Error-statistics helper tests."""
+
+import pytest
+
+from repro.analysis.errors import (
+    ErrorStats,
+    cumulative_fraction_below,
+    histogram,
+)
+
+
+class TestErrorStats:
+    def test_known_sample(self):
+        stats = ErrorStats.from_values([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert stats.count == 5
+        assert stats.mean == pytest.approx(3.0)
+        assert stats.median == pytest.approx(3.0)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 5.0
+
+    def test_single_value(self):
+        stats = ErrorStats.from_values([7.0])
+        assert stats.std == 0.0
+        assert stats.mean == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ErrorStats.from_values([])
+
+    def test_p90(self):
+        stats = ErrorStats.from_values(list(range(101)))
+        assert stats.p90 == pytest.approx(90.0)
+
+    def test_format_row(self):
+        stats = ErrorStats.from_values([1.0, 2.0])
+        row = stats.format_row("m-loc")
+        assert "m-loc" in row
+        assert "mean=" in row
+
+
+class TestHistogram:
+    def test_basic_binning(self):
+        bins = histogram([1.0, 2.0, 2.5, 7.0], [0.0, 2.0, 4.0, 6.0])
+        assert bins[0] == (0.0, 2.0, 1)
+        assert bins[1] == (2.0, 4.0, 2)
+        # 7.0 lands in the final (overflow) bin.
+        assert bins[2] == (4.0, 6.0, 1)
+
+    def test_below_range_dropped(self):
+        bins = histogram([-1.0, 1.0], [0.0, 2.0])
+        assert bins[0][2] == 1
+
+    def test_boundary_goes_to_upper_bin(self):
+        bins = histogram([2.0], [0.0, 2.0, 4.0])
+        assert bins[0][2] == 0
+        assert bins[1][2] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            histogram([1.0], [0.0])
+        with pytest.raises(ValueError):
+            histogram([1.0], [0.0, 0.0, 1.0])
+
+
+class TestCdf:
+    def test_fraction_below(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert cumulative_fraction_below(values, 2.5) == 0.5
+        assert cumulative_fraction_below(values, 100.0) == 1.0
+        assert cumulative_fraction_below(values, 0.0) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            cumulative_fraction_below([], 1.0)

@@ -1,0 +1,106 @@
+"""Localization-experiment harness tests."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    AlgorithmReport,
+    TestCase,
+    run_localization_experiment,
+)
+from repro.geometry.point import Point
+from repro.localization.centroid import CentroidLocalizer
+from repro.localization.mloc import MLoc
+from repro.net80211.mac import MacAddress
+
+
+@pytest.fixture
+def cases(square_db):
+    points = [Point(50.0, 50.0), Point(60.0, 40.0), Point(30.0, 70.0)]
+    return [TestCase.of(square_db.observable_from(p), p) for p in points]
+
+
+class TestHarness:
+    def test_runs_all_localizers(self, square_db, cases):
+        reports = run_localization_experiment(
+            {"m-loc": MLoc(square_db),
+             "centroid": CentroidLocalizer(square_db)},
+            cases)
+        assert set(reports) == {"m-loc", "centroid"}
+        for report in reports.values():
+            assert len(report.results) == len(cases)
+            assert report.skipped == 0
+
+    def test_skipped_counted(self, square_db):
+        unknown_case = TestCase.of({MacAddress(0xDEAD)}, Point(0, 0))
+        reports = run_localization_experiment(
+            {"m-loc": MLoc(square_db)}, [unknown_case])
+        assert reports["m-loc"].skipped == 1
+        assert reports["m-loc"].results == []
+
+    def test_mean_error(self, square_db, cases):
+        reports = run_localization_experiment(
+            {"m-loc": MLoc(square_db)}, cases)
+        report = reports["m-loc"]
+        assert report.mean_error() == pytest.approx(
+            sum(report.errors()) / len(report.errors()))
+
+    def test_mean_error_empty_raises(self):
+        report = AlgorithmReport(name="x")
+        with pytest.raises(ValueError):
+            report.mean_error()
+
+    def test_error_stats(self, square_db, cases):
+        reports = run_localization_experiment(
+            {"m-loc": MLoc(square_db)}, cases)
+        stats = reports["m-loc"].error_stats()
+        assert stats.count == len(cases)
+        assert stats.mean == pytest.approx(reports["m-loc"].mean_error())
+        assert stats.minimum <= stats.median <= stats.maximum
+
+    def test_fraction_within(self, square_db, cases):
+        reports = run_localization_experiment(
+            {"m-loc": MLoc(square_db)}, cases)
+        report = reports["m-loc"]
+        assert report.fraction_within(1e6) == 1.0
+        assert report.fraction_within(0.0) == 0.0
+        mid = report.fraction_within(report.mean_error())
+        assert 0.0 <= mid <= 1.0
+
+
+class TestSlicing:
+    def test_min_k_filter(self, square_db, cases):
+        reports = run_localization_experiment(
+            {"m-loc": MLoc(square_db)}, cases)
+        report = reports["m-loc"]
+        # Center case has k=4; corner-ish cases fewer.
+        all_cases = report.mean_error_vs_min_k(1)
+        high_k = report.mean_error_vs_min_k(4)
+        assert all_cases is not None
+        assert high_k is not None
+        assert report.mean_error_vs_min_k(99) is None
+
+    def test_area_and_coverage_slices(self, square_db, cases):
+        reports = run_localization_experiment(
+            {"m-loc": MLoc(square_db),
+             "centroid": CentroidLocalizer(square_db)},
+            cases)
+        mloc = reports["m-loc"]
+        assert mloc.mean_area_vs_min_k(1) > 0.0
+        # Exact knowledge: every region covers its truth.
+        assert mloc.coverage_probability_vs_min_k(1) == 1.0
+        centroid = reports["centroid"]
+        assert centroid.mean_area_vs_min_k(1) == 0.0
+        assert centroid.coverage_probability_vs_min_k(1) == 0.0
+
+    def test_k_values(self, square_db, cases):
+        reports = run_localization_experiment(
+            {"m-loc": MLoc(square_db)}, cases)
+        ks = reports["m-loc"].k_values()
+        assert len(ks) == len(cases)
+        assert all(k >= 1 for k in ks)
+
+
+class TestTestCase:
+    def test_of_freezes(self):
+        case = TestCase.of({MacAddress(1)}, Point(1, 2))
+        assert isinstance(case.observed, frozenset)

@@ -1,0 +1,71 @@
+"""Markdown report-rendering tests."""
+
+import pytest
+
+from repro.analysis.experiments import TestCase, run_localization_experiment
+from repro.analysis.report import render_markdown_report
+from repro.geometry.point import Point
+from repro.localization import CentroidLocalizer, MLoc
+
+
+@pytest.fixture
+def reports(square_db):
+    points = [Point(50.0, 50.0), Point(60.0, 40.0), Point(30.0, 70.0)]
+    cases = [TestCase.of(square_db.observable_from(p), p) for p in points]
+    return run_localization_experiment(
+        {"m-loc": MLoc(square_db),
+         "centroid": CentroidLocalizer(square_db)},
+        cases)
+
+
+class TestMarkdownReport:
+    def test_structure(self, reports):
+        document = render_markdown_report(reports, title="Test run")
+        assert document.startswith("# Test run")
+        assert "| algorithm |" in document
+        assert "## Error vs. minimum communicable APs" in document
+        assert "## Intersected area / coverage probability" in document
+
+    def test_all_algorithms_listed(self, reports):
+        document = render_markdown_report(reports)
+        assert "| m-loc |" in document
+        assert "| centroid |" in document
+
+    def test_paper_means_shown(self, reports):
+        document = render_markdown_report(
+            reports, paper_means={"m-loc": 9.41})
+        assert "9.41" in document
+
+    def test_coverage_section_only_for_disc_based(self, reports):
+        document = render_markdown_report(reports)
+        area_section = document.split(
+            "## Intersected area / coverage probability")[1]
+        assert "m-loc" in area_section
+        assert "centroid" not in area_section
+
+    def test_empty_report_row(self):
+        from repro.analysis.experiments import AlgorithmReport
+
+        document = render_markdown_report(
+            {"empty": AlgorithmReport(name="empty")})
+        assert "| empty | 0 | - | - | - | - |" in document
+
+    def test_k_values_configurable(self, reports):
+        document = render_markdown_report(reports, k_values=(2, 3))
+        assert "err@k≥2" in document
+        assert "err@k≥3" in document
+        assert "err@k≥12" not in document
+
+
+class TestCliMarkdown:
+    def test_simulate_writes_markdown(self, tmp_path, capsys):
+        from repro.cli import main
+
+        output = tmp_path / "report.md"
+        code = main(["simulate", "--seed", "5", "--cases", "15",
+                     "--markdown", str(output)])
+        assert code == 0
+        assert output.exists()
+        text = output.read_text()
+        assert "M-Loc" in text
+        assert "9.41" in text  # the paper column

@@ -1,0 +1,109 @@
+"""Track-analysis tests: metrics and smoothing."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tracking import (
+    average_track_error,
+    exponential_smoothing,
+    moving_average,
+    track_length_m,
+)
+from repro.geometry.point import Point
+
+
+def noisy_line_track(n=40, noise=5.0, seed=0):
+    """Truth: x = t along y = 0; track adds Gaussian noise."""
+    rng = np.random.default_rng(seed)
+    track = []
+    for t in range(n):
+        track.append((float(t),
+                      Point(t + rng.normal(0, noise),
+                            rng.normal(0, noise))))
+    return track
+
+
+def line_truth(timestamp):
+    return Point(timestamp, 0.0)
+
+
+class TestAverageTrackError:
+    def test_perfect_track(self):
+        track = [(float(t), Point(float(t), 0.0)) for t in range(10)]
+        assert average_track_error(track, line_truth) == 0.0
+
+    def test_constant_offset(self):
+        track = [(float(t), Point(float(t), 3.0)) for t in range(10)]
+        assert average_track_error(track, line_truth) == pytest.approx(3.0)
+
+    def test_missing_truth_skipped(self):
+        track = [(0.0, Point(0.0, 4.0)), (1.0, Point(1.0, 0.0))]
+
+        def truth(timestamp):
+            return line_truth(timestamp) if timestamp > 0.5 else None
+
+        assert average_track_error(track, truth) == 0.0
+
+    def test_no_truth_raises(self):
+        with pytest.raises(ValueError):
+            average_track_error([(0.0, Point(0, 0))], lambda t: None)
+
+
+class TestSmoothing:
+    def test_exponential_reduces_noise(self):
+        track = noisy_line_track()
+        raw = average_track_error(track, line_truth)
+        smoothed = average_track_error(
+            exponential_smoothing(track, alpha=0.4), line_truth)
+        assert smoothed < raw
+
+    def test_moving_average_reduces_noise(self):
+        track = noisy_line_track()
+        raw = average_track_error(track, line_truth)
+        smoothed = average_track_error(moving_average(track, window=5),
+                                       line_truth)
+        assert smoothed < raw
+
+    def test_alpha_one_is_identity(self):
+        track = noisy_line_track(n=10)
+        assert exponential_smoothing(track, alpha=1.0) == track
+
+    def test_window_one_is_identity(self):
+        track = noisy_line_track(n=10)
+        averaged = moving_average(track, window=1)
+        for (t1, p1), (t2, p2) in zip(track, averaged):
+            assert t1 == t2
+            assert p1.is_close(p2)
+
+    def test_timestamps_preserved(self):
+        track = noisy_line_track(n=15)
+        for method in (lambda t: exponential_smoothing(t, 0.3),
+                       lambda t: moving_average(t, 5)):
+            out = method(track)
+            assert [t for t, _ in out] == [t for t, _ in track]
+
+    def test_validation(self):
+        track = noisy_line_track(n=5)
+        with pytest.raises(ValueError):
+            exponential_smoothing(track, alpha=0.0)
+        with pytest.raises(ValueError):
+            moving_average(track, window=4)  # even
+        with pytest.raises(ValueError):
+            moving_average(track, window=0)
+
+
+class TestTrackLength:
+    def test_straight_line(self):
+        track = [(0.0, Point(0, 0)), (1.0, Point(3, 4)),
+                 (2.0, Point(6, 8))]
+        assert track_length_m(track) == pytest.approx(10.0)
+
+    def test_single_point(self):
+        assert track_length_m([(0.0, Point(1, 1))]) == 0.0
+
+    def test_smoothing_shortens_path(self):
+        # Noise inflates path length; smoothing brings it back down.
+        track = noisy_line_track()
+        raw_length = track_length_m(track)
+        smooth_length = track_length_m(moving_average(track, 5))
+        assert smooth_length < raw_length

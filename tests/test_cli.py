@@ -1,0 +1,73 @@
+"""CLI tests (each subcommand smoke-run through main())."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTheory:
+    def test_runs(self, capsys):
+        assert main(["theory", "--max-k", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 2" in out
+        assert "k= 5" in out
+        assert "Theorem 3" in out
+
+
+class TestCoverage:
+    def test_runs(self, capsys):
+        assert main(["coverage"]) == 0
+        out = capsys.readouterr().out
+        for name in ("DLink", "SRC", "HG2415U", "LNA"):
+            assert name in out
+
+    def test_lna_has_best_radius(self, capsys):
+        main(["coverage"])
+        out = capsys.readouterr().out
+        radii = {}
+        for line in out.splitlines():
+            parts = line.split()
+            if parts and parts[0] in ("DLink", "SRC", "HG2415U", "LNA"):
+                radii[parts[0]] = float(parts[-2])
+        assert radii["LNA"] == max(radii.values())
+        assert radii["DLink"] == min(radii.values())
+
+
+class TestSimulate:
+    def test_runs_small(self, capsys):
+        assert main(["simulate", "--seed", "5", "--cases", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "M-Loc" in out
+        assert "Centroid" in out
+        assert "Paper" in out
+
+
+class TestWeek:
+    def test_passive(self, capsys):
+        assert main(["week", "--seed", "2008"]) == 0
+        out = capsys.readouterr().out
+        assert "Oct 24" in out
+        assert "passive monitoring" in out
+
+    def test_active(self, capsys):
+        assert main(["week", "--seed", "2008", "--active"]) == 0
+        assert "active attack" in capsys.readouterr().out
+
+
+class TestMap:
+    def test_writes_html(self, tmp_path, capsys):
+        output = tmp_path / "map.html"
+        assert main(["map", "--seed", "3", "--duration", "60",
+                     "--output", str(output)]) == 0
+        assert output.exists()
+        assert "svg" in output.read_text()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["teleport"])

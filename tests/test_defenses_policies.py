@@ -1,0 +1,148 @@
+"""Defense-policy unit tests: pseudonyms, silence, mix zones, hygiene."""
+
+import numpy as np
+import pytest
+
+from repro.defenses.mixzone import MixZone, MixZoneMap
+from repro.defenses.probe_hygiene import ProbeHygiene
+from repro.defenses.pseudonym import PseudonymPolicy, RotationTrigger
+from repro.defenses.silent import SilentPeriodPolicy
+from repro.geometry.point import Point
+from repro.net80211.frames import probe_request
+from repro.net80211.mac import MacAddress
+from repro.net80211.ssid import Ssid
+from repro.net80211.station import PROFILES, ScanProfile
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestPseudonymPolicy:
+    def test_periodic_rotation(self, rng):
+        policy = PseudonymPolicy(interval_s=60.0)
+        assert policy.maybe_rotate(30.0, rng) is None
+        fresh = policy.maybe_rotate(61.0, rng)
+        assert fresh is not None
+        assert fresh.is_locally_administered
+        assert policy.rotations == 1
+
+    def test_periodic_respects_interval_after_rotation(self, rng):
+        policy = PseudonymPolicy(interval_s=60.0)
+        policy.maybe_rotate(61.0, rng)
+        assert policy.maybe_rotate(90.0, rng) is None
+        assert policy.maybe_rotate(125.0, rng) is not None
+
+    def test_per_association_trigger(self, rng):
+        policy = PseudonymPolicy(trigger=RotationTrigger.PER_ASSOCIATION)
+        assert policy.maybe_rotate(1000.0, rng) is None
+        assert policy.on_association(rng) is not None
+
+    def test_never_trigger(self, rng):
+        policy = PseudonymPolicy(trigger=RotationTrigger.NEVER)
+        assert policy.maybe_rotate(1e9, rng) is None
+        assert policy.on_association(rng) is None
+
+    def test_fresh_macs_are_distinct(self, rng):
+        policy = PseudonymPolicy(interval_s=1.0)
+        macs = {policy.maybe_rotate(float(t), rng) for t in range(1, 20)}
+        assert None not in macs
+        assert len(macs) == 19
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PseudonymPolicy(interval_s=0.0)
+
+
+class TestSilentPeriodPolicy:
+    def test_silence_window(self, rng):
+        policy = SilentPeriodPolicy(min_s=10.0, max_s=10.0)
+        duration = policy.begin(100.0, rng)
+        assert duration == 10.0
+        assert policy.is_silent(105.0)
+        assert not policy.is_silent(110.5)
+
+    def test_duration_in_bounds(self, rng):
+        policy = SilentPeriodPolicy(min_s=5.0, max_s=20.0)
+        for _ in range(50):
+            assert 5.0 <= policy.begin(0.0, rng) <= 20.0
+
+    def test_not_silent_initially(self):
+        assert not SilentPeriodPolicy().is_silent(0.0)
+
+    def test_counts_periods(self, rng):
+        policy = SilentPeriodPolicy()
+        policy.begin(0.0, rng)
+        policy.begin(100.0, rng)
+        assert policy.periods_served == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SilentPeriodPolicy(min_s=30.0, max_s=10.0)
+        with pytest.raises(ValueError):
+            SilentPeriodPolicy(min_s=-1.0, max_s=10.0)
+
+
+class TestMixZones:
+    def test_zone_membership(self):
+        zone = MixZone(Point(100.0, 100.0), radius_m=30.0)
+        assert zone.contains(Point(110.0, 100.0))
+        assert not zone.contains(Point(200.0, 100.0))
+
+    def test_map_lookup(self):
+        zones = MixZoneMap([MixZone(Point(0.0, 0.0), 10.0, name="gate"),
+                            MixZone(Point(100.0, 0.0), 10.0, name="quad")])
+        assert zones.zone_at(Point(5.0, 0.0)).name == "gate"
+        assert zones.zone_at(Point(50.0, 0.0)) is None
+        assert zones.in_zone(Point(99.0, 0.0))
+
+    def test_coverage_fraction(self):
+        # One zone of radius 25 in a 100x100 area: pi*625/10000 ~ 0.196.
+        zones = MixZoneMap([MixZone(Point(50.0, 50.0), 25.0)])
+        fraction = zones.coverage_fraction(100.0, 100.0, grid=80)
+        assert fraction == pytest.approx(0.196, abs=0.02)
+
+    def test_add_zone(self):
+        zones = MixZoneMap()
+        zones.add_zone(MixZone(Point(0, 0), 5.0))
+        assert len(zones.zones) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MixZone(Point(0, 0), radius_m=0.0)
+        with pytest.raises(ValueError):
+            MixZoneMap().coverage_fraction(10.0, 10.0, grid=1)
+
+
+class TestProbeHygiene:
+    def test_profile_loses_directed_probes(self):
+        hygiene = ProbeHygiene()
+        profile = hygiene.apply_to_profile(PROFILES["aggressive"])
+        assert not profile.directed_probes
+        assert profile.probes_actively  # broadcast scanning survives
+
+    def test_interval_floor(self):
+        hygiene = ProbeHygiene(broadcast_only_interval_s=120.0)
+        profile = hygiene.apply_to_profile(PROFILES["aggressive"])
+        assert profile.scan_interval_s == 120.0
+        # Never *shortens* an already-slow profile.
+        slow = ScanProfile("slow", scan_interval_s=600.0)
+        assert hygiene.apply_to_profile(slow).scan_interval_s == 600.0
+
+    def test_filter_burst(self):
+        mac = MacAddress.parse("02:00:00:00:00:01")
+        burst = [
+            probe_request(mac, 6, 0.0),
+            probe_request(mac, 6, 0.0, ssid=Ssid("home")),
+            probe_request(mac, 11, 0.0, ssid=Ssid("work")),
+        ]
+        kept = ProbeHygiene().filter_burst(burst)
+        assert len(kept) == 1
+        assert kept[0].ssid.is_wildcard
+
+    def test_disabled_filter_passes_through(self):
+        mac = MacAddress.parse("02:00:00:00:00:01")
+        burst = [probe_request(mac, 6, 0.0, ssid=Ssid("home"))]
+        hygiene = ProbeHygiene(suppress_directed=False)
+        assert hygiene.filter_burst(burst) == burst

@@ -1,0 +1,90 @@
+"""Map-display tests (SVG structure, HTML wrapper)."""
+
+import pytest
+
+from repro.display.htmlmap import render_html_map
+from repro.display.svgmap import (
+    COLOR_ESTIMATE,
+    COLOR_TRUE,
+    MapRenderer,
+)
+from repro.geometry.point import Point
+
+
+@pytest.fixture
+def renderer():
+    return MapRenderer(width_m=600.0, height_m=600.0, pixels=600)
+
+
+class TestMapRenderer:
+    def test_empty_map_is_valid_svg(self, renderer):
+        svg = renderer.to_svg()
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+
+    def test_scaling_and_flip(self, renderer):
+        # World (0, 0) maps to bottom-left = pixel (0, height).
+        assert renderer._px(Point(0.0, 0.0)) == (0.0, 600.0)
+        assert renderer._px(Point(600.0, 600.0)) == (600.0, 0.0)
+
+    def test_access_point_rendered(self, renderer):
+        renderer.add_access_point(Point(100.0, 100.0), label="ap-1")
+        svg = renderer.to_svg()
+        assert "ap-1" in svg
+        assert "<circle" in svg
+
+    def test_coverage_disc_optional(self, renderer):
+        renderer.add_access_point(Point(100.0, 100.0),
+                                  coverage_radius_m=50.0)
+        assert 'fill-opacity="0.08"' in renderer.to_svg()
+
+    def test_tag_colors(self, renderer):
+        renderer.add_true_position(Point(10.0, 10.0))
+        renderer.add_estimate(Point(20.0, 20.0))
+        svg = renderer.to_svg()
+        assert COLOR_TRUE in svg
+        assert COLOR_ESTIMATE in svg
+
+    def test_track_polyline(self, renderer):
+        renderer.add_track([Point(0, 0), Point(10, 10), Point(20, 5)])
+        assert "<polyline" in renderer.to_svg()
+
+    def test_single_point_track_skipped(self, renderer):
+        renderer.add_track([Point(0, 0)])
+        assert "<polyline" not in renderer.to_svg()
+
+    def test_labels_escaped(self, renderer):
+        renderer.add_access_point(Point(1.0, 1.0), label="<evil&ssid>")
+        svg = renderer.to_svg()
+        assert "<evil" not in svg
+        assert "&lt;evil&amp;ssid&gt;" in svg
+
+    def test_sniffer_marker(self, renderer):
+        renderer.add_sniffer(Point(300.0, 300.0))
+        assert "<rect" in renderer.to_svg()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MapRenderer(width_m=0.0, height_m=100.0)
+
+
+class TestHtmlMap:
+    def test_page_structure(self, renderer):
+        renderer.add_estimate(Point(5.0, 5.0))
+        page = render_html_map(renderer, title="Test Map",
+                               caption="hello world")
+        assert page.startswith("<!DOCTYPE html>")
+        assert "Test Map" in page
+        assert "hello world" in page
+        assert "<svg" in page
+        assert "real mobile" in page  # legend
+
+    def test_writes_file(self, renderer, tmp_path):
+        path = tmp_path / "map.html"
+        render_html_map(renderer, output_path=path)
+        assert path.exists()
+        assert "<svg" in path.read_text()
+
+    def test_title_escaped(self, renderer):
+        page = render_html_map(renderer, title="<script>")
+        assert "<script>" not in page

@@ -1,0 +1,61 @@
+"""Region-overlay rendering tests."""
+
+import pytest
+
+from repro.display.svgmap import MapRenderer
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.geometry.region import DiscIntersection
+
+
+@pytest.fixture
+def renderer():
+    return MapRenderer(width_m=200.0, height_m=200.0, pixels=200)
+
+
+class TestRegionOverlay:
+    def test_lens_region_renders_path(self, renderer):
+        region = DiscIntersection([Circle(Point(80.0, 100.0), 40.0),
+                                   Circle(Point(120.0, 100.0), 40.0)])
+        renderer.add_region(region)
+        svg = renderer.to_svg()
+        assert "<path" in svg
+        assert svg.count(" A ") >= 1 or "A " in svg  # arc segments
+
+    def test_three_disc_region(self, renderer):
+        region = DiscIntersection([Circle(Point(80.0, 100.0), 50.0),
+                                   Circle(Point(120.0, 100.0), 50.0),
+                                   Circle(Point(100.0, 130.0), 50.0)])
+        renderer.add_region(region)
+        assert "<path" in renderer.to_svg()
+
+    def test_empty_region_renders_nothing(self, renderer):
+        region = DiscIntersection([Circle(Point(0.0, 0.0), 10.0),
+                                   Circle(Point(100.0, 0.0), 10.0)])
+        before = renderer.to_svg()
+        renderer.add_region(region)
+        assert renderer.to_svg() == before
+
+    def test_nested_region_renders_circle(self, renderer):
+        region = DiscIntersection([Circle(Point(100.0, 100.0), 80.0),
+                                   Circle(Point(100.0, 100.0), 20.0)])
+        renderer.add_region(region)
+        svg = renderer.to_svg()
+        assert 'fill-opacity="0.15"' in svg
+        assert "<circle" in svg
+
+    def test_single_disc_region(self, renderer):
+        region = DiscIntersection([Circle(Point(100.0, 100.0), 30.0)])
+        renderer.add_region(region)
+        assert "<circle" in renderer.to_svg()
+
+    def test_path_endpoints_match_vertices(self, renderer):
+        """The rendered arc path passes through the region vertices."""
+        region = DiscIntersection([Circle(Point(80.0, 100.0), 40.0),
+                                   Circle(Point(120.0, 100.0), 40.0)])
+        renderer.add_region(region)
+        svg = renderer.to_svg()
+        for vertex in region.vertices:
+            x, y = renderer._px(vertex)
+            # Coordinates appear (to 1 decimal) somewhere in the path.
+            assert f"{x:.1f}" in svg or f"{x:.2f}" in svg

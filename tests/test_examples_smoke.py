@@ -1,0 +1,55 @@
+"""Smoke tests: every example script runs end to end.
+
+Examples are part of the public API surface; these tests execute each
+one in-process (``runpy``) from a temp directory so any files they
+write stay out of the repository.
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "coverage_planning.py",
+    "urban_attack.py",
+    "active_attack.py",
+    "defenses_evaluation.py",
+    "campus_tracking.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip()  # every example reports something
+
+
+def test_quickstart_localizes_victim(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"),
+                   run_name="__main__")
+    out = capsys.readouterr().out
+    assert "M-Loc" in out
+    assert "error" in out
+
+
+def test_campus_tracking_writes_map(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    runpy.run_path(str(EXAMPLES_DIR / "campus_tracking.py"),
+                   run_name="__main__")
+    assert (tmp_path / "marauders_map.html").exists()
+
+
+def test_all_examples_have_docstrings():
+    scripts = sorted(EXAMPLES_DIR.glob("*.py"))
+    assert len(scripts) >= 8
+    for script in scripts:
+        text = script.read_text()
+        assert text.startswith('"""'), f"{script.name} lacks a docstring"
+        assert "Run:" in text, f"{script.name} lacks a Run: line"

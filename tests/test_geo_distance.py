@@ -1,0 +1,61 @@
+"""Great-circle / chord distance tests."""
+
+import math
+
+import pytest
+
+from repro.geo.distance import (
+    MEAN_EARTH_RADIUS_M,
+    ecef_distance,
+    haversine_distance,
+)
+from repro.geo.ecef import EcefCoordinate, geodetic_to_ecef
+from repro.geo.wgs84 import GeodeticCoordinate
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        p = GeodeticCoordinate(42.0, -71.0)
+        assert haversine_distance(p, p) == 0.0
+
+    def test_one_degree_latitude(self):
+        a = GeodeticCoordinate(42.0, -71.0)
+        b = GeodeticCoordinate(43.0, -71.0)
+        expected = math.radians(1.0) * MEAN_EARTH_RADIUS_M
+        assert haversine_distance(a, b) == pytest.approx(expected, rel=1e-9)
+
+    def test_symmetry(self):
+        a = GeodeticCoordinate(42.0, -71.0)
+        b = GeodeticCoordinate(38.9, -77.0)
+        assert haversine_distance(a, b) == pytest.approx(
+            haversine_distance(b, a))
+
+    def test_uml_to_gwu(self):
+        # The paper's two campuses: UMass Lowell and George Washington
+        # University — roughly 640 km apart.
+        uml = GeodeticCoordinate(42.6555, -71.3262)
+        gwu = GeodeticCoordinate(38.8997, -77.0486)
+        distance = haversine_distance(uml, gwu)
+        assert 600_000 < distance < 680_000
+
+    def test_antipodal_half_circumference(self):
+        a = GeodeticCoordinate(0.0, 0.0)
+        b = GeodeticCoordinate(0.0, 180.0)
+        assert haversine_distance(a, b) == pytest.approx(
+            math.pi * MEAN_EARTH_RADIUS_M, rel=1e-9)
+
+
+class TestEcefDistance:
+    def test_axis_aligned(self):
+        assert ecef_distance(EcefCoordinate(0, 0, 0),
+                             EcefCoordinate(3, 4, 0)) == pytest.approx(5.0)
+
+    def test_chord_below_arc(self):
+        a = GeodeticCoordinate(0.0, 0.0)
+        b = GeodeticCoordinate(0.0, 90.0)
+        chord = ecef_distance(geodetic_to_ecef(a), geodetic_to_ecef(b))
+        arc = haversine_distance(a, b)
+        assert chord < arc
+        # For a quarter circle, chord = R * sqrt(2) vs arc = R * pi/2.
+        assert chord / arc == pytest.approx(math.sqrt(2) / (math.pi / 2),
+                                            rel=0.01)

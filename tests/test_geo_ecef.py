@@ -1,0 +1,76 @@
+"""WGS-84 ↔ ECEF conversion tests (known points + roundtrip properties)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo.ecef import EcefCoordinate, ecef_to_geodetic, geodetic_to_ecef
+from repro.geo.wgs84 import GeodeticCoordinate, WGS84_A, WGS84_B
+
+lat = st.floats(min_value=-89.9, max_value=89.9,
+                allow_nan=False, allow_infinity=False)
+lon = st.floats(min_value=-180.0, max_value=180.0,
+                allow_nan=False, allow_infinity=False)
+alt = st.floats(min_value=-1000.0, max_value=50000.0,
+                allow_nan=False, allow_infinity=False)
+
+
+class TestKnownPoints:
+    def test_equator_prime_meridian(self):
+        ecef = geodetic_to_ecef(GeodeticCoordinate(0.0, 0.0, 0.0))
+        assert ecef.x == pytest.approx(WGS84_A)
+        assert ecef.y == pytest.approx(0.0, abs=1e-6)
+        assert ecef.z == pytest.approx(0.0, abs=1e-6)
+
+    def test_north_pole(self):
+        ecef = geodetic_to_ecef(GeodeticCoordinate(90.0, 0.0, 0.0))
+        assert ecef.x == pytest.approx(0.0, abs=1e-6)
+        assert ecef.z == pytest.approx(WGS84_B)
+
+    def test_equator_90_east(self):
+        ecef = geodetic_to_ecef(GeodeticCoordinate(0.0, 90.0, 0.0))
+        assert ecef.x == pytest.approx(0.0, abs=1e-6)
+        assert ecef.y == pytest.approx(WGS84_A)
+
+    def test_uml_campus(self):
+        # UMass Lowell north campus, the paper's main test site.
+        coordinate = GeodeticCoordinate(42.6555, -71.3262, 30.0)
+        ecef = geodetic_to_ecef(coordinate)
+        # Sanity: the vector length is between polar and equatorial
+        # radii (plus altitude).
+        norm = math.sqrt(ecef.x**2 + ecef.y**2 + ecef.z**2)
+        assert WGS84_B < norm < WGS84_A + 100.0
+
+    def test_altitude_moves_radially(self):
+        low = geodetic_to_ecef(GeodeticCoordinate(45.0, 10.0, 0.0))
+        high = geodetic_to_ecef(GeodeticCoordinate(45.0, 10.0, 1000.0))
+        delta = math.sqrt((high.x - low.x)**2 + (high.y - low.y)**2
+                          + (high.z - low.z)**2)
+        assert delta == pytest.approx(1000.0, rel=1e-9)
+
+
+class TestReverse:
+    def test_polar_axis(self):
+        coordinate = ecef_to_geodetic(EcefCoordinate(0.0, 0.0, WGS84_B + 5.0))
+        assert coordinate.latitude_deg == pytest.approx(90.0)
+        assert coordinate.altitude_m == pytest.approx(5.0, abs=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GeodeticCoordinate(91.0, 0.0)
+        with pytest.raises(ValueError):
+            GeodeticCoordinate(0.0, 181.0)
+
+
+class TestRoundtrip:
+    @given(lat, lon, alt)
+    def test_geodetic_ecef_roundtrip(self, latitude, longitude, altitude):
+        original = GeodeticCoordinate(latitude, longitude, altitude)
+        recovered = ecef_to_geodetic(geodetic_to_ecef(original))
+        assert recovered.latitude_deg == pytest.approx(latitude, abs=1e-9)
+        # Longitude wraps at ±180: compare circularly.
+        delta_lon = abs(recovered.longitude_deg - longitude) % 360.0
+        assert min(delta_lon, 360.0 - delta_lon) == pytest.approx(
+            0.0, abs=1e-9)
+        assert recovered.altitude_m == pytest.approx(altitude, abs=1e-6)

@@ -1,0 +1,68 @@
+"""Local tangent-plane tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo.distance import haversine_distance
+from repro.geo.enu import LocalTangentPlane
+from repro.geo.wgs84 import GeodeticCoordinate
+
+#: UMass Lowell north campus — the paper's sniffer location.
+UML = GeodeticCoordinate(42.6555, -71.3262, 30.0)
+
+small = st.floats(min_value=-2000.0, max_value=2000.0,
+                  allow_nan=False, allow_infinity=False)
+
+
+class TestLocalTangentPlane:
+    def test_origin_maps_to_zero(self):
+        plane = LocalTangentPlane(UML)
+        east, north, up = plane.to_enu(UML)
+        assert east == pytest.approx(0.0, abs=1e-9)
+        assert north == pytest.approx(0.0, abs=1e-9)
+        assert up == pytest.approx(0.0, abs=1e-9)
+
+    def test_north_displacement(self):
+        plane = LocalTangentPlane(UML)
+        # ~111 m per 0.001 degree of latitude.
+        north_point = GeodeticCoordinate(UML.latitude_deg + 0.001,
+                                         UML.longitude_deg,
+                                         UML.altitude_m)
+        east, north, _ = plane.to_enu(north_point)
+        assert north == pytest.approx(111.0, rel=0.01)
+        assert abs(east) < 0.5
+
+    def test_east_displacement(self):
+        plane = LocalTangentPlane(UML)
+        east_point = GeodeticCoordinate(UML.latitude_deg,
+                                        UML.longitude_deg + 0.001,
+                                        UML.altitude_m)
+        east, north, _ = plane.to_enu(east_point)
+        # Scaled by cos(latitude) at 42.65°N: ~81.7 m.
+        assert east == pytest.approx(81.7, rel=0.02)
+        assert abs(north) < 0.5
+
+    def test_planar_distance_matches_haversine(self):
+        plane = LocalTangentPlane(UML)
+        other = GeodeticCoordinate(42.6601, -71.3200, 30.0)
+        planar = plane.to_point(other).norm()
+        great_circle = haversine_distance(UML, other)
+        assert planar == pytest.approx(great_circle, rel=0.01)
+
+    @given(small, small)
+    def test_roundtrip_through_plane(self, east, north):
+        plane = LocalTangentPlane(UML)
+        coordinate = plane.from_enu(east, north, 0.0)
+        east2, north2, up2 = plane.to_enu(coordinate)
+        assert east2 == pytest.approx(east, abs=1e-6)
+        assert north2 == pytest.approx(north, abs=1e-6)
+        assert up2 == pytest.approx(0.0, abs=1e-6)
+
+    def test_point_roundtrip(self):
+        from repro.geometry.point import Point
+
+        plane = LocalTangentPlane(UML)
+        point = Point(250.0, -120.0)
+        recovered = plane.to_point(plane.from_point(point))
+        assert recovered.x == pytest.approx(point.x, abs=1e-6)
+        assert recovered.y == pytest.approx(point.y, abs=1e-6)

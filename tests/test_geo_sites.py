@@ -1,0 +1,38 @@
+"""Site-preset tests."""
+
+import pytest
+
+from repro.geo.distance import haversine_distance
+from repro.geo.sites import (
+    GWU_CAMPUS,
+    UML_NORTH_CAMPUS,
+    gwu_plane,
+    uml_plane,
+)
+
+
+class TestSites:
+    def test_uml_plane_origin(self):
+        plane = uml_plane()
+        east, north, up = plane.to_enu(UML_NORTH_CAMPUS)
+        assert abs(east) < 1e-6 and abs(north) < 1e-6 and abs(up) < 1e-6
+
+    def test_gwu_plane_origin(self):
+        plane = gwu_plane()
+        east, north, _ = plane.to_enu(GWU_CAMPUS)
+        assert abs(east) < 1e-6 and abs(north) < 1e-6
+
+    def test_campuses_are_massachusetts_and_dc(self):
+        assert 42.0 < UML_NORTH_CAMPUS.latitude_deg < 43.0
+        assert 38.0 < GWU_CAMPUS.latitude_deg < 39.5
+
+    def test_inter_campus_distance(self):
+        # ~640 km Lowell <-> Washington DC.
+        distance = haversine_distance(UML_NORTH_CAMPUS, GWU_CAMPUS)
+        assert 550_000 < distance < 700_000
+
+    def test_planes_are_independent(self):
+        # A point 100 m east of UML is far from the GWU origin.
+        spot = uml_plane().from_enu(100.0, 0.0)
+        east, north, _ = gwu_plane().to_enu(spot)
+        assert (east ** 2 + north ** 2) ** 0.5 > 100_000

@@ -1,0 +1,91 @@
+"""Point primitive tests, including hypothesis properties."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.point import Point, mean_point
+
+finite = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+
+
+class TestPointBasics:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_squared_distance(self):
+        assert Point(0, 0).squared_distance_to(Point(3, 4)) == pytest.approx(25.0)
+
+    def test_add_sub(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+        assert Point(3, 4) - Point(1, 2) == Point(2, 2)
+
+    def test_scalar_mul_div(self):
+        assert Point(1, 2) * 3 == Point(3, 6)
+        assert 3 * Point(1, 2) == Point(3, 6)
+        assert Point(3, 6) / 3 == Point(1, 2)
+
+    def test_iter_unpack(self):
+        x, y = Point(7, 8)
+        assert (x, y) == (7, 8)
+
+    def test_norm_angle(self):
+        p = Point(0, 2)
+        assert p.norm() == pytest.approx(2.0)
+        assert p.angle() == pytest.approx(math.pi / 2)
+
+    def test_rotated_quarter_turn(self):
+        rotated = Point(1, 0).rotated(math.pi / 2)
+        assert rotated.x == pytest.approx(0.0, abs=1e-12)
+        assert rotated.y == pytest.approx(1.0)
+
+    def test_as_tuple(self):
+        assert Point(1.5, -2.5).as_tuple() == (1.5, -2.5)
+
+    def test_is_close(self):
+        assert Point(1, 1).is_close(Point(1 + 1e-10, 1 - 1e-10))
+        assert not Point(1, 1).is_close(Point(1.1, 1))
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Point(0, 0).x = 5
+
+
+class TestMeanPoint:
+    def test_single(self):
+        assert mean_point([Point(3, 4)]) == Point(3, 4)
+
+    def test_square_center(self):
+        corners = [Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)]
+        assert mean_point(corners) == Point(1, 1)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_point([])
+
+    def test_generator_input(self):
+        assert mean_point(Point(i, i) for i in range(3)) == Point(1, 1)
+
+
+class TestPointProperties:
+    @given(finite, finite, finite, finite)
+    def test_distance_symmetry(self, ax, ay, bx, by):
+        a, b = Point(ax, ay), Point(bx, by)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(finite, finite, finite, finite, finite, finite)
+    def test_triangle_inequality(self, ax, ay, bx, by, cx, cy):
+        a, b, c = Point(ax, ay), Point(bx, by), Point(cx, cy)
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+    @given(finite, finite)
+    def test_distance_to_self_is_zero(self, x, y):
+        assert Point(x, y).distance_to(Point(x, y)) == 0.0
+
+    @given(finite, finite, st.floats(min_value=-math.pi, max_value=math.pi))
+    def test_rotation_preserves_norm(self, x, y, angle):
+        p = Point(x, y)
+        assert p.rotated(angle).norm() == pytest.approx(
+            p.norm(), rel=1e-9, abs=1e-9)

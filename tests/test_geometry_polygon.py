@@ -1,0 +1,73 @@
+"""Shoelace area / centroid tests."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import polygon_area, polygon_centroid
+
+
+class TestPolygonArea:
+    def test_unit_square_ccw(self):
+        square = [Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)]
+        assert polygon_area(square) == pytest.approx(1.0)
+
+    def test_unit_square_cw_negative(self):
+        square = [Point(0, 0), Point(0, 1), Point(1, 1), Point(1, 0)]
+        assert polygon_area(square) == pytest.approx(-1.0)
+
+    def test_triangle(self):
+        triangle = [Point(0, 0), Point(4, 0), Point(0, 3)]
+        assert polygon_area(triangle) == pytest.approx(6.0)
+
+    def test_degenerate_two_points(self):
+        assert polygon_area([Point(0, 0), Point(5, 5)]) == 0.0
+
+    def test_empty(self):
+        assert polygon_area([]) == 0.0
+
+    def test_translation_invariant(self):
+        base = [Point(0, 0), Point(2, 0), Point(1, 3)]
+        moved = [Point(p.x + 100, p.y - 50) for p in base]
+        assert polygon_area(moved) == pytest.approx(polygon_area(base))
+
+
+class TestPolygonCentroid:
+    def test_square(self):
+        square = [Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)]
+        centroid = polygon_centroid(square)
+        assert centroid.x == pytest.approx(1.0)
+        assert centroid.y == pytest.approx(1.0)
+
+    def test_triangle_matches_vertex_mean(self):
+        # For triangles the area centroid equals the vertex mean.
+        triangle = [Point(0, 0), Point(3, 0), Point(0, 3)]
+        centroid = polygon_centroid(triangle)
+        assert centroid.x == pytest.approx(1.0)
+        assert centroid.y == pytest.approx(1.0)
+
+    def test_nonuniform_vertices_differ_from_mean(self):
+        # An L-shape whose vertex mean is NOT its area centroid.
+        l_shape = [Point(0, 0), Point(4, 0), Point(4, 1), Point(1, 1),
+                   Point(1, 3), Point(0, 3)]
+        centroid = polygon_centroid(l_shape)
+        vertex_mean_x = sum(p.x for p in l_shape) / len(l_shape)
+        assert centroid.x != pytest.approx(vertex_mean_x, abs=1e-6)
+        # Known centroid of this L (area 6: a 4x1 box plus a 1x2 box).
+        assert centroid.x == pytest.approx((4 * 2.0 + 2 * 0.5) / 6)
+        assert centroid.y == pytest.approx((4 * 0.5 + 2 * 2.0) / 6)
+
+    def test_two_point_fallback_is_midpoint(self):
+        centroid = polygon_centroid([Point(0, 0), Point(2, 4)])
+        assert centroid == Point(1, 2)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            polygon_centroid([])
+
+    def test_orientation_independent(self):
+        ccw = [Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)]
+        cw = list(reversed(ccw))
+        assert polygon_centroid(cw).x == pytest.approx(
+            polygon_centroid(ccw).x)
+        assert polygon_centroid(cw).y == pytest.approx(
+            polygon_centroid(ccw).y)

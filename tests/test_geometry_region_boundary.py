@@ -1,0 +1,93 @@
+"""Arc-boundary invariants of DiscIntersection (golden + property)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.geometry.region import DiscIntersection
+
+coord = st.floats(min_value=-5.0, max_value=5.0,
+                  allow_nan=False, allow_infinity=False)
+radius = st.floats(min_value=1.0, max_value=6.0,
+                   allow_nan=False, allow_infinity=False)
+
+
+def disc():
+    return st.builds(lambda x, y, r: Circle(Point(x, y), r),
+                     coord, coord, radius)
+
+
+class TestGoldenReuleaux:
+    """Three unit circles centered on an equilateral triangle of side 1
+    form a Reuleaux triangle: area = (pi - sqrt(3)) / 2."""
+
+    def region(self):
+        h = math.sqrt(3) / 2.0
+        return DiscIntersection([
+            Circle(Point(0.0, 0.0), 1.0),
+            Circle(Point(1.0, 0.0), 1.0),
+            Circle(Point(0.5, h), 1.0),
+        ])
+
+    def test_reuleaux_area(self):
+        expected = (math.pi - math.sqrt(3)) / 2.0
+        assert self.region().area == pytest.approx(expected, rel=1e-9)
+
+    def test_reuleaux_vertices_are_the_centers(self):
+        # The three corners of the Reuleaux triangle are exactly the
+        # circle centers (each pair of unit circles at distance 1
+        # intersects at the third center and one outside point).
+        vertices = self.region().vertices
+        assert len(vertices) == 3
+        centers = {(0.0, 0.0), (1.0, 0.0)}
+        found = {(round(v.x, 9), round(v.y, 9)) for v in vertices}
+        assert (0.0, 0.0) in found
+        assert (1.0, 0.0) in found
+
+    def test_reuleaux_centroid_is_triangle_center(self):
+        centroid = self.region().centroid()
+        assert centroid.x == pytest.approx(0.5, abs=1e-9)
+        assert centroid.y == pytest.approx(math.sqrt(3) / 6.0, abs=1e-9)
+
+    def test_vertex_centroid_matches_region_centroid_by_symmetry(self):
+        region = self.region()
+        assert region.vertex_centroid().is_close(region.centroid(),
+                                                 tol=1e-9)
+
+
+class TestBoundaryClosure:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(disc(), min_size=2, max_size=5))
+    def test_arcs_form_a_closed_boundary(self, discs):
+        """Each arc ends where the next begins (cyclically)."""
+        region = DiscIntersection(discs)
+        arcs = region._arcs or []
+        if len(arcs) < 2:
+            return
+        scale = max(d.radius for d in discs)
+        for (c1, start1, sweep1), (c2, start2, _) in zip(
+                arcs, arcs[1:] + arcs[:1]):
+            end = c1.point_at(start1 + sweep1)
+            start = c2.point_at(start2)
+            assert end.distance_to(start) < 1e-4 * scale
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(disc(), min_size=2, max_size=5))
+    def test_arc_midpoints_inside_region(self, discs):
+        region = DiscIntersection(discs)
+        for circle, start, sweep in region._arcs or []:
+            midpoint = circle.point_at(start + sweep / 2.0)
+            assert region.contains(midpoint, tol=1e-5 * circle.radius)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(disc(), min_size=2, max_size=5))
+    def test_arc_count_equals_vertex_count(self, discs):
+        # A closed arc-polygon has exactly one boundary arc per vertex.
+        region = DiscIntersection(discs)
+        vertices = region.vertices
+        arcs = region._arcs or []
+        if len(vertices) >= 2 and arcs:
+            assert len(arcs) == len(vertices)

@@ -1,0 +1,103 @@
+"""AP-database tests."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.knowledge.apdb import ApDatabase, ApRecord
+from repro.net80211.mac import MacAddress
+from repro.net80211.ssid import Ssid
+
+from tests.helpers import make_record
+
+
+class TestApRecord:
+    def test_coverage_disc_with_range(self):
+        record = make_record(0, 10.0, 20.0, max_range_m=50.0)
+        disc = record.coverage_disc()
+        assert disc.center == Point(10.0, 20.0)
+        assert disc.radius == 50.0
+
+    def test_coverage_disc_fallback(self):
+        record = make_record(0, 10.0, 20.0)  # no range
+        assert record.coverage_disc(fallback_range_m=99.0).radius == 99.0
+
+    def test_coverage_disc_no_range_no_fallback(self):
+        record = make_record(0, 10.0, 20.0)
+        with pytest.raises(ValueError):
+            record.coverage_disc()
+
+
+class TestApDatabase:
+    def test_add_get_contains(self, square_db):
+        record = make_record(0, 0.0, 0.0, 80.0)
+        assert record.bssid in square_db
+        assert square_db.get(record.bssid).location == Point(0.0, 0.0)
+        assert square_db.get(MacAddress(0xFFFF)) is None
+        assert len(square_db) == 4
+
+    def test_add_replaces(self):
+        db = ApDatabase([make_record(0, 0.0, 0.0, 50.0)])
+        db.add(make_record(0, 5.0, 5.0, 60.0))
+        assert len(db) == 1
+        assert db.get(make_record(0, 0, 0).bssid).max_range_m == 60.0
+
+    def test_records_for_skips_unknown(self, square_db):
+        known = make_record(0, 0, 0).bssid
+        unknown = MacAddress(0xDEAD)
+        records = square_db.records_for({known, unknown})
+        assert [r.bssid for r in records] == [known]
+
+    def test_records_for_strict_raises(self, square_db):
+        with pytest.raises(KeyError):
+            square_db.records_for({MacAddress(0xDEAD)},
+                                  skip_unknown=False)
+
+    def test_records_for_stable_order(self, square_db):
+        bssids = square_db.bssids
+        records = square_db.records_for(set(bssids))
+        assert [r.bssid for r in records] == sorted(bssids)
+
+    def test_subset(self, square_db):
+        keep = {make_record(0, 0, 0).bssid, make_record(2, 0, 0).bssid}
+        subset = square_db.subset(keep)
+        assert len(subset) == 2
+        assert set(subset.bssids) == keep
+
+    def test_without_ranges(self, square_db):
+        stripped = square_db.without_ranges()
+        assert all(r.max_range_m is None for r in stripped)
+        # Original untouched.
+        assert all(r.max_range_m == 80.0 for r in square_db)
+
+    def test_with_position_noise(self, square_db):
+        rng = np.random.default_rng(0)
+        noisy = square_db.with_position_noise(rng, sigma_m=5.0)
+        moved = [noisy.get(r.bssid).location.distance_to(r.location)
+                 for r in square_db]
+        assert all(d > 0.0 for d in moved)
+        assert max(moved) < 30.0  # ~6 sigma
+
+    def test_with_zero_noise_preserves(self, square_db):
+        rng = np.random.default_rng(0)
+        same = square_db.with_position_noise(rng, sigma_m=0.0)
+        for record in square_db:
+            assert same.get(record.bssid).location == record.location
+
+    def test_noise_validation(self, square_db):
+        with pytest.raises(ValueError):
+            square_db.with_position_noise(np.random.default_rng(0), -1.0)
+
+    def test_observable_from_center(self, square_db):
+        gamma = square_db.observable_from(Point(50.0, 50.0))
+        assert gamma == set(square_db.bssids)  # center sees all four
+
+    def test_observable_from_corner(self, square_db):
+        # At (0, 0): its own AP at distance 0, the two adjacent corners
+        # at 100 m (> 80 m range), the far corner at 141 m.
+        gamma = square_db.observable_from(Point(0.0, 0.0))
+        assert gamma == {make_record(0, 0, 0).bssid}
+
+    def test_observable_requires_ranges(self, square_db):
+        with pytest.raises(ValueError):
+            square_db.without_ranges().observable_from(Point(0, 0))

@@ -1,0 +1,68 @@
+"""Wardriving / training-tuple tests."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.knowledge.wardrive import (
+    TrainingTuple,
+    Wardriver,
+    aps_in_training_data,
+    tuples_observing,
+)
+from repro.net80211.mac import MacAddress
+
+AP1 = MacAddress(1)
+AP2 = MacAddress(2)
+AP3 = MacAddress(3)
+
+
+class TestTrainingTuple:
+    def test_observed_coerced_to_frozenset(self):
+        entry = TrainingTuple(Point(0, 0), {AP1, AP2})
+        assert isinstance(entry.observed, frozenset)
+
+    def test_hashable(self):
+        a = TrainingTuple(Point(0, 0), frozenset({AP1}), 1.0)
+        b = TrainingTuple(Point(0, 0), frozenset({AP1}), 1.0)
+        assert len({a, b}) == 1
+
+
+class TestWardriver:
+    def test_collect_records_oracle_output(self):
+        def oracle(point):
+            return {AP1} if point.x < 50 else {AP2}
+
+        route = [Point(0, 0), Point(100, 0)]
+        tuples = Wardriver(oracle).collect(route)
+        assert tuples[0].observed == frozenset({AP1})
+        assert tuples[1].observed == frozenset({AP2})
+
+    def test_timestamps_advance(self):
+        tuples = Wardriver(lambda p: set()).collect(
+            [Point(0, 0)] * 3, start_time=10.0, seconds_per_stop=5.0)
+        assert [t.timestamp for t in tuples] == [10.0, 15.0, 20.0]
+
+    def test_against_ap_database_oracle(self, square_db):
+        tuples = Wardriver(square_db.observable_from).collect(
+            [Point(50.0, 50.0), Point(0.0, 0.0)])
+        assert len(tuples[0].observed) == 4
+        assert len(tuples[1].observed) == 1
+
+
+class TestHelpers:
+    def test_aps_in_training_data(self):
+        tuples = [
+            TrainingTuple(Point(0, 0), frozenset({AP1, AP2})),
+            TrainingTuple(Point(1, 0), frozenset({AP2, AP3})),
+        ]
+        assert aps_in_training_data(tuples) == frozenset({AP1, AP2, AP3})
+
+    def test_tuples_observing(self):
+        tuples = [
+            TrainingTuple(Point(0, 0), frozenset({AP1, AP2})),
+            TrainingTuple(Point(1, 0), frozenset({AP2})),
+            TrainingTuple(Point(2, 0), frozenset({AP3})),
+        ]
+        assert len(tuples_observing(tuples, AP2)) == 2
+        assert len(tuples_observing(tuples, AP3)) == 1
+        assert tuples_observing(tuples, MacAddress(9)) == []

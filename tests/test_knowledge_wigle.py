@@ -1,0 +1,73 @@
+"""WiGLE CSV import/export tests."""
+
+import pytest
+
+from repro.geo.enu import LocalTangentPlane
+from repro.geo.wgs84 import GeodeticCoordinate
+from repro.knowledge.apdb import ApDatabase, ApRecord
+from repro.knowledge.wigle import export_wigle_csv, import_wigle_csv
+from repro.geometry.point import Point
+from repro.net80211.mac import MacAddress
+from repro.net80211.ssid import Ssid
+
+UML = GeodeticCoordinate(42.6555, -71.3262, 0.0)
+
+
+@pytest.fixture
+def plane():
+    return LocalTangentPlane(UML)
+
+
+@pytest.fixture
+def sample_db():
+    return ApDatabase([
+        ApRecord(bssid=MacAddress.parse("00:15:6d:00:00:01"),
+                 ssid=Ssid("CampusNet"), location=Point(100.0, 200.0),
+                 max_range_m=55.0, channel=6),
+        ApRecord(bssid=MacAddress.parse("00:15:6d:00:00:02"),
+                 ssid=Ssid(""), location=Point(-50.0, 30.0),
+                 channel=None),
+    ])
+
+
+class TestRoundtrip:
+    def test_export_import(self, tmp_path, plane, sample_db):
+        path = tmp_path / "wigle.csv"
+        export_wigle_csv(sample_db, path, plane)
+        recovered = import_wigle_csv(path, plane)
+        assert len(recovered) == 2
+        for record in sample_db:
+            loaded = recovered.get(record.bssid)
+            assert loaded is not None
+            assert loaded.ssid == record.ssid
+            assert loaded.channel == record.channel
+            # Positions survive the geodetic roundtrip to sub-meter.
+            assert loaded.location.distance_to(record.location) < 0.01
+
+    def test_import_drops_ranges(self, tmp_path, plane, sample_db):
+        # WiGLE publishes no transmission distances.
+        path = tmp_path / "wigle.csv"
+        export_wigle_csv(sample_db, path, plane)
+        recovered = import_wigle_csv(path, plane)
+        assert all(r.max_range_m is None for r in recovered)
+
+    def test_missing_columns_rejected(self, tmp_path, plane):
+        path = tmp_path / "bad.csv"
+        path.write_text("netid,ssid\n00:11:22:33:44:55,x\n")
+        with pytest.raises(ValueError, match="missing columns"):
+            import_wigle_csv(path, plane)
+
+    def test_csv_format_shape(self, tmp_path, plane, sample_db):
+        path = tmp_path / "wigle.csv"
+        export_wigle_csv(sample_db, path, plane)
+        header = path.read_text().splitlines()[0]
+        assert header == "netid,ssid,trilat,trilong,channel"
+
+    def test_import_blank_channel(self, tmp_path, plane):
+        path = tmp_path / "wigle.csv"
+        path.write_text(
+            "netid,ssid,trilat,trilong,channel\n"
+            "00:11:22:33:44:55,net,42.6555,-71.3262,\n")
+        db = import_wigle_csv(path, plane)
+        record = db.get(MacAddress.parse("00:11:22:33:44:55"))
+        assert record.channel is None

@@ -1,0 +1,173 @@
+"""AP-Loc algorithm tests."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.knowledge.wardrive import TrainingTuple, Wardriver
+from repro.localization.aploc import APLoc
+from repro.net80211.mac import MacAddress
+from repro.sim.mobility import grid_route
+
+from tests.helpers import make_record
+
+
+def square_training(square_db, rows=4, per_row=4, margin=60.0):
+    """A training sweep that *surrounds* the APs.
+
+    Disc-intersection placement is biased when all observing training
+    points lie to one side of an AP (the intersection centroid is
+    dragged toward them), so the route extends ``margin`` beyond the AP
+    bounding box — the paper's drives "around the neighborhood" do the
+    same implicitly.
+    """
+    route = grid_route(-margin, -margin, 100.0 + margin, 100.0 + margin,
+                       rows, per_row)
+    return Wardriver(square_db.observable_from).collect(route)
+
+
+class TestApPlacement:
+    def test_places_all_trained_aps(self, square_db):
+        training = square_training(square_db)
+        aploc = APLoc(training, training_radius_m=100.0, r_max=100.0)
+        locations = aploc.estimate_ap_locations()
+        assert set(locations) == set(square_db.bssids)
+
+    def test_placement_accuracy(self, square_db):
+        training = square_training(square_db, rows=8, per_row=8)
+        aploc = APLoc(training, training_radius_m=90.0, r_max=100.0)
+        locations = aploc.estimate_ap_locations()
+        for bssid, estimated in locations.items():
+            truth = square_db.get(bssid).location
+            assert estimated.distance_to(truth) < 20.0
+
+    def test_more_tuples_improve_placement(self, square_db):
+        sparse = square_training(square_db, rows=3, per_row=3)
+        dense = square_training(square_db, rows=9, per_row=9)
+
+        def mean_error(training):
+            aploc = APLoc(training, training_radius_m=90.0, r_max=100.0)
+            locations = aploc.estimate_ap_locations()
+            return np.mean([
+                square_db.get(b).location.distance_to(loc)
+                for b, loc in locations.items()
+            ])
+
+        assert mean_error(dense) <= mean_error(sparse) + 1.0
+
+    def test_placement_cached(self, square_db):
+        aploc = APLoc(square_training(square_db), training_radius_m=90.0,
+                      r_max=100.0)
+        first = aploc.estimate_ap_locations()
+        second = aploc.estimate_ap_locations()
+        assert first == second
+
+    def test_empty_intersection_falls_back_to_mean(self):
+        # Two training points 300 m apart both claim to see the AP but
+        # the training radius is only 100 m: the discs are disjoint.
+        ap = MacAddress(7)
+        training = [
+            TrainingTuple(Point(0.0, 0.0), frozenset({ap})),
+            TrainingTuple(Point(300.0, 0.0), frozenset({ap})),
+        ]
+        aploc = APLoc(training, training_radius_m=100.0, r_max=100.0)
+        locations = aploc.estimate_ap_locations()
+        assert locations[ap] == Point(150.0, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            APLoc([], training_radius_m=0.0, r_max=100.0)
+
+
+class TestEndToEnd:
+    def test_locate_before_fit_raises(self, square_db):
+        aploc = APLoc(square_training(square_db), training_radius_m=90.0,
+                      r_max=100.0)
+        with pytest.raises(RuntimeError, match="before fit"):
+            aploc.locate(square_db.bssids)
+
+    def test_full_pipeline(self, square_db):
+        rng = np.random.default_rng(2)
+        training = square_training(square_db, rows=6, per_row=6)
+        corpus = []
+        for _ in range(200):
+            p = Point(*(rng.uniform(0, 100, 2)))
+            gamma = square_db.observable_from(p)
+            if gamma:
+                corpus.append(gamma)
+        aploc = APLoc(training, training_radius_m=90.0, r_max=100.0)
+        aploc.fit(corpus)
+        truth = Point(50.0, 50.0)
+        estimate = aploc.locate(square_db.observable_from(truth))
+        assert estimate is not None
+        assert estimate.algorithm == "ap-loc"
+        assert estimate.error_to(truth) < 40.0
+
+    def test_fit_and_locate_all(self, square_db):
+        training = square_training(square_db)
+        corpus = [set(square_db.bssids)]
+        aploc = APLoc(training, training_radius_m=90.0, r_max=100.0)
+        estimates = aploc.fit_and_locate_all(corpus)
+        assert len(estimates) == 1
+        assert estimates[0] is not None
+
+    def test_refinement_runs_and_does_not_hurt(self, square_db):
+        """The iterative-refinement extension: alternating placement
+        and radius estimation.  Its benefit depends on training density
+        (grid discretization dominates when sparse), so the contract is
+        mechanism correctness plus no regression."""
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        training = square_training(square_db, rows=7, per_row=7)
+        corpus = []
+        for _ in range(200):
+            p = Point(*(rng.uniform(0, 100, 2)))
+            gamma = square_db.observable_from(p)
+            if gamma:
+                corpus.append(gamma)
+
+        def mean_error(refine):
+            aploc = APLoc(training, training_radius_m=90.0, r_max=100.0,
+                          refine_iterations=refine)
+            aploc.fit(corpus)
+            locations = aploc.estimate_ap_locations()
+            return np.mean([
+                square_db.get(b).location.distance_to(loc)
+                for b, loc in locations.items()])
+
+        baseline = mean_error(0)
+        refined = mean_error(2)
+        assert refined <= baseline + 5.0  # never substantially worse
+
+    def test_refinement_keeps_location_on_empty_region(self):
+        # An AP whose refined (smaller-radius) discs become disjoint
+        # keeps its previous placement rather than exploding.
+        ap = MacAddress(3)
+        training = [
+            TrainingTuple(Point(0.0, 0.0), frozenset({ap})),
+            TrainingTuple(Point(150.0, 0.0), frozenset({ap})),
+        ]
+        aploc = APLoc(training, training_radius_m=100.0, r_max=100.0,
+                      r_min=1.0, refine_iterations=1)
+        # The corpus gives the LP no reason to keep the radius large.
+        aploc.fit([{ap}])
+        locations = aploc.estimate_ap_locations()
+        assert ap in locations
+        # Stays on the segment between the training points.
+        assert -1.0 <= locations[ap].y <= 1.0
+        assert 0.0 <= locations[ap].x <= 150.0
+
+    def test_refinement_validation(self, square_db):
+        with pytest.raises(ValueError):
+            APLoc(square_training(square_db), training_radius_m=90.0,
+                  r_max=100.0, refine_iterations=-1)
+
+    def test_untrained_ap_invisible(self, square_db):
+        # An AP never seen in training cannot be used for localization.
+        training = [TrainingTuple(Point(50.0, 50.0),
+                                  frozenset({square_db.bssids[0]}))]
+        aploc = APLoc(training, training_radius_m=90.0, r_max=100.0)
+        aploc.fit([{square_db.bssids[0]}])
+        estimate = aploc.locate({square_db.bssids[1]})
+        assert estimate is None

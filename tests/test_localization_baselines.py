@@ -1,0 +1,107 @@
+"""Centroid and Nearest-AP baseline tests, including the Fig 4 bias demo."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.knowledge.apdb import ApDatabase
+from repro.localization.centroid import CentroidLocalizer
+from repro.localization.mloc import MLoc
+from repro.localization.nearest import NearestApLocalizer
+from repro.net80211.mac import MacAddress
+
+from tests.helpers import make_record
+
+
+class TestCentroid:
+    def test_mean_of_locations(self, square_db):
+        estimate = CentroidLocalizer(square_db).locate(square_db.bssids)
+        assert estimate.position == Point(50.0, 50.0)
+        assert estimate.region is None
+        assert estimate.area_m2 == 0.0
+
+    def test_never_covers(self, square_db):
+        estimate = CentroidLocalizer(square_db).locate(square_db.bssids)
+        assert not estimate.covers(Point(50.0, 50.0))
+
+    def test_unknown_only_returns_none(self, square_db):
+        assert CentroidLocalizer(square_db).locate(
+            {MacAddress(0xDEAD)}) is None
+
+    def test_works_without_ranges(self, square_db):
+        estimate = CentroidLocalizer(square_db.without_ranges()).locate(
+            square_db.bssids)
+        assert estimate.position == Point(50.0, 50.0)
+
+    def test_figure4_bias(self):
+        """The paper's Fig 4: clustered extra APs drag the centroid away
+        while disc-intersection only gets tighter."""
+        truth = Point(50.0, 50.0)
+        # 5 APs spread around the truth...
+        records = [
+            make_record(0, 10.0, 50.0, 90.0),
+            make_record(1, 90.0, 50.0, 90.0),
+            make_record(2, 50.0, 10.0, 90.0),
+            make_record(3, 50.0, 90.0, 90.0),
+            make_record(4, 50.0, 50.0, 90.0),
+        ]
+        db_uniform = ApDatabase(records)
+        # ... plus 10 APs clustered far to one side (still covering
+        # the truth thanks to big radii).
+        clustered = records + [
+            make_record(5 + i, 110.0 + i, 110.0, 120.0) for i in range(10)
+        ]
+        db_biased = ApDatabase(clustered)
+
+        centroid_uniform = CentroidLocalizer(db_uniform).locate(
+            db_uniform.bssids).error_to(truth)
+        centroid_biased = CentroidLocalizer(db_biased).locate(
+            db_biased.bssids).error_to(truth)
+        assert centroid_biased > centroid_uniform + 10.0  # bias hurts
+
+        mloc_uniform = MLoc(db_uniform).locate(
+            db_uniform.bssids).error_to(truth)
+        mloc_biased = MLoc(db_biased).locate(
+            db_biased.bssids).error_to(truth)
+        # Disc intersection cannot get *worse* in area with more APs,
+        # and here its error stays far below the biased centroid's.
+        assert mloc_biased < centroid_biased
+
+        area_uniform = MLoc(db_uniform).locate(db_uniform.bssids).area_m2
+        area_biased = MLoc(db_biased).locate(db_biased.bssids).area_m2
+        assert area_biased <= area_uniform + 1e-6
+
+
+class TestNearestAp:
+    def test_picks_smallest_radius(self):
+        db = ApDatabase([make_record(0, 0.0, 0.0, 100.0),
+                         make_record(1, 50.0, 0.0, 30.0)])
+        estimate = NearestApLocalizer(db).locate(db.bssids)
+        assert estimate.position == Point(50.0, 0.0)
+        assert estimate.area_m2 > 0.0  # the chosen AP's disc
+
+    def test_without_ranges_uses_first_stable(self, square_db):
+        db = square_db.without_ranges()
+        first = NearestApLocalizer(db).locate(db.bssids)
+        second = NearestApLocalizer(db).locate(db.bssids)
+        assert first.position == second.position
+        assert first.region is None
+
+    def test_unknown_only_returns_none(self, square_db):
+        assert NearestApLocalizer(square_db).locate(
+            {MacAddress(0xDEAD)}) is None
+
+    def test_equivalent_to_mloc_at_k1(self):
+        # "when a mobile device can only communicate with one AP ...
+        # the disc-intersection approach is essentially reduced to the
+        # nearest AP approach."
+        db = ApDatabase([make_record(0, 30.0, 40.0, 50.0)])
+        nearest = NearestApLocalizer(db).locate(db.bssids)
+        mloc = MLoc(db).locate(db.bssids)
+        assert nearest.position == mloc.position
+
+    def test_disc_intersection_beats_nearest_for_k_over_1(self, square_db):
+        # Ablation claim: for k > 1 the intersected region is strictly
+        # smaller than any single coverage disc.
+        mloc = MLoc(square_db).locate(square_db.bssids)
+        nearest = NearestApLocalizer(square_db).locate(square_db.bssids)
+        assert mloc.area_m2 < nearest.area_m2

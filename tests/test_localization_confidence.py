@@ -1,0 +1,64 @@
+"""Confidence-radius (CEP) tests on localization estimates."""
+
+import math
+
+import pytest
+
+from repro.knowledge.apdb import ApDatabase
+from repro.localization.centroid import CentroidLocalizer
+from repro.localization.mloc import MLoc
+
+from tests.helpers import make_record
+
+
+class TestConfidenceRadius:
+    def test_single_disc_cep(self):
+        """For a uniform disc of radius R centered on the estimate,
+        the fraction-q radius is R * sqrt(q)."""
+        db = ApDatabase([make_record(0, 50.0, 50.0, 40.0)])
+        estimate = MLoc(db).locate(db.bssids)
+        cep50 = estimate.confidence_radius_m(0.5, samples=20000)
+        assert cep50 == pytest.approx(40.0 * math.sqrt(0.5), rel=0.05)
+        cep90 = estimate.confidence_radius_m(0.9, samples=20000)
+        assert cep90 == pytest.approx(40.0 * math.sqrt(0.9), rel=0.05)
+
+    def test_monotone_in_fraction(self, square_db):
+        estimate = MLoc(square_db).locate(square_db.bssids)
+        values = [estimate.confidence_radius_m(f, samples=8000)
+                  for f in (0.25, 0.5, 0.75, 0.95)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_bounded_by_region_extent(self, square_db):
+        estimate = MLoc(square_db).locate(square_db.bssids)
+        min_x, min_y, max_x, max_y = estimate.region.bounding_box()
+        diagonal = math.hypot(max_x - min_x, max_y - min_y)
+        assert estimate.confidence_radius_m(1.0) <= diagonal
+
+    def test_deterministic(self, square_db):
+        estimate = MLoc(square_db).locate(square_db.bssids)
+        assert estimate.confidence_radius_m(0.5, seed=3) == \
+            estimate.confidence_radius_m(0.5, seed=3)
+
+    def test_none_for_centroid(self, square_db):
+        estimate = CentroidLocalizer(square_db).locate(square_db.bssids)
+        assert estimate.confidence_radius_m() is None
+
+    def test_none_for_empty_region(self):
+        db = ApDatabase([make_record(0, 0.0, 0.0, 40.0),
+                         make_record(1, 100.0, 0.0, 40.0)])
+        estimate = MLoc(db).locate(db.bssids)
+        assert estimate.region_empty
+        assert estimate.confidence_radius_m() is None
+
+    def test_validation(self, square_db):
+        estimate = MLoc(square_db).locate(square_db.bssids)
+        with pytest.raises(ValueError):
+            estimate.confidence_radius_m(0.0)
+        with pytest.raises(ValueError):
+            estimate.confidence_radius_m(1.5)
+
+    def test_smaller_region_smaller_cep(self, square_db):
+        many = MLoc(square_db).locate(square_db.bssids)
+        one = MLoc(square_db).locate(square_db.bssids[:1])
+        assert (many.confidence_radius_m(0.5)
+                < one.confidence_radius_m(0.5))

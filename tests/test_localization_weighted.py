@@ -1,0 +1,78 @@
+"""Weighted-centroid baseline tests."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.knowledge.apdb import ApDatabase
+from repro.localization import (
+    CentroidLocalizer,
+    MLoc,
+    WeightedCentroidLocalizer,
+)
+from repro.net80211.mac import MacAddress
+
+from tests.helpers import make_record
+
+
+class TestWeightedCentroid:
+    def test_equal_radii_equals_plain_centroid(self, square_db):
+        weighted = WeightedCentroidLocalizer(square_db).locate(
+            square_db.bssids)
+        plain = CentroidLocalizer(square_db).locate(square_db.bssids)
+        assert weighted.position.is_close(plain.position, tol=1e-9)
+
+    def test_small_radius_ap_dominates(self):
+        db = ApDatabase([make_record(0, 0.0, 0.0, 10.0),
+                         make_record(1, 100.0, 0.0, 100.0)])
+        estimate = WeightedCentroidLocalizer(db).locate(db.bssids)
+        # Weight 1/10 vs 1/100: pulled strongly toward the short-range AP.
+        assert estimate.position.x == pytest.approx(100.0 / 11.0, rel=1e-6)
+
+    def test_power_zero_is_unweighted(self):
+        db = ApDatabase([make_record(0, 0.0, 0.0, 10.0),
+                         make_record(1, 100.0, 0.0, 100.0)])
+        estimate = WeightedCentroidLocalizer(db, power=0.0).locate(
+            db.bssids)
+        assert estimate.position.x == pytest.approx(50.0)
+
+    def test_fallback_radius(self):
+        db = ApDatabase([make_record(0, 0.0, 0.0),
+                         make_record(1, 100.0, 0.0, 50.0)])
+        estimate = WeightedCentroidLocalizer(
+            db, fallback_range_m=50.0).locate(db.bssids)
+        assert estimate.used_ap_count == 2
+
+    def test_records_without_radius_skipped(self):
+        db = ApDatabase([make_record(0, 0.0, 0.0),
+                         make_record(1, 100.0, 0.0, 50.0)])
+        estimate = WeightedCentroidLocalizer(db).locate(db.bssids)
+        assert estimate.used_ap_count == 1
+        assert estimate.position == Point(100.0, 0.0)
+
+    def test_no_usable_records_returns_none(self):
+        db = ApDatabase([make_record(0, 0.0, 0.0)])
+        assert WeightedCentroidLocalizer(db).locate(db.bssids) is None
+        assert WeightedCentroidLocalizer(db).locate(
+            {MacAddress(0xDEAD)}) is None
+
+    def test_validation(self, square_db):
+        with pytest.raises(ValueError):
+            WeightedCentroidLocalizer(square_db, power=-1.0)
+
+    def test_sits_between_centroid_and_mloc_on_campus(self):
+        """The literature's expectation: weighting helps over plain
+        averaging, but the disc intersection still wins."""
+        from repro.analysis import run_localization_experiment
+        from repro.sim.scenarios import build_disc_model_experiment
+
+        exp = build_disc_model_experiment(seed=29, ap_count=220,
+                                          area_m=400.0, case_count=50,
+                                          extra_corpus=100)
+        reports = run_localization_experiment(
+            {"m-loc": MLoc(exp.mloc_db),
+             "weighted": WeightedCentroidLocalizer(exp.mloc_db),
+             "centroid": CentroidLocalizer(exp.location_db)},
+            exp.cases)
+        assert (reports["m-loc"].mean_error()
+                < reports["weighted"].mean_error()
+                <= reports["centroid"].mean_error() + 1.0)

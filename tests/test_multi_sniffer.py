@@ -1,0 +1,114 @@
+"""Multi-vantage (store-merge) tests — a future-work extension."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.net80211.frames import Dot11Frame, FrameType, probe_response
+from repro.net80211.mac import MacAddress
+from repro.net80211.medium import ReceivedFrame
+from repro.net80211.ssid import Ssid
+from repro.sniffer.observation import ObservationStore
+
+STA = MacAddress.parse("00:1b:63:11:22:33")
+AP1 = MacAddress.parse("00:15:6d:00:00:01")
+AP2 = MacAddress.parse("00:15:6d:00:00:02")
+
+
+def response(ap, t):
+    frame = probe_response(ap, STA, 6, t, Ssid("n"))
+    return ReceivedFrame(frame, -70.0, 20.0, 6, t)
+
+
+class TestStoreMerge:
+    def test_gammas_union(self):
+        north = ObservationStore()
+        north.ingest(response(AP1, 1.0))
+        south = ObservationStore()
+        south.ingest(response(AP2, 2.0))
+        north.merge(south)
+        assert north.gamma(STA) == {AP1, AP2}
+
+    def test_frame_counts_add(self):
+        a = ObservationStore()
+        a.ingest(response(AP1, 1.0))
+        b = ObservationStore()
+        b.ingest(response(AP2, 2.0))
+        b.ingest(response(AP1, 3.0))
+        a.merge(b)
+        assert a.frame_count == 3
+
+    def test_associations_merge_newest_wins(self):
+        def data(bssid, t):
+            frame = Dot11Frame(frame_type=FrameType.DATA, source=STA,
+                               destination=bssid, channel=6,
+                               timestamp=t, bssid=bssid)
+            return ReceivedFrame(frame, -70.0, 20.0, 6, t)
+
+        a = ObservationStore()
+        a.ingest(data(AP1, 1.0))
+        b = ObservationStore()
+        b.ingest(data(AP2, 5.0))
+        a.merge(b)
+        assert a.known_associations() == [(STA, AP2, 6)]
+
+    def test_merge_preserves_windows(self):
+        a = ObservationStore(window_s=30.0)
+        a.ingest(response(AP1, 1.0))
+        b = ObservationStore(window_s=30.0)
+        b.ingest(response(AP2, 2.0))
+        a.merge(b)
+        assert a.corpus() == [{AP1, AP2}]
+
+    def test_two_vantage_points_see_more(self):
+        """End-to-end: corner sniffers merged cover more than either."""
+        from repro.net80211.medium import Medium
+        from repro.net80211.station import PROFILES, MobileStation
+        from repro.radio.propagation import LogDistanceModel
+        from repro.sim.world import CampusWorld
+        from repro.sniffer.receiver import build_marauder_sniffer
+        from tests.test_sim_world import make_ap
+
+        # Lossy channel so neither corner sniffer hears everything.
+        medium = Medium(LogDistanceModel(exponent=3.6))
+        aps = [make_ap(i, 150.0 + 250.0 * (i % 2),
+                       150.0 + 250.0 * (i // 2), max_range=100.0)
+               for i in range(4)]
+
+        def run_with(sniffer_pos):
+            sniffer = build_marauder_sniffer(sniffer_pos, medium)
+            world = CampusWorld(aps, medium, sniffer=sniffer, seed=1)
+            station = MobileStation(
+                mac=MacAddress.random(np.random.default_rng(4)),
+                position=Point(275.0, 275.0),
+                profile=PROFILES["aggressive"])
+            world.add_station(station)
+            world.run(duration_s=60.0)
+            return sniffer.store, station.mac
+
+        store_a, mac = run_with(Point(100.0, 100.0))
+        store_b, _ = run_with(Point(450.0, 450.0))
+        merged = ObservationStore()
+        merged.merge(store_a)
+        merged.merge(store_b)
+        assert merged.gamma(mac) >= store_a.gamma(mac)
+        assert merged.gamma(mac) >= store_b.gamma(mac)
+        assert merged.gamma(mac) == store_a.gamma(mac) | store_b.gamma(mac)
+
+
+class TestCliGeojsonFlag:
+    def test_map_exports_geojson(self, tmp_path):
+        from repro.cli import main
+
+        html = tmp_path / "map.html"
+        geojson = tmp_path / "map.geojson"
+        code = main(["map", "--seed", "3", "--duration", "60",
+                     "--output", str(html), "--geojson", str(geojson)])
+        assert code == 0
+        assert geojson.exists()
+        import json
+
+        parsed = json.loads(geojson.read_text())
+        kinds = {f["properties"]["kind"] for f in parsed["features"]}
+        assert "access_point" in kinds
+        assert "truth" in kinds

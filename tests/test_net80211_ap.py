@@ -1,0 +1,99 @@
+"""Access-point behaviour tests."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.net80211.ap import AccessPoint
+from repro.net80211.frames import FrameType, probe_request
+from repro.net80211.mac import MacAddress
+from repro.net80211.ssid import Ssid
+
+STA = MacAddress.parse("00:1b:63:11:22:33")
+
+
+def make_ap(**overrides) -> AccessPoint:
+    defaults = dict(
+        bssid=MacAddress.parse("00:15:6d:44:55:66"),
+        ssid=Ssid("CampusNet"),
+        channel=6,
+        position=Point(100.0, 100.0),
+        max_range_m=80.0,
+    )
+    defaults.update(overrides)
+    return AccessPoint(**defaults)
+
+
+class TestCoverage:
+    def test_coverage_disc(self):
+        ap = make_ap()
+        disc = ap.coverage_disc
+        assert disc.center == Point(100.0, 100.0)
+        assert disc.radius == 80.0
+
+    def test_covers(self):
+        ap = make_ap()
+        assert ap.covers(Point(150.0, 100.0))
+        assert ap.covers(Point(180.0, 100.0))  # boundary
+        assert not ap.covers(Point(181.0, 100.0))
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            make_ap(max_range_m=0.0)
+
+
+class TestBeaconing:
+    def test_beacon_advertises_ssid(self):
+        frame = make_ap().make_beacon(timestamp=1.0)
+        assert frame.frame_type is FrameType.BEACON
+        assert frame.ssid == Ssid("CampusNet")
+
+    def test_hidden_ap_beacons_empty_ssid(self):
+        frame = make_ap(hidden=True).make_beacon(timestamp=1.0)
+        assert frame.ssid.is_wildcard
+
+    def test_sequence_increments(self):
+        ap = make_ap()
+        first = ap.make_beacon(1.0).sequence
+        second = ap.make_beacon(2.0).sequence
+        assert second == (first + 1) & 0xFFF
+
+
+class TestProbeResponses:
+    def test_answers_broadcast_probe(self):
+        ap = make_ap()
+        request = probe_request(STA, channel=6, timestamp=0.0)
+        response = ap.respond_to_probe(request, timestamp=0.01)
+        assert response is not None
+        assert response.frame_type is FrameType.PROBE_RESPONSE
+        assert response.destination == STA
+        assert response.bssid == ap.bssid
+
+    def test_answers_directed_probe(self):
+        ap = make_ap()
+        request = probe_request(STA, channel=6, timestamp=0.0,
+                                ssid=Ssid("CampusNet"))
+        assert ap.respond_to_probe(request, 0.01) is not None
+
+    def test_ignores_other_ssid(self):
+        ap = make_ap()
+        request = probe_request(STA, channel=6, timestamp=0.0,
+                                ssid=Ssid("someone-else"))
+        assert ap.respond_to_probe(request, 0.01) is None
+
+    def test_ignores_wrong_channel(self):
+        ap = make_ap(channel=11)
+        request = probe_request(STA, channel=6, timestamp=0.0)
+        assert ap.respond_to_probe(request, 0.01) is None
+
+    def test_hidden_ap_ignores_broadcast_answers_directed(self):
+        ap = make_ap(hidden=True)
+        broadcast = probe_request(STA, channel=6, timestamp=0.0)
+        directed = probe_request(STA, channel=6, timestamp=0.0,
+                                 ssid=Ssid("CampusNet"))
+        assert ap.respond_to_probe(broadcast, 0.01) is None
+        assert ap.respond_to_probe(directed, 0.01) is not None
+
+    def test_ignores_non_probe_frames(self):
+        ap = make_ap()
+        not_probe = ap.make_beacon(0.0)
+        assert ap.respond_to_probe(not_probe, 0.01) is None

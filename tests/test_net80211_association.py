@@ -1,0 +1,104 @@
+"""Association and data-traffic tests (the non-probing evidence path)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.net80211.frames import FrameType
+from repro.net80211.mac import MacAddress
+from repro.net80211.medium import Medium
+from repro.net80211.station import PROFILES, MobileStation
+from repro.radio.propagation import FreeSpaceModel
+from repro.sim.world import CampusWorld
+from repro.sniffer.receiver import build_marauder_sniffer
+
+from tests.test_sim_world import make_ap
+
+
+def make_station(**overrides):
+    defaults = dict(
+        mac=MacAddress.random(np.random.default_rng(3)),
+        position=Point(150.0, 150.0),
+        profile=PROFILES["standard"],
+    )
+    defaults.update(overrides)
+    return MobileStation(**defaults)
+
+
+class TestDataTraffic:
+    def test_associated_station_emits_data(self):
+        station = make_station(data_interval_s=10.0)
+        ap = MacAddress(0xA9)
+        station.associate(ap, channel=6)
+        frames = [f for f in station.tick(0.0)
+                  if f.frame_type is FrameType.DATA]
+        assert len(frames) == 1
+        assert frames[0].bssid == ap
+        assert frames[0].channel == 6
+
+    def test_data_interval_respected(self):
+        station = make_station(profile=PROFILES["passive"],
+                               data_interval_s=10.0)
+        station.associate(MacAddress(1), channel=1)
+        assert len(station.tick(0.0)) == 1
+        assert station.tick(5.0) == []
+        assert len(station.tick(10.0)) == 1
+
+    def test_no_data_without_association(self):
+        station = make_station(profile=PROFILES["passive"],
+                               data_interval_s=10.0)
+        assert station.tick(0.0) == []
+
+    def test_no_data_by_default(self):
+        station = make_station(profile=PROFILES["passive"])
+        station.associate(MacAddress(1), channel=1)
+        assert station.tick(0.0) == []
+
+    def test_deauth_stops_data(self):
+        from repro.net80211.frames import deauthentication
+
+        station = make_station(profile=PROFILES["passive"],
+                               data_interval_s=5.0)
+        ap = MacAddress(7)
+        station.associate(ap, channel=6)
+        station.handle_frame(
+            deauthentication(ap, station.mac, ap, 6, 1.0), now=1.0)
+        assert station.associated_channel is None
+        # Rescan fires (forced), but no data frames.
+        frames = station.tick(2.0)
+        assert all(f.frame_type is not FrameType.DATA for f in frames)
+
+
+class TestAutoAssociation:
+    def make_world(self):
+        aps = [make_ap(0, 100.0, 100.0), make_ap(1, 200.0, 100.0)]
+        medium = Medium(FreeSpaceModel())
+        sniffer = build_marauder_sniffer(Point(150.0, 150.0), medium)
+        return CampusWorld(aps, medium, sniffer=sniffer, seed=0), aps
+
+    def test_station_joins_closest_responder(self):
+        world, aps = self.make_world()
+        station = make_station(position=Point(120.0, 100.0),
+                               auto_associate=True)
+        world.add_station(station)
+        world.run(duration_s=70.0)
+        assert station.associated_bssid == aps[0].bssid
+        assert station.associated_channel == aps[0].channel
+
+    def test_without_flag_no_association(self):
+        world, _ = self.make_world()
+        station = make_station(position=Point(120.0, 100.0))
+        world.add_station(station)
+        world.run(duration_s=70.0)
+        assert station.associated_bssid is None
+
+    def test_data_frames_reach_observation_store(self):
+        """The non-probing evidence path: a device that probes once,
+        associates, then only sends data stays locatable via Γ."""
+        world, aps = self.make_world()
+        station = make_station(position=Point(120.0, 100.0),
+                               auto_associate=True, data_interval_s=5.0)
+        world.add_station(station)
+        world.run(duration_s=120.0)
+        gamma = world.sniffer.store.gamma(station.mac)
+        assert aps[0].bssid in gamma

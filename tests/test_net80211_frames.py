@@ -1,0 +1,69 @@
+"""Management-frame construction tests."""
+
+import numpy as np
+import pytest
+
+from repro.net80211.frames import (
+    FrameType,
+    beacon,
+    deauthentication,
+    probe_request,
+    probe_response,
+)
+from repro.net80211.mac import BROADCAST_MAC, MacAddress
+from repro.net80211.ssid import Ssid
+
+STA = MacAddress.parse("00:1b:63:11:22:33")
+AP = MacAddress.parse("00:15:6d:44:55:66")
+
+
+class TestProbeRequest:
+    def test_broadcast_probe(self):
+        frame = probe_request(STA, channel=6, timestamp=1.5)
+        assert frame.frame_type is FrameType.PROBE_REQUEST
+        assert frame.is_probe_request
+        assert frame.destination == BROADCAST_MAC
+        assert frame.ssid.is_wildcard
+        assert frame.bssid is None
+        assert not frame.is_from_ap
+
+    def test_directed_probe_leaks_ssid(self):
+        frame = probe_request(STA, channel=6, timestamp=0.0,
+                              ssid=Ssid("home-wifi"))
+        assert frame.ssid == Ssid("home-wifi")
+
+
+class TestProbeResponse:
+    def test_fields(self):
+        frame = probe_response(AP, STA, channel=6, timestamp=2.0,
+                               ssid=Ssid("CampusNet"))
+        assert frame.frame_type is FrameType.PROBE_RESPONSE
+        assert frame.source == AP
+        assert frame.destination == STA
+        assert frame.bssid == AP
+        assert frame.is_from_ap
+        assert frame.frame_type.is_probe_traffic
+
+
+class TestBeacon:
+    def test_fields(self):
+        frame = beacon(AP, channel=11, timestamp=3.0, ssid=Ssid("net"))
+        assert frame.frame_type is FrameType.BEACON
+        assert frame.destination == BROADCAST_MAC
+        assert frame.bssid == AP
+        assert frame.is_from_ap
+        assert not frame.frame_type.is_probe_traffic
+
+
+class TestDeauthentication:
+    def test_spoofed_deauth(self):
+        frame = deauthentication(source=AP, destination=STA, bssid=AP,
+                                 channel=6, timestamp=4.0, reason_code=7)
+        assert frame.frame_type is FrameType.DEAUTHENTICATION
+        assert frame.elements["reason_code"] == "7"
+        assert frame.source == AP  # forged identity
+
+    def test_frozen(self):
+        frame = probe_request(STA, channel=1, timestamp=0.0)
+        with pytest.raises(AttributeError):
+            frame.channel = 6

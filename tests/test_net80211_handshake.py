@@ -1,0 +1,94 @@
+"""Auth/association handshake tests."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.net80211.frames import (
+    FrameType,
+    association_request,
+    association_response,
+    authentication,
+)
+from repro.net80211.mac import MacAddress
+from repro.net80211.medium import Medium
+from repro.net80211.station import PROFILES, MobileStation
+from repro.radio.propagation import FreeSpaceModel
+from repro.sim.world import CampusWorld
+from repro.sniffer.receiver import build_marauder_sniffer
+
+from tests.test_sim_world import make_ap
+
+STA = MacAddress.parse("00:1b:63:11:22:33")
+
+
+class TestHandshakeFrames:
+    def test_authentication_frame(self):
+        ap = make_ap(0, 0.0, 0.0)
+        frame = authentication(STA, ap.bssid, 6, 1.0)
+        assert frame.frame_type is FrameType.AUTHENTICATION
+        assert frame.bssid == ap.bssid
+
+    def test_association_request_carries_ssid(self):
+        ap = make_ap(0, 0.0, 0.0)
+        frame = association_request(STA, ap.bssid, 6, 1.0, ap.ssid)
+        assert frame.frame_type is FrameType.ASSOCIATION_REQUEST
+        assert frame.ssid == ap.ssid
+
+    def test_ap_grants_association(self):
+        ap = make_ap(0, 0.0, 0.0)
+        request = association_request(STA, ap.bssid, ap.channel, 1.0,
+                                      ap.ssid)
+        response = ap.handle_association(request, 1.01)
+        assert response is not None
+        assert response.frame_type is FrameType.ASSOCIATION_RESPONSE
+        assert response.destination == STA
+
+    def test_ap_ignores_other_bss(self):
+        ap = make_ap(0, 0.0, 0.0)
+        other = make_ap(1, 10.0, 0.0)
+        request = association_request(STA, other.bssid, ap.channel, 1.0,
+                                      other.ssid)
+        assert ap.handle_association(request, 1.01) is None
+
+    def test_ap_ignores_wrong_channel(self):
+        ap = make_ap(0, 0.0, 0.0, channel=11)
+        request = association_request(STA, ap.bssid, 6, 1.0, ap.ssid)
+        assert ap.handle_association(request, 1.01) is None
+
+    def test_ap_ignores_non_association_frames(self):
+        ap = make_ap(0, 0.0, 0.0)
+        assert ap.handle_association(
+            authentication(STA, ap.bssid, ap.channel, 1.0), 1.01) is None
+
+
+class TestHandshakeInWorld:
+    def test_sniffer_learns_association_from_handshake(self):
+        """The handshake itself (not just later data frames) reveals
+        the (station, BSS) pair to the targeted attack."""
+        aps = [make_ap(0, 100.0, 100.0)]
+        medium = Medium(FreeSpaceModel())
+        sniffer = build_marauder_sniffer(Point(150.0, 150.0), medium)
+        world = CampusWorld(aps, medium, sniffer=sniffer, seed=0)
+        station = MobileStation(
+            mac=MacAddress.random(np.random.default_rng(3)),
+            position=Point(120.0, 100.0),
+            profile=PROFILES["standard"],
+            auto_associate=True,
+        )
+        world.add_station(station)
+        world.run(duration_s=70.0)
+        assert station.associated_bssid == aps[0].bssid
+        associations = world.sniffer.store.known_associations()
+        assert (station.mac, aps[0].bssid, aps[0].channel) in associations
+
+    def test_association_response_counts_toward_gamma(self):
+        from repro.net80211.medium import ReceivedFrame
+        from repro.sniffer.observation import ObservationStore
+
+        ap = make_ap(0, 0.0, 0.0)
+        response = association_response(ap.bssid, STA, ap.channel, 1.0,
+                                        ap.ssid)
+        store = ObservationStore()
+        store.ingest(ReceivedFrame(response, -70.0, 20.0, ap.channel, 1.0))
+        assert store.gamma(STA) == {ap.bssid}

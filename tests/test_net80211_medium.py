@@ -1,0 +1,107 @@
+"""Wireless-medium delivery tests."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.net80211.frames import probe_request
+from repro.net80211.mac import MacAddress
+from repro.net80211.medium import Medium
+from repro.radio.propagation import FreeSpaceModel
+from repro.sniffer.receiver import build_marauder_chain, build_src_chain
+
+STA = MacAddress.parse("00:1b:63:11:22:33")
+
+
+@pytest.fixture
+def medium():
+    return Medium(propagation=FreeSpaceModel())
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestReceivedPower:
+    def test_includes_gains_and_loss(self, medium):
+        frame = probe_request(STA, channel=6, timestamp=0.0,
+                              tx_power_dbm=15.0)
+        power = medium.received_power_dbm(frame, Point(0, 0),
+                                          Point(100, 0),
+                                          rx_antenna_gain_dbi=15.0)
+        from repro.radio.link_budget import free_space_path_loss_db
+        from repro.radio.channels import center_frequency_hz
+
+        expected = 15.0 + 0.0 + 15.0 - free_space_path_loss_db(
+            100.0, center_frequency_hz(6))
+        assert power == pytest.approx(expected)
+
+    def test_power_decreases_with_distance(self, medium):
+        frame = probe_request(STA, channel=6, timestamp=0.0)
+        near = medium.received_power_dbm(frame, Point(0, 0),
+                                         Point(50, 0), 15.0)
+        far = medium.received_power_dbm(frame, Point(0, 0),
+                                        Point(500, 0), 15.0)
+        assert near > far
+
+
+class TestDeliver:
+    def test_cochannel_close_always_delivers(self, medium, rng):
+        frame = probe_request(STA, channel=6, timestamp=0.0)
+        chain = build_marauder_chain()
+        received = medium.deliver(frame, Point(0, 0), Point(100, 0),
+                                  chain, rx_channel=6, rng=rng)
+        assert received is not None
+        assert received.frame is frame
+        assert received.rx_channel == 6
+        assert received.snr_db > chain.nic.snr_min_db
+
+    def test_far_transmitter_dropped(self, medium, rng):
+        frame = probe_request(STA, channel=6, timestamp=0.0)
+        received = medium.deliver(frame, Point(0, 0), Point(500_000, 0),
+                                  build_src_chain(), rx_channel=6, rng=rng)
+        assert received is None
+
+    def test_disjoint_channel_dropped(self, medium, rng):
+        frame = probe_request(STA, channel=1, timestamp=0.0)
+        received = medium.deliver(frame, Point(0, 0), Point(50, 0),
+                                  build_marauder_chain(), rx_channel=6,
+                                  rng=rng)
+        assert received is None
+
+    def test_neighbor_channel_rarely_delivers(self, medium):
+        # The Fig 9 effect, statistically: a strong transmitter one
+        # channel off is decoded for only a few percent of frames.
+        frame = probe_request(STA, channel=11, timestamp=0.0)
+        chain = build_marauder_chain()
+        rng = np.random.default_rng(42)
+        delivered = sum(
+            medium.deliver(frame, Point(0, 0), Point(30, 0), chain,
+                           rx_channel=10, rng=rng) is not None
+            for _ in range(2000)
+        )
+        assert 0 < delivered < 2000 * 0.12
+
+    def test_rssi_metadata_recorded(self, medium, rng):
+        frame = probe_request(STA, channel=6, timestamp=3.5)
+        received = medium.deliver(frame, Point(0, 0), Point(100, 0),
+                                  build_marauder_chain(), rx_channel=6,
+                                  rng=rng)
+        assert received.rx_timestamp == 3.5
+        assert received.rssi_dbm < 0.0
+        assert received.source == STA
+
+    def test_deliver_to_many_preserves_order(self, medium, rng):
+        frame = probe_request(STA, channel=6, timestamp=0.0)
+        chain = build_marauder_chain()
+        receivers = [
+            (Point(100, 0), chain, 6),      # should deliver
+            (Point(100, 0), chain, 1),      # disjoint channel: None
+            (Point(500_000, 0), chain, 6),  # too far: None
+        ]
+        results = medium.deliver_to_many(frame, Point(0, 0), receivers,
+                                         rng)
+        assert results[0] is not None
+        assert results[1] is None
+        assert results[2] is None

@@ -1,0 +1,57 @@
+"""SSID and preferred-network-fingerprint tests."""
+
+import pytest
+
+from repro.net80211.ssid import MAX_SSID_BYTES, Ssid, WILDCARD_SSID
+
+
+class TestSsid:
+    def test_wildcard(self):
+        assert WILDCARD_SSID.is_wildcard
+        assert str(WILDCARD_SSID) == "<broadcast>"
+
+    def test_named(self):
+        ssid = Ssid("CampusNet")
+        assert not ssid.is_wildcard
+        assert str(ssid) == "CampusNet"
+
+    def test_max_length_boundary(self):
+        Ssid("a" * MAX_SSID_BYTES)  # exactly 32 bytes: fine
+        with pytest.raises(ValueError):
+            Ssid("a" * (MAX_SSID_BYTES + 1))
+
+    def test_utf8_length_counts_bytes(self):
+        # 11 snowmen are 33 UTF-8 bytes.
+        with pytest.raises(ValueError):
+            Ssid("☃" * 11)
+        Ssid("☃" * 10)
+
+    def test_ordering_and_equality(self):
+        assert Ssid("a") < Ssid("b")
+        assert Ssid("x") == Ssid("x")
+
+
+class TestFingerprint:
+    def test_order_insensitive(self):
+        a = Ssid.fingerprint([Ssid("home"), Ssid("work")])
+        b = Ssid.fingerprint([Ssid("work"), Ssid("home")])
+        assert a == b
+
+    def test_wildcards_ignored(self):
+        with_wildcard = Ssid.fingerprint([Ssid("home"), WILDCARD_SSID])
+        without = Ssid.fingerprint([Ssid("home")])
+        assert with_wildcard == without
+
+    def test_different_lists_differ(self):
+        assert Ssid.fingerprint([Ssid("home")]) != \
+            Ssid.fingerprint([Ssid("work")])
+
+    def test_duplicates_collapse(self):
+        once = Ssid.fingerprint([Ssid("home")])
+        twice = Ssid.fingerprint([Ssid("home"), Ssid("home")])
+        assert once == twice
+
+    def test_stable_format(self):
+        fingerprint = Ssid.fingerprint([Ssid("home")])
+        assert len(fingerprint) == 16
+        int(fingerprint, 16)  # hex digest prefix

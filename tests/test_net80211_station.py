@@ -1,0 +1,138 @@
+"""Mobile-station scan state-machine tests."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.net80211.frames import FrameType, deauthentication
+from repro.net80211.mac import BROADCAST_MAC, MacAddress
+from repro.net80211.ssid import Ssid
+from repro.net80211.station import PROFILES, MobileStation, ScanProfile
+
+STA_MAC = MacAddress.parse("00:1b:63:11:22:33")
+AP_MAC = MacAddress.parse("00:15:6d:44:55:66")
+OTHER_AP = MacAddress.parse("00:15:6d:77:88:99")
+
+
+def make_station(profile="standard", preferred=(),
+                 channels=(1, 6, 11)) -> MobileStation:
+    return MobileStation(
+        mac=STA_MAC,
+        position=Point(0.0, 0.0),
+        profile=PROFILES[profile],
+        preferred_networks=[Ssid(s) for s in preferred],
+        scan_channels=channels,
+    )
+
+
+class TestScanBursts:
+    def test_scan_fires_when_due(self):
+        station = make_station()
+        frames = station.tick(now=0.0)  # first scan due at t=0
+        assert frames
+        assert all(f.frame_type is FrameType.PROBE_REQUEST for f in frames)
+
+    def test_one_broadcast_probe_per_channel(self):
+        station = make_station(channels=(1, 6, 11))
+        frames = station.tick(now=0.0)
+        broadcast = [f for f in frames if f.ssid.is_wildcard]
+        assert sorted(f.channel for f in broadcast) == [1, 6, 11]
+
+    def test_directed_probes_leak_preferred_networks(self):
+        station = make_station(preferred=("home", "work"), channels=(6,))
+        frames = station.tick(now=0.0)
+        directed = {f.ssid.name for f in frames if not f.ssid.is_wildcard}
+        assert directed == {"home", "work"}
+
+    def test_no_directed_probes_without_flag(self):
+        station = make_station(profile="conservative",
+                               preferred=("home",), channels=(6,))
+        frames = station.tick(now=0.0)
+        assert all(f.ssid.is_wildcard for f in frames)
+
+    def test_interval_respected(self):
+        station = make_station()  # standard: 60 s interval
+        assert station.tick(now=0.0)
+        assert station.tick(now=30.0) == []
+        assert station.tick(now=61.0)
+
+    def test_passive_never_scans(self):
+        station = make_station(profile="passive")
+        for t in (0.0, 100.0, 1000.0):
+            assert station.tick(now=t) == []
+
+    def test_first_scan_phase_randomized(self):
+        a = make_station()
+        b = make_station()
+        a.schedule_first_scan(np.random.default_rng(1))
+        b.schedule_first_scan(np.random.default_rng(2))
+        assert a._next_scan_at != b._next_scan_at
+
+    def test_sequence_numbers_increment(self):
+        station = make_station(channels=(1, 6, 11))
+        frames = station.tick(now=0.0)
+        sequences = [f.sequence for f in frames]
+        assert sequences == sorted(sequences)
+        assert len(set(sequences)) == len(sequences)
+
+
+class TestDeauthHandling:
+    def make_deauth(self, destination=STA_MAC, bssid=AP_MAC):
+        return deauthentication(source=bssid, destination=destination,
+                                bssid=bssid, channel=6, timestamp=10.0)
+
+    def test_deauth_forces_rescan_for_passive_device(self):
+        station = make_station(profile="passive")
+        station.associate(AP_MAC)
+        assert station.tick(now=5.0) == []
+        station.handle_frame(self.make_deauth(), now=10.0)
+        assert not station.is_associated
+        frames = station.tick(now=11.0)
+        assert frames  # the forced rescan
+        assert all(f.frame_type is FrameType.PROBE_REQUEST for f in frames)
+
+    def test_broadcast_deauth_accepted(self):
+        station = make_station(profile="passive")
+        station.associate(AP_MAC)
+        station.handle_frame(self.make_deauth(destination=BROADCAST_MAC),
+                             now=10.0)
+        assert not station.is_associated
+
+    def test_deauth_for_other_station_ignored(self):
+        station = make_station(profile="passive")
+        station.associate(AP_MAC)
+        other = MacAddress.parse("00:1b:63:99:99:99")
+        station.handle_frame(self.make_deauth(destination=other), now=10.0)
+        assert station.is_associated
+
+    def test_deauth_from_wrong_bss_ignored(self):
+        station = make_station(profile="passive")
+        station.associate(AP_MAC)
+        station.handle_frame(self.make_deauth(bssid=OTHER_AP), now=10.0)
+        assert station.is_associated
+
+    def test_non_deauth_frames_ignored(self):
+        station = make_station(profile="passive")
+        station.associate(AP_MAC)
+        from repro.net80211.frames import beacon
+
+        station.handle_frame(beacon(AP_MAC, 6, 1.0, Ssid("x")), now=1.0)
+        assert station.is_associated
+
+
+class TestMisc:
+    def test_move_to(self):
+        station = make_station()
+        station.move_to(Point(5.0, 6.0))
+        assert station.position == Point(5.0, 6.0)
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            ScanProfile("bad", scan_interval_s=0.0)
+
+    def test_pseudonym_copy(self):
+        station = make_station(preferred=("home",))
+        clone = station.with_new_pseudonym(np.random.default_rng(5))
+        assert clone.mac != station.mac
+        assert clone.mac.is_locally_administered
+        assert clone.preferred_networks == station.preferred_networks

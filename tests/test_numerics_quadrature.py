@@ -1,0 +1,100 @@
+"""Quadrature tests: exact polynomials, known integrals, scipy cross-check."""
+
+import math
+
+import pytest
+from scipy import integrate as scipy_integrate
+
+from repro.numerics.quadrature import (
+    adaptive_simpson,
+    gauss_legendre,
+    integrate,
+)
+
+
+class TestGaussLegendre:
+    def test_constant(self):
+        assert gauss_legendre(lambda x: 3.0, 0.0, 2.0) == pytest.approx(6.0)
+
+    def test_linear(self):
+        assert gauss_legendre(lambda x: x, 0.0, 4.0) == pytest.approx(8.0)
+
+    def test_polynomial_exactness(self):
+        # Order-n GL integrates degree 2n-1 polynomials exactly.
+        result = gauss_legendre(lambda x: x ** 5, -1.0, 1.0, order=3)
+        assert result == pytest.approx(0.0, abs=1e-12)
+
+    def test_degree7_with_order4(self):
+        result = gauss_legendre(lambda x: 8 * x ** 7, 0.0, 1.0, order=4)
+        assert result == pytest.approx(1.0, rel=1e-12)
+
+    def test_sin_over_period(self):
+        result = gauss_legendre(math.sin, 0.0, math.pi, order=32)
+        assert result == pytest.approx(2.0, rel=1e-12)
+
+    def test_exp(self):
+        result = gauss_legendre(math.exp, 0.0, 1.0, order=16)
+        assert result == pytest.approx(math.e - 1.0, rel=1e-12)
+
+    def test_empty_interval(self):
+        assert gauss_legendre(math.exp, 2.0, 2.0) == 0.0
+
+    def test_reversed_interval_is_negated(self):
+        forward = gauss_legendre(math.exp, 0.0, 1.0)
+        backward = gauss_legendre(math.exp, 1.0, 0.0)
+        assert backward == pytest.approx(-forward)
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            gauss_legendre(math.sin, 0.0, 1.0, order=0)
+
+    def test_matches_scipy_quad(self):
+        def integrand(x):
+            return math.cos(3.0 * x) * math.exp(-x)
+
+        ours = gauss_legendre(integrand, 0.0, 5.0, order=64)
+        reference, _ = scipy_integrate.quad(integrand, 0.0, 5.0)
+        assert ours == pytest.approx(reference, rel=1e-10)
+
+
+class TestAdaptiveSimpson:
+    def test_smooth(self):
+        result = adaptive_simpson(math.sin, 0.0, math.pi)
+        assert result == pytest.approx(2.0, rel=1e-9)
+
+    def test_kinked_integrand(self):
+        # |x| has a kink at 0; adaptive refinement must handle it.
+        result = adaptive_simpson(abs, -1.0, 1.0)
+        assert result == pytest.approx(1.0, rel=1e-8)
+
+    def test_sqrt_singular_derivative(self):
+        result = adaptive_simpson(math.sqrt, 0.0, 1.0, tol=1e-12)
+        assert result == pytest.approx(2.0 / 3.0, rel=1e-6)
+
+    def test_empty_interval(self):
+        assert adaptive_simpson(math.exp, 1.0, 1.0) == 0.0
+
+
+class TestIntegrate:
+    def test_smooth_uses_gauss(self):
+        assert integrate(math.exp, 0.0, 1.0) == pytest.approx(
+            math.e - 1.0, rel=1e-10)
+
+    def test_piecewise(self):
+        def step_like(x):
+            return 1.0 if x < 0.3 else 0.25
+
+        reference, _ = scipy_integrate.quad(step_like, 0.0, 1.0,
+                                            points=[0.3])
+        assert integrate(step_like, 0.0, 1.0) == pytest.approx(
+            reference, rel=1e-6)
+
+    def test_matches_scipy_on_theorem2_integrand(self):
+        def integrand(y):
+            p = (2.0 / math.pi) * (math.acos(y)
+                                   - y * math.sqrt(1.0 - y * y))
+            return y * p ** 7
+
+        ours = integrate(integrand, 0.0, 1.0)
+        reference, _ = scipy_integrate.quad(integrand, 0.0, 1.0)
+        assert ours == pytest.approx(reference, rel=1e-9)

@@ -1,0 +1,52 @@
+"""Seeded RNG helper tests: determinism and stream independence."""
+
+import numpy as np
+import pytest
+
+from repro.numerics.rng import make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42)
+        b = make_rng(42)
+        assert a.integers(0, 1000) == b.integers(0, 1000)
+
+    def test_different_seeds_differ(self):
+        draws_a = make_rng(1).integers(0, 2**31, size=8)
+        draws_b = make_rng(2).integers(0, 2**31, size=8)
+        assert not np.array_equal(draws_a, draws_b)
+
+    def test_passthrough_generator(self):
+        generator = np.random.default_rng(7)
+        assert make_rng(generator) is generator
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(5, 4)) == 4
+
+    def test_zero_count(self):
+        assert spawn_rngs(5, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(5, -1)
+
+    def test_children_deterministic(self):
+        first = [r.integers(0, 2**31) for r in spawn_rngs(9, 3)]
+        second = [r.integers(0, 2**31) for r in spawn_rngs(9, 3)]
+        assert first == second
+
+    def test_children_independent(self):
+        children = spawn_rngs(11, 2)
+        draws = [child.integers(0, 2**31, size=16) for child in children]
+        assert not np.array_equal(draws[0], draws[1])
+
+    def test_spawn_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(3), 2)
+        assert len(children) == 2
+        assert all(isinstance(c, np.random.Generator) for c in children)

@@ -1,0 +1,47 @@
+"""Bisection tests."""
+
+import math
+
+import pytest
+
+from repro.numerics.rootfind import bisect
+
+
+class TestBisect:
+    def test_linear_root(self):
+        assert bisect(lambda x: x - 3.0, 0.0, 10.0) == pytest.approx(3.0)
+
+    def test_quadratic_root(self):
+        root = bisect(lambda x: x * x - 2.0, 0.0, 2.0)
+        assert root == pytest.approx(math.sqrt(2.0), abs=1e-10)
+
+    def test_root_at_lower_bracket(self):
+        assert bisect(lambda x: x, 0.0, 1.0) == 0.0
+
+    def test_root_at_upper_bracket(self):
+        assert bisect(lambda x: x - 1.0, 0.0, 1.0) == 1.0
+
+    def test_decreasing_function(self):
+        root = bisect(lambda x: 5.0 - x, 0.0, 10.0)
+        assert root == pytest.approx(5.0)
+
+    def test_no_sign_change_raises(self):
+        with pytest.raises(ValueError, match="no sign change"):
+            bisect(lambda x: x * x + 1.0, -1.0, 1.0)
+
+    def test_transcendental(self):
+        # cos(x) = x has its root near 0.739085.
+        root = bisect(lambda x: math.cos(x) - x, 0.0, 1.0)
+        assert root == pytest.approx(0.7390851332151607, abs=1e-9)
+
+    def test_inverts_theorem2_curve(self):
+        # Find k where CA(k) drops below 0.5 (a real usage pattern).
+        from repro.theory.theorem2 import expected_intersected_area
+
+        def objective(k):
+            return expected_intersected_area(max(1, int(round(k)))) - 0.5
+
+        k_star = bisect(objective, 1.0, 30.0, tol=0.5)
+        k_int = int(round(k_star))
+        assert expected_intersected_area(k_int + 1) < 0.5
+        assert expected_intersected_area(max(1, k_int - 1)) > 0.5

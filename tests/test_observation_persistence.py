@@ -1,0 +1,77 @@
+"""Observation-store persistence tests (the Fig 1 database component)."""
+
+import pytest
+
+from repro.net80211.frames import Dot11Frame, FrameType, probe_request, probe_response
+from repro.net80211.mac import MacAddress
+from repro.net80211.medium import ReceivedFrame
+from repro.net80211.ssid import Ssid
+from repro.sniffer.observation import ObservationStore
+
+STA = MacAddress.parse("00:1b:63:11:22:33")
+AP1 = MacAddress.parse("00:15:6d:00:00:01")
+AP2 = MacAddress.parse("00:15:6d:00:00:02")
+
+
+def populated_store():
+    store = ObservationStore(window_s=20.0)
+    store.ingest(ReceivedFrame(probe_request(STA, 6, 1.0),
+                               -70.0, 20.0, 6, 1.0))
+    for ap, t in ((AP1, 1.1), (AP2, 2.0), (AP1, 55.0)):
+        frame = probe_response(ap, STA, 6, t, Ssid("n"))
+        store.ingest(ReceivedFrame(frame, -72.0, 18.0, 6, t))
+    data = Dot11Frame(frame_type=FrameType.DATA, source=STA,
+                      destination=AP1, channel=6, timestamp=60.0,
+                      bssid=AP1)
+    store.ingest(ReceivedFrame(data, -70.0, 20.0, 6, 60.0))
+    return store
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip_preserves_everything(self):
+        store = populated_store()
+        recovered = ObservationStore.from_dict(store.to_dict())
+        assert recovered.window_s == store.window_s
+        assert recovered.frame_count == store.frame_count
+        assert recovered.seen_mobiles == store.seen_mobiles
+        assert recovered.probing_mobiles == store.probing_mobiles
+        assert recovered.observed_aps == store.observed_aps
+        assert recovered.all_observations() == store.all_observations()
+        assert recovered.known_associations() == store.known_associations()
+
+    def test_windows_survive(self):
+        store = populated_store()
+        recovered = ObservationStore.from_dict(store.to_dict())
+        original_windows = [(w.mobile, w.window_start, w.observed)
+                            for w in store.windows()]
+        recovered_windows = [(w.mobile, w.window_start, w.observed)
+                             for w in recovered.windows()]
+        assert original_windows == recovered_windows
+
+    def test_time_filtered_gamma_survives(self):
+        store = populated_store()
+        recovered = ObservationStore.from_dict(store.to_dict())
+        assert recovered.gamma(STA, at_time=1.0) == \
+            store.gamma(STA, at_time=1.0)
+        assert recovered.gamma(STA, at_time=55.0) == \
+            store.gamma(STA, at_time=55.0)
+
+    def test_file_roundtrip(self, tmp_path):
+        store = populated_store()
+        path = tmp_path / "observations.json"
+        store.save(path)
+        recovered = ObservationStore.load(path)
+        assert recovered.all_observations() == store.all_observations()
+
+    def test_empty_store_roundtrip(self, tmp_path):
+        store = ObservationStore()
+        path = tmp_path / "empty.json"
+        store.save(path)
+        recovered = ObservationStore.load(path)
+        assert recovered.frame_count == 0
+        assert recovered.seen_mobiles == set()
+
+    def test_json_is_plain_types(self):
+        import json
+
+        json.dumps(populated_store().to_dict())  # must not raise

@@ -1,0 +1,78 @@
+"""Property-based tests on the observation store."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net80211.frames import probe_response
+from repro.net80211.mac import MacAddress
+from repro.net80211.medium import ReceivedFrame
+from repro.net80211.ssid import Ssid
+from repro.sniffer.observation import ObservationStore
+
+
+def rx(ap_index, sta_index, timestamp):
+    frame = probe_response(MacAddress(0x100 + ap_index),
+                           MacAddress(0x200 + sta_index),
+                           channel=6, timestamp=timestamp,
+                           ssid=Ssid("n"))
+    return ReceivedFrame(frame, -70.0, 20.0, 6, timestamp)
+
+
+events = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=5),   # ap
+              st.integers(min_value=0, max_value=3),   # station
+              st.floats(min_value=0.0, max_value=600.0,
+                        allow_nan=False, allow_infinity=False)),
+    min_size=0, max_size=40)
+
+
+class TestStoreProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(events)
+    def test_windowed_gamma_subset_of_alltime(self, entries):
+        store = ObservationStore(window_s=30.0)
+        for ap, sta, t in entries:
+            store.ingest(rx(ap, sta, t))
+        for sta in range(4):
+            mobile = MacAddress(0x200 + sta)
+            all_time = store.gamma(mobile)
+            for _, _, t in entries:
+                assert store.gamma(mobile, at_time=t) <= all_time
+
+    @settings(max_examples=50, deadline=None)
+    @given(events)
+    def test_window_union_covers_alltime(self, entries):
+        """Every (mobile, AP) event lands in some window."""
+        store = ObservationStore(window_s=30.0)
+        for ap, sta, t in entries:
+            store.ingest(rx(ap, sta, t))
+        per_mobile = {}
+        for window in store.windows():
+            per_mobile.setdefault(window.mobile, set()).update(
+                window.observed)
+        assert per_mobile == store.all_observations()
+
+    @settings(max_examples=50, deadline=None)
+    @given(events)
+    def test_roundtrip_preserves_corpus(self, entries):
+        store = ObservationStore(window_s=30.0)
+        for ap, sta, t in entries:
+            store.ingest(rx(ap, sta, t))
+        recovered = ObservationStore.from_dict(store.to_dict())
+        assert recovered.corpus() == store.corpus()
+
+    @settings(max_examples=30, deadline=None)
+    @given(events)
+    def test_ingestion_order_invariant(self, entries):
+        forward = ObservationStore(window_s=30.0)
+        backward = ObservationStore(window_s=30.0)
+        for ap, sta, t in entries:
+            forward.ingest(rx(ap, sta, t))
+        for ap, sta, t in reversed(entries):
+            backward.ingest(rx(ap, sta, t))
+        assert forward.all_observations() == backward.all_observations()
+        assert (sorted((w.mobile, w.window_start, w.observed)
+                       for w in forward.windows())
+                == sorted((w.mobile, w.window_start, w.observed)
+                          for w in backward.windows()))

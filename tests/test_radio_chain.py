@@ -1,0 +1,116 @@
+"""Receiver-chain tests: the Friis cascade and the paper's claims."""
+
+import math
+
+import pytest
+
+from repro.radio.chain import ReceiverChain
+from repro.radio.components import (
+    Antenna,
+    Connector,
+    LowNoiseAmplifier,
+    Splitter,
+    WirelessNic,
+    catalog,
+)
+from repro.sniffer.receiver import (
+    build_dlink_chain,
+    build_hg2415u_chain,
+    build_marauder_chain,
+    build_src_chain,
+)
+
+
+class TestNoiseCascade:
+    def test_bare_nic_chain_has_nic_noise_figure(self):
+        # "Without LNA, the noise figure of the receiver chain is that
+        # of the WNIC."
+        chain = build_src_chain()
+        assert chain.noise_figure_db == pytest.approx(4.0, abs=1e-9)
+
+    def test_lna_dominates_cascade(self):
+        # Paper eq. (15): with a high-gain LNA first, NF ≈ NF_lna.
+        chain = build_marauder_chain()
+        assert chain.noise_figure_db == pytest.approx(1.5, abs=0.15)
+
+    def test_nf_improvement_in_paper_range(self):
+        # "We have a noise figure improvement of 2.5 ~ 4.5 dB."
+        improvement = (build_src_chain().noise_figure_db
+                       - build_marauder_chain().noise_figure_db)
+        assert 2.0 <= improvement <= 4.5
+
+    def test_friis_formula_explicit(self):
+        # Hand-check a two-stage cascade: LNA (G=20 dB, F=2) then a NIC
+        # (F=4 linear): F_total = 2 + (4-1)/100 = 2.03.
+        lna = LowNoiseAmplifier("lna", gain_db=20.0,
+                                noise_figure_db=10 * math.log10(2.0))
+        nic = WirelessNic("nic", noise_figure_db=10 * math.log10(4.0))
+        chain = ReceiverChain(antenna=Antenna("a", 0.0), nic=nic,
+                              blocks=[lna])
+        assert chain.noise_factor == pytest.approx(2.03, rel=1e-6)
+
+    def test_passive_loss_raises_nf(self):
+        # A splitter *before* any amplification adds its loss to the NF.
+        parts = catalog()
+        lossy = ReceiverChain(antenna=parts["HG2415U"], nic=parts["SRC"],
+                              blocks=[parts["4-way-splitter"]])
+        assert lossy.noise_figure_db > build_hg2415u_chain().noise_figure_db
+
+    def test_connector_loss_counts(self):
+        # Under the paper's passive-blocks-are-noiseless assumption, a
+        # 1 dB connector contributes via the Friis denominator only:
+        # F = 1 + (F_nic - 1) / G_conn.
+        parts = catalog()
+        with_connector = ReceiverChain(
+            antenna=parts["HG2415U"], nic=parts["SRC"],
+            blocks=[Connector("pigtail", loss_db=1.0)])
+        f_nic = 10 ** 0.4
+        expected_factor = 1.0 + (f_nic - 1.0) / 10 ** (-0.1)
+        assert with_connector.noise_factor == pytest.approx(
+            expected_factor, rel=1e-9)
+        assert (build_hg2415u_chain().noise_figure_db
+                < with_connector.noise_figure_db
+                < 4.0 + 1.0 + 1e-9)
+
+
+class TestGainAndSplit:
+    def test_pre_nic_gain_39_db(self):
+        # "45 - 10 log 4 = 39 dB of amplification" (minus our modeled
+        # 0.5 dB splitter excess loss).
+        chain = build_marauder_chain()
+        assert chain.pre_nic_gain_db == pytest.approx(45.0 - 6.02 - 0.5,
+                                                      abs=0.05)
+
+    def test_split_outputs(self):
+        assert build_marauder_chain().split_outputs() == 4
+        assert build_src_chain().split_outputs() == 1
+
+    def test_antenna_gain_property(self):
+        assert build_marauder_chain().antenna_gain_dbi == 15.0
+        assert build_dlink_chain().antenna_gain_dbi == 2.0
+
+
+class TestSensitivity:
+    def test_sensitivity_formula(self):
+        # P_min = -174 + NF + SNR_min + 10 log B for the bare SRC:
+        # -174 + 4 + 10 + 73.42 = -86.58 dBm.
+        chain = build_src_chain()
+        expected = -174.0 + 4.0 + 10.0 + 10 * math.log10(22e6)
+        assert chain.sensitivity_dbm == pytest.approx(expected, abs=1e-6)
+
+    def test_lna_chain_more_sensitive(self):
+        assert (build_marauder_chain().sensitivity_dbm
+                < build_hg2415u_chain().sensitivity_dbm)
+
+    def test_snr_and_decode(self):
+        chain = build_src_chain()
+        at_sensitivity = chain.sensitivity_dbm
+        assert chain.snr_db(at_sensitivity) == pytest.approx(
+            chain.nic.snr_min_db)
+        assert chain.can_decode(at_sensitivity + 1.0)
+        assert not chain.can_decode(at_sensitivity - 1.0)
+
+    def test_describe_mentions_key_numbers(self):
+        text = build_marauder_chain().describe()
+        assert "noise figure" in text
+        assert "sensitivity" in text

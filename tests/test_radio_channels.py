@@ -1,0 +1,127 @@
+"""802.11 channel-plan and cross-channel decode-model tests (Fig 9)."""
+
+import pytest
+
+from repro.radio.channels import (
+    CHANNELS_80211A,
+    CHANNELS_80211BG,
+    NON_OVERLAPPING_BG,
+    adjacent_channel_rejection_db,
+    center_frequency_mhz,
+    decode_probability,
+    is_a_channel,
+    is_bg_channel,
+    spectral_overlap_fraction,
+)
+
+
+class TestChannelPlan:
+    def test_eleven_bg_channels(self):
+        # "Both 802.11b (DSSS) and 802.11g (OFDM) wireless LANs have 11
+        # channels."
+        assert len(CHANNELS_80211BG) == 11
+
+    def test_twelve_a_channels(self):
+        # "support for 802.11a requires 12 cards."
+        assert len(CHANNELS_80211A) == 12
+
+    def test_bg_center_frequencies(self):
+        assert center_frequency_mhz(1) == 2412.0
+        assert center_frequency_mhz(6) == 2437.0
+        assert center_frequency_mhz(11) == 2462.0
+
+    def test_a_center_frequency(self):
+        assert center_frequency_mhz(36) == 5180.0
+
+    def test_unknown_channel(self):
+        with pytest.raises(ValueError):
+            center_frequency_mhz(14)
+
+    def test_channel_predicates(self):
+        assert is_bg_channel(11) and not is_bg_channel(12)
+        assert is_a_channel(36) and not is_a_channel(37)
+
+
+class TestSpectralOverlap:
+    def test_cochannel_full_overlap(self):
+        assert spectral_overlap_fraction(6, 6) == 1.0
+
+    def test_non_overlapping_set_is_disjoint(self):
+        # "The only three channels that do not interfere with each
+        # [other] concurrently are channels 1, 6 and 11."
+        for a in NON_OVERLAPPING_BG:
+            for b in NON_OVERLAPPING_BG:
+                if a != b:
+                    assert spectral_overlap_fraction(a, b) == 0.0
+
+    def test_adjacent_channels_overlap(self):
+        assert 0.0 < spectral_overlap_fraction(1, 2) < 1.0
+
+    def test_overlap_monotone_in_offset(self):
+        overlaps = [spectral_overlap_fraction(1, 1 + off)
+                    for off in range(0, 6)]
+        assert overlaps == sorted(overlaps, reverse=True)
+
+    def test_symmetry(self):
+        assert spectral_overlap_fraction(3, 6) == pytest.approx(
+            spectral_overlap_fraction(6, 3))
+
+    def test_a_channels_disjoint(self):
+        assert spectral_overlap_fraction(36, 40) == 0.0
+        assert spectral_overlap_fraction(36, 36) == 1.0
+
+
+class TestRejection:
+    def test_cochannel_no_penalty(self):
+        assert adjacent_channel_rejection_db(6, 6) == 0.0
+
+    def test_disjoint_max_penalty(self):
+        assert adjacent_channel_rejection_db(1, 6) == 60.0
+
+    def test_penalty_increases_with_offset(self):
+        penalties = [adjacent_channel_rejection_db(1, 1 + off)
+                     for off in range(0, 5)]
+        assert penalties == sorted(penalties)
+
+
+class TestDecodeProbability:
+    """The Figure 9 behaviour: neighboring channels decode 'few or none'."""
+
+    def test_cochannel_strong_signal_decodes(self):
+        assert decode_probability(40.0, 11, 11) == 1.0
+
+    def test_cochannel_weak_signal_fails(self):
+        assert decode_probability(0.0, 11, 11) == 0.0
+
+    def test_neighbor_channel_rarely_decodes_even_when_strong(self):
+        # A card on channel 10 hears a strong channel-11 transmitter
+        # but decodes at most a few percent of frames.
+        p = decode_probability(60.0, 11, 10)
+        assert 0.0 < p <= 0.06
+
+    def test_two_off_almost_never(self):
+        assert decode_probability(60.0, 11, 9) <= 0.01
+
+    def test_three_or_more_off_never(self):
+        for rx in (8, 7, 6, 1):
+            assert decode_probability(80.0, 11, rx) == 0.0
+
+    def test_figure9_shape(self):
+        # Tx on channel 11, receivers on 7..11 with a strong signal:
+        # essentially only the co-channel card recognizes packets.
+        snr = 45.0
+        rates = {rx: decode_probability(snr, 11, rx) for rx in range(7, 12)}
+        assert rates[11] == 1.0
+        assert all(rates[rx] <= 0.06 for rx in range(7, 11))
+
+    def test_monitoring_369_does_not_cover_band(self):
+        # The refuted prior belief: cards on 3/6/9 could capture
+        # everything.  A channel-1 transmitter is essentially invisible.
+        best = max(decode_probability(45.0, 1, rx) for rx in (3, 6, 9))
+        assert best <= 0.06
+
+    def test_snr_ramp(self):
+        low = decode_probability(8.0, 6, 6)
+        mid = decode_probability(10.0, 6, 6)
+        high = decode_probability(12.0, 6, 6)
+        assert 0.0 < low < mid < high <= 1.0

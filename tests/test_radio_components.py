@@ -1,0 +1,97 @@
+"""RF-component model tests."""
+
+import math
+
+import pytest
+
+from repro.radio.components import (
+    Antenna,
+    Connector,
+    LowNoiseAmplifier,
+    Splitter,
+    WirelessNic,
+    catalog,
+)
+
+
+class TestAntenna:
+    def test_gain_passthrough(self):
+        antenna = Antenna("test", gain_dbi=15.0)
+        assert antenna.gain_db == 15.0
+        assert antenna.noise_factor == 1.0  # passive
+
+
+class TestConnector:
+    def test_loss_is_negative_gain(self):
+        assert Connector("c", loss_db=0.5).gain_db == -0.5
+
+    def test_negative_loss_rejected(self):
+        with pytest.raises(ValueError):
+            Connector("c", loss_db=-1.0)
+
+
+class TestLna:
+    def test_paper_lna(self):
+        lna = LowNoiseAmplifier("RF-Lambda", gain_db=45.0,
+                                noise_figure_db=1.5)
+        assert lna.gain_db == 45.0
+        assert lna.noise_factor == pytest.approx(10 ** 0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LowNoiseAmplifier("bad", gain_db=-1.0, noise_figure_db=1.0)
+        with pytest.raises(ValueError):
+            LowNoiseAmplifier("bad", gain_db=10.0, noise_figure_db=-1.0)
+
+
+class TestSplitter:
+    def test_four_way_split_loss(self):
+        splitter = Splitter("s", ways=4)
+        # 10 log10(4) ≈ 6.02 dB.
+        assert splitter.split_loss_db == pytest.approx(6.0206, abs=1e-3)
+
+    def test_gain_includes_excess(self):
+        splitter = Splitter("s", ways=4, excess_loss_db=0.5)
+        assert splitter.gain_db == pytest.approx(-6.5206, abs=1e-3)
+
+    def test_one_way_is_lossless(self):
+        assert Splitter("s", ways=1).split_loss_db == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Splitter("s", ways=0)
+        with pytest.raises(ValueError):
+            Splitter("s", ways=2, excess_loss_db=-0.1)
+
+
+class TestWirelessNic:
+    def test_noise_factor(self):
+        nic = WirelessNic("n", noise_figure_db=4.0)
+        assert nic.noise_factor == pytest.approx(10 ** 0.4)
+        assert nic.gain_db == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WirelessNic("n", noise_figure_db=-1.0)
+        with pytest.raises(ValueError):
+            WirelessNic("n", noise_figure_db=4.0, bandwidth_hz=0.0)
+
+
+class TestCatalog:
+    def test_paper_hardware_present(self):
+        parts = catalog()
+        for key in ("HG2415U", "RF-Lambda-LNA", "4-way-splitter",
+                    "SRC", "DLink"):
+            assert key in parts
+
+    def test_paper_numbers(self):
+        parts = catalog()
+        assert parts["HG2415U"].gain_dbi == 15.0
+        assert parts["RF-Lambda-LNA"].gain_db == 45.0
+        assert parts["RF-Lambda-LNA"].noise_figure_db == 1.5
+        assert parts["4-way-splitter"].ways == 4
+        # "a common WNIC has a noise figure around 4.0 ~ 6.0 dB"
+        assert 4.0 <= parts["SRC"].noise_figure_db <= 6.0
+        assert 4.0 <= parts["DLink"].noise_figure_db <= 6.0
+        # SRC: 300 mW ≈ 24.8 dBm.
+        assert parts["SRC"].tx_power_dbm == pytest.approx(24.8, abs=0.1)

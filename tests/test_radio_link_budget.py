@@ -1,0 +1,117 @@
+"""Theorem 1 link-budget tests."""
+
+import math
+
+import pytest
+
+from repro.radio.link_budget import (
+    LinkBudget,
+    Transmitter,
+    coverage_radius_m,
+    free_space_path_loss_db,
+    received_power_dbm,
+    receiver_sensitivity_dbm,
+    theorem1_constant_c,
+)
+from repro.sniffer.receiver import build_marauder_chain, build_src_chain
+
+
+class TestPathLoss:
+    def test_fspl_at_one_meter_2_4ghz(self):
+        # 20 log10(4π/λ) at 2.437 GHz ≈ 40.2 dB.
+        loss = free_space_path_loss_db(1.0, 2.437e9)
+        assert loss == pytest.approx(40.2, abs=0.1)
+
+    def test_doubling_distance_adds_6db(self):
+        near = free_space_path_loss_db(100.0, 2.437e9)
+        far = free_space_path_loss_db(200.0, 2.437e9)
+        assert far - near == pytest.approx(20 * math.log10(2), abs=1e-9)
+
+    def test_invalid_distance(self):
+        with pytest.raises(ValueError):
+            free_space_path_loss_db(0.0, 2.4e9)
+
+
+class TestReceivedPower:
+    def test_equation_10(self):
+        tx = Transmitter(power_dbm=15.0, antenna_gain_dbi=2.0)
+        power = received_power_dbm(tx, receiver_gain_dbi=15.0,
+                                   distance_m=100.0)
+        expected = (15.0 + 2.0 + 15.0
+                    - free_space_path_loss_db(100.0, tx.frequency_hz))
+        assert power == pytest.approx(expected)
+
+    def test_eirp(self):
+        assert Transmitter(20.0, 3.0).eirp_dbm == 23.0
+
+
+class TestSensitivity:
+    def test_equation_11(self):
+        # -174 + 4 + 10 + 10log(22e6) ≈ -86.6 dBm.
+        value = receiver_sensitivity_dbm(4.0, 10.0, 22e6)
+        assert value == pytest.approx(-86.58, abs=0.01)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            receiver_sensitivity_dbm(4.0, 10.0, 0.0)
+
+
+class TestTheorem1:
+    def test_coverage_radius_consistency(self):
+        """At the Theorem 1 radius, received power equals sensitivity."""
+        tx = Transmitter(power_dbm=15.0, antenna_gain_dbi=0.0)
+        radius = coverage_radius_m(receiver_gain_dbi=15.0,
+                                   noise_figure_db=1.5, snr_min_db=10.0,
+                                   transmitter=tx, bandwidth_hz=22e6)
+        power = received_power_dbm(tx, 15.0, radius)
+        sensitivity = receiver_sensitivity_dbm(1.5, 10.0, 22e6)
+        assert power == pytest.approx(sensitivity, abs=1e-9)
+
+    def test_6db_gain_doubles_radius(self):
+        tx = Transmitter(power_dbm=15.0)
+        base = coverage_radius_m(9.0, 4.0, 10.0, tx, 22e6)
+        boosted = coverage_radius_m(15.0, 4.0, 10.0, tx, 22e6)
+        assert boosted / base == pytest.approx(10 ** (6.0 / 20.0),
+                                               rel=1e-9)
+
+    def test_lower_nf_extends_radius(self):
+        tx = Transmitter(power_dbm=15.0)
+        assert (coverage_radius_m(15.0, 1.5, 10.0, tx, 22e6)
+                > coverage_radius_m(15.0, 4.0, 10.0, tx, 22e6))
+
+    def test_constant_c_formula(self):
+        tx = Transmitter(power_dbm=15.0, antenna_gain_dbi=2.0,
+                         frequency_hz=2.437e9)
+        c = theorem1_constant_c(tx, 22e6)
+        wavelength = tx.wavelength_m
+        expected = (15.0 + 2.0 - 20 * math.log10(4 * math.pi / wavelength)
+                    - 10 * math.log10(22e6) + 174.0)
+        assert c == pytest.approx(expected)
+
+
+class TestLinkBudget:
+    def test_chain_ordering(self):
+        # The full LNA chain must out-range the bare SRC card.
+        tx = Transmitter(power_dbm=15.0)
+        src = LinkBudget(tx, build_src_chain())
+        lna = LinkBudget(tx, build_marauder_chain())
+        assert lna.coverage_radius_m() > src.coverage_radius_m()
+
+    def test_can_receive_at_radius_boundary(self):
+        budget = LinkBudget(Transmitter(power_dbm=15.0),
+                            build_marauder_chain())
+        radius = budget.coverage_radius_m()
+        assert budget.can_receive(radius * 0.99)
+        assert not budget.can_receive(radius * 1.01)
+
+    def test_link_margin_zero_at_radius(self):
+        budget = LinkBudget(Transmitter(power_dbm=15.0),
+                            build_src_chain())
+        radius = budget.coverage_radius_m()
+        assert budget.link_margin_db(radius) == pytest.approx(0.0,
+                                                              abs=1e-9)
+
+    def test_snr_decreases_with_distance(self):
+        budget = LinkBudget(Transmitter(power_dbm=15.0),
+                            build_src_chain())
+        assert budget.snr_db(100.0) > budget.snr_db(500.0)

@@ -1,0 +1,116 @@
+"""Propagation-model tests."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.radio.link_budget import free_space_path_loss_db
+from repro.radio.propagation import (
+    FreeSpaceModel,
+    LogDistanceModel,
+    ObstructedModel,
+)
+
+FREQ = 2.437e9
+
+
+class TestFreeSpace:
+    def test_matches_link_budget_formula(self):
+        model = FreeSpaceModel()
+        loss = model.path_loss_db(Point(0, 0), Point(300, 400), FREQ)
+        assert loss == pytest.approx(free_space_path_loss_db(500.0, FREQ))
+
+    def test_colocated_clamped_to_one_meter(self):
+        model = FreeSpaceModel()
+        loss = model.path_loss_db(Point(0, 0), Point(0, 0), FREQ)
+        assert loss == pytest.approx(free_space_path_loss_db(1.0, FREQ))
+
+    def test_symmetric(self):
+        model = FreeSpaceModel()
+        a, b = Point(0, 0), Point(123, -45)
+        assert model.path_loss_db(a, b, FREQ) == pytest.approx(
+            model.path_loss_db(b, a, FREQ))
+
+
+class TestLogDistance:
+    def test_exponent_two_equals_free_space(self):
+        log_model = LogDistanceModel(exponent=2.0)
+        free = FreeSpaceModel()
+        a, b = Point(0, 0), Point(200, 0)
+        assert log_model.path_loss_db(a, b, FREQ) == pytest.approx(
+            free.path_loss_db(a, b, FREQ), abs=1e-9)
+
+    def test_urban_exponent_lossier(self):
+        urban = LogDistanceModel(exponent=3.2)
+        free = FreeSpaceModel()
+        a, b = Point(0, 0), Point(500, 0)
+        assert urban.path_loss_db(a, b, FREQ) > free.path_loss_db(a, b, FREQ)
+
+    def test_shadowing_deterministic(self):
+        model = LogDistanceModel(exponent=3.0, shadowing_sigma_db=6.0,
+                                 seed=5)
+        a, b = Point(10, 20), Point(300, 40)
+        first = model.path_loss_db(a, b, FREQ)
+        second = model.path_loss_db(a, b, FREQ)
+        assert first == second
+
+    def test_shadowing_reciprocal(self):
+        # The channel draw must not depend on link direction.
+        model = LogDistanceModel(exponent=3.0, shadowing_sigma_db=6.0)
+        a, b = Point(10, 20), Point(300, 40)
+        assert model.path_loss_db(a, b, FREQ) == pytest.approx(
+            model.path_loss_db(b, a, FREQ))
+
+    def test_shadowing_varies_between_links(self):
+        model = LogDistanceModel(exponent=3.0, shadowing_sigma_db=6.0)
+        a = Point(0, 0)
+        losses = {round(model.path_loss_db(a, Point(100.0, float(y)), FREQ)
+                        - model.path_loss_db(a, Point(100.0, 0.0), FREQ), 6)
+                  for y in (10, 20, 30, 40)}
+        assert len(losses) > 1  # different links draw different shadows
+
+    def test_seed_changes_environment(self):
+        a, b = Point(0, 0), Point(100, 0)
+        loss_1 = LogDistanceModel(exponent=3.0, shadowing_sigma_db=8.0,
+                                  seed=1).path_loss_db(a, b, FREQ)
+        loss_2 = LogDistanceModel(exponent=3.0, shadowing_sigma_db=8.0,
+                                  seed=2).path_loss_db(a, b, FREQ)
+        assert loss_1 != loss_2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogDistanceModel(exponent=0.0)
+        with pytest.raises(ValueError):
+            LogDistanceModel(reference_distance_m=0.0)
+        with pytest.raises(ValueError):
+            LogDistanceModel(shadowing_sigma_db=-1.0)
+
+
+class TestObstructed:
+    def test_adds_obstruction(self):
+        base = FreeSpaceModel()
+        model = ObstructedModel(base, obstruction_db=lambda tx, rx: 12.0)
+        a, b = Point(0, 0), Point(100, 0)
+        assert model.path_loss_db(a, b, FREQ) == pytest.approx(
+            base.path_loss_db(a, b, FREQ) + 12.0)
+
+    def test_zero_obstruction_is_transparent(self):
+        base = FreeSpaceModel()
+        model = ObstructedModel(base, obstruction_db=lambda tx, rx: 0.0)
+        a, b = Point(0, 0), Point(100, 0)
+        assert model.path_loss_db(a, b, FREQ) == pytest.approx(
+            base.path_loss_db(a, b, FREQ))
+
+    def test_negative_obstruction_rejected(self):
+        model = ObstructedModel(FreeSpaceModel(),
+                                obstruction_db=lambda tx, rx: -5.0)
+        with pytest.raises(ValueError):
+            model.path_loss_db(Point(0, 0), Point(1, 0), FREQ)
+
+    def test_with_terrain(self):
+        from repro.sim.terrain import Hill, Terrain
+
+        terrain = Terrain([Hill(Point(50, 0), 10.0, 20.0)])
+        model = ObstructedModel(FreeSpaceModel(), terrain.obstruction_db)
+        blocked = model.path_loss_db(Point(0, 0), Point(100, 0), FREQ)
+        clear = model.path_loss_db(Point(0, 50), Point(100, 50), FREQ)
+        assert blocked == pytest.approx(clear + 20.0, abs=0.5)

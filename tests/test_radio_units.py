@@ -1,0 +1,83 @@
+"""Unit-conversion tests."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.radio.units import (
+    THERMAL_NOISE_DBM_PER_HZ,
+    db_to_linear,
+    dbm_to_milliwatts,
+    linear_to_db,
+    milliwatts_to_dbm,
+    noise_factor_to_figure,
+    noise_figure_to_factor,
+    wavelength_m,
+)
+
+db_values = st.floats(min_value=-100.0, max_value=100.0,
+                      allow_nan=False, allow_infinity=False)
+
+
+class TestDbConversions:
+    def test_zero_db_is_unity(self):
+        assert db_to_linear(0.0) == 1.0
+
+    def test_three_db_doubles(self):
+        assert db_to_linear(3.0103) == pytest.approx(2.0, rel=1e-4)
+
+    def test_ten_db_is_ten(self):
+        assert db_to_linear(10.0) == pytest.approx(10.0)
+
+    def test_linear_to_db_requires_positive(self):
+        with pytest.raises(ValueError):
+            linear_to_db(0.0)
+        with pytest.raises(ValueError):
+            linear_to_db(-1.0)
+
+    @given(db_values)
+    def test_roundtrip(self, db):
+        assert linear_to_db(db_to_linear(db)) == pytest.approx(db, abs=1e-9)
+
+
+class TestPowerConversions:
+    def test_zero_dbm_is_one_milliwatt(self):
+        assert dbm_to_milliwatts(0.0) == 1.0
+
+    def test_300_milliwatt_card(self):
+        # The Ubiquiti SRC transmits 300 mW ≈ 24.77 dBm.
+        assert milliwatts_to_dbm(300.0) == pytest.approx(24.77, abs=0.01)
+
+    def test_nonpositive_power_raises(self):
+        with pytest.raises(ValueError):
+            milliwatts_to_dbm(0.0)
+
+    @given(db_values)
+    def test_roundtrip(self, dbm):
+        assert milliwatts_to_dbm(dbm_to_milliwatts(dbm)) == pytest.approx(
+            dbm, abs=1e-9)
+
+
+class TestNoiseConversions:
+    def test_figure_factor_pairs(self):
+        assert noise_figure_to_factor(0.0) == 1.0
+        assert noise_figure_to_factor(3.0103) == pytest.approx(2.0, rel=1e-4)
+        assert noise_factor_to_figure(10.0) == pytest.approx(10.0)
+
+    def test_thermal_noise_constant(self):
+        # The paper's -174 dBm/Hz figure.
+        assert THERMAL_NOISE_DBM_PER_HZ == -174.0
+
+
+class TestWavelength:
+    def test_2_4_ghz(self):
+        # ~12.5 cm at 2.4 GHz.
+        assert wavelength_m(2.4e9) == pytest.approx(0.1249, abs=1e-3)
+
+    def test_5_ghz(self):
+        assert wavelength_m(5.0e9) == pytest.approx(0.05996, abs=1e-4)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            wavelength_m(0.0)

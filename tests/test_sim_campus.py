@@ -1,0 +1,112 @@
+"""Campus-generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.sim.campus import (
+    CampusConfig,
+    channel_histogram,
+    generate_campus,
+    non_overlapping_share,
+)
+
+
+@pytest.fixture
+def campus(rng):
+    config = CampusConfig(ap_count=300)
+    return generate_campus(config, rng)
+
+
+class TestGeneration:
+    def test_counts(self, campus):
+        access_points, truth_db = campus
+        assert len(access_points) == 300
+        assert len(truth_db) == 300
+
+    def test_positions_in_area(self, campus):
+        access_points, _ = campus
+        for ap in access_points:
+            assert 0.0 <= ap.position.x <= 1000.0
+            assert 0.0 <= ap.position.y <= 1000.0
+
+    def test_ranges_in_bounds(self, campus):
+        access_points, _ = campus
+        for ap in access_points:
+            assert 40.0 <= ap.max_range_m <= 120.0
+
+    def test_unique_bssids(self, campus):
+        access_points, _ = campus
+        assert len({ap.bssid for ap in access_points}) == 300
+
+    def test_truth_db_mirrors_aps(self, campus):
+        access_points, truth_db = campus
+        for ap in access_points:
+            record = truth_db.get(ap.bssid)
+            assert record is not None
+            assert record.location == ap.position
+            assert record.max_range_m == ap.max_range_m
+            assert record.channel == ap.channel
+
+    def test_deterministic(self):
+        config = CampusConfig(ap_count=50)
+        aps_a, _ = generate_campus(config, np.random.default_rng(5))
+        aps_b, _ = generate_campus(config, np.random.default_rng(5))
+        assert [a.bssid for a in aps_a] == [b.bssid for b in aps_b]
+        assert [a.position for a in aps_a] == [b.position for b in aps_b]
+
+
+class TestChannelDistribution:
+    def test_fig8_mass_on_1_6_11(self, campus):
+        # "most APs (93.7%) use Channels 1, 6 and 11."
+        access_points, _ = campus
+        share = non_overlapping_share(access_points)
+        assert 0.88 <= share <= 0.99
+
+    def test_histogram_sums_to_count(self, campus):
+        access_points, _ = campus
+        histogram = channel_histogram(access_points)
+        assert sum(histogram.values()) == 300
+
+    def test_channel_6_dominates(self, campus):
+        access_points, _ = campus
+        histogram = channel_histogram(access_points)
+        assert histogram[6] == max(histogram.values())
+
+    def test_empty_share(self):
+        assert non_overlapping_share([]) == 0.0
+
+
+class TestConfigValidation:
+    def test_bad_count(self):
+        with pytest.raises(ValueError):
+            CampusConfig(ap_count=0)
+
+    def test_bad_cluster_fraction(self):
+        with pytest.raises(ValueError):
+            CampusConfig(cluster_fraction=1.5)
+
+    def test_bad_ranges(self):
+        with pytest.raises(ValueError):
+            CampusConfig(range_min_m=100.0, range_max_m=50.0)
+
+    def test_bad_weights(self):
+        with pytest.raises(ValueError):
+            CampusConfig(channel_weights={1: 0.5, 6: 0.4})  # sums to 0.9
+
+
+class TestClustering:
+    def test_clustered_layout_is_denser_locally(self):
+        """With heavy clustering, nearest-neighbor distances shrink."""
+        def mean_nearest_neighbor(cluster_fraction, seed=3):
+            config = CampusConfig(ap_count=150,
+                                  cluster_fraction=cluster_fraction,
+                                  cluster_sigma_m=20.0)
+            aps, _ = generate_campus(config, np.random.default_rng(seed))
+            total = 0.0
+            for ap in aps:
+                nearest = min(ap.position.distance_to(other.position)
+                              for other in aps if other is not ap)
+                total += nearest
+            return total / len(aps)
+
+        assert mean_nearest_neighbor(0.9) < mean_nearest_neighbor(0.0)

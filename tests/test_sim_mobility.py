@@ -1,0 +1,122 @@
+"""Mobility-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.sim.mobility import FixedRoute, RandomWaypoint, grid_route
+
+
+class TestFixedRoute:
+    def test_start_and_end(self):
+        route = FixedRoute([Point(0, 0), Point(100, 0)], speed_m_s=2.0)
+        assert route.position_at(0.0) == Point(0, 0)
+        assert route.position_at(1e9) == Point(100, 0)
+
+    def test_length_and_duration(self):
+        route = FixedRoute([Point(0, 0), Point(100, 0), Point(100, 50)],
+                           speed_m_s=2.0)
+        assert route.length_m == pytest.approx(150.0)
+        assert route.duration_s == pytest.approx(75.0)
+
+    def test_constant_speed_interpolation(self):
+        route = FixedRoute([Point(0, 0), Point(100, 0)], speed_m_s=2.0)
+        assert route.position_at(25.0) == Point(50.0, 0.0)
+
+    def test_crosses_waypoints(self):
+        route = FixedRoute([Point(0, 0), Point(10, 0), Point(10, 10)],
+                           speed_m_s=1.0)
+        assert route.position_at(10.0) == Point(10.0, 0.0)
+        assert route.position_at(15.0) == Point(10.0, 5.0)
+
+    def test_single_waypoint_is_stationary(self):
+        route = FixedRoute([Point(5, 5)])
+        assert route.position_at(100.0) == Point(5, 5)
+
+    def test_duplicate_waypoints_handled(self):
+        route = FixedRoute([Point(0, 0), Point(0, 0), Point(10, 0)],
+                           speed_m_s=1.0)
+        assert route.position_at(5.0) == Point(5.0, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedRoute([])
+        with pytest.raises(ValueError):
+            FixedRoute([Point(0, 0)], speed_m_s=0.0)
+
+
+class TestRandomWaypoint:
+    def make_walker(self, seed=0):
+        return RandomWaypoint(0.0, 0.0, 100.0, 100.0,
+                              np.random.default_rng(seed),
+                              speed_m_s=2.0, pause_s=1.0)
+
+    def test_stays_in_bounds(self):
+        walker = self.make_walker()
+        for _ in range(500):
+            position = walker.step(1.0)
+            assert 0.0 <= position.x <= 100.0
+            assert 0.0 <= position.y <= 100.0
+
+    def test_speed_limit(self):
+        walker = self.make_walker()
+        previous = walker.position
+        for _ in range(200):
+            current = walker.step(1.0)
+            assert previous.distance_to(current) <= 2.0 + 1e-9
+            previous = current
+
+    def test_deterministic_given_seed(self):
+        a = self.make_walker(seed=7)
+        b = self.make_walker(seed=7)
+        for _ in range(50):
+            assert a.step(1.0) == b.step(1.0)
+
+    def test_actually_moves(self):
+        walker = self.make_walker()
+        start = walker.position
+        for _ in range(100):
+            walker.step(1.0)
+        assert walker.position.distance_to(start) > 0.0
+
+    def test_zero_dt_is_noop(self):
+        walker = self.make_walker()
+        position = walker.position
+        assert walker.step(0.0) == position
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomWaypoint(0.0, 0.0, 0.0, 100.0, np.random.default_rng(0))
+        walker = self.make_walker()
+        with pytest.raises(ValueError):
+            walker.step(-1.0)
+
+
+class TestGridRoute:
+    def test_point_count(self):
+        route = grid_route(0, 0, 100, 100, rows=4, points_per_row=5)
+        assert len(route) == 20
+
+    def test_covers_corners(self):
+        route = grid_route(0, 0, 100, 100, rows=3, points_per_row=3)
+        assert Point(0.0, 0.0) in route
+        assert Point(100.0, 100.0) in route
+
+    def test_boustrophedon_alternates(self):
+        route = grid_route(0, 0, 100, 100, rows=2, points_per_row=3)
+        first_row = route[:3]
+        second_row = route[3:]
+        assert [p.x for p in first_row] == [0.0, 50.0, 100.0]
+        assert [p.x for p in second_row] == [100.0, 50.0, 0.0]
+
+    def test_within_bounds(self):
+        route = grid_route(10, 20, 90, 80, rows=5, points_per_row=7)
+        for point in route:
+            assert 10 <= point.x <= 90
+            assert 20 <= point.y <= 80
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grid_route(0, 0, 1, 1, rows=0, points_per_row=5)
+        with pytest.raises(ValueError):
+            grid_route(0, 0, 1, 1, rows=2, points_per_row=1)

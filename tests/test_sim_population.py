@@ -1,0 +1,103 @@
+"""7-day population model tests (Figs 10-11)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.population import (
+    DayStats,
+    PopulationConfig,
+    WEEK_LABELS,
+    simulate_week,
+    weekly_summary,
+)
+
+
+@pytest.fixture
+def week(rng):
+    return simulate_week(PopulationConfig(), rng)
+
+
+class TestCalendar:
+    def test_seven_days(self, week):
+        assert len(week) == 7
+        assert [d.label for d in week] == [label for label, _ in WEEK_LABELS]
+
+    def test_oct_25_is_saturday(self):
+        # The paper's 91.61% peak day was Oct 25, 2008 — a Saturday.
+        labels = dict(WEEK_LABELS)
+        assert labels["Oct 25"] == "Sat"
+        assert labels["Oct 24"] == "Fri"
+
+    def test_weekend_flag(self, week):
+        weekend_days = [d.label for d in week if d.is_weekend]
+        assert weekend_days == ["Oct 25", "Oct 26"]
+
+
+class TestPaperObservations:
+    def test_more_mobiles_on_weekdays(self, week):
+        summary = weekly_summary(week)
+        assert (summary["mean_weekday_mobiles"]
+                > 2.0 * summary["mean_weekend_mobiles"])
+
+    def test_all_days_above_50_percent(self, week):
+        # "In each day, the percentage of probing mobiles within all
+        # found mobiles is above 50%."
+        for day in week:
+            assert day.probing_percentage > 50.0
+
+    def test_weekend_percentage_higher(self, week):
+        weekday_pct = np.mean([d.probing_percentage for d in week
+                               if not d.is_weekend])
+        weekend_pct = np.mean([d.probing_percentage for d in week
+                               if d.is_weekend])
+        assert weekend_pct > weekday_pct
+
+    def test_peak_is_high(self, week):
+        # Peak around the paper's 91.61%.
+        assert max(d.probing_percentage for d in week) > 80.0
+
+    def test_probing_never_exceeds_found(self, week):
+        for day in week:
+            assert 0 <= day.probing_mobiles <= day.found_mobiles
+
+
+class TestActiveAttackAblation:
+    def test_active_attack_raises_percentages(self):
+        config = PopulationConfig()
+        passive = simulate_week(config, np.random.default_rng(1))
+        active = simulate_week(config, np.random.default_rng(1),
+                               active_attack=True)
+        passive_mean = np.mean([d.probing_percentage for d in passive])
+        active_mean = np.mean([d.probing_percentage for d in active])
+        assert active_mean > passive_mean
+
+    def test_active_attack_does_not_change_found(self):
+        config = PopulationConfig()
+        passive = simulate_week(config, np.random.default_rng(1))
+        active = simulate_week(config, np.random.default_rng(1),
+                               active_attack=True)
+        assert [d.found_mobiles for d in passive] == \
+            [d.found_mobiles for d in active]
+
+
+class TestConfig:
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(weekday_probing_prob=1.5)
+        with pytest.raises(ValueError):
+            PopulationConfig(detection_prob=-0.1)
+
+    def test_population_validation(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(weekday_mobiles_mean=0.0)
+
+    def test_deterministic_given_seed(self):
+        config = PopulationConfig()
+        a = simulate_week(config, np.random.default_rng(9))
+        b = simulate_week(config, np.random.default_rng(9))
+        assert [(d.found_mobiles, d.probing_mobiles) for d in a] == \
+            [(d.found_mobiles, d.probing_mobiles) for d in b]
+
+    def test_empty_day_percentage(self):
+        day = DayStats("x", "Mon", found_mobiles=0, probing_mobiles=0)
+        assert day.probing_percentage == 0.0

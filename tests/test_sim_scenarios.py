@@ -1,0 +1,92 @@
+"""Scenario-builder tests."""
+
+import numpy as np
+import pytest
+
+from repro.sim.scenarios import (
+    build_attack_scenario,
+    build_disc_model_experiment,
+)
+
+
+class TestAttackScenario:
+    def test_builds_and_runs(self):
+        scenario = build_attack_scenario(seed=3, ap_count=40,
+                                         area_m=400.0, bystander_count=4)
+        scenario.world.run(duration_s=90.0)
+        store = scenario.world.sniffer.store
+        assert store.frame_count > 0
+        assert scenario.victim.mac in store.seen_mobiles
+
+    def test_deterministic(self):
+        def run(seed):
+            scenario = build_attack_scenario(seed=seed, ap_count=30,
+                                             area_m=300.0,
+                                             bystander_count=3)
+            scenario.world.run(duration_s=60.0)
+            return scenario.world.sniffer.store.frame_count
+
+        assert run(5) == run(5)
+
+    def test_victim_walks_route(self):
+        scenario = build_attack_scenario(seed=3, ap_count=30,
+                                         area_m=400.0, bystander_count=2)
+        start = scenario.victim.position
+        scenario.world.run(duration_s=120.0)
+        assert scenario.victim.position.distance_to(start) > 50.0
+
+
+class TestDiscModelExperiment:
+    @pytest.fixture(scope="class")
+    def experiment(self):
+        return build_disc_model_experiment(seed=11, ap_count=150,
+                                           area_m=400.0, case_count=40,
+                                           extra_corpus=150)
+
+    def test_shapes(self, experiment):
+        assert len(experiment.truth_db) == 150
+        assert len(experiment.mloc_db) == 150
+        assert len(experiment.location_db) == 150
+        assert len(experiment.cases) == 40
+        assert len(experiment.corpus) >= 40
+
+    def test_cases_have_evidence(self, experiment):
+        assert all(case.observed for case in experiment.cases)
+
+    def test_location_db_has_no_ranges(self, experiment):
+        assert all(r.max_range_m is None for r in experiment.location_db)
+
+    def test_mloc_db_ranges_near_truth(self, experiment):
+        ratios = []
+        for record in experiment.mloc_db:
+            truth = experiment.truth_db.get(record.bssid)
+            ratios.append(record.max_range_m / truth.max_range_m)
+        assert 1.0 < np.mean(ratios) < 1.25  # overestimate bias
+
+    def test_positions_noisy_but_close(self, experiment):
+        shifts = []
+        for record in experiment.location_db:
+            truth = experiment.truth_db.get(record.bssid)
+            shifts.append(record.location.distance_to(truth.location))
+        assert 0.0 < np.mean(shifts) < 10.0
+
+    def test_gamma_is_subset_of_truth(self, experiment):
+        for case in experiment.cases[:10]:
+            true_gamma = experiment.truth_db.observable_from(case.truth)
+            assert set(case.observed) <= true_gamma
+
+    def test_deterministic(self):
+        a = build_disc_model_experiment(seed=4, ap_count=60,
+                                        area_m=300.0, case_count=10,
+                                        extra_corpus=20)
+        b = build_disc_model_experiment(seed=4, ap_count=60,
+                                        area_m=300.0, case_count=10,
+                                        extra_corpus=20)
+        assert [c.truth for c in a.cases] == [c.truth for c in b.cases]
+        assert [c.observed for c in a.cases] == [c.observed for c in b.cases]
+
+    def test_make_aprad_wired(self, experiment):
+        aprad = experiment.make_aprad()
+        assert aprad.min_evidence == experiment.aprad_min_evidence
+        assert aprad.overestimate_factor == experiment.aprad_overestimate
+        assert aprad.r_max == experiment.r_max

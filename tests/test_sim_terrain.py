@@ -1,0 +1,111 @@
+"""Terrain-obstruction tests."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.sim.terrain import Building, Hill, Terrain
+
+
+class TestHill:
+    def test_blocks_crossing_path(self):
+        hill = Hill(Point(50.0, 0.0), radius_m=10.0, loss_db=20.0)
+        assert hill.blocks(Point(0, 0), Point(100, 0))
+
+    def test_clear_path_not_blocked(self):
+        hill = Hill(Point(50.0, 50.0), radius_m=10.0, loss_db=20.0)
+        assert not hill.blocks(Point(0, 0), Point(100, 0))
+
+    def test_grazing_path_not_blocked(self):
+        hill = Hill(Point(50.0, 10.0), radius_m=10.0, loss_db=20.0)
+        # Path along y=0 is exactly tangent: distance == radius.
+        assert not hill.blocks(Point(0, 0), Point(100, 0))
+
+    def test_endpoint_inside_footprint_not_blocked(self):
+        # A device standing on the hill still reaches its neighborhood.
+        hill = Hill(Point(0.0, 0.0), radius_m=10.0, loss_db=20.0)
+        assert not hill.blocks(Point(5.0, 0.0), Point(100.0, 0.0))
+
+    def test_segment_beyond_hill_not_blocked(self):
+        hill = Hill(Point(200.0, 0.0), radius_m=10.0, loss_db=20.0)
+        assert not hill.blocks(Point(0, 0), Point(100, 0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Hill(Point(0, 0), radius_m=0.0, loss_db=10.0)
+        with pytest.raises(ValueError):
+            Hill(Point(0, 0), radius_m=5.0, loss_db=-1.0)
+
+
+class TestTerrain:
+    def test_losses_accumulate(self):
+        terrain = Terrain([
+            Hill(Point(30.0, 0.0), 5.0, 12.0),
+            Hill(Point(70.0, 0.0), 5.0, 8.0),
+        ])
+        assert terrain.obstruction_db(Point(0, 0),
+                                      Point(100, 0)) == pytest.approx(20.0)
+
+    def test_flat_terrain_is_free(self):
+        assert Terrain().obstruction_db(Point(0, 0), Point(100, 0)) == 0.0
+
+    def test_line_of_sight(self):
+        terrain = Terrain([Hill(Point(50.0, 0.0), 5.0, 12.0)])
+        assert not terrain.line_of_sight(Point(0, 0), Point(100, 0))
+        assert terrain.line_of_sight(Point(0, 20), Point(100, 20))
+
+    def test_add_hill(self):
+        terrain = Terrain()
+        terrain.add_hill(Hill(Point(50.0, 0.0), 5.0, 12.0))
+        assert terrain.obstruction_db(Point(0, 0),
+                                      Point(100, 0)) == pytest.approx(12.0)
+
+    def test_direction_symmetric(self):
+        terrain = Terrain([Hill(Point(50.0, 1.0), 5.0, 9.0)])
+        a, b = Point(0, 0), Point(100, 0)
+        assert terrain.obstruction_db(a, b) == terrain.obstruction_db(b, a)
+
+
+class TestBuilding:
+    def test_blocks_crossing_path(self):
+        building = Building(40.0, -10.0, 60.0, 10.0, loss_db=15.0)
+        assert building.blocks(Point(0, 0), Point(100, 0))
+
+    def test_clear_path(self):
+        building = Building(40.0, 20.0, 60.0, 40.0, loss_db=15.0)
+        assert not building.blocks(Point(0, 0), Point(100, 0))
+
+    def test_diagonal_crossing(self):
+        building = Building(40.0, 40.0, 60.0, 60.0, loss_db=15.0)
+        assert building.blocks(Point(0, 0), Point(100, 100))
+
+    def test_endpoint_inside_not_blocked(self):
+        building = Building(40.0, -10.0, 60.0, 10.0, loss_db=15.0)
+        assert not building.blocks(Point(50.0, 0.0), Point(100.0, 0.0))
+
+    def test_segment_short_of_building(self):
+        building = Building(40.0, -10.0, 60.0, 10.0, loss_db=15.0)
+        assert not building.blocks(Point(0, 0), Point(30, 0))
+
+    def test_parallel_segment_outside(self):
+        building = Building(40.0, 10.0, 60.0, 20.0, loss_db=15.0)
+        assert not building.blocks(Point(0, 0), Point(100, 0))
+
+    def test_contains(self):
+        building = Building(0.0, 0.0, 10.0, 10.0, loss_db=15.0)
+        assert building.contains(Point(5.0, 5.0))
+        assert not building.contains(Point(15.0, 5.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Building(10.0, 0.0, 5.0, 10.0, loss_db=15.0)
+        with pytest.raises(ValueError):
+            Building(0.0, 0.0, 10.0, 10.0, loss_db=-1.0)
+
+    def test_terrain_mixes_hills_and_buildings(self):
+        terrain = Terrain()
+        terrain.add_hill(Hill(Point(30.0, 0.0), 5.0, 12.0))
+        terrain.add_building(Building(60.0, -5.0, 70.0, 5.0, 8.0))
+        assert terrain.obstruction_db(Point(0, 0),
+                                      Point(100, 0)) == pytest.approx(20.0)
+        assert not terrain.line_of_sight(Point(0, 0), Point(100, 0))
+        assert terrain.line_of_sight(Point(0, 50), Point(100, 50))

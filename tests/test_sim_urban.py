@@ -1,0 +1,67 @@
+"""Urban (GWU-style) scenario tests."""
+
+import pytest
+
+from repro.localization import MLoc
+from repro.sim import build_attack_scenario, build_urban_scenario
+
+
+@pytest.fixture(scope="module")
+def urban():
+    scenario = build_urban_scenario(seed=38, ap_count=70, area_m=400.0,
+                                    bystander_count=4)
+    scenario.world.run(duration_s=180.0)
+    return scenario
+
+
+class TestUrbanScenario:
+    def test_attack_still_works_among_buildings(self, urban):
+        store = urban.world.sniffer.store
+        gamma = store.gamma(urban.victim.mac)
+        assert gamma
+        estimate = MLoc(urban.truth_db).locate(gamma)
+        error = estimate.error_to(urban.victim.position)
+        # The disc model is the worst case: localization degrades but
+        # stays campus-scale (the paper's core point vs RSSI methods).
+        assert error < 150.0
+
+    def test_observed_gamma_subset_of_disc_model(self, urban):
+        """Theorem 1's worst-case property end to end: the sniffer can
+        only ever see a *subset* of the disc-model communicable set, so
+        the intersected region never excludes the truth."""
+        store = urban.world.sniffer.store
+        for mobile, gamma in store.all_observations().items():
+            # Check against the union of disc predictions along the
+            # device's whole trajectory.
+            union = set()
+            for truth in urban.world.truths:
+                if truth.mobile == mobile:
+                    union |= urban.world.true_gamma(truth.position)
+            assert gamma <= union
+
+    def test_buildings_reduce_captures(self):
+        """Urban blockage costs the sniffer frames vs. the open campus."""
+        urban_scenario = build_urban_scenario(seed=5, ap_count=60,
+                                              area_m=400.0,
+                                              bystander_count=3)
+        urban_scenario.world.run(duration_s=120.0)
+        open_scenario = build_attack_scenario(seed=5, ap_count=60,
+                                              area_m=400.0,
+                                              bystander_count=3)
+        open_scenario.world.run(duration_s=120.0)
+        assert (urban_scenario.world.sniffer.store.frame_count
+                < open_scenario.world.sniffer.store.frame_count)
+
+    def test_victim_walks_the_streets(self, urban):
+        # The route stays outside every building footprint.
+        from repro.sim.terrain import Building
+
+        block, street = 70.0, 30.0
+        pitch = block + street
+        for t in range(0, 180, 10):
+            position = urban.victim_route.position_at(float(t))
+            # In-street means x or y is within a street band.
+            def in_street(v):
+                offset = v % pitch
+                return offset <= street
+            assert in_street(position.x) or in_street(position.y)

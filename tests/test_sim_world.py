@@ -1,0 +1,169 @@
+"""Campus-world event-loop tests."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.net80211.ap import AccessPoint
+from repro.net80211.mac import MacAddress
+from repro.net80211.medium import Medium
+from repro.net80211.ssid import Ssid
+from repro.net80211.station import PROFILES, MobileStation
+from repro.radio.propagation import FreeSpaceModel
+from repro.sim.mobility import FixedRoute
+from repro.sim.world import CampusWorld
+from repro.sniffer.active import ActiveAttacker
+from repro.sniffer.receiver import build_marauder_sniffer
+
+
+def make_ap(index, x, y, channel=6, max_range=120.0):
+    return AccessPoint(
+        bssid=MacAddress(0x0015_6D00_0000 + index),
+        ssid=Ssid(f"ap-{index}"),
+        channel=channel,
+        position=Point(x, y),
+        max_range_m=max_range,
+    )
+
+
+def make_world(aps=None, seed=0):
+    aps = aps if aps is not None else [
+        make_ap(0, 100.0, 100.0), make_ap(1, 200.0, 100.0, channel=1),
+        make_ap(2, 150.0, 200.0, channel=11),
+    ]
+    medium = Medium(FreeSpaceModel())
+    sniffer = build_marauder_sniffer(Point(150.0, 150.0), medium)
+    return CampusWorld(aps, medium, sniffer=sniffer, seed=seed)
+
+
+def make_station(x=150.0, y=150.0, profile="aggressive", seed=1):
+    return MobileStation(
+        mac=MacAddress.random(np.random.default_rng(seed)),
+        position=Point(x, y),
+        profile=PROFILES[profile],
+    )
+
+
+class TestEventLoop:
+    def test_time_advances(self):
+        world = make_world()
+        world.run(duration_s=10.0, step_s=1.0)
+        assert world.now == pytest.approx(10.0)
+
+    def test_probing_station_observed(self):
+        world = make_world()
+        station = make_station()
+        world.add_station(station)
+        world.run(duration_s=60.0)
+        store = world.sniffer.store
+        assert station.mac in store.probing_mobiles
+        gamma = store.gamma(station.mac)
+        assert gamma  # probe responses captured from covering APs
+
+    def test_gamma_subset_of_true_gamma(self):
+        world = make_world()
+        station = make_station()
+        world.add_station(station)
+        world.run(duration_s=60.0)
+        observed = world.sniffer.store.gamma(station.mac)
+        true_gamma = world.true_gamma(station.position)
+        assert observed <= true_gamma
+
+    def test_out_of_range_ap_not_observed(self):
+        far_ap = make_ap(9, 5000.0, 5000.0, max_range=50.0)
+        world = make_world(aps=[make_ap(0, 100.0, 100.0), far_ap])
+        station = make_station()
+        world.add_station(station)
+        world.run(duration_s=60.0)
+        assert far_ap.bssid not in world.sniffer.store.gamma(station.mac)
+
+    def test_ground_truth_recorded(self):
+        world = make_world()
+        station = make_station()
+        world.add_station(station)
+        world.run(duration_s=5.0)
+        assert len(world.truths) == 5
+        assert world.truth_at(station.mac, 3.0) == station.position
+
+    def test_truth_recording_disabled(self):
+        world = make_world()
+        world.add_station(make_station())
+        world.run(duration_s=5.0, record_truth=False)
+        assert world.truths == []
+
+    def test_route_mobility(self):
+        world = make_world()
+        station = make_station()
+        route = FixedRoute([Point(100.0, 100.0), Point(200.0, 100.0)],
+                           speed_m_s=10.0)
+        world.add_station(station, route)
+        world.run(duration_s=5.0)
+        assert station.position == Point(150.0, 100.0)
+
+    def test_passive_station_never_probes(self):
+        world = make_world()
+        station = make_station(profile="passive")
+        world.add_station(station)
+        world.run(duration_s=120.0)
+        assert station.mac not in world.sniffer.store.probing_mobiles
+
+    def test_run_validation(self):
+        world = make_world()
+        with pytest.raises(ValueError):
+            world.run(duration_s=-1.0)
+        with pytest.raises(ValueError):
+            world.run(duration_s=10.0, step_s=0.0)
+
+
+class TestActiveAttack:
+    def test_deauth_flushes_out_passive_station(self):
+        world = make_world()
+        station = make_station(profile="passive")
+        station.associate(world.access_points[0].bssid)
+        world.add_station(station)
+        attacker = ActiveAttacker(position=Point(150.0, 150.0))
+        world.arm_attacker(attacker, interval_s=10.0)
+        world.run(duration_s=30.0)
+        assert attacker.frames_sent > 0
+        assert station.mac in world.sniffer.store.probing_mobiles
+
+    def test_attack_respects_range(self):
+        world = make_world()
+        world.attacker_range_m = 10.0  # attacker cannot reach anyone
+        station = make_station(profile="passive", x=400.0, y=400.0)
+        station.associate(world.access_points[0].bssid)
+        world.add_station(station)
+        world.arm_attacker(ActiveAttacker(position=Point(0.0, 0.0)),
+                           interval_s=10.0)
+        world.run(duration_s=30.0)
+        assert station.is_associated  # deauth never reached it
+
+    def test_arm_validation(self):
+        world = make_world()
+        with pytest.raises(ValueError):
+            world.arm_attacker(ActiveAttacker(position=Point(0, 0)),
+                               interval_s=0.0)
+
+
+class TestLocalizationLoop:
+    def test_end_to_end_mloc(self):
+        """Full pipeline: world -> sniffer store -> M-Loc estimate."""
+        from repro.knowledge.apdb import ApDatabase, ApRecord
+        from repro.localization.mloc import MLoc
+
+        aps = [make_ap(i, 100.0 + 60.0 * (i % 3), 100.0 + 60.0 * (i // 3),
+                       channel=(1, 6, 11)[i % 3], max_range=90.0)
+               for i in range(9)]
+        world = make_world(aps=aps)
+        station = make_station(x=160.0, y=160.0)
+        world.add_station(station)
+        world.run(duration_s=90.0)
+        truth_db = ApDatabase([
+            ApRecord(bssid=ap.bssid, ssid=ap.ssid, location=ap.position,
+                     max_range_m=ap.max_range_m, channel=ap.channel)
+            for ap in aps
+        ])
+        gamma = world.sniffer.store.gamma(station.mac)
+        assert len(gamma) >= 3
+        estimate = MLoc(truth_db).locate(gamma)
+        assert estimate.error_to(station.position) < 60.0

@@ -1,0 +1,55 @@
+"""Active-attack (spoofed deauthentication) tests."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.net80211.frames import FrameType
+from repro.net80211.mac import BROADCAST_MAC, MacAddress
+from repro.sniffer.active import ActiveAttacker
+
+STA = MacAddress.parse("00:1b:63:11:22:33")
+AP = MacAddress.parse("00:15:6d:44:55:66")
+
+
+class TestActiveAttacker:
+    def test_targeted_deauth_spoofs_ap(self):
+        attacker = ActiveAttacker(position=Point(0, 0))
+        frames = attacker.craft_deauths([(STA, AP, 6)], now=10.0)
+        assert len(frames) == 1
+        frame = frames[0]
+        assert frame.frame_type is FrameType.DEAUTHENTICATION
+        assert frame.source == AP  # forged
+        assert frame.destination == STA
+        assert frame.bssid == AP
+        assert frame.channel == 6
+
+    def test_broadcast_deauth(self):
+        attacker = ActiveAttacker(position=Point(0, 0))
+        frame = attacker.craft_broadcast_deauth(AP, channel=11, now=5.0)
+        assert frame.destination == BROADCAST_MAC
+        assert frame.source == AP
+        assert frame.channel == 11
+
+    def test_frames_sent_counter(self):
+        attacker = ActiveAttacker(position=Point(0, 0))
+        attacker.craft_deauths([(STA, AP, 6), (STA, AP, 6)], now=0.0)
+        attacker.craft_broadcast_deauth(AP, 6, now=1.0)
+        assert attacker.frames_sent == 3
+
+    def test_attack_antenna_gain_applied(self):
+        attacker = ActiveAttacker(position=Point(0, 0),
+                                  tx_antenna_gain_dbi=15.0)
+        frame = attacker.craft_broadcast_deauth(AP, 6, now=0.0)
+        assert frame.tx_antenna_gain_dbi == 15.0
+
+    def test_forces_station_rescan_end_to_end(self):
+        from repro.net80211.station import PROFILES, MobileStation
+
+        station = MobileStation(mac=STA, position=Point(0, 0),
+                                profile=PROFILES["passive"])
+        station.associate(AP)
+        attacker = ActiveAttacker(position=Point(0, 0))
+        frame = attacker.craft_broadcast_deauth(AP, 6, now=10.0)
+        station.handle_frame(frame, now=10.0)
+        assert not station.is_associated
+        assert station.tick(now=11.0)  # the forced probe burst

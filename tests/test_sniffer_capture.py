@@ -1,0 +1,99 @@
+"""Sniffer card / channel-hopper / capture front-end tests."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.net80211.frames import probe_request
+from repro.net80211.mac import MacAddress
+from repro.net80211.medium import Medium
+from repro.radio.propagation import FreeSpaceModel
+from repro.sniffer.capture import ChannelHopper, Sniffer, SnifferCard
+from repro.sniffer.receiver import build_marauder_chain
+
+STA = MacAddress.parse("00:1b:63:11:22:33")
+
+
+class TestChannelHopper:
+    def test_cycle(self):
+        hopper = ChannelHopper(channels=(1, 6, 11), dwell_s=4.0)
+        assert hopper.channel_at(0.0) == 1
+        assert hopper.channel_at(4.0) == 6
+        assert hopper.channel_at(8.0) == 11
+        assert hopper.channel_at(12.0) == 1
+
+    def test_offset(self):
+        hopper = ChannelHopper(channels=(1, 6), dwell_s=2.0, offset_s=2.0)
+        assert hopper.channel_at(0.0) == 6
+
+    def test_cycle_time(self):
+        hopper = ChannelHopper(channels=tuple(range(1, 12)), dwell_s=4.0)
+        assert hopper.cycle_s() == 44.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChannelHopper(channels=(), dwell_s=1.0)
+        with pytest.raises(ValueError):
+            ChannelHopper(channels=(1,), dwell_s=0.0)
+
+
+class TestSnifferCard:
+    def test_fixed_channel(self):
+        card = SnifferCard(chain=build_marauder_chain(), channel=6)
+        assert card.channel_at(0.0) == 6
+        assert card.channel_at(1000.0) == 6
+
+    def test_hopping_channel(self):
+        card = SnifferCard(chain=build_marauder_chain(),
+                           channel=ChannelHopper((1, 6), dwell_s=1.0))
+        assert card.channel_at(0.5) == 1
+        assert card.channel_at(1.5) == 6
+
+
+class TestSniffer:
+    def make_sniffer(self, channels=(1, 6, 11), keep=False):
+        chain = build_marauder_chain()
+        cards = [SnifferCard(chain=chain, channel=c) for c in channels]
+        return Sniffer(position=Point(0, 0), cards=cards,
+                       medium=Medium(FreeSpaceModel()), keep_frames=keep)
+
+    def test_capture_on_monitored_channel(self):
+        sniffer = self.make_sniffer()
+        rng = np.random.default_rng(0)
+        frame = probe_request(STA, channel=6, timestamp=0.0)
+        received = sniffer.hear(frame, Point(100, 0), rng)
+        assert received is not None
+        assert sniffer.store.frame_count == 1
+
+    def test_miss_on_unmonitored_channel(self):
+        sniffer = self.make_sniffer(channels=(1, 11))
+        rng = np.random.default_rng(0)
+        frame = probe_request(STA, channel=6, timestamp=0.0)
+        assert sniffer.hear(frame, Point(100, 0), rng) is None
+        assert sniffer.store.frame_count == 0
+
+    def test_single_capture_across_cards(self):
+        # Two cards on the same channel must not double-ingest a frame.
+        sniffer = self.make_sniffer(channels=(6, 6))
+        rng = np.random.default_rng(0)
+        frame = probe_request(STA, channel=6, timestamp=0.0)
+        sniffer.hear(frame, Point(100, 0), rng)
+        assert sniffer.store.frame_count == 1
+
+    def test_keep_frames(self):
+        sniffer = self.make_sniffer(keep=True)
+        rng = np.random.default_rng(0)
+        frame = probe_request(STA, channel=1, timestamp=0.0)
+        sniffer.hear(frame, Point(50, 0), rng)
+        assert len(sniffer.captured) == 1
+
+    def test_frames_not_kept_by_default(self):
+        sniffer = self.make_sniffer()
+        rng = np.random.default_rng(0)
+        sniffer.hear(probe_request(STA, channel=1, timestamp=0.0),
+                     Point(50, 0), rng)
+        assert sniffer.captured == []
+
+    def test_channels_at(self):
+        sniffer = self.make_sniffer()
+        assert sniffer.channels_at(0.0) == [1, 6, 11]

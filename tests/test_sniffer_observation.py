@@ -1,0 +1,126 @@
+"""Observation-store tests: Γ extraction, windows, probing stats."""
+
+import pytest
+
+from repro.net80211.frames import (
+    Dot11Frame,
+    FrameType,
+    beacon,
+    probe_request,
+    probe_response,
+)
+from repro.net80211.mac import BROADCAST_MAC, MacAddress
+from repro.net80211.medium import ReceivedFrame
+from repro.net80211.ssid import Ssid
+from repro.sniffer.observation import ObservationStore
+
+STA = MacAddress.parse("00:1b:63:11:22:33")
+STA2 = MacAddress.parse("00:1b:63:99:88:77")
+AP1 = MacAddress.parse("00:15:6d:00:00:01")
+AP2 = MacAddress.parse("00:15:6d:00:00:02")
+AP3 = MacAddress.parse("00:15:6d:00:00:03")
+
+
+def rx(frame, t=None):
+    return ReceivedFrame(frame=frame, rssi_dbm=-70.0, snr_db=20.0,
+                         rx_channel=frame.channel,
+                         rx_timestamp=frame.timestamp if t is None else t)
+
+
+def response(ap, sta, t):
+    return rx(probe_response(ap, sta, channel=6, timestamp=t,
+                             ssid=Ssid("n")))
+
+
+class TestIngestion:
+    def test_probe_response_builds_gamma(self):
+        store = ObservationStore()
+        store.ingest(response(AP1, STA, 1.0))
+        store.ingest(response(AP2, STA, 2.0))
+        assert store.gamma(STA) == {AP1, AP2}
+
+    def test_probe_request_marks_probing(self):
+        store = ObservationStore()
+        store.ingest(rx(probe_request(STA, channel=6, timestamp=1.0)))
+        assert STA in store.probing_mobiles
+        assert STA in store.seen_mobiles
+        assert store.gamma(STA) == set()  # a probe alone proves nothing
+
+    def test_beacon_registers_ap_only(self):
+        store = ObservationStore()
+        store.ingest(rx(beacon(AP1, channel=6, timestamp=1.0,
+                               ssid=Ssid("x"))))
+        assert AP1 in store.observed_aps
+        assert store.seen_mobiles == set()
+
+    def test_data_frame_builds_gamma(self):
+        store = ObservationStore()
+        data = Dot11Frame(frame_type=FrameType.DATA, source=STA,
+                          destination=AP1, channel=6, timestamp=1.0,
+                          bssid=AP1)
+        store.ingest(rx(data))
+        assert store.gamma(STA) == {AP1}
+        assert STA not in store.probing_mobiles  # data is not probing
+
+    def test_broadcast_destination_ignored(self):
+        store = ObservationStore()
+        store.ingest(rx(probe_response(AP1, BROADCAST_MAC, channel=6,
+                                       timestamp=1.0, ssid=Ssid("n"))))
+        assert store.all_observations() == {}
+
+    def test_frame_count(self):
+        store = ObservationStore()
+        store.ingest(response(AP1, STA, 1.0))
+        store.ingest(rx(probe_request(STA, channel=6, timestamp=2.0)))
+        assert store.frame_count == 2
+
+
+class TestWindows:
+    def test_gamma_at_time_filters_by_window(self):
+        store = ObservationStore(window_s=30.0)
+        store.ingest(response(AP1, STA, 10.0))
+        store.ingest(response(AP2, STA, 500.0))
+        assert store.gamma(STA, at_time=10.0) == {AP1}
+        assert store.gamma(STA, at_time=500.0) == {AP2}
+        assert store.gamma(STA) == {AP1, AP2}
+
+    def test_windows_split_by_time(self):
+        store = ObservationStore(window_s=30.0)
+        store.ingest(response(AP1, STA, 5.0))
+        store.ingest(response(AP2, STA, 6.0))
+        store.ingest(response(AP3, STA, 100.0))
+        windows = store.windows()
+        assert len(windows) == 2
+        gammas = [set(w.observed) for w in windows]
+        assert {AP1, AP2} in gammas
+        assert {AP3} in gammas
+
+    def test_windows_split_by_mobile(self):
+        store = ObservationStore(window_s=30.0)
+        store.ingest(response(AP1, STA, 5.0))
+        store.ingest(response(AP2, STA2, 6.0))
+        assert len(store.windows()) == 2
+
+    def test_corpus_shape(self):
+        store = ObservationStore(window_s=30.0)
+        store.ingest(response(AP1, STA, 5.0))
+        store.ingest(response(AP2, STA, 6.0))
+        assert store.corpus() == [{AP1, AP2}]
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            ObservationStore(window_s=0.0)
+
+
+class TestProbingStats:
+    def test_probing_fraction(self):
+        store = ObservationStore()
+        store.ingest(rx(probe_request(STA, channel=6, timestamp=1.0)))
+        store.ingest(response(AP1, STA2, 2.0))  # seen but not probing
+        assert store.probing_fraction() == pytest.approx(0.5)
+
+    def test_probing_fraction_empty(self):
+        assert ObservationStore().probing_fraction() == 0.0
+
+    def test_unknown_mobile_gamma_empty(self):
+        assert ObservationStore().gamma(STA) == set()

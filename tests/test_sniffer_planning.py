@@ -1,0 +1,92 @@
+"""Channel-planning tests."""
+
+import pytest
+
+from repro.sniffer.planning import (
+    coverage_of,
+    hopping_capture_probability,
+    plan_channels,
+)
+
+#: A UML-like measured histogram (Fig 8 shape).
+CAMPUS_HISTOGRAM = {1: 137, 2: 2, 3: 2, 4: 6, 5: 4, 6: 194, 7: 6,
+                    8: 3, 9: 8, 10: 4, 11: 134}
+
+
+class TestPlanChannels:
+    def test_three_cards_pick_1_6_11(self):
+        # The paper's decision, derived automatically.
+        plan = plan_channels(CAMPUS_HISTOGRAM, cards=3)
+        assert plan.channels == (1, 6, 11)
+        assert plan.covered_fraction == pytest.approx(465 / 500)
+
+    def test_one_card_picks_channel_6(self):
+        plan = plan_channels(CAMPUS_HISTOGRAM, cards=1)
+        assert plan.channels == (6,)
+
+    def test_more_cards_never_reduce_coverage(self):
+        coverages = [plan_channels(CAMPUS_HISTOGRAM, cards=k)
+                     .covered_fraction for k in range(1, 12)]
+        assert coverages == sorted(coverages)
+        assert coverages[-1] == pytest.approx(1.0)
+
+    def test_tie_breaks_to_lower_channel(self):
+        plan = plan_channels({1: 10, 6: 10, 11: 10}, cards=1)
+        assert plan.channels == (1,)
+
+    def test_describe(self):
+        plan = plan_channels(CAMPUS_HISTOGRAM, cards=3)
+        text = plan.describe()
+        assert "1, 6, 11" in text
+        assert "%" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_channels(CAMPUS_HISTOGRAM, cards=0)
+        with pytest.raises(ValueError):
+            plan_channels({14: 3}, cards=1)
+        with pytest.raises(ValueError):
+            plan_channels({}, cards=1)
+
+
+class TestCoverageOf:
+    def test_paper_numbers(self):
+        share = coverage_of(CAMPUS_HISTOGRAM, (1, 6, 11))
+        assert share == pytest.approx(0.93, abs=0.01)
+
+    def test_refuted_369_plan(self):
+        # The "channels 3/6/9 cover everything" belief: with decode
+        # limited to the tuned channel, it covers only 40.8%.
+        share = coverage_of(CAMPUS_HISTOGRAM, (3, 6, 9))
+        assert share < 0.45
+
+    def test_empty_histogram(self):
+        with pytest.raises(ValueError):
+            coverage_of({}, (1,))
+
+
+class TestHoppingProbability:
+    def test_feasibility_study_configuration(self):
+        # 4 s dwell over 11 channels: one burst is caught ~10% of the
+        # time; over a day of 60 s scans (1440 bursts) detection is
+        # essentially certain — the 7-day study's premise.
+        single = hopping_capture_probability(4.0, 44.0)
+        assert single == pytest.approx(4.5 / 44.0)
+        day = hopping_capture_probability(4.0, 44.0, bursts=1440)
+        assert day > 0.999999
+
+    def test_monotone_in_bursts(self):
+        values = [hopping_capture_probability(4.0, 44.0, bursts=b)
+                  for b in (1, 5, 20, 100)]
+        assert values == sorted(values)
+
+    def test_full_dwell_is_certain(self):
+        assert hopping_capture_probability(44.0, 44.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hopping_capture_probability(0.0, 44.0)
+        with pytest.raises(ValueError):
+            hopping_capture_probability(50.0, 44.0)
+        with pytest.raises(ValueError):
+            hopping_capture_probability(4.0, 44.0, bursts=0)

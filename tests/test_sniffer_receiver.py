@@ -1,0 +1,64 @@
+"""Receiver-chain factory tests."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.net80211.medium import Medium
+from repro.radio.propagation import FreeSpaceModel
+from repro.sniffer.receiver import (
+    DEFAULT_MONITOR_CHANNELS,
+    build_dlink_chain,
+    build_hg2415u_chain,
+    build_marauder_chain,
+    build_marauder_sniffer,
+    build_src_chain,
+)
+
+
+class TestChainFactories:
+    def test_names_match_figure12(self):
+        assert build_dlink_chain().name == "DLink"
+        assert build_src_chain().name == "SRC"
+        assert build_hg2415u_chain().name == "HG2415U"
+        assert build_marauder_chain().name == "LNA"
+
+    def test_antenna_gains(self):
+        assert build_dlink_chain().antenna_gain_dbi == 2.0
+        assert build_src_chain().antenna_gain_dbi == 4.0
+        assert build_hg2415u_chain().antenna_gain_dbi == 15.0
+        assert build_marauder_chain().antenna_gain_dbi == 15.0
+
+    def test_sensitivity_ordering_matches_figure12(self):
+        # Better chains are more sensitive (lower threshold).
+        chains = [build_dlink_chain(), build_src_chain(),
+                  build_marauder_chain()]
+        sensitivities = [c.sensitivity_dbm for c in chains]
+        assert sensitivities == sorted(sensitivities, reverse=True)
+
+
+class TestMarauderSniffer:
+    def test_default_channels(self):
+        medium = Medium(FreeSpaceModel())
+        sniffer = build_marauder_sniffer(Point(0, 0), medium)
+        assert sniffer.channels_at(0.0) == list(DEFAULT_MONITOR_CHANNELS)
+        assert DEFAULT_MONITOR_CHANNELS == (1, 6, 11)
+
+    def test_cards_share_chain(self):
+        medium = Medium(FreeSpaceModel())
+        sniffer = build_marauder_sniffer(Point(0, 0), medium)
+        chains = {id(card.chain) for card in sniffer.cards}
+        assert len(chains) == 1  # one antenna+LNA+splitter feeds all
+
+    def test_too_many_channels_rejected(self):
+        medium = Medium(FreeSpaceModel())
+        with pytest.raises(ValueError, match="splitter outputs"):
+            build_marauder_sniffer(Point(0, 0), medium,
+                                   channels=(1, 2, 3, 4, 5))
+
+    def test_custom_store(self):
+        from repro.sniffer.observation import ObservationStore
+
+        medium = Medium(FreeSpaceModel())
+        store = ObservationStore(window_s=10.0)
+        sniffer = build_marauder_sniffer(Point(0, 0), medium, store=store)
+        assert sniffer.store is store

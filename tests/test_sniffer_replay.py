@@ -1,0 +1,74 @@
+"""Capture-replay tests: the offline analyze-later workflow."""
+
+import pytest
+
+from repro.localization import MLoc
+from repro.net80211.capture_file import CaptureWriter
+from repro.net80211.frames import probe_request, probe_response
+from repro.net80211.mac import MacAddress
+from repro.net80211.medium import ReceivedFrame
+from repro.net80211.ssid import Ssid
+from repro.sniffer.replay import replay_capture
+
+from tests.helpers import make_record
+
+STA = MacAddress.parse("00:1b:63:11:22:33")
+
+
+def write_capture(path, square_db):
+    """A capture: the station probes, all four square APs answer."""
+    with CaptureWriter(path) as writer:
+        writer.write(ReceivedFrame(
+            probe_request(STA, 6, 1.0, ssid=Ssid("home")),
+            rssi_dbm=-70.0, snr_db=20.0, rx_channel=6, rx_timestamp=1.0))
+        for i, record in enumerate(square_db):
+            frame = probe_response(record.bssid, STA, 6, 1.0 + 0.01 * i,
+                                   ssid=record.ssid)
+            writer.write(ReceivedFrame(frame, rssi_dbm=-72.0,
+                                       snr_db=18.0, rx_channel=6,
+                                       rx_timestamp=frame.timestamp))
+
+
+class TestReplay:
+    def test_rebuilds_observation_store(self, tmp_path, square_db):
+        path = tmp_path / "capture.jsonl"
+        write_capture(path, square_db)
+        result = replay_capture(path)
+        assert result.frames_replayed == 5
+        assert STA in result.mobiles
+        assert result.store.gamma(STA) == set(square_db.bssids)
+        assert STA in result.store.probing_mobiles
+
+    def test_localization_from_replay(self, tmp_path, square_db):
+        path = tmp_path / "capture.jsonl"
+        write_capture(path, square_db)
+        result = replay_capture(path)
+        estimates = result.locate_all(MLoc(square_db))
+        assert STA in estimates
+        estimate = estimates[STA]
+        assert estimate is not None
+        # All four square APs constrain the estimate to the center.
+        assert estimate.position.distance_to(
+            square_db.get(square_db.bssids[0]).location) > 1.0
+        assert estimate.used_ap_count == 4
+
+    def test_linker_fed_from_capture(self, tmp_path, square_db):
+        path = tmp_path / "capture.jsonl"
+        write_capture(path, square_db)
+        result = replay_capture(path)
+        # The directed probe leaked an SSID: a fingerprint exists.
+        assert result.linker.fingerprint_of(STA) is not None
+
+    def test_window_parameter(self, tmp_path, square_db):
+        path = tmp_path / "capture.jsonl"
+        write_capture(path, square_db)
+        result = replay_capture(path, window_s=10.0)
+        assert result.store.window_s == 10.0
+
+    def test_empty_capture(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        with CaptureWriter(path):
+            pass
+        result = replay_capture(path)
+        assert result.frames_replayed == 0
+        assert result.mobiles == set()

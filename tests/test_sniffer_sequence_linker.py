@@ -1,0 +1,128 @@
+"""Sequence-number pseudonym-linking tests."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.net80211.frames import beacon, probe_request
+from repro.net80211.mac import MacAddress
+from repro.net80211.ssid import Ssid
+from repro.sniffer.tracker import SequenceNumberLinker
+
+
+def mac(n):
+    return MacAddress.parse(f"02:00:00:00:00:{n:02x}")
+
+
+def probes(source, start_seq, count, start_ts, step_s=1.0):
+    return [probe_request(source, 6, start_ts + i * step_s,
+                          sequence=(start_seq + i) % 4096)
+            for i in range(count)]
+
+
+class TestSequenceLinking:
+    def test_continuous_counter_links(self):
+        linker = SequenceNumberLinker()
+        for frame in probes(mac(1), 100, 10, 0.0):
+            linker.ingest(frame)
+        # New MAC appears 30 s later, counter continues at 115.
+        for frame in probes(mac(2), 115, 10, 40.0):
+            linker.ingest(frame)
+        assert linker.linked_pairs() == [(mac(1), mac(2))]
+
+    def test_counter_reset_breaks_link(self):
+        linker = SequenceNumberLinker()
+        for frame in probes(mac(1), 100, 10, 0.0):
+            linker.ingest(frame)
+        for frame in probes(mac(2), 0, 10, 40.0):  # reset counter
+            linker.ingest(frame)
+        # Gap from 109 to 0 is 3987 mod 4096: far beyond max_gap.
+        assert linker.linked_pairs() == []
+
+    def test_long_silence_breaks_link(self):
+        linker = SequenceNumberLinker(max_silence_s=60.0)
+        for frame in probes(mac(1), 100, 10, 0.0):
+            linker.ingest(frame)
+        for frame in probes(mac(2), 115, 10, 500.0):
+            linker.ingest(frame)
+        assert linker.linked_pairs() == []
+
+    def test_overlapping_lifetimes_not_linked(self):
+        # Two devices transmitting simultaneously cannot be one NIC.
+        linker = SequenceNumberLinker()
+        for frame in probes(mac(1), 100, 20, 0.0):
+            linker.ingest(frame)
+        for frame in probes(mac(2), 110, 20, 5.0):
+            linker.ingest(frame)
+        assert linker.linked_pairs() == []
+
+    def test_wraparound_at_4096(self):
+        linker = SequenceNumberLinker()
+        for frame in probes(mac(1), 4090, 5, 0.0):  # ends at 4094
+            linker.ingest(frame)
+        for frame in probes(mac(2), 2, 5, 30.0):    # wrapped past 4095
+            linker.ingest(frame)
+        assert linker.linked_pairs() == [(mac(1), mac(2))]
+
+    def test_chains_across_three_identities(self):
+        linker = SequenceNumberLinker()
+        for frame in probes(mac(1), 0, 5, 0.0):
+            linker.ingest(frame)
+        for frame in probes(mac(2), 10, 5, 30.0):
+            linker.ingest(frame)
+        for frame in probes(mac(3), 20, 5, 60.0):
+            linker.ingest(frame)
+        assert linker.chains() == [[mac(1), mac(2), mac(3)]]
+
+    def test_non_probe_frames_ignored(self):
+        linker = SequenceNumberLinker()
+        linker.ingest(beacon(mac(1), 6, 0.0, Ssid("x"), sequence=5))
+        assert linker.linked_pairs() == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SequenceNumberLinker(max_gap=0)
+        with pytest.raises(ValueError):
+            SequenceNumberLinker(max_silence_s=0.0)
+
+
+class TestDefenseInteraction:
+    def _rotating_station_frames(self, reset_sequence):
+        from repro.defenses import DefendedStation, PseudonymPolicy
+        from repro.net80211.station import PROFILES, MobileStation
+
+        rng = np.random.default_rng(7)
+        inner = MobileStation(
+            mac=MacAddress.random_pseudonym(rng),
+            position=Point(0.0, 0.0),
+            profile=PROFILES["aggressive"],
+            scan_channels=(6,),
+        )
+        defended = DefendedStation(
+            inner=inner,
+            pseudonyms=PseudonymPolicy(interval_s=30.0),
+            reset_sequence=reset_sequence,
+            seed=3)
+        frames = []
+        for t in range(1, 200):
+            frames.extend(defended.tick(float(t)))
+        return defended, frames
+
+    def test_naive_rotation_is_chained(self):
+        defended, frames = self._rotating_station_frames(
+            reset_sequence=False)
+        linker = SequenceNumberLinker()
+        for frame in frames:
+            linker.ingest(frame)
+        chains = linker.chains()
+        assert chains  # at least one multi-identity chain
+        longest = max(chains, key=len)
+        assert set(longest) <= set(defended.macs_used)
+        assert len(longest) >= 3
+
+    def test_counter_reset_defense_breaks_chains(self):
+        _, frames = self._rotating_station_frames(reset_sequence=True)
+        linker = SequenceNumberLinker()
+        for frame in frames:
+            linker.ingest(frame)
+        assert linker.chains() == []

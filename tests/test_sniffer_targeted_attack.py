@@ -1,0 +1,106 @@
+"""Targeted active attack + association-learning tests."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.net80211.frames import Dot11Frame, FrameType
+from repro.net80211.mac import MacAddress
+from repro.net80211.medium import Medium, ReceivedFrame
+from repro.net80211.station import PROFILES, MobileStation
+from repro.radio.propagation import FreeSpaceModel
+from repro.sim.world import CampusWorld
+from repro.sniffer.active import ActiveAttacker
+from repro.sniffer.observation import ObservationStore
+from repro.sniffer.receiver import build_marauder_sniffer
+
+from tests.test_sim_world import make_ap
+
+STA = MacAddress.parse("00:1b:63:11:22:33")
+AP = MacAddress.parse("00:15:6d:44:55:66")
+
+
+class TestAssociationLearning:
+    def test_data_frame_reveals_association(self):
+        store = ObservationStore()
+        data = Dot11Frame(frame_type=FrameType.DATA, source=STA,
+                          destination=AP, channel=6, timestamp=1.0,
+                          bssid=AP)
+        store.ingest(ReceivedFrame(data, -70.0, 20.0, 6, 1.0))
+        assert store.known_associations() == [(STA, AP, 6)]
+
+    def test_latest_association_wins(self):
+        store = ObservationStore()
+        other = MacAddress.parse("00:15:6d:77:88:99")
+        for bssid, t in ((AP, 1.0), (other, 2.0)):
+            data = Dot11Frame(frame_type=FrameType.DATA, source=STA,
+                              destination=bssid, channel=6, timestamp=t,
+                              bssid=bssid)
+            store.ingest(ReceivedFrame(data, -70.0, 20.0, 6, t))
+        assert store.known_associations() == [(STA, other, 6)]
+
+    def test_probe_traffic_reveals_no_association(self):
+        from repro.net80211.frames import probe_request, probe_response
+        from repro.net80211.ssid import Ssid
+
+        store = ObservationStore()
+        store.ingest(ReceivedFrame(probe_request(STA, 6, 1.0),
+                                   -70.0, 20.0, 6, 1.0))
+        store.ingest(ReceivedFrame(
+            probe_response(AP, STA, 6, 1.1, Ssid("x")),
+            -70.0, 20.0, 6, 1.1))
+        assert store.known_associations() == []
+
+
+class TestTargetedAttack:
+    def make_world(self):
+        aps = [make_ap(0, 100.0, 100.0), make_ap(1, 200.0, 100.0)]
+        medium = Medium(FreeSpaceModel())
+        sniffer = build_marauder_sniffer(Point(150.0, 150.0), medium)
+        return CampusWorld(aps, medium, sniffer=sniffer, seed=0), aps
+
+    def make_victim(self, ap, seed=3):
+        station = MobileStation(
+            mac=MacAddress.random(np.random.default_rng(seed)),
+            position=Point(120.0, 100.0),
+            profile=PROFILES["passive"],
+            data_interval_s=5.0,
+        )
+        station.associate(ap.bssid, ap.channel)
+        return station
+
+    def test_targeted_deauth_flushes_data_only_device(self):
+        world, aps = self.make_world()
+        victim = self.make_victim(aps[0])
+        world.add_station(victim)
+        # Learning phase: data frames reveal the association.
+        world.run(duration_s=10.0)
+        assert victim.mac not in world.sniffer.store.probing_mobiles
+        attacker = ActiveAttacker(position=Point(150.0, 150.0))
+        world.arm_attacker(attacker, interval_s=20.0, targeted=True)
+        world.run(duration_s=30.0)
+        # The targeted deauth forced a probe burst.
+        assert victim.mac in world.sniffer.store.probing_mobiles
+
+    def test_targeted_mode_skips_broadcast_for_known_stations(self):
+        world, aps = self.make_world()
+        victim = self.make_victim(aps[0])
+        world.add_station(victim)
+        # Let the sniffer learn the association first, then arm.
+        world.run(duration_s=10.0)
+        assert world.sniffer.store.known_associations()
+        attacker = ActiveAttacker(position=Point(150.0, 150.0))
+        world.arm_attacker(attacker, interval_s=1000.0, targeted=True)
+        before = attacker.frames_sent
+        world._step(1.0, record_truth=False)
+        # One targeted frame + one broadcast per AP were crafted.
+        assert attacker.frames_sent == before + 1 + len(aps)
+
+    def test_untargeted_mode_unchanged(self):
+        world, aps = self.make_world()
+        victim = self.make_victim(aps[0])
+        world.add_station(victim)
+        attacker = ActiveAttacker(position=Point(150.0, 150.0))
+        world.arm_attacker(attacker, interval_s=20.0, targeted=False)
+        world.run(duration_s=60.0)
+        assert victim.mac in world.sniffer.store.probing_mobiles

@@ -1,0 +1,130 @@
+"""Device-tracker and pseudonym-linker tests."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.localization.base import LocalizationEstimate
+from repro.net80211.frames import probe_request
+from repro.net80211.mac import MacAddress
+from repro.net80211.ssid import Ssid
+from repro.sniffer.tracker import DeviceTracker, PseudonymLinker
+
+STA = MacAddress.parse("00:1b:63:11:22:33")
+
+
+def estimate_at(x, y):
+    return LocalizationEstimate(position=Point(x, y), algorithm="m-loc")
+
+
+class TestDeviceTracker:
+    def test_record_and_query(self):
+        tracker = DeviceTracker()
+        tracker.record(STA, 1.0, estimate_at(0, 0))
+        tracker.record(STA, 2.0, estimate_at(1, 1))
+        track = tracker.track_of(STA)
+        assert len(track) == 2
+        assert tracker.latest(STA).timestamp == 2.0
+        assert tracker.path_of(STA) == [Point(0, 0), Point(1, 1)]
+
+    def test_time_monotonicity_enforced(self):
+        tracker = DeviceTracker()
+        tracker.record(STA, 5.0, estimate_at(0, 0))
+        with pytest.raises(ValueError):
+            tracker.record(STA, 4.0, estimate_at(1, 1))
+
+    def test_unknown_device(self):
+        tracker = DeviceTracker()
+        assert tracker.track_of(STA) == []
+        assert tracker.latest(STA) is None
+
+    def test_devices_and_totals(self):
+        tracker = DeviceTracker()
+        other = MacAddress.parse("00:1b:63:44:55:66")
+        tracker.record(STA, 1.0, estimate_at(0, 0))
+        tracker.record(other, 1.0, estimate_at(2, 2))
+        tracker.record(other, 2.0, estimate_at(3, 3))
+        assert tracker.devices() == sorted([STA, other])
+        assert tracker.total_estimates() == 3
+
+
+class TestPseudonymLinker:
+    def make_probe(self, mac, ssid_name=None, t=0.0):
+        ssid = Ssid(ssid_name) if ssid_name else Ssid("")
+        return probe_request(mac, channel=6, timestamp=t, ssid=ssid)
+
+    def test_links_pseudonyms_sharing_pnl(self):
+        rng = np.random.default_rng(1)
+        linker = PseudonymLinker()
+        mac_a = MacAddress.random_pseudonym(rng)
+        mac_b = MacAddress.random_pseudonym(rng)
+        for mac in (mac_a, mac_b):
+            linker.ingest(self.make_probe(mac, "home-wifi"))
+            linker.ingest(self.make_probe(mac, "office-net"))
+        groups = linker.linked_groups()
+        assert [sorted(g) for g in groups] == [sorted([mac_a, mac_b])]
+
+    def test_different_pnls_not_linked(self):
+        rng = np.random.default_rng(2)
+        linker = PseudonymLinker()
+        mac_a = MacAddress.random_pseudonym(rng)
+        mac_b = MacAddress.random_pseudonym(rng)
+        linker.ingest(self.make_probe(mac_a, "home-wifi"))
+        linker.ingest(self.make_probe(mac_b, "coffee-shop"))
+        assert len(linker.linked_groups()) == 2
+
+    def test_global_macs_not_grouped(self):
+        linker = PseudonymLinker()
+        linker.ingest(self.make_probe(STA, "home-wifi"))
+        assert linker.linked_groups() == []
+        kind, identity = linker.logical_identity(STA)
+        assert kind == "mac"
+        assert identity == str(STA)
+
+    def test_pseudonym_identity_is_fingerprint(self):
+        rng = np.random.default_rng(3)
+        linker = PseudonymLinker()
+        mac = MacAddress.random_pseudonym(rng)
+        linker.ingest(self.make_probe(mac, "home-wifi"))
+        kind, identity = linker.logical_identity(mac)
+        assert kind == "fingerprint"
+        assert identity == linker.fingerprint_of(mac)
+
+    def test_silent_pseudonym_falls_back_to_mac(self):
+        rng = np.random.default_rng(4)
+        linker = PseudonymLinker()
+        mac = MacAddress.random_pseudonym(rng)
+        linker.ingest(self.make_probe(mac))  # wildcard only: no leak
+        assert linker.fingerprint_of(mac) is None
+        kind, _ = linker.logical_identity(mac)
+        assert kind == "mac"
+
+    def test_non_probe_frames_ignored(self):
+        from repro.net80211.frames import beacon
+
+        linker = PseudonymLinker()
+        linker.ingest(beacon(STA, 6, 0.0, Ssid("x")))
+        assert linker.fingerprint_of(STA) is None
+
+    def test_station_pseudonym_rotation_is_linked(self):
+        """End-to-end: a station rotating MACs stays trackable."""
+        from repro.net80211.station import PROFILES, MobileStation
+
+        rng = np.random.default_rng(5)
+        linker = PseudonymLinker()
+        station = MobileStation(
+            mac=MacAddress.random_pseudonym(rng),
+            position=Point(0, 0),
+            profile=PROFILES["aggressive"],
+            preferred_networks=[Ssid("home"), Ssid("work")],
+            scan_channels=(6,),
+        )
+        for frame in station.tick(0.0):
+            linker.ingest(frame)
+        rotated = station.with_new_pseudonym(rng)
+        rotated._next_scan_at = 0.0
+        for frame in rotated.tick(100.0):
+            linker.ingest(frame)
+        groups = linker.linked_groups()
+        assert any({station.mac, rotated.mac} <= set(group)
+                   for group in groups)

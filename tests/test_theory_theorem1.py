@@ -1,0 +1,100 @@
+"""Theorem 1 analysis tests."""
+
+import pytest
+
+from repro.theory.theorem1 import (
+    coverage_improvement_factor,
+    lna_noise_figure_improvement_db,
+    theorem1_max_distance_m,
+)
+
+
+class TestMaxDistance:
+    def test_paper_configuration(self):
+        """The deployed chain's free-space bound is kilometers — the
+        paper measured ~1000 m limited by terrain, below this bound."""
+        distance = theorem1_max_distance_m(
+            receiver_gain_dbi=15.0, noise_figure_db=1.5, snr_min_db=10.0,
+            tx_power_dbm=15.0, tx_gain_dbi=0.0, frequency_hz=2.437e9,
+            bandwidth_hz=22e6)
+        assert distance > 1000.0
+
+    def test_matches_link_budget_module(self):
+        from repro.radio.link_budget import Transmitter, coverage_radius_m
+
+        via_theory = theorem1_max_distance_m(15.0, 1.5, 10.0, 15.0, 0.0,
+                                             2.437e9, 22e6)
+        via_budget = coverage_radius_m(
+            15.0, 1.5, 10.0,
+            Transmitter(15.0, 0.0, 2.437e9), 22e6)
+        assert via_theory == pytest.approx(via_budget)
+
+    def test_monotone_in_every_favorable_parameter(self):
+        base = dict(receiver_gain_dbi=15.0, noise_figure_db=4.0,
+                    snr_min_db=10.0, tx_power_dbm=15.0, tx_gain_dbi=0.0,
+                    frequency_hz=2.437e9, bandwidth_hz=22e6)
+        reference = theorem1_max_distance_m(**base)
+        assert theorem1_max_distance_m(
+            **{**base, "receiver_gain_dbi": 18.0}) > reference
+        assert theorem1_max_distance_m(
+            **{**base, "noise_figure_db": 1.5}) > reference
+        assert theorem1_max_distance_m(
+            **{**base, "snr_min_db": 8.0}) > reference
+        assert theorem1_max_distance_m(
+            **{**base, "tx_power_dbm": 20.0}) > reference
+        assert theorem1_max_distance_m(
+            **{**base, "bandwidth_hz": 11e6}) > reference
+
+
+class TestRequiredGain:
+    def test_inverts_coverage_radius(self):
+        from repro.theory.theorem1 import required_receiver_gain_dbi
+
+        params = dict(noise_figure_db=1.5, snr_min_db=10.0,
+                      tx_power_dbm=15.0, tx_gain_dbi=0.0,
+                      frequency_hz=2.437e9, bandwidth_hz=22e6)
+        gain = required_receiver_gain_dbi(1000.0, **params)
+        # Plug the gain back in: the radius comes out at 1000 m.
+        radius = theorem1_max_distance_m(receiver_gain_dbi=gain, **params)
+        assert radius == pytest.approx(1000.0, rel=1e-9)
+
+    def test_larger_radius_needs_more_gain(self):
+        from repro.theory.theorem1 import required_receiver_gain_dbi
+
+        params = dict(noise_figure_db=4.0, snr_min_db=10.0,
+                      tx_power_dbm=15.0, tx_gain_dbi=0.0,
+                      frequency_hz=2.437e9, bandwidth_hz=22e6)
+        assert (required_receiver_gain_dbi(2000.0, **params)
+                - required_receiver_gain_dbi(1000.0, **params)
+                == pytest.approx(20.0 * 0.30103, abs=1e-3))  # 6 dB per 2x
+
+    def test_validation(self):
+        from repro.theory.theorem1 import required_receiver_gain_dbi
+
+        with pytest.raises(ValueError):
+            required_receiver_gain_dbi(0.0, noise_figure_db=1.5,
+                                       snr_min_db=10.0, tx_power_dbm=15.0,
+                                       tx_gain_dbi=0.0,
+                                       frequency_hz=2.437e9,
+                                       bandwidth_hz=22e6)
+
+
+class TestLnaAnalysis:
+    def test_paper_improvement_range(self):
+        # "A common WNIC has a noise figure around 4.0 ~ 6.0 dB and the
+        # LNA in our experiment is 1.5 dB.  We have a noise figure
+        # improvement of 2.5 ~ 4.5 dB."
+        assert lna_noise_figure_improvement_db(4.0, 1.5) == pytest.approx(2.5)
+        assert lna_noise_figure_improvement_db(6.0, 1.5) == pytest.approx(4.5)
+
+    def test_coverage_improvement_factor(self):
+        assert coverage_improvement_factor(0.0) == 1.0
+        assert coverage_improvement_factor(20.0) == pytest.approx(10.0)
+        assert coverage_improvement_factor(6.0) == pytest.approx(
+            1.995, abs=0.01)
+
+    def test_lna_buys_33_to_68_percent_radius(self):
+        low = coverage_improvement_factor(2.5)
+        high = coverage_improvement_factor(4.5)
+        assert low == pytest.approx(1.33, abs=0.01)
+        assert high == pytest.approx(1.68, abs=0.01)

@@ -1,0 +1,106 @@
+"""Theorem 2 tests: closed-form vs Monte Carlo, Corollary 1 monotonicity."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.theory.theorem2 import (
+    expected_area_at_density,
+    expected_intersected_area,
+    monte_carlo_intersected_area,
+    single_ap_probability,
+)
+
+
+class TestSingleApProbability:
+    def test_at_zero_distance(self):
+        # A point at the mobile: the lens is the full disc, p = 1...
+        # p(0) = (2/π)(π/2 - 0) = 1.
+        assert single_ap_probability(0.0) == pytest.approx(1.0)
+
+    def test_at_max_distance(self):
+        assert single_ap_probability(1.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_monotone_decreasing(self):
+        ys = np.linspace(0.0, 1.0, 21)
+        values = [single_ap_probability(float(y)) for y in ys]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            single_ap_probability(-0.1)
+        with pytest.raises(ValueError):
+            single_ap_probability(1.1)
+
+
+class TestExpectedArea:
+    def test_k1_is_full_disc(self):
+        """One AP: the intersected area is that AP's whole disc, πr²."""
+        assert expected_intersected_area(1, 1.0) == pytest.approx(
+            math.pi, rel=1e-9)
+
+    def test_k1_scales_with_r_squared(self):
+        assert expected_intersected_area(1, 2.0) == pytest.approx(
+            4 * math.pi, rel=1e-9)
+
+    def test_fig2_monotone_decreasing_in_k(self):
+        values = [expected_intersected_area(k) for k in range(1, 31)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_fig2_roughly_inverse_in_k(self):
+        # "the intersected area is roughly inversely proportional with
+        # the number of communicable APs" — the exact decay is a bit
+        # faster than 1/k (doubling k shrinks CA by ~3.1-3.6x), but the
+        # curve is hyperbolic-shaped: bounded doubling ratios.
+        for k in (4, 8, 12):
+            ratio = expected_intersected_area(k) / \
+                expected_intersected_area(2 * k)
+            assert 2.0 < ratio < 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_intersected_area(0)
+        with pytest.raises(ValueError):
+            expected_intersected_area(5, r=0.0)
+
+    @pytest.mark.parametrize("k", [2, 5, 10])
+    def test_matches_monte_carlo(self, k):
+        closed_form = expected_intersected_area(k, 1.0)
+        rng = np.random.default_rng(100 + k)
+        mc, stderr = monte_carlo_intersected_area(k, 1.0, rng, trials=400)
+        assert abs(closed_form - mc) < max(4.0 * stderr,
+                                           0.05 * closed_form)
+
+    def test_monte_carlo_scales_with_r(self):
+        rng = np.random.default_rng(0)
+        small, _ = monte_carlo_intersected_area(5, 1.0, rng, trials=150)
+        rng = np.random.default_rng(0)
+        large, _ = monte_carlo_intersected_area(5, 3.0, rng, trials=150)
+        assert large == pytest.approx(9.0 * small, rel=1e-6)
+
+    def test_monte_carlo_validation(self):
+        with pytest.raises(ValueError):
+            monte_carlo_intersected_area(5, 1.0, np.random.default_rng(0),
+                                         trials=0)
+
+
+class TestCorollary1:
+    def test_decreasing_in_density(self):
+        values = [expected_area_at_density(rho, 1.0)
+                  for rho in (1.0, 2.0, 4.0, 8.0)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_decreasing_in_r_at_fixed_density(self):
+        # Fig 3: larger transmission radius -> smaller intersected area
+        # (more APs become communicable, each constraint tighter).
+        density = 2.0
+        values = [expected_area_at_density(density, r)
+                  for r in (0.8, 1.0, 1.5, 2.0, 3.0)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_area_at_density(0.0, 1.0)
+        with pytest.raises(ValueError):
+            expected_area_at_density(1.0, 0.0)

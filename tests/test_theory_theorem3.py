@@ -1,0 +1,126 @@
+"""Theorem 3 tests: over/underestimated radii."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.theory.theorem2 import expected_intersected_area
+from repro.theory.theorem3 import (
+    coverage_probability_underestimate,
+    expected_area_overestimate,
+    lens_area_c12,
+    monte_carlo_overestimate,
+)
+
+
+class TestLensAreaC12:
+    def test_full_containment(self):
+        assert lens_area_c12(0.0, 1.0, 2.0) == pytest.approx(math.pi)
+
+    def test_disjoint(self):
+        assert lens_area_c12(3.5, 1.0, 2.0) == 0.0
+
+    def test_equal_radii_matches_lens_formula(self):
+        from repro.geometry.circle import Circle, lens_area
+        from repro.geometry.point import Point
+
+        for x in (0.5, 1.0, 1.5):
+            ours = lens_area_c12(x, 1.0, 1.0)
+            reference = lens_area(Circle(Point(0, 0), 1.0),
+                                  Circle(Point(x, 0), 1.0))
+            assert ours == pytest.approx(reference, rel=1e-9)
+
+    def test_continuous_at_containment_boundary(self):
+        just_inside = lens_area_c12(0.999, 1.0, 2.0)
+        just_outside = lens_area_c12(1.001, 1.0, 2.0)
+        assert just_inside == pytest.approx(math.pi, rel=1e-3)
+        assert just_outside == pytest.approx(math.pi, rel=1e-3)
+
+    def test_negative_distance(self):
+        with pytest.raises(ValueError):
+            lens_area_c12(-1.0, 1.0, 2.0)
+
+
+class TestOverestimate:
+    def test_r_equal_reduces_to_theorem2(self):
+        for k in (2, 5, 10):
+            thm3 = expected_area_overestimate(k, 1.0, 1.0)
+            thm2 = expected_intersected_area(k, 1.0)
+            assert thm3 == pytest.approx(thm2, rel=1e-6)
+
+    def test_fig5_monotone_increasing_in_R(self):
+        values = [expected_area_overestimate(10, 1.0, big_r)
+                  for big_r in (1.0, 1.2, 1.4, 1.6, 1.8, 2.0)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_grows_rapidly(self):
+        # "when r' > r, the expected size of the intersected area grows
+        # rapidly with r'."
+        assert (expected_area_overestimate(10, 1.0, 2.0)
+                > 5.0 * expected_area_overestimate(10, 1.0, 1.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_area_overestimate(0, 1.0, 1.5)
+        with pytest.raises(ValueError):
+            expected_area_overestimate(5, 1.0, 0.9)  # R < r
+
+    @pytest.mark.parametrize("big_r", [1.2, 1.5])
+    def test_matches_monte_carlo(self, big_r):
+        k = 6
+        closed_form = expected_area_overestimate(k, 1.0, big_r)
+        rng = np.random.default_rng(17)
+        mc, stderr, coverage = monte_carlo_overestimate(k, 1.0, big_r,
+                                                        rng, trials=400)
+        assert abs(closed_form - mc) < max(4.0 * stderr,
+                                           0.05 * closed_form)
+        # R >= r: the region always covers the true location.
+        assert coverage == 1.0
+
+
+class TestUnderestimate:
+    def test_eq35_formula(self):
+        assert coverage_probability_underestimate(10, 1.0, 0.9) == \
+            pytest.approx(0.9 ** 20)
+
+    def test_r_equal_gives_one(self):
+        assert coverage_probability_underestimate(5, 1.0, 1.0) == 1.0
+
+    def test_fig6_collapse_with_k(self):
+        # "the probability ... quickly becomes extremely small when k
+        # is large."
+        p_small_k = coverage_probability_underestimate(2, 1.0, 0.8)
+        p_large_k = coverage_probability_underestimate(20, 1.0, 0.8)
+        assert p_large_k < 0.001
+        assert p_large_k < p_small_k
+
+    def test_monotone_in_R(self):
+        values = [coverage_probability_underestimate(10, 1.0, big_r)
+                  for big_r in (0.5, 0.7, 0.9, 1.0)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            coverage_probability_underestimate(0, 1.0, 0.5)
+        with pytest.raises(ValueError):
+            coverage_probability_underestimate(5, 1.0, 1.5)  # R > r
+        with pytest.raises(ValueError):
+            coverage_probability_underestimate(5, 1.0, 0.0)
+
+    def test_matches_monte_carlo(self):
+        k, big_r = 4, 0.85
+        expected = coverage_probability_underestimate(k, 1.0, big_r)
+        rng = np.random.default_rng(23)
+        _, _, coverage = monte_carlo_overestimate(k, 1.0, big_r, rng,
+                                                  trials=3000)
+        assert coverage == pytest.approx(expected, abs=0.04)
+
+    def test_overestimate_preferred_tradeoff(self):
+        """The paper's design conclusion: a 20% overestimate costs area
+        but keeps coverage at 1; a 20% underestimate destroys coverage."""
+        over_area = expected_area_overestimate(10, 1.0, 1.2)
+        exact_area = expected_area_overestimate(10, 1.0, 1.0)
+        under_coverage = coverage_probability_underestimate(10, 1.0, 0.8)
+        assert over_area < 6.0 * exact_area  # bounded area cost
+        assert under_coverage < 0.02         # catastrophic coverage loss
