@@ -1,0 +1,198 @@
+"""Streaming-engine throughput: Γ-set memoization on vs. off.
+
+A campus stream is duplicate-heavy — most devices sit in one of a few
+AP neighborhoods — so the engine's Γ-set cache should collapse N
+identical disc intersections into one.  This bench replays the same
+synthetic stream through :class:`repro.engine.StreamingEngine` twice
+(cache enabled / disabled) and reports estimates/sec for both.
+
+Run standalone for the JSON report (the tier-1 smoke test does)::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py \
+        --frames 200 --json out.json
+
+or under pytest-benchmark with the rest of the bench suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Iterator, List
+
+from repro.engine import StreamingEngine
+from repro.knowledge.apdb import ApDatabase, ApRecord
+from repro.geometry.point import Point
+from repro.localization import MLoc
+from repro.net80211.frames import probe_response
+from repro.net80211.mac import MacAddress
+from repro.net80211.medium import ReceivedFrame
+from repro.net80211.ssid import Ssid
+
+#: AP grid geometry: 6x6 grid, 100 m spacing, 140 m range — every
+#: cell's four corner discs overlap at the cell center.
+GRID = 6
+SPACING_M = 100.0
+RANGE_M = 140.0
+APS_PER_GAMMA = 4
+
+
+def build_database() -> ApDatabase:
+    records = []
+    for j in range(GRID):
+        for i in range(GRID):
+            index = j * GRID + i
+            records.append(ApRecord(
+                bssid=MacAddress(0x001B63000000 + index),
+                ssid=Ssid(f"bench-ap-{index}"),
+                location=Point(i * SPACING_M, j * SPACING_M),
+                max_range_m=RANGE_M,
+                channel=6))
+    return ApDatabase(records)
+
+
+def _pattern_bssids(pattern: int) -> List[MacAddress]:
+    """The four corner APs of grid cell ``pattern`` (row-major)."""
+    cells = GRID - 1
+    cx, cy = pattern % cells, (pattern // cells) % cells
+    return [MacAddress(0x001B63000000 + (cy + dy) * GRID + (cx + dx))
+            for dy in (0, 1) for dx in (0, 1)]
+
+
+def build_stream(frame_budget: int,
+                 pattern_count: int) -> List[ReceivedFrame]:
+    """A stream where devices share ``pattern_count`` AP neighborhoods.
+
+    Each device contributes ``APS_PER_GAMMA`` probe responses; device i
+    lives in neighborhood ``i % pattern_count``, so the duplicate-Γ
+    fraction is ``1 - pattern_count / devices`` (>= 50% for the
+    default shapes).
+    """
+    frames: List[ReceivedFrame] = []
+    devices = max(1, frame_budget // APS_PER_GAMMA)
+    t = 0.0
+    for d in range(devices):
+        mobile = MacAddress(0x020000000000 + d)
+        for ap in _pattern_bssids(d % pattern_count):
+            t += 0.05
+            frame = probe_response(ap, mobile, 6, t,
+                                   ssid=Ssid("bench"))
+            frames.append(ReceivedFrame(frame, rssi_dbm=-70.0,
+                                        snr_db=20.0, rx_channel=6,
+                                        rx_timestamp=t))
+    return frames
+
+
+def run_engine(frames: List[ReceivedFrame], database: ApDatabase,
+               cache_size: int, window_s: float = 600.0) -> dict:
+    """One engine pass; returns the stats dict plus wall-clock numbers.
+
+    The window is generous so a device's Γ never decays mid-stream —
+    the bench measures localization throughput, not churn.
+    """
+    engine = StreamingEngine(MLoc(database), window_s=window_s,
+                             batch_size=32, cache_size=cache_size)
+    start = time.perf_counter()
+    stats = engine.run(iter(frames))
+    elapsed = time.perf_counter() - start
+    result = stats.to_dict()
+    result["wall_s"] = elapsed
+    result["wall_estimates_per_sec"] = (
+        stats.estimates_emitted / elapsed if elapsed > 0.0 else 0.0)
+    return result
+
+
+def run_comparison(frame_budget: int, pattern_count: int,
+                   repeats: int = 3) -> dict:
+    """Cache-on vs cache-off over the identical stream (best of N)."""
+    database = build_database()
+    frames = build_stream(frame_budget, pattern_count)
+    best = {}
+    for label, cache_size in (("cache_on", 4096), ("cache_off", 0)):
+        runs = [run_engine(frames, database, cache_size)
+                for _ in range(repeats)]
+        best[label] = max(runs,
+                          key=lambda r: r["wall_estimates_per_sec"])
+    on, off = best["cache_on"], best["cache_off"]
+    devices = max(1, len(frames) // APS_PER_GAMMA)
+    return {
+        "bench": "engine_throughput",
+        "config": {
+            "frames": len(frames),
+            "devices": devices,
+            "patterns": pattern_count,
+            "duplicate_gamma_fraction": 1.0 - pattern_count / devices,
+            "aps": GRID * GRID,
+            "repeats": repeats,
+        },
+        "cache_on": on,
+        "cache_off": off,
+        "speedup": (on["wall_estimates_per_sec"]
+                    / off["wall_estimates_per_sec"]
+                    if off["wall_estimates_per_sec"] > 0.0 else 0.0),
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry point (pytest benchmarks/ --benchmark-only)
+# ----------------------------------------------------------------------
+
+def test_engine_throughput_cache_speedup(benchmark, reporter):
+    database = build_database()
+    frames = build_stream(2000, pattern_count=12)
+
+    cached = benchmark(lambda: run_engine(frames, database, 4096))
+    uncached = run_engine(frames, database, 0)
+
+    reporter("", "=== Engine throughput: Γ-set memoization ===",
+             f"  frames            : {len(frames)}",
+             f"  cache-on  est/s   : "
+             f"{cached['wall_estimates_per_sec']:10.0f} "
+             f"(hit rate {cached['cache_hit_rate']:.1%})",
+             f"  cache-off est/s   : "
+             f"{uncached['wall_estimates_per_sec']:10.0f}")
+    assert cached["cache_hit_rate"] > 0.5
+    assert cached["estimates_emitted"] == uncached["estimates_emitted"]
+    reporter("Duplicate AP neighborhoods collapse to one disc"
+             " intersection each.")
+
+
+# ----------------------------------------------------------------------
+# Standalone JSON mode (the tier-1 smoke invocation)
+# ----------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Streaming-engine throughput, cache on vs off")
+    parser.add_argument("--frames", type=int, default=4000,
+                        help="approximate stream length")
+    parser.add_argument("--patterns", type=int, default=12,
+                        help="distinct AP neighborhoods in the stream")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="runs per mode (best is reported)")
+    parser.add_argument("--json", metavar="FILE",
+                        help="write the comparison as JSON to FILE")
+    args = parser.parse_args(argv)
+
+    report = run_comparison(args.frames, args.patterns,
+                            repeats=args.repeats)
+    on, off = report["cache_on"], report["cache_off"]
+    print(f"frames={report['config']['frames']} "
+          f"devices={report['config']['devices']} "
+          f"duplicate Γ fraction="
+          f"{report['config']['duplicate_gamma_fraction']:.0%}")
+    print(f"cache on : {on['wall_estimates_per_sec']:10.0f} est/s "
+          f"(hit rate {on['cache_hit_rate']:.1%})")
+    print(f"cache off: {off['wall_estimates_per_sec']:10.0f} est/s")
+    print(f"speedup  : {report['speedup']:.2f}x")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"JSON written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,7 @@ paper's axes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
 
 from repro.geometry.point import Point
 from repro.localization.base import LocalizationEstimate, Localizer
@@ -124,10 +124,25 @@ class AlgorithmReport:
 
 
 def run_localization_experiment(
-    localizers: Dict[str, Localizer],
+    localizers: Union[Dict[str, Localizer], Iterable[Localizer]],
     cases: Sequence[TestCase],
 ) -> Dict[str, AlgorithmReport]:
-    """Run every localizer over every case; collect per-algorithm reports."""
+    """Run every localizer over every case; collect per-algorithm reports.
+
+    ``localizers`` is either ``{label: localizer}`` or a plain sequence
+    of localizers, in which case each report is labeled by the
+    localizer's own :attr:`Localizer.name` — the stable identity hook,
+    rather than anything derived from the class name.
+    """
+    if not isinstance(localizers, dict):
+        named: Dict[str, Localizer] = {}
+        for localizer in localizers:
+            if localizer.name in named:
+                raise ValueError(
+                    f"duplicate localizer name {localizer.name!r}; "
+                    "pass a dict with distinct labels instead")
+            named[localizer.name] = localizer
+        localizers = named
     reports = {name: AlgorithmReport(name=name) for name in localizers}
     for case in cases:
         for name, localizer in localizers.items():

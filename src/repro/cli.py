@@ -67,6 +67,36 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_replay.add_argument("--r-max", type=float, default=150.0,
                           help="radius upper bound for the AP-Rad LP")
 
+    p_engine = sub.add_parser(
+        "engine",
+        help="streaming localization engine over a capture file")
+    p_engine.add_argument("capture", help="JSONL capture file")
+    p_engine.add_argument("--wigle", required=True,
+                          help="WiGLE-style CSV with AP knowledge")
+    p_engine.add_argument("--lat", type=float, default=42.6555,
+                          help="tangent-plane origin latitude")
+    p_engine.add_argument("--lon", type=float, default=-71.3262,
+                          help="tangent-plane origin longitude")
+    p_engine.add_argument("--fallback-range", type=float, default=150.0,
+                          help="assumed AP range (m) when the knowledge "
+                               "base has none (the WiGLE case)")
+    p_engine.add_argument("--window", type=float, default=30.0,
+                          help="sliding co-observation window (s)")
+    p_engine.add_argument("--batch", type=int, default=32,
+                          help="dirty devices per micro-batch")
+    p_engine.add_argument("--cache-size", type=int, default=4096,
+                          help="Γ-set memoization entries (0 disables)")
+    p_engine.add_argument("--no-cache", action="store_true",
+                          help="disable Γ-set memoization")
+    p_engine.add_argument("--checkpoint", metavar="FILE",
+                          help="write an engine checkpoint after the run")
+    p_engine.add_argument("--resume", metavar="FILE",
+                          help="restore engine state from a checkpoint "
+                               "before ingesting")
+    p_engine.add_argument("--tracks", action="store_true",
+                          help="print every device's track, not just "
+                               "the latest fixes")
+
     args = parser.parse_args(argv)
     handler = {
         "theory": _cmd_theory,
@@ -76,8 +106,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "week": _cmd_week,
         "plan": _cmd_plan,
         "replay": _cmd_replay,
+        "engine": _cmd_engine,
     }[args.command]
     return handler(args)
+
+
+def _fail(message: str) -> int:
+    """Print a clear one-line error (no traceback) and exit non-zero."""
+    print(f"error: {message}", file=sys.stderr)
+    return 2
 
 
 def _cmd_theory(args) -> int:
@@ -258,8 +295,16 @@ def _cmd_replay(args) -> int:
     from repro.sniffer.replay import replay_capture
 
     plane = LocalTangentPlane(GeodeticCoordinate(args.lat, args.lon))
-    database = import_wigle_csv(args.wigle, plane)
-    result = replay_capture(args.capture)
+    try:
+        database = import_wigle_csv(args.wigle, plane)
+    except OSError as error:
+        return _fail(f"cannot read WiGLE CSV {args.wigle!r}: {error}")
+    try:
+        result = replay_capture(args.capture)
+    except OSError as error:
+        return _fail(f"cannot read capture {args.capture!r}: {error}")
+    except (ValueError, KeyError) as error:
+        return _fail(f"corrupt capture {args.capture!r}: {error}")
     print(f"Replayed {result.frames_replayed} frames: "
           f"{len(result.mobiles)} mobiles, "
           f"{len(result.store.observed_aps)} APs observed.")
@@ -282,6 +327,68 @@ def _cmd_replay(args) -> int:
               f"{coordinate.longitude_deg:.6f})  "
               f"[{estimate.used_ap_count} APs]")
     print(f"Located {located}/{len(result.mobiles)} devices.")
+    return 0
+
+
+def _cmd_engine(args) -> int:
+    from repro.engine import LatestFixSink, StreamingEngine
+    from repro.geo.enu import LocalTangentPlane
+    from repro.geo.wgs84 import GeodeticCoordinate
+    from repro.knowledge.wigle import import_wigle_csv
+    from repro.localization import MLoc
+    from repro.sniffer.replay import iter_capture
+
+    plane = LocalTangentPlane(GeodeticCoordinate(args.lat, args.lon))
+    try:
+        database = import_wigle_csv(args.wigle, plane)
+    except OSError as error:
+        return _fail(f"cannot read WiGLE CSV {args.wigle!r}: {error}")
+    # WiGLE knowledge carries locations only: M-Loc with an assumed
+    # range is the stream-friendly choice (AP-Rad needs a corpus fit).
+    localizer = MLoc(database, fallback_range_m=args.fallback_range)
+    cache_size = 0 if args.no_cache else args.cache_size
+    fixes = LatestFixSink()
+    if args.resume:
+        try:
+            engine = StreamingEngine.load_checkpoint(
+                args.resume, localizer, sinks=[fixes])
+        except OSError as error:
+            return _fail(f"cannot read checkpoint {args.resume!r}: {error}")
+        except (ValueError, KeyError) as error:
+            return _fail(f"corrupt checkpoint {args.resume!r}: {error}")
+        print(f"Resumed from {args.resume} "
+              f"({engine.stats().frames_ingested} frames already seen).")
+    else:
+        try:
+            engine = StreamingEngine(localizer, window_s=args.window,
+                                     batch_size=args.batch,
+                                     cache_size=cache_size, sinks=[fixes])
+        except ValueError as error:
+            return _fail(str(error))
+    try:
+        stats = engine.run(iter_capture(args.capture))
+    except OSError as error:
+        return _fail(f"cannot read capture {args.capture!r}: {error}")
+    except (ValueError, KeyError) as error:
+        return _fail(f"corrupt capture {args.capture!r}: {error}")
+
+    for mobile, (timestamp, estimate) in sorted(
+            fixes.fixes.items(), key=lambda item: str(item[0])):
+        coordinate = plane.from_point(estimate.position)
+        print(f"  {mobile}  -> ({coordinate.latitude_deg:.6f}, "
+              f"{coordinate.longitude_deg:.6f})  "
+              f"at t={timestamp:.1f}s  [{estimate.used_ap_count} APs]")
+    if args.tracks:
+        for mobile in engine.tracker.devices():
+            track = engine.tracker.track_of(mobile)
+            print(f"  track {mobile}: "
+                  + " -> ".join(f"({p.estimate.position.x:.0f},"
+                                f"{p.estimate.position.y:.0f})@{p.timestamp:.0f}s"
+                                for p in track))
+    print(stats.format())
+    if args.checkpoint:
+        engine.save_checkpoint(args.checkpoint)
+        print(f"Checkpoint written to {args.checkpoint}")
     return 0
 
 

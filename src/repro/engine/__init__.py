@@ -1,0 +1,41 @@
+"""The streaming localization engine (``repro.engine``).
+
+Turns the batch pieces — capture replay, localizers, tracker, display —
+into a live pipeline: frames stream in, per-device Γ sets update
+incrementally, a dirty-set scheduler re-localizes only devices whose
+neighborhood changed (in micro-batches, through a Γ-set memoization
+cache), and estimates fan out to pluggable sinks.  See
+:mod:`repro.engine.core` for the stage diagram and DESIGN.md for the
+memoization invariant.
+"""
+
+from repro.engine.cache import GammaCache
+from repro.engine.core import StreamingEngine
+from repro.engine.ingest import Evidence, GammaState, extract_evidence
+from repro.engine.scheduler import MicroBatchScheduler
+from repro.engine.sinks import (
+    CallbackSink,
+    EngineSink,
+    FanoutSink,
+    LatestFixSink,
+    RendererSink,
+    TrackerSink,
+)
+from repro.engine.stats import PipelineStats, StageTimer
+
+__all__ = [
+    "StreamingEngine",
+    "GammaCache",
+    "GammaState",
+    "Evidence",
+    "extract_evidence",
+    "MicroBatchScheduler",
+    "PipelineStats",
+    "StageTimer",
+    "EngineSink",
+    "TrackerSink",
+    "CallbackSink",
+    "LatestFixSink",
+    "RendererSink",
+    "FanoutSink",
+]

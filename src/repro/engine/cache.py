@@ -1,0 +1,103 @@
+"""Γ-set memoization for the streaming engine.
+
+On a real campus thousands of devices share identical AP neighborhoods
+— everyone in the same lecture hall hears the same APs — so the same
+frozen Γ set reaches the localizer over and over.  Localization is a
+pure function of (localizer identity, Γ): the disc intersection for a
+Γ costs the same whether one device or a thousand ask, so the engine
+memoizes it.
+
+The cache key is ``(localizer.cache_key(), frozenset(Γ))``.  The
+invariant (see DESIGN.md): **an entry is valid only while the localizer
+answers identically for that Γ** — any mutation of the AP knowledge
+base (or a re-fit, for AP-Rad) must either change ``cache_key()`` or
+be followed by :meth:`GammaCache.invalidate`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import FrozenSet, Hashable, Optional, Tuple
+
+from repro.localization.base import LocalizationEstimate
+from repro.net80211.mac import MacAddress
+
+#: Distinguishes "cached None" (Γ known unlocatable) from "not cached".
+_ABSENT = object()
+
+
+class GammaCache:
+    """An LRU map from (localizer key, Γ) to a localization estimate.
+
+    ``None`` results are cached too: a Γ with no known APs stays
+    unlocatable until the knowledge base changes, and re-discovering
+    that is exactly as expensive as a real localization.
+    """
+
+    def __init__(self, max_entries: int = 4096):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Hashable, Optional[LocalizationEstimate]]" = (
+            OrderedDict())
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    @staticmethod
+    def key_for(localizer_key: str,
+                gamma: FrozenSet[MacAddress]) -> Tuple[str, frozenset]:
+        return (localizer_key, frozenset(gamma))
+
+    def get(self, localizer_key: str, gamma: FrozenSet[MacAddress]):
+        """The cached estimate, or :data:`_ABSENT` on a miss.
+
+        Use :meth:`contains`-free idiom::
+
+            hit = cache.get(key, gamma)
+            if hit is not GammaCache.ABSENT: ...
+        """
+        key = self.key_for(localizer_key, gamma)
+        if key in self._entries:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        self.misses += 1
+        return _ABSENT
+
+    def put(self, localizer_key: str, gamma: FrozenSet[MacAddress],
+            estimate: Optional[LocalizationEstimate]) -> None:
+        key = self.key_for(localizer_key, gamma)
+        self._entries[key] = estimate
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self) -> None:
+        """Drop every entry — call after any AP knowledge-base mutation."""
+        self._entries.clear()
+        self.invalidations += 1
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def counters(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "entries": len(self._entries),
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+
+#: Public sentinel for :meth:`GammaCache.get` misses.
+GammaCache.ABSENT = _ABSENT

@@ -1,0 +1,328 @@
+"""The streaming localization engine.
+
+Wires the pipeline stages together::
+
+    frames ──> ingest (GammaState, PseudonymLinker)
+                 │  Γ changed?
+                 v
+               dirty-set scheduler ──> micro-batch flush
+                                          │  Γ-set memo cache
+                                          v
+                                       localizer.locate(Γ)
+                                          │
+                                          v
+                                       sinks (tracker, display, ...)
+
+Design points (see DESIGN.md "Streaming engine"):
+
+* **Incremental Γ** — one bounded update per frame; no replaying of
+  history.
+* **Dirty-set scheduling** — a device is re-localized only when its
+  streaming Γ differs from the Γ it was last localized with; estimates
+  for an unchanged neighborhood would be identical anyway.
+* **Γ-set memoization** — localization is a pure function of
+  (localizer identity, Γ); devices sharing an AP neighborhood share one
+  disc intersection.  Mutating the AP knowledge base invalidates the
+  cache (call :meth:`StreamingEngine.invalidate_cache`, or use a
+  localizer whose ``cache_key()`` changes, as AP-Rad's does on re-fit).
+* **Micro-batching** — dirty devices drain in configurable batches, so
+  ingest latency and localization cost can be traded off explicitly.
+* **Checkpoint/restore** — Γ sets, the dirty set, and all tracks
+  serialize to JSON; an interrupted run restored from a checkpoint
+  finishes with exactly the tracks of an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Union
+
+from repro.engine.cache import GammaCache
+from repro.engine.ingest import GammaState, extract_evidence
+from repro.engine.scheduler import MicroBatchScheduler
+from repro.engine.sinks import EngineSink
+from repro.engine.stats import PipelineStats, StageTimer
+from repro.geometry.point import Point
+from repro.localization.base import LocalizationEstimate, Localizer
+from repro.net80211.frames import FrameType
+from repro.net80211.mac import MacAddress
+from repro.net80211.medium import ReceivedFrame
+from repro.sniffer.tracker import DeviceTracker, PseudonymLinker
+
+PathLike = Union[str, Path]
+
+CHECKPOINT_VERSION = 1
+
+
+class StreamingEngine:
+    """Event-driven localization over a stream of captured frames.
+
+    Parameters
+    ----------
+    localizer:
+        Any :class:`Localizer`.  It must be ready to ``locate`` before
+        the first flush (AP-Rad must be fitted up front).
+    window_s:
+        Sliding co-observation window for the streaming Γ.
+    batch_size:
+        Dirty devices per micro-batch; a full batch flushes during
+        ingest, stragglers flush on :meth:`flush` / :meth:`run` end.
+    cache_size:
+        Capacity of the Γ-set memoization cache; ``0`` disables it.
+    sinks:
+        Extra :class:`EngineSink` consumers beside the built-in tracker.
+    """
+
+    def __init__(self, localizer: Localizer, window_s: float = 30.0,
+                 batch_size: int = 32, cache_size: int = 4096,
+                 sinks: Sequence[EngineSink] = ()):
+        self.localizer = localizer
+        self.gamma_state = GammaState(window_s=window_s)
+        self.scheduler = MicroBatchScheduler(batch_size=batch_size)
+        self.cache: Optional[GammaCache] = (
+            GammaCache(cache_size) if cache_size > 0 else None)
+        self.tracker = DeviceTracker()
+        self.linker = PseudonymLinker()
+        self.sinks: List[EngineSink] = list(sinks)
+        self._timer = StageTimer()
+        # Γ each device was last localized with (dirty = differs now).
+        self._last_located: Dict[MacAddress, FrozenSet[MacAddress]] = {}
+        self._seen: Set[MacAddress] = set()
+        self._frames_ingested = 0
+        self._evidence_events = 0
+        self._probe_requests = 0
+        self._batches_flushed = 0
+        self._estimates_emitted = 0
+        self._unlocatable = 0
+
+    # ------------------------------------------------------------------
+    # Ingest stage
+    # ------------------------------------------------------------------
+
+    def ingest(self, received: ReceivedFrame) -> None:
+        """Consume one captured frame; flush if a micro-batch is due."""
+        with self._timer.stage("ingest"):
+            self._frames_ingested += 1
+            frame = received.frame
+            if frame.frame_type is FrameType.PROBE_REQUEST:
+                self._probe_requests += 1
+                self._seen.add(frame.source)
+                self.linker.ingest(frame)
+            else:
+                evidence = extract_evidence(received)
+                if evidence is not None:
+                    self._evidence_events += 1
+                    self._seen.add(evidence.mobile)
+                    gamma = self.gamma_state.observe(evidence)
+                    if gamma != self._last_located.get(evidence.mobile):
+                        self.scheduler.mark_dirty(evidence.mobile)
+        while self.scheduler.ready:
+            self._flush_batch()
+
+    def ingest_stream(self, stream: Iterable[ReceivedFrame]) -> None:
+        """Consume frames without the end-of-stream flush (resumable)."""
+        for received in stream:
+            self.ingest(received)
+
+    def run(self, stream: Iterable[ReceivedFrame]) -> PipelineStats:
+        """Consume a whole stream, drain every device, close sinks."""
+        self.ingest_stream(stream)
+        self.flush()
+        for sink in self.sinks:
+            sink.close()
+        return self.stats()
+
+    # ------------------------------------------------------------------
+    # Localize + sink stages
+    # ------------------------------------------------------------------
+
+    def flush(self) -> int:
+        """Drain the entire dirty set; returns estimates emitted."""
+        emitted = 0
+        while self.scheduler.pending():
+            emitted += self._flush_batch()
+        return emitted
+
+    def _flush_batch(self) -> int:
+        batch = self.scheduler.next_batch()
+        if not batch:
+            return 0
+        self._batches_flushed += 1
+        emitted = 0
+        for mobile in batch:
+            gamma = self.gamma_state.gamma(mobile)
+            with self._timer.stage("localize"):
+                estimate = self._locate_memoized(gamma)
+            self._last_located[mobile] = gamma
+            if estimate is None:
+                self._unlocatable += 1
+                continue
+            timestamp = self.gamma_state.last_seen(mobile)
+            with self._timer.stage("sink"):
+                self._emit(mobile, timestamp, estimate)
+            emitted += 1
+        return emitted
+
+    def _locate_memoized(self, gamma: FrozenSet[MacAddress]
+                         ) -> Optional[LocalizationEstimate]:
+        if not gamma:
+            return None
+        if self.cache is None:
+            return self.localizer.locate(gamma)
+        key = self.localizer.cache_key()
+        cached = self.cache.get(key, gamma)
+        if cached is not GammaCache.ABSENT:
+            return cached
+        estimate = self.localizer.locate(gamma)
+        self.cache.put(key, gamma, estimate)
+        return estimate
+
+    def _emit(self, mobile: MacAddress, timestamp: float,
+              estimate: LocalizationEstimate) -> None:
+        self._estimates_emitted += 1
+        latest = self.tracker.latest(mobile)
+        if latest is not None and timestamp < latest.timestamp:
+            # A late, out-of-order burst for an already-tracked device:
+            # keep the track monotonic rather than raising mid-stream.
+            timestamp = latest.timestamp
+        self.tracker.record(mobile, timestamp, estimate)
+        for sink in self.sinks:
+            sink.emit(mobile, timestamp, estimate)
+
+    def invalidate_cache(self) -> None:
+        """Flush the Γ memoization after an AP knowledge-base mutation."""
+        if self.cache is not None:
+            self.cache.invalidate()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def stats(self) -> PipelineStats:
+        """A consistent snapshot of every pipeline counter."""
+        cache_counters = (self.cache.counters() if self.cache is not None
+                          else {})
+        return PipelineStats(
+            frames_ingested=self._frames_ingested,
+            evidence_events=self._evidence_events,
+            probe_requests=self._probe_requests,
+            devices_seen=len(self._seen),
+            batches_flushed=self._batches_flushed,
+            estimates_emitted=self._estimates_emitted,
+            unlocatable=self._unlocatable,
+            cache_enabled=self.cache is not None,
+            cache_hits=cache_counters.get("hits", 0),
+            cache_misses=cache_counters.get("misses", 0),
+            cache_entries=cache_counters.get("entries", 0),
+            stage_seconds=self._timer.seconds(),
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """Serialize resumable state (Γ sets, dirty set, tracks) to
+        JSON-compatible types.
+
+        Estimate *regions* are not persisted — a restored track carries
+        positional fixes (position, algorithm, k) only.  The pseudonym
+        linker is rebuilt from the live stream after restore.
+        """
+        return {
+            "engine_checkpoint": CHECKPOINT_VERSION,
+            "config": {
+                "window_s": self.gamma_state.window_s,
+                "batch_size": self.scheduler.batch_size,
+                "cache_size": (self.cache.max_entries
+                               if self.cache is not None else 0),
+            },
+            "gamma": self.gamma_state.to_dict(),
+            "dirty": self.scheduler.to_list(),
+            "last_located": {
+                str(mobile): sorted(str(ap) for ap in gamma)
+                for mobile, gamma in self._last_located.items()
+            },
+            "seen": sorted(str(mobile) for mobile in self._seen),
+            "tracks": {
+                str(mobile): [
+                    {
+                        "ts": point.timestamp,
+                        "x": point.estimate.position.x,
+                        "y": point.estimate.position.y,
+                        "algorithm": point.estimate.algorithm,
+                        "k": point.estimate.used_ap_count,
+                    }
+                    for point in self.tracker.track_of(mobile)
+                ]
+                for mobile in self.tracker.devices()
+            },
+            "counters": {
+                "frames_ingested": self._frames_ingested,
+                "evidence_events": self._evidence_events,
+                "probe_requests": self._probe_requests,
+                "batches_flushed": self._batches_flushed,
+                "estimates_emitted": self._estimates_emitted,
+                "unlocatable": self._unlocatable,
+            },
+            "stage_seconds": self._timer.seconds(),
+        }
+
+    def save_checkpoint(self, path: PathLike) -> None:
+        Path(path).write_text(json.dumps(self.checkpoint()),
+                              encoding="utf-8")
+
+    @classmethod
+    def restore(cls, data: dict, localizer: Localizer,
+                sinks: Sequence[EngineSink] = ()) -> "StreamingEngine":
+        """Rebuild an engine from :meth:`checkpoint` output.
+
+        The caller supplies the localizer (algorithm state is not
+        serialized); it must be configured identically to the original
+        for the resumed run to match an uninterrupted one.
+        """
+        version = data.get("engine_checkpoint")
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported engine checkpoint version {version!r}")
+        config = data["config"]
+        engine = cls(localizer,
+                     window_s=float(config["window_s"]),
+                     batch_size=int(config["batch_size"]),
+                     cache_size=int(config["cache_size"]),
+                     sinks=sinks)
+        engine.gamma_state = GammaState.from_dict(data["gamma"])
+        engine.scheduler.restore(data.get("dirty", []))
+        engine._last_located = {
+            MacAddress.parse(mobile): frozenset(
+                MacAddress.parse(ap) for ap in gamma)
+            for mobile, gamma in data.get("last_located", {}).items()
+        }
+        engine._seen = {MacAddress.parse(m) for m in data.get("seen", [])}
+        for mobile_text, points in data.get("tracks", {}).items():
+            mobile = MacAddress.parse(mobile_text)
+            for point in points:
+                engine.tracker.record(mobile, float(point["ts"]),
+                                      LocalizationEstimate(
+                                          position=Point(float(point["x"]),
+                                                         float(point["y"])),
+                                          algorithm=point["algorithm"],
+                                          used_ap_count=int(point["k"])))
+        counters = data.get("counters", {})
+        engine._frames_ingested = int(counters.get("frames_ingested", 0))
+        engine._evidence_events = int(counters.get("evidence_events", 0))
+        engine._probe_requests = int(counters.get("probe_requests", 0))
+        engine._batches_flushed = int(counters.get("batches_flushed", 0))
+        engine._estimates_emitted = int(
+            counters.get("estimates_emitted", 0))
+        engine._unlocatable = int(counters.get("unlocatable", 0))
+        engine._timer.restore(data.get("stage_seconds", {}))
+        return engine
+
+    @classmethod
+    def load_checkpoint(cls, path: PathLike, localizer: Localizer,
+                        sinks: Sequence[EngineSink] = ()
+                        ) -> "StreamingEngine":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        return cls.restore(data, localizer, sinks=sinks)

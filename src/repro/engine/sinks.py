@@ -1,0 +1,103 @@
+"""Sink stage: where the engine's estimates flow.
+
+Every flushed estimate is offered to each attached sink.  Sinks bridge
+the streaming engine to the existing batch-era consumers: the device
+tracker (:class:`TrackerSink` — the engine always owns one), the map
+display (:class:`RendererSink`), ad-hoc consumers
+(:class:`CallbackSink`), and live dashboards that only want the newest
+fix per device (:class:`LatestFixSink`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.localization.base import LocalizationEstimate
+from repro.net80211.mac import MacAddress
+from repro.sniffer.tracker import DeviceTracker
+
+
+class EngineSink:
+    """Interface: receives every (mobile, timestamp, estimate) flush."""
+
+    def emit(self, mobile: MacAddress, timestamp: float,
+             estimate: LocalizationEstimate) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Called once when the engine's stream ends (optional)."""
+
+
+class TrackerSink(EngineSink):
+    """Appends every estimate to a :class:`DeviceTracker` track."""
+
+    def __init__(self, tracker: Optional[DeviceTracker] = None):
+        self.tracker = tracker if tracker is not None else DeviceTracker()
+
+    def emit(self, mobile: MacAddress, timestamp: float,
+             estimate: LocalizationEstimate) -> None:
+        self.tracker.record(mobile, timestamp, estimate)
+
+
+class CallbackSink(EngineSink):
+    """Forwards every estimate to a user callback."""
+
+    def __init__(self, callback: Callable[
+            [MacAddress, float, LocalizationEstimate], None]):
+        self.callback = callback
+
+    def emit(self, mobile: MacAddress, timestamp: float,
+             estimate: LocalizationEstimate) -> None:
+        self.callback(mobile, timestamp, estimate)
+
+
+class LatestFixSink(EngineSink):
+    """Keeps only the newest estimate per device (a live-map feed)."""
+
+    def __init__(self):
+        self._latest: Dict[MacAddress,
+                           Tuple[float, LocalizationEstimate]] = {}
+
+    def emit(self, mobile: MacAddress, timestamp: float,
+             estimate: LocalizationEstimate) -> None:
+        self._latest[mobile] = (timestamp, estimate)
+
+    @property
+    def fixes(self) -> Dict[MacAddress, Tuple[float, LocalizationEstimate]]:
+        return dict(self._latest)
+
+    def estimates(self) -> Dict[MacAddress, LocalizationEstimate]:
+        """The newest estimate per device (display/geojson input shape)."""
+        return {mobile: estimate
+                for mobile, (_, estimate) in self._latest.items()}
+
+
+class RendererSink(EngineSink):
+    """Plots every estimate on a :class:`repro.display.MapRenderer`."""
+
+    def __init__(self, renderer, label_devices: bool = True):
+        self.renderer = renderer
+        self.label_devices = label_devices
+        self.emitted = 0
+
+    def emit(self, mobile: MacAddress, timestamp: float,
+             estimate: LocalizationEstimate) -> None:
+        label = str(mobile) if self.label_devices else ""
+        self.renderer.add_estimate(estimate.position, label=label)
+        self.emitted += 1
+
+
+class FanoutSink(EngineSink):
+    """Composes several sinks into one."""
+
+    def __init__(self, sinks: List[EngineSink]):
+        self.sinks = list(sinks)
+
+    def emit(self, mobile: MacAddress, timestamp: float,
+             estimate: LocalizationEstimate) -> None:
+        for sink in self.sinks:
+            sink.emit(mobile, timestamp, estimate)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()

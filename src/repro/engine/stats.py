@@ -1,0 +1,120 @@
+"""Pipeline observability: stage timers and the stats snapshot.
+
+A production engine is judged by its counters — estimates per second,
+cache hit rate, where the wall time goes.  :class:`StageTimer`
+accumulates per-stage wall time with negligible overhead;
+:class:`PipelineStats` is the immutable snapshot the engine hands out
+(and the CLI / throughput bench print).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+class StageTimer:
+    """Accumulates wall-clock seconds per named pipeline stage."""
+
+    def __init__(self):
+        self._seconds: Dict[str, float] = {}
+
+    @contextmanager
+    def stage(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._seconds[name] = self._seconds.get(name, 0.0) + elapsed
+
+    def seconds(self) -> Dict[str, float]:
+        return dict(self._seconds)
+
+    def total(self) -> float:
+        return sum(self._seconds.values())
+
+    def restore(self, seconds: Dict[str, float]) -> None:
+        self._seconds = {name: float(value)
+                         for name, value in seconds.items()}
+
+
+@dataclass(frozen=True)
+class PipelineStats:
+    """One consistent snapshot of the engine's counters."""
+
+    frames_ingested: int = 0
+    evidence_events: int = 0
+    probe_requests: int = 0
+    devices_seen: int = 0
+    batches_flushed: int = 0
+    estimates_emitted: int = 0
+    unlocatable: int = 0
+    cache_enabled: bool = True
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_entries: int = 0
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def elapsed_s(self) -> float:
+        return sum(self.stage_seconds.values())
+
+    @property
+    def estimates_per_sec(self) -> float:
+        elapsed = self.elapsed_s
+        return self.estimates_emitted / elapsed if elapsed > 0.0 else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form (what the throughput bench emits)."""
+        return {
+            "frames_ingested": self.frames_ingested,
+            "evidence_events": self.evidence_events,
+            "probe_requests": self.probe_requests,
+            "devices_seen": self.devices_seen,
+            "batches_flushed": self.batches_flushed,
+            "estimates_emitted": self.estimates_emitted,
+            "unlocatable": self.unlocatable,
+            "cache_enabled": self.cache_enabled,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "cache_entries": self.cache_entries,
+            "stage_seconds": dict(self.stage_seconds),
+            "elapsed_s": self.elapsed_s,
+            "estimates_per_sec": self.estimates_per_sec,
+        }
+
+    def format(self) -> str:
+        """The human-readable block ``marauder engine`` prints."""
+        lines = [
+            "PipelineStats:",
+            f"  frames ingested   : {self.frames_ingested}",
+            f"  evidence events   : {self.evidence_events}",
+            f"  probe requests    : {self.probe_requests}",
+            f"  devices seen      : {self.devices_seen}",
+            f"  batches flushed   : {self.batches_flushed}",
+            f"  estimates emitted : {self.estimates_emitted}",
+            f"  unlocatable       : {self.unlocatable}",
+        ]
+        if self.cache_enabled:
+            lines.append(
+                f"  cache             : {self.cache_hits} hits / "
+                f"{self.cache_misses} misses "
+                f"(hit rate {self.cache_hit_rate:.1%}, "
+                f"{self.cache_entries} entries)")
+        else:
+            lines.append("  cache             : disabled")
+        for name in sorted(self.stage_seconds):
+            lines.append(f"  {name + ' time':18s}: "
+                         f"{self.stage_seconds[name] * 1e3:.2f} ms")
+        lines.append(f"  throughput        : "
+                     f"{self.estimates_per_sec:.0f} estimates/s")
+        return "\n".join(lines)

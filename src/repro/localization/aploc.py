@@ -145,7 +145,12 @@ class APLoc(Localizer):
                 locations = self._refine_locations(locations,
                                                    estimate.radii)
         self._estimated_locations = locations
+        self._fit_generation = getattr(self, "_fit_generation", 0) + 1
         return estimate
+
+    def cache_key(self) -> str:
+        """Re-fitting moves APs and radii, so it bumps the cache key."""
+        return f"{self.name}#fit{getattr(self, '_fit_generation', 0)}"
 
     def _refine_locations(self, previous: Dict[MacAddress, Point],
                           radii: Dict[MacAddress, float]

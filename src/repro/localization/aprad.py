@@ -52,6 +52,7 @@ class APRad(Localizer):
         self._fitted_db: Optional[ApDatabase] = None
         self._mloc: Optional[MLoc] = None
         self._last_fit: Optional[RadiusEstimate] = None
+        self._fit_generation = 0
 
     # ------------------------------------------------------------------
     # Fitting
@@ -76,7 +77,12 @@ class APRad(Localizer):
         self._fitted_db = fitted
         self._mloc = MLoc(fitted, mode=self.mloc_mode)
         self._last_fit = estimate
+        self._fit_generation += 1
         return estimate
+
+    def cache_key(self) -> str:
+        """Re-fitting changes every radius, so it bumps the cache key."""
+        return f"{self.name}#fit{self._fit_generation}"
 
     @property
     def fitted_database(self) -> ApDatabase:

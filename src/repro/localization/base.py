@@ -103,6 +103,17 @@ class Localizer(abc.ABC):
     #: Short algorithm name used in reports.
     name: str = "localizer"
 
+    def cache_key(self) -> str:
+        """Stable identity for Γ-set memoization (``repro.engine``).
+
+        Two localizers may share a key only if they answer identically
+        for every Γ.  Anything that changes the Γ → estimate mapping
+        in place (a re-fit, a knowledge-base swap) must change the key
+        — AP-Rad bumps a fit generation — or the cache holding old
+        entries must be invalidated explicitly.
+        """
+        return self.name
+
     @abc.abstractmethod
     def locate(self, observed: Iterable[MacAddress]
                ) -> Optional[LocalizationEstimate]:

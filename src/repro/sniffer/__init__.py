@@ -37,7 +37,7 @@ from repro.sniffer.planning import (
     hopping_capture_probability,
     plan_channels,
 )
-from repro.sniffer.replay import ReplayResult, replay_capture
+from repro.sniffer.replay import ReplayResult, iter_capture, replay_capture
 
 __all__ = [
     "ChannelPlan",
@@ -46,6 +46,7 @@ __all__ = [
     "hopping_capture_probability",
     "ReplayResult",
     "replay_capture",
+    "iter_capture",
     "SnifferCard",
     "ChannelHopper",
     "Sniffer",

@@ -11,17 +11,53 @@ workflow of the feasibility study.
 
 from __future__ import annotations
 
+import heapq
+import itertools
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional, Set, Union
+from typing import Dict, Iterator, Optional, Set, Union
 
 from repro.localization.base import LocalizationEstimate, Localizer
 from repro.net80211.capture_file import CaptureReader
 from repro.net80211.mac import MacAddress
+from repro.net80211.medium import ReceivedFrame
 from repro.sniffer.observation import ObservationStore
 from repro.sniffer.tracker import PseudonymLinker
 
 PathLike = Union[str, Path]
+
+
+def iter_capture(path: PathLike,
+                 reorder_buffer: int = 256) -> Iterator[ReceivedFrame]:
+    """Yield a capture's frames in rx-timestamp order, streaming.
+
+    The streaming engine's ingest path consumes this: memory stays
+    O(``reorder_buffer``) regardless of capture size, unlike
+    :func:`replay_capture`-era list materialization.  Multi-card
+    captures interleave channels, so records can be locally out of
+    order; a bounded min-heap look-ahead restores timestamp order
+    exactly whenever no record is displaced by more than
+    ``reorder_buffer`` positions.  ``reorder_buffer=0`` yields file
+    order unchanged.
+    """
+    if reorder_buffer < 0:
+        raise ValueError(
+            f"reorder_buffer must be >= 0, got {reorder_buffer}")
+    reader = CaptureReader(path)
+    if reorder_buffer == 0:
+        yield from reader
+        return
+    # (timestamp, arrival index) keys make the sort stable; the index
+    # also keeps ReceivedFrame itself out of heap comparisons.
+    heap: list = []
+    arrival = itertools.count()
+    for received in reader:
+        heapq.heappush(heap,
+                       (received.rx_timestamp, next(arrival), received))
+        if len(heap) > reorder_buffer:
+            yield heapq.heappop(heap)[2]
+    while heap:
+        yield heapq.heappop(heap)[2]
 
 
 @dataclass
@@ -51,7 +87,7 @@ def replay_capture(path: PathLike,
     store = ObservationStore(window_s=window_s)
     linker = PseudonymLinker()
     count = 0
-    for received in CaptureReader(path):
+    for received in iter_capture(path):
         store.ingest(received)
         linker.ingest(received.frame)
         count += 1

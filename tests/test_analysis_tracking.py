@@ -1,4 +1,5 @@
-"""Track-analysis tests: metrics and smoothing."""
+"""Track-analysis tests: metrics, smoothing, and the tracker edge
+cases the streaming engine exercises."""
 
 import numpy as np
 import pytest
@@ -10,6 +11,11 @@ from repro.analysis.tracking import (
     track_length_m,
 )
 from repro.geometry.point import Point
+from repro.localization.base import LocalizationEstimate
+from repro.net80211.frames import probe_request
+from repro.net80211.mac import MacAddress
+from repro.net80211.ssid import Ssid
+from repro.sniffer.tracker import DeviceTracker, PseudonymLinker
 
 
 def noisy_line_track(n=40, noise=5.0, seed=0):
@@ -90,6 +96,73 @@ class TestSmoothing:
             moving_average(track, window=4)  # even
         with pytest.raises(ValueError):
             moving_average(track, window=0)
+
+
+def estimate_at(x, y):
+    return LocalizationEstimate(position=Point(x, y), algorithm="test")
+
+
+class TestDeviceTrackerEdgeCases:
+    """Edge cases the streaming engine's sink stage must respect."""
+
+    MOBILE = MacAddress.parse("02:aa:bb:00:00:01")
+
+    def test_out_of_order_timestamp_rejected(self):
+        tracker = DeviceTracker()
+        tracker.record(self.MOBILE, 10.0, estimate_at(0.0, 0.0))
+        with pytest.raises(ValueError, match="non-decreasing"):
+            tracker.record(self.MOBILE, 9.0, estimate_at(1.0, 1.0))
+        # The failed append leaves the track intact.
+        assert len(tracker.track_of(self.MOBILE)) == 1
+
+    def test_equal_timestamps_allowed(self):
+        tracker = DeviceTracker()
+        tracker.record(self.MOBILE, 10.0, estimate_at(0.0, 0.0))
+        tracker.record(self.MOBILE, 10.0, estimate_at(1.0, 1.0))
+        assert len(tracker.track_of(self.MOBILE)) == 2
+
+    def test_per_device_monotonicity_is_independent(self):
+        other = MacAddress.parse("02:aa:bb:00:00:02")
+        tracker = DeviceTracker()
+        tracker.record(self.MOBILE, 10.0, estimate_at(0.0, 0.0))
+        # A different device may start earlier: no cross-device order.
+        tracker.record(other, 1.0, estimate_at(2.0, 2.0))
+        assert tracker.latest(other).timestamp == 1.0
+
+
+class TestPseudonymLinkerMidStream:
+    """A device rotating its MAC mid-stream collapses to one identity."""
+
+    OLD = MacAddress.parse("02:11:22:33:44:55")  # locally administered
+    NEW = MacAddress.parse("02:66:77:88:99:aa")
+
+    def _probe(self, mac, t, ssid):
+        return probe_request(mac, 6, t, ssid=Ssid(ssid))
+
+    def test_two_macs_collapse_into_one_group(self):
+        linker = PseudonymLinker()
+        # Before rotation: the old pseudonym leaks its PNL.
+        linker.ingest(self._probe(self.OLD, 1.0, "home-wifi"))
+        linker.ingest(self._probe(self.OLD, 2.0, "office-net"))
+        groups_before = linker.linked_groups()
+        assert [self.OLD] in groups_before
+        # Mid-stream rotation: the new MAC leaks the same PNL.
+        linker.ingest(self._probe(self.NEW, 50.0, "office-net"))
+        linker.ingest(self._probe(self.NEW, 51.0, "home-wifi"))
+        groups_after = linker.linked_groups()
+        assert [self.OLD, self.NEW] in groups_after
+        # Both MACs resolve to the same logical identity.
+        assert (linker.logical_identity(self.OLD)
+                == linker.logical_identity(self.NEW))
+
+    def test_partial_fingerprint_does_not_collapse(self):
+        linker = PseudonymLinker()
+        linker.ingest(self._probe(self.OLD, 1.0, "home-wifi"))
+        linker.ingest(self._probe(self.OLD, 2.0, "office-net"))
+        # The new MAC only ever leaks one of the two SSIDs.
+        linker.ingest(self._probe(self.NEW, 50.0, "home-wifi"))
+        assert (linker.logical_identity(self.OLD)
+                != linker.logical_identity(self.NEW))
 
 
 class TestTrackLength:

@@ -1,0 +1,42 @@
+"""Tier-1 smoke for the engine throughput bench (the --frames 200 run).
+
+Catches regressions in the acceptance property — with a duplicate-heavy
+stream, cache-on estimates/sec must beat cache-off on the same input —
+without the full bench suite.  Runs the bench script the same way an
+operator would, as a standalone process.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH = REPO_ROOT / "benchmarks" / "bench_engine_throughput.py"
+
+
+def test_bench_engine_throughput_smoke(tmp_path):
+    out_path = tmp_path / "engine_throughput.json"
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
+                         if env.get("PYTHONPATH") else src)
+    result = subprocess.run(
+        [sys.executable, str(BENCH), "--frames", "200",
+         "--json", str(out_path)],
+        capture_output=True, text=True, env=env, timeout=120)
+    assert result.returncode == 0, result.stderr
+    assert "speedup" in result.stdout
+
+    report = json.loads(out_path.read_text())
+    assert report["bench"] == "engine_throughput"
+    assert report["config"]["duplicate_gamma_fraction"] >= 0.5
+    on, off = report["cache_on"], report["cache_off"]
+    # Same input, same estimates — memoization changes speed only.
+    assert on["estimates_emitted"] == off["estimates_emitted"]
+    assert on["cache_hit_rate"] > 0.0
+    # The acceptance property: cache-on strictly faster.
+    assert (on["wall_estimates_per_sec"]
+            > off["wall_estimates_per_sec"])
+    assert report["speedup"] > 1.0

@@ -1,0 +1,121 @@
+"""`marauder engine` CLI tests: end-to-end run, resume, clean failures."""
+
+import pytest
+
+from repro.cli import main
+from repro.geo.enu import LocalTangentPlane
+from repro.geo.wgs84 import GeodeticCoordinate
+from repro.knowledge.wigle import export_wigle_csv
+from repro.net80211.capture_file import CaptureWriter
+from repro.sim import build_attack_scenario
+
+ORIGIN = GeodeticCoordinate(42.6555, -71.3262)
+
+
+@pytest.fixture(scope="module")
+def sim_capture(tmp_path_factory):
+    """A simulated campus capture + matching WiGLE knowledge."""
+    tmp_path = tmp_path_factory.mktemp("engine_cli")
+    scenario = build_attack_scenario(seed=6, ap_count=40, area_m=350.0,
+                                     bystander_count=4)
+    scenario.world.sniffer.keep_frames = True
+    scenario.world.run(duration_s=120.0)
+
+    capture_path = tmp_path / "capture.jsonl"
+    with CaptureWriter(capture_path) as writer:
+        for received in scenario.world.sniffer.captured:
+            writer.write(received)
+    wigle_path = tmp_path / "wigle.csv"
+    export_wigle_csv(scenario.truth_db, wigle_path,
+                     LocalTangentPlane(ORIGIN))
+    return scenario, capture_path, wigle_path
+
+
+class TestEngineCommand:
+    def test_streams_capture_and_prints_stats(self, sim_capture, capsys):
+        scenario, capture_path, wigle_path = sim_capture
+        code = main(["engine", str(capture_path),
+                     "--wigle", str(wigle_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PipelineStats" in out
+        assert "frames ingested" in out
+        assert "hit rate" in out
+        assert "estimates/s" in out
+        # The victim walked through the campus: it got localized.
+        assert str(scenario.victim.mac) in out
+
+    def test_no_cache_flag(self, sim_capture, capsys):
+        _, capture_path, wigle_path = sim_capture
+        code = main(["engine", str(capture_path),
+                     "--wigle", str(wigle_path), "--no-cache"])
+        assert code == 0
+        assert "cache             : disabled" in capsys.readouterr().out
+
+    def test_checkpoint_then_resume(self, sim_capture, tmp_path, capsys):
+        _, capture_path, wigle_path = sim_capture
+        ckpt = tmp_path / "engine.ckpt.json"
+        assert main(["engine", str(capture_path),
+                     "--wigle", str(wigle_path),
+                     "--checkpoint", str(ckpt)]) == 0
+        assert ckpt.exists()
+        capsys.readouterr()
+        code = main(["engine", str(capture_path),
+                     "--wigle", str(wigle_path),
+                     "--resume", str(ckpt)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Resumed from" in out
+        assert "PipelineStats" in out
+
+
+class TestCleanFailures:
+    def test_engine_missing_capture(self, sim_capture, tmp_path, capsys):
+        _, _, wigle_path = sim_capture
+        code = main(["engine", str(tmp_path / "nope.jsonl"),
+                     "--wigle", str(wigle_path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "nope.jsonl" in err
+
+    def test_engine_corrupt_capture(self, sim_capture, tmp_path, capsys):
+        _, _, wigle_path = sim_capture
+        bad = tmp_path / "corrupt.jsonl"
+        bad.write_text('{"capture_format": 1}\nthis is not json\n')
+        code = main(["engine", str(bad), "--wigle", str(wigle_path)])
+        assert code == 2
+        assert "corrupt capture" in capsys.readouterr().err
+
+    def test_engine_missing_wigle(self, sim_capture, tmp_path, capsys):
+        _, capture_path, _ = sim_capture
+        code = main(["engine", str(capture_path),
+                     "--wigle", str(tmp_path / "nope.csv")])
+        assert code == 2
+        assert "WiGLE" in capsys.readouterr().err
+
+    def test_engine_corrupt_checkpoint(self, sim_capture, tmp_path,
+                                       capsys):
+        _, capture_path, wigle_path = sim_capture
+        bad = tmp_path / "bad.ckpt.json"
+        bad.write_text('{"engine_checkpoint": 99}')
+        code = main(["engine", str(capture_path),
+                     "--wigle", str(wigle_path),
+                     "--resume", str(bad)])
+        assert code == 2
+        assert "checkpoint" in capsys.readouterr().err
+
+    def test_replay_missing_capture(self, sim_capture, tmp_path, capsys):
+        _, _, wigle_path = sim_capture
+        code = main(["replay", str(tmp_path / "nope.jsonl"),
+                     "--wigle", str(wigle_path)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_replay_corrupt_capture(self, sim_capture, tmp_path, capsys):
+        _, _, wigle_path = sim_capture
+        bad = tmp_path / "corrupt.jsonl"
+        bad.write_text("}{ garbage\n")
+        code = main(["replay", str(bad), "--wigle", str(wigle_path)])
+        assert code == 2
+        assert "corrupt capture" in capsys.readouterr().err

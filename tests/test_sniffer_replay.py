@@ -8,7 +8,7 @@ from repro.net80211.frames import probe_request, probe_response
 from repro.net80211.mac import MacAddress
 from repro.net80211.medium import ReceivedFrame
 from repro.net80211.ssid import Ssid
-from repro.sniffer.replay import replay_capture
+from repro.sniffer.replay import iter_capture, replay_capture
 
 from tests.helpers import make_record
 
@@ -72,3 +72,57 @@ class TestReplay:
         result = replay_capture(path)
         assert result.frames_replayed == 0
         assert result.mobiles == set()
+
+
+class TestIterCapture:
+    """The streaming (generator) replay path the engine ingests."""
+
+    def write_shuffled(self, path, square_db, order):
+        """Probe responses with rx timestamps written in ``order``."""
+        records = list(square_db)
+        with CaptureWriter(path) as writer:
+            for position in order:
+                record = records[position % len(records)]
+                t = float(position)
+                frame = probe_response(record.bssid, STA, 6, t,
+                                       ssid=record.ssid)
+                writer.write(ReceivedFrame(frame, rssi_dbm=-72.0,
+                                           snr_db=18.0, rx_channel=6,
+                                           rx_timestamp=t))
+
+    def test_is_a_lazy_iterator(self, tmp_path, square_db):
+        path = tmp_path / "capture.jsonl"
+        write_capture(path, square_db)
+        iterator = iter_capture(path)
+        assert iter(iterator) is iterator  # a generator, not a list
+        first = next(iterator)
+        assert first.rx_timestamp == 1.0
+
+    def test_yields_all_frames_in_timestamp_order(self, tmp_path,
+                                                  square_db):
+        path = tmp_path / "capture.jsonl"
+        # Locally out-of-order, as interleaved multi-card captures are.
+        self.write_shuffled(path, square_db, [2, 0, 3, 1, 5, 4])
+        timestamps = [r.rx_timestamp for r in iter_capture(path)]
+        assert timestamps == sorted(timestamps)
+        assert len(timestamps) == 6
+
+    def test_reorder_buffer_zero_keeps_file_order(self, tmp_path,
+                                                  square_db):
+        path = tmp_path / "capture.jsonl"
+        self.write_shuffled(path, square_db, [2, 0, 1])
+        timestamps = [r.rx_timestamp
+                      for r in iter_capture(path, reorder_buffer=0)]
+        assert timestamps == [2.0, 0.0, 1.0]
+
+    def test_matches_replay_capture(self, tmp_path, square_db):
+        path = tmp_path / "capture.jsonl"
+        write_capture(path, square_db)
+        streamed = list(iter_capture(path))
+        assert len(streamed) == replay_capture(path).frames_replayed
+
+    def test_rejects_negative_buffer(self, tmp_path, square_db):
+        path = tmp_path / "capture.jsonl"
+        write_capture(path, square_db)
+        with pytest.raises(ValueError):
+            list(iter_capture(path, reorder_buffer=-1))
