@@ -88,6 +88,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                           help="Γ-set memoization entries (0 disables)")
     p_engine.add_argument("--no-cache", action="store_true",
                           help="disable Γ-set memoization")
+    p_engine.add_argument("--workers", type=int, default=None,
+                          help="process-pool width for batch "
+                               "localization (default 1; resumed runs "
+                               "keep the checkpointed width unless "
+                               "overridden)")
     p_engine.add_argument("--checkpoint", metavar="FILE",
                           help="write an engine checkpoint after the run")
     p_engine.add_argument("--resume", metavar="FILE",
@@ -348,10 +353,13 @@ def _cmd_engine(args) -> int:
     localizer = MLoc(database, fallback_range_m=args.fallback_range)
     cache_size = 0 if args.no_cache else args.cache_size
     fixes = LatestFixSink()
+    if args.workers is not None and args.workers < 1:
+        return _fail(f"--workers must be >= 1, got {args.workers}")
     if args.resume:
         try:
             engine = StreamingEngine.load_checkpoint(
-                args.resume, localizer, sinks=[fixes])
+                args.resume, localizer, sinks=[fixes],
+                workers=args.workers)
         except OSError as error:
             return _fail(f"cannot read checkpoint {args.resume!r}: {error}")
         except (ValueError, KeyError) as error:
@@ -362,7 +370,8 @@ def _cmd_engine(args) -> int:
         try:
             engine = StreamingEngine(localizer, window_s=args.window,
                                      batch_size=args.batch,
-                                     cache_size=cache_size, sinks=[fixes])
+                                     cache_size=cache_size, sinks=[fixes],
+                                     workers=args.workers or 1)
         except ValueError as error:
             return _fail(str(error))
     try:

@@ -66,6 +66,16 @@ class GammaCache:
         self.misses += 1
         return _ABSENT
 
+    def count_pending_hit(self) -> None:
+        """Count a Γ resolved by intra-batch dedup as a memoization hit.
+
+        When a micro-batch contains the same Γ twice, the engine
+        computes it once and shares the result before the cache entry
+        exists.  That *is* the Γ-set memoization working — the counters
+        report it the same way a post-:meth:`put` lookup would.
+        """
+        self.hits += 1
+
     def put(self, localizer_key: str, gamma: FrozenSet[MacAddress],
             estimate: Optional[LocalizationEstimate]) -> None:
         key = self.key_for(localizer_key, gamma)

@@ -35,6 +35,7 @@ Design points (see DESIGN.md "Streaming engine"):
 from __future__ import annotations
 
 import json
+from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Union
 
@@ -72,12 +73,23 @@ class StreamingEngine:
         Capacity of the Γ-set memoization cache; ``0`` disables it.
     sinks:
         Extra :class:`EngineSink` consumers beside the built-in tracker.
+    workers:
+        Process-pool width for batch localization.  ``1`` (default)
+        keeps everything in-process; ``N > 1`` fans each micro-batch's
+        uncached Γ sets across a lazily created
+        ``ProcessPoolExecutor``.  Results are merged in submission
+        order either way, so tracks — and checkpoint/resume
+        equivalence — are independent of the worker count.
     """
 
     def __init__(self, localizer: Localizer, window_s: float = 30.0,
                  batch_size: int = 32, cache_size: int = 4096,
-                 sinks: Sequence[EngineSink] = ()):
+                 sinks: Sequence[EngineSink] = (), workers: int = 1):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.localizer = localizer
+        self.workers = workers
+        self._executor: Optional[ProcessPoolExecutor] = None
         self.gamma_state = GammaState(window_s=window_s)
         self.scheduler = MicroBatchScheduler(batch_size=batch_size)
         self.cache: Optional[GammaCache] = (
@@ -131,7 +143,14 @@ class StreamingEngine:
         self.flush()
         for sink in self.sinks:
             sink.close()
+        self.close()
         return self.stats()
+
+    def close(self) -> None:
+        """Release the worker pool (recreated lazily if flushed again)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
 
     # ------------------------------------------------------------------
     # Localize + sink stages
@@ -149,11 +168,11 @@ class StreamingEngine:
         if not batch:
             return 0
         self._batches_flushed += 1
+        gammas = [self.gamma_state.gamma(mobile) for mobile in batch]
+        with self._timer.stage("localize"):
+            estimates = self._locate_batch_memoized(gammas)
         emitted = 0
-        for mobile in batch:
-            gamma = self.gamma_state.gamma(mobile)
-            with self._timer.stage("localize"):
-                estimate = self._locate_memoized(gamma)
+        for mobile, gamma, estimate in zip(batch, gammas, estimates):
             self._last_located[mobile] = gamma
             if estimate is None:
                 self._unlocatable += 1
@@ -164,19 +183,57 @@ class StreamingEngine:
             emitted += 1
         return emitted
 
-    def _locate_memoized(self, gamma: FrozenSet[MacAddress]
-                         ) -> Optional[LocalizationEstimate]:
-        if not gamma:
+    def _locate_batch_memoized(
+        self, gammas: Sequence[FrozenSet[MacAddress]]
+    ) -> List[Optional[LocalizationEstimate]]:
+        """One ``locate_batch`` call for a micro-batch's worth of Γ sets.
+
+        Cache hits are resolved up front; the remaining *distinct* Γ
+        sets (duplicates within a batch collapse to one computation)
+        go through :meth:`Localizer.locate_batch` in one shot —
+        vectorized in-process, or fanned across the worker pool when
+        ``workers > 1``.  Merge order is the batch's submission order,
+        keeping runs reproducible whatever the worker count.
+        """
+        results: List[Optional[LocalizationEstimate]] = [None] * len(gammas)
+        key = (self.localizer.cache_key() if self.cache is not None
+               else None)
+        # Insertion-ordered, so the pending list is deterministic.
+        pending: Dict[FrozenSet[MacAddress], List[int]] = {}
+        for index, gamma in enumerate(gammas):
+            if not gamma:
+                continue
+            if gamma in pending:
+                # Intra-batch duplicate: one computation will serve it.
+                pending[gamma].append(index)
+                if self.cache is not None:
+                    self.cache.count_pending_hit()
+                continue
+            if self.cache is not None:
+                cached = self.cache.get(key, gamma)
+                if cached is not GammaCache.ABSENT:
+                    results[index] = cached
+                    continue
+            pending[gamma] = [index]
+        if not pending:
+            return results
+        order = list(pending.keys())
+        estimates = self.localizer.locate_batch(
+            order, executor=self._batch_executor(len(order)))
+        for gamma, estimate in zip(order, estimates):
+            if self.cache is not None:
+                self.cache.put(key, gamma, estimate)
+            for index in pending[gamma]:
+                results[index] = estimate
+        return results
+
+    def _batch_executor(self, pending_count: int
+                        ) -> Optional[ProcessPoolExecutor]:
+        if self.workers <= 1 or pending_count < 2:
             return None
-        if self.cache is None:
-            return self.localizer.locate(gamma)
-        key = self.localizer.cache_key()
-        cached = self.cache.get(key, gamma)
-        if cached is not GammaCache.ABSENT:
-            return cached
-        estimate = self.localizer.locate(gamma)
-        self.cache.put(key, gamma, estimate)
-        return estimate
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
 
     def _emit(self, mobile: MacAddress, timestamp: float,
               estimate: LocalizationEstimate) -> None:
@@ -237,6 +294,7 @@ class StreamingEngine:
                 "batch_size": self.scheduler.batch_size,
                 "cache_size": (self.cache.max_entries
                                if self.cache is not None else 0),
+                "workers": self.workers,
             },
             "gamma": self.gamma_state.to_dict(),
             "dirty": self.scheduler.to_list(),
@@ -275,23 +333,29 @@ class StreamingEngine:
 
     @classmethod
     def restore(cls, data: dict, localizer: Localizer,
-                sinks: Sequence[EngineSink] = ()) -> "StreamingEngine":
+                sinks: Sequence[EngineSink] = (),
+                workers: Optional[int] = None) -> "StreamingEngine":
         """Rebuild an engine from :meth:`checkpoint` output.
 
         The caller supplies the localizer (algorithm state is not
         serialized); it must be configured identically to the original
-        for the resumed run to match an uninterrupted one.
+        for the resumed run to match an uninterrupted one.  ``workers``
+        overrides the checkpointed pool width — safe, because worker
+        count never affects results, only throughput.
         """
         version = data.get("engine_checkpoint")
         if version != CHECKPOINT_VERSION:
             raise ValueError(
                 f"unsupported engine checkpoint version {version!r}")
         config = data["config"]
+        if workers is None:
+            workers = int(config.get("workers", 1))
         engine = cls(localizer,
                      window_s=float(config["window_s"]),
                      batch_size=int(config["batch_size"]),
                      cache_size=int(config["cache_size"]),
-                     sinks=sinks)
+                     sinks=sinks,
+                     workers=workers)
         engine.gamma_state = GammaState.from_dict(data["gamma"])
         engine.scheduler.restore(data.get("dirty", []))
         engine._last_located = {
@@ -322,7 +386,8 @@ class StreamingEngine:
 
     @classmethod
     def load_checkpoint(cls, path: PathLike, localizer: Localizer,
-                        sinks: Sequence[EngineSink] = ()
+                        sinks: Sequence[EngineSink] = (),
+                        workers: Optional[int] = None
                         ) -> "StreamingEngine":
         data = json.loads(Path(path).read_text(encoding="utf-8"))
-        return cls.restore(data, localizer, sinks=sinks)
+        return cls.restore(data, localizer, sinks=sinks, workers=workers)

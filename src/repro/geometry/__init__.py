@@ -11,7 +11,10 @@ an AP's maximum coverage area).  This package provides:
   *exact* area and centroid computed from its arc-polygon boundary, plus
   the paper's vertex set Δ and vertex centroid, and Monte-Carlo
   estimators used for validation,
-* polygon helpers (shoelace area / centroid).
+* polygon helpers (shoelace area / centroid),
+* vectorized NumPy kernels (:mod:`repro.geometry.kernels`) backing the
+  fast path of :class:`DiscIntersection` and the batch localizers; the
+  scalar code above is the reference implementation.
 
 All coordinates are planar (meters in a local ENU tangent plane; see
 :mod:`repro.geo`).
@@ -24,7 +27,12 @@ from repro.geometry.circle import (
     lens_area,
 )
 from repro.geometry.polygon import polygon_area, polygon_centroid
-from repro.geometry.region import DiscIntersection
+from repro.geometry.region import (
+    DiscIntersection,
+    kernel_default,
+    set_kernel_default,
+)
+from repro.geometry import kernels
 
 __all__ = [
     "Point",
@@ -34,4 +42,7 @@ __all__ = [
     "polygon_area",
     "polygon_centroid",
     "DiscIntersection",
+    "kernels",
+    "kernel_default",
+    "set_kernel_default",
 ]

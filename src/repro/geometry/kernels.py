@@ -1,0 +1,364 @@
+"""Vectorized NumPy kernels for the disc-intersection hot path.
+
+The paper's localization core (M-Loc pseudocode, Theorems 2/3) reduces
+to dense small-matrix arithmetic: all pairwise circle-intersection
+points of a disc set, an all-candidates × all-discs containment mask,
+vertex dedup, and nested-disc detection.  The scalar implementations in
+:mod:`repro.geometry.circle` / :mod:`repro.geometry.region` are the
+*reference*; these kernels compute the same quantities as array ops and
+back the fast path used by :class:`~repro.geometry.region.DiscIntersection`,
+``MLoc``'s feasibility bisection, and ``Localizer.locate_batch``.
+
+Planar points ride in complex128 internally (``x + iy``): one complex
+array op replaces two float ones, which matters because the per-set
+arrays are tiny (``k`` discs, ``k(k-1)/2`` pairs) and NumPy dispatch
+overhead — not FLOPs — is the cost.  For the same reason the batch
+kernel (:func:`batch_intersection_vertices`) stacks *many* disc sets of
+equal ``k`` into ``(B, …)`` arrays so a whole micro-batch amortizes one
+dispatch sequence.
+
+Every kernel mirrors its scalar counterpart's arithmetic exactly (same
+operation order, same tolerance comparisons, same candidate emission
+order), so the two paths agree to floating-point noise — the property
+tests in ``tests/test_geometry_kernels.py`` pin agreement at 1e-9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+
+#: Default tolerance of :func:`repro.geometry.circle.circle_intersections`.
+INTERSECT_TOL = 1e-12
+
+
+# ----------------------------------------------------------------------
+# Array packing / unpacking
+# ----------------------------------------------------------------------
+
+def discs_as_arrays(discs: Sequence[Circle]) -> Tuple[np.ndarray, np.ndarray]:
+    """Split a disc sequence into a ``(n, 2)`` center array and ``(n,)``
+    radius array — the layout the public kernels consume."""
+    n = len(discs)
+    centers = np.empty((n, 2), dtype=np.float64)
+    radii = np.empty(n, dtype=np.float64)
+    for index, disc in enumerate(discs):
+        center = disc.center
+        centers[index, 0] = center.x
+        centers[index, 1] = center.y
+        radii[index] = disc.radius
+    return centers, radii
+
+
+def points_as_array(points: Sequence[Point]) -> np.ndarray:
+    """Pack points into the ``(m, 2)`` layout the kernels consume."""
+    return np.array([(p.x, p.y) for p in points],
+                    dtype=np.float64).reshape(len(points), 2)
+
+
+def array_as_points(coords: np.ndarray) -> List[Point]:
+    """Unpack an ``(m, 2)`` coordinate array into :class:`Point` objects."""
+    return [Point(float(x), float(y)) for x, y in coords]
+
+
+@lru_cache(maxsize=256)
+def _triu_indices(n: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Cached upper-triangle pair indices (kernels never mutate them)."""
+    return np.triu_indices(n, k=1)
+
+
+def _as_complex(centers: np.ndarray) -> np.ndarray:
+    """``(…, 2)`` float coordinates → ``(…,)`` complex ``x + iy``."""
+    return centers[..., 0] + 1j * centers[..., 1]
+
+
+def _as_coords(z: np.ndarray) -> np.ndarray:
+    """``(m,)`` complex points → ``(m, 2)`` float coordinates."""
+    return np.column_stack((z.real, z.imag))
+
+
+# ----------------------------------------------------------------------
+# Pairwise circle intersection
+# ----------------------------------------------------------------------
+
+def _candidate_points(z_i: np.ndarray, delta: np.ndarray, dist: np.ndarray,
+                      r_i: np.ndarray, r_j: np.ndarray,
+                      tol: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized core of :func:`circle_intersections` over pair arrays.
+
+    All inputs share an arbitrary leading shape (``(P,)`` per-set,
+    ``(B, P)`` batched).  Returns ``(…, 2)`` complex candidate points
+    and a matching validity mask: disjoint / nested / concentric pairs
+    contribute nothing, tangent pairs one point (slot 0), crossing
+    pairs two — the same emission rule as the scalar reference.
+    """
+    separated = dist > tol
+    crossing = (separated
+                & (dist <= r_i + r_j + tol)
+                & (dist >= np.abs(r_i - r_j) - tol))
+    safe = np.where(separated, dist, 1.0)
+    along = (dist * dist + r_i * r_i - r_j * r_j) / (2.0 * safe)
+    half = np.sqrt(np.maximum(r_i * r_i - along * along, 0.0))
+    tangent = half <= tol * np.maximum(1.0, r_i + r_j)
+    unit = delta / safe
+    foot = z_i + along * unit
+    # i·unit·half has components (-u_y·h, u_x·h) — the scalar offset.
+    offset = 1j * unit * half
+    candidates = np.stack((foot + offset, foot - offset), axis=-1)
+    candidates[..., 0] = np.where(tangent, foot, candidates[..., 0])
+    valid = np.stack((crossing, crossing & ~tangent), axis=-1)
+    return candidates, valid
+
+
+@dataclass
+class PairGeometry:
+    """Scale-independent pairwise geometry of one disc set.
+
+    Precomputed once, reused across every radius scale M-Loc's
+    feasibility bisection probes: center separations never change when
+    radii are inflated, so each ``non_empty(scale)`` query is pure
+    array arithmetic on these buffers.
+    """
+
+    z: np.ndarray         # (n,) disc centers, complex
+    radii: np.ndarray     # (n,)
+    z_i: np.ndarray       # (P,) first center of each i<j pair
+    r_i: np.ndarray       # (P,)
+    r_j: np.ndarray       # (P,)
+    delta: np.ndarray     # (P,) center_j - center_i, complex
+    dist: np.ndarray      # (P,) center separation
+
+
+def pair_geometry(centers: np.ndarray, radii: np.ndarray) -> PairGeometry:
+    """Precompute the upper-triangle pair deltas of a disc set.
+
+    Pairs are ordered lexicographically (``i < j``), matching the
+    scalar ``for i: for j in range(i+1, n)`` loop so downstream dedup
+    keeps the same representative points.
+    """
+    z = _as_complex(centers)
+    i_idx, j_idx = _triu_indices(len(radii))
+    z_i = z[i_idx]
+    delta = z[j_idx] - z_i
+    return PairGeometry(z=z, radii=radii, z_i=z_i,
+                        r_i=radii[i_idx], r_j=radii[j_idx],
+                        delta=delta, dist=np.abs(delta))
+
+
+def pairwise_intersection_candidates(geom: PairGeometry,
+                                     scale: float = 1.0,
+                                     tol: float = INTERSECT_TOL
+                                     ) -> np.ndarray:
+    """All pairwise circle-intersection points of the disc set, ``(m, 2)``.
+
+    Emission order matches the scalar pair loop (pair-major, then
+    ``foot + offset`` before ``foot - offset``).
+    """
+    if geom.dist.size == 0:
+        return np.empty((0, 2), dtype=np.float64)
+    candidates, valid = _candidate_points(
+        geom.z_i, geom.delta, geom.dist,
+        geom.r_i * scale, geom.r_j * scale, tol)
+    return _as_coords(candidates.reshape(-1)[valid.reshape(-1)])
+
+
+# ----------------------------------------------------------------------
+# Containment / nesting
+# ----------------------------------------------------------------------
+
+def contains_mask(points: np.ndarray, centers: np.ndarray,
+                  radii: np.ndarray, slack: float = 0.0) -> np.ndarray:
+    """The all-candidates × all-discs containment mask, ``(m, n)`` bool.
+
+    Entry ``[p, d]`` is True when point ``p`` lies in disc ``d``'s
+    closed disc with ``slack`` meters of tolerance — the vectorized
+    twin of :meth:`Circle.contains`.
+    """
+    w = _as_complex(points)[:, None] - _as_complex(centers)[None, :]
+    reach = radii + slack
+    return w.real ** 2 + w.imag ** 2 <= reach * reach
+
+
+def contains_all(points: np.ndarray, centers: np.ndarray,
+                 radii: np.ndarray, slack: float = 0.0) -> np.ndarray:
+    """``(m,)`` bool — which points lie inside *every* disc."""
+    if points.size == 0:
+        return np.empty(0, dtype=bool)
+    return contains_mask(points, centers, radii, slack).all(axis=1)
+
+
+def _contains_all_complex(candidates: np.ndarray, z: np.ndarray,
+                          radii: np.ndarray, slack: float) -> np.ndarray:
+    w = candidates[:, None] - z[None, :]
+    reach = radii + slack
+    return (w.real ** 2 + w.imag ** 2 <= reach * reach).all(axis=1)
+
+
+def nested_disc_mask(centers: np.ndarray, radii: np.ndarray,
+                     slack: float = 0.0) -> np.ndarray:
+    """``(n,)`` bool — which discs are contained in all the others.
+
+    Vectorized :meth:`Circle.contains_circle` applied row-wise: disc
+    ``c`` is nested when ``dist(c, j) + r_c <= r_j + slack`` for all
+    ``j`` (the diagonal is trivially true).
+    """
+    z = _as_complex(centers)
+    dist = np.abs(z[:, None] - z[None, :])
+    return (dist + radii[:, None] <= radii[None, :] + slack).all(axis=1)
+
+
+# ----------------------------------------------------------------------
+# Vertex dedup
+# ----------------------------------------------------------------------
+
+def dedupe_rows(points: np.ndarray, tol: float) -> np.ndarray:
+    """Merge rows closer than ``tol`` in Chebyshev distance, keep-first.
+
+    Same greedy semantics as the scalar ``_dedupe_points`` (a point is
+    dropped when within ``tol`` of an already-*kept* point), so chains
+    of near-duplicates resolve identically.
+    """
+    return _as_coords(_dedupe_complex(_as_complex(points), tol))
+
+
+def _dedupe_complex(z: np.ndarray, tol: float) -> np.ndarray:
+    count = len(z)
+    if count <= 1:
+        return z
+    # m here is the handful of surviving region vertices, so the short
+    # greedy Python loop is cheaper than any vectorized approximation
+    # (which could not reproduce keep-first chain semantics anyway).
+    kept: List[complex] = []
+    for value in z.tolist():
+        close = False
+        for existing in kept:
+            diff = value - existing
+            if abs(diff.real) <= tol and abs(diff.imag) <= tol:
+                close = True
+                break
+        if not close:
+            kept.append(value)
+    if len(kept) == count:
+        return z
+    return np.array(kept, dtype=np.complex128)
+
+
+# ----------------------------------------------------------------------
+# Composed per-set and batched vertex kernels
+# ----------------------------------------------------------------------
+
+def intersection_vertices(centers: np.ndarray, radii: np.ndarray,
+                          contain_slack: float,
+                          dedupe_tol: float) -> np.ndarray:
+    """The paper's Δ as an ``(m, 2)`` array.
+
+    Composes the kernels exactly as M-Loc's pseudocode does: pairwise
+    intersection candidates → keep those inside every disc → merge
+    tangency duplicates.
+    """
+    z = _as_complex(centers)
+    i_idx, j_idx = _triu_indices(len(radii))
+    z_i = z[i_idx]
+    delta = z[j_idx] - z_i
+    candidates, valid = _candidate_points(
+        z_i, delta, np.abs(delta), radii[i_idx], radii[j_idx],
+        INTERSECT_TOL)
+    flat = candidates.reshape(-1)[valid.reshape(-1)]
+    if flat.size == 0:
+        return np.empty((0, 2), dtype=np.float64)
+    surviving = flat[_contains_all_complex(flat, z, radii, contain_slack)]
+    return _as_coords(_dedupe_complex(surviving, dedupe_tol))
+
+
+def batch_intersection_vertices(centers: np.ndarray, radii: np.ndarray,
+                                tol: float = 1e-9) -> List[np.ndarray]:
+    """Δ for a whole batch of ``k``-disc sets in one dispatch sequence.
+
+    Parameters
+    ----------
+    centers:
+        ``(B, k, 2)`` disc centers, one row of ``k`` discs per set.
+    radii:
+        ``(B, k)`` matching radii.
+    tol:
+        The per-set :class:`DiscIntersection` tolerance parameter; the
+        effective slack is scaled by each set's largest radius exactly
+        as the region constructor does.
+
+    Returns one ``(m_b, 2)`` vertex array per set, in input order.
+    Candidate generation and the candidates × discs containment mask
+    run as single ``(B, P, …)`` array ops; only the final per-set
+    gather/dedup (a few vertices each) runs in Python.
+    """
+    batch, k = radii.shape
+    z = _as_complex(centers)                              # (B, k)
+    slack = tol * np.maximum(1.0, radii.max(axis=1))      # (B,)
+    if k < 2:
+        return [np.empty((0, 2), dtype=np.float64)] * batch
+    i_idx, j_idx = _triu_indices(k)
+    z_i = z[:, i_idx]                                     # (B, P)
+    delta = z[:, j_idx] - z_i
+    candidates, valid = _candidate_points(
+        z_i, delta, np.abs(delta),
+        radii[:, i_idx], radii[:, j_idx], INTERSECT_TOL)  # (B, P, 2)
+    # Candidates × discs containment, one (B, 2P, k) mask for the batch.
+    flat = candidates.reshape(batch, -1)                  # (B, 2P)
+    w = flat[:, :, None] - z[:, None, :]
+    reach = radii[:, None, :] + slack[:, None, None]
+    inside_all = (w.real ** 2 + w.imag ** 2 <= reach * reach).all(axis=2)
+    keep = valid.reshape(batch, -1) & inside_all          # (B, 2P)
+    dedupe_tol = slack * 10.0
+    return [
+        _as_coords(_dedupe_complex(flat[b][keep[b]], float(dedupe_tol[b])))
+        for b in range(batch)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Feasibility scan (M-Loc radius inflation)
+# ----------------------------------------------------------------------
+
+def nonempty_at_scale(geom: PairGeometry, scale: float,
+                      base_tol: float = 1e-9) -> bool:
+    """Whether the disc set intersects when all radii are scaled.
+
+    The vectorized equivalent of building a ``DiscIntersection`` on
+    scaled discs and reading ``is_empty``: non-empty when any pairwise
+    candidate survives containment *or* some disc is nested in all
+    others (which covers ``k = 1``).  ``base_tol`` reproduces the
+    region's radius-scaled tolerance.
+    """
+    radii_s = geom.radii * scale
+    slack = base_tol * max(1.0, float(radii_s.max()))
+    if geom.dist.size:
+        candidates, valid = _candidate_points(
+            geom.z_i, geom.delta, geom.dist,
+            geom.r_i * scale, geom.r_j * scale, INTERSECT_TOL)
+        flat = candidates.reshape(-1)[valid.reshape(-1)]
+        if flat.size and bool(_contains_all_complex(
+                flat, geom.z, radii_s, slack).any()):
+            return True
+    dist = np.abs(geom.z[:, None] - geom.z[None, :])
+    nested = (dist + radii_s[:, None] <= radii_s[None, :] + slack)
+    return bool(nested.all(axis=1).any())
+
+
+# ----------------------------------------------------------------------
+# Distance matrices
+# ----------------------------------------------------------------------
+
+def pairwise_distance_matrix(coords: np.ndarray) -> np.ndarray:
+    """Full ``(n, n)`` Euclidean distance matrix of planar coordinates.
+
+    One shot of array math replacing O(n²) scalar ``distance_to``
+    calls; shared by AP-Rad's separated-pair scan and its constraint
+    assembly.
+    """
+    z = _as_complex(coords)
+    return np.abs(z[:, None] - z[None, :])

@@ -26,11 +26,36 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.geometry import kernels
 from repro.geometry.circle import Circle, circle_intersections
 from repro.geometry.point import Point, mean_point
 from repro.geometry.polygon import polygon_area, polygon_centroid
 
 TWO_PI = 2.0 * math.pi
+
+#: Process-wide default for the NumPy kernel fast path.  The scalar
+#: code is the reference implementation; benches and property tests
+#: flip this (or pass ``use_kernels`` explicitly) to compare the two.
+_KERNEL_DEFAULT = True
+
+#: Below this disc count the scalar loops beat NumPy dispatch overhead
+#: (measured crossover is between k=4 and k=5), so the *default* path
+#: only engages the kernels from here up.  An explicit
+#: ``use_kernels=True`` forces them at any size.
+KERNEL_MIN_DISCS = 5
+
+
+def set_kernel_default(enabled: bool) -> bool:
+    """Set the process-wide kernel fast-path default; returns the old one."""
+    global _KERNEL_DEFAULT
+    previous = _KERNEL_DEFAULT
+    _KERNEL_DEFAULT = bool(enabled)
+    return previous
+
+
+def kernel_default() -> bool:
+    """Whether new regions use the NumPy kernels by default."""
+    return _KERNEL_DEFAULT
 
 
 class DiscIntersection:
@@ -46,21 +71,62 @@ class DiscIntersection:
         membership tests allow a ``tol`` slack, which keeps the exact
         circle-intersection points (that sit on two boundaries) inside
         the region despite floating-point rounding.
+    use_kernels:
+        Compute the vertex set (and nested-disc detection) with the
+        vectorized kernels of :mod:`repro.geometry.kernels` instead of
+        the scalar reference loops.  ``None`` defers to the module
+        default (see :func:`set_kernel_default`), which only engages
+        the kernels from :data:`KERNEL_MIN_DISCS` discs up.  Both paths
+        agree to floating-point noise; the scalar path remains the
+        reference.
+    precomputed_vertices:
+        Internal hook for the batched kernel
+        (:func:`repro.geometry.kernels.batch_intersection_vertices`):
+        a Δ that was already computed for this disc set, adopted
+        instead of being recomputed.  Everything else (nested-disc
+        detection, arcs, area) proceeds normally.
     """
 
-    def __init__(self, discs: Sequence[Circle], tol: float = 1e-9):
+    def __init__(self, discs: Sequence[Circle], tol: float = 1e-9,
+                 use_kernels: Optional[bool] = None,
+                 precomputed_vertices: Optional[Sequence[Point]] = None):
         if not discs:
             raise ValueError("DiscIntersection requires at least one disc")
         self.discs: List[Circle] = list(discs)
         max_radius = max(disc.radius for disc in self.discs)
         self._tol = tol * max(1.0, max_radius)
+        if use_kernels is None:
+            self._use_kernels = (_KERNEL_DEFAULT
+                                 and len(self.discs) >= KERNEL_MIN_DISCS)
+        else:
+            self._use_kernels = bool(use_kernels)
         self._vertices: Optional[List[Point]] = None
-        # Boundary arcs as (circle, start_angle, sweep) once computed.
-        self._arcs: Optional[List[Tuple[Circle, float, float]]] = None
+        # Boundary arcs as (circle, start_angle, sweep); computed on
+        # first use — the M-Loc vertex-centroid hot path never needs
+        # them, only area / exact-centroid queries do.
+        self._arcs_cache: Optional[List[Tuple[Circle, float, float]]] = None
         # When the region is exactly one disc nested inside all others.
         self._full_disc: Optional[Circle] = None
         self._empty = False
+        self._precomputed = (None if precomputed_vertices is None
+                             else list(precomputed_vertices))
         self._build()
+
+    def __getstate__(self) -> dict:
+        """Pickle without the derived caches.
+
+        Batch workers ship regions back over process boundaries; the
+        arc list is recomputable from the vertices on demand and the
+        precomputed-vertex input was already consumed by ``_build``, so
+        neither belongs in the payload.  The empty arc list (set when
+        the region degenerates) is kept — it records a decision, not a
+        cache.
+        """
+        state = dict(self.__dict__)
+        if state["_arcs_cache"]:
+            state["_arcs_cache"] = None
+        state["_precomputed"] = None
+        return state
 
     # ------------------------------------------------------------------
     # Construction
@@ -72,16 +138,28 @@ class DiscIntersection:
         if not vertices:
             self._full_disc = self._find_nested_disc()
             self._empty = self._full_disc is None
-            self._arcs = []
+            self._arcs_cache = []
             return
         if len(vertices) == 1:
             # Tangency: the region is a single point (or numerically so).
-            self._arcs = []
-            return
-        self._arcs = self._compute_arcs(vertices)
+            self._arcs_cache = []
+
+    @property
+    def _arcs(self) -> List[Tuple[Circle, float, float]]:
+        if self._arcs_cache is None:
+            self._arcs_cache = self._compute_arcs(self._vertices or [])
+        return self._arcs_cache
 
     def _compute_vertices(self) -> List[Point]:
         """All pairwise intersection points inside every disc (Δ)."""
+        if self._precomputed is not None:
+            return self._precomputed
+        if self._use_kernels and len(self.discs) > 1:
+            return self._compute_vertices_kernel()
+        return self._compute_vertices_scalar()
+
+    def _compute_vertices_scalar(self) -> List[Point]:
+        """Reference implementation: per-pair loops over Python floats."""
         candidates: List[Point] = []
         count = len(self.discs)
         for i in range(count):
@@ -92,11 +170,29 @@ class DiscIntersection:
                         candidates.append(point)
         return _dedupe_points(candidates, self._tol * 10.0)
 
+    def _compute_vertices_kernel(self) -> List[Point]:
+        """Fast path: one shot of array ops via the geometry kernels."""
+        centers, radii = kernels.discs_as_arrays(self.discs)
+        vertices = kernels.intersection_vertices(
+            centers, radii, contain_slack=self._tol,
+            dedupe_tol=self._tol * 10.0)
+        return kernels.array_as_points(vertices)
+
     def _contains_with_tol(self, point: Point) -> bool:
         return all(disc.contains(point, self._tol) for disc in self.discs)
 
     def _find_nested_disc(self) -> Optional[Circle]:
         """Disc contained in all others, if any (region = that disc)."""
+        if self._use_kernels and len(self.discs) > 1:
+            centers, radii = kernels.discs_as_arrays(self.discs)
+            nested = np.nonzero(
+                kernels.nested_disc_mask(centers, radii, self._tol))[0]
+            if nested.size == 0:
+                return None
+            # Same pick as the scalar stable sort: smallest radius,
+            # earliest original position on ties.
+            best = min(nested, key=lambda idx: (radii[idx], idx))
+            return self.discs[int(best)]
         for candidate in sorted(self.discs, key=lambda d: d.radius):
             if all(other.contains_circle(candidate, self._tol)
                    for other in self.discs):
@@ -258,6 +354,17 @@ class DiscIntersection:
     # Monte Carlo validation helpers
     # ------------------------------------------------------------------
 
+    def _sample_mask(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Which samples land inside every disc (zero slack).
+
+        One ``samples × discs`` distance-matrix containment mask instead
+        of a per-sample Python ``contains`` loop — these estimators
+        dominate the Theorem 2/3 validation benches.
+        """
+        centers, radii = kernels.discs_as_arrays(self.discs)
+        points = np.column_stack((xs, ys))
+        return kernels.contains_all(points, centers, radii, slack=0.0)
+
     def monte_carlo_area(self, rng: np.random.Generator,
                          samples: int = 20000) -> float:
         """Estimate the region area by rejection sampling (validation)."""
@@ -266,10 +373,7 @@ class DiscIntersection:
             return 0.0
         xs = rng.uniform(min_x, max_x, samples)
         ys = rng.uniform(min_y, max_y, samples)
-        hits = 0
-        for x, y in zip(xs, ys):
-            if self.contains(Point(x, y), tol=0.0):
-                hits += 1
+        hits = int(np.count_nonzero(self._sample_mask(xs, ys)))
         return (max_x - min_x) * (max_y - min_y) * hits / samples
 
     def monte_carlo_centroid(self, rng: np.random.Generator,
@@ -280,17 +384,12 @@ class DiscIntersection:
             return None
         xs = rng.uniform(min_x, max_x, samples)
         ys = rng.uniform(min_y, max_y, samples)
-        sum_x = 0.0
-        sum_y = 0.0
-        hits = 0
-        for x, y in zip(xs, ys):
-            if self.contains(Point(x, y), tol=0.0):
-                sum_x += x
-                sum_y += y
-                hits += 1
+        inside = self._sample_mask(xs, ys)
+        hits = int(np.count_nonzero(inside))
         if hits == 0:
             return None
-        return Point(sum_x / hits, sum_y / hits)
+        return Point(float(xs[inside].sum()) / hits,
+                     float(ys[inside].sum()) / hits)
 
 
 def _segment_area(radius: float, sweep: float) -> float:

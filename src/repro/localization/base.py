@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import abc
+import pickle
 from dataclasses import dataclass
 from typing import Iterable, List, Optional
 
@@ -127,6 +128,72 @@ class Localizer(abc.ABC):
                     ) -> List[Optional[LocalizationEstimate]]:
         """Vector convenience over :meth:`locate`."""
         return [self.locate(observed) for observed in observations]
+
+    def locate_batch(self, observations: Iterable[Iterable[MacAddress]],
+                     executor=None) -> List[Optional[LocalizationEstimate]]:
+        """Localize a micro-batch of Γ sets in one shot.
+
+        Results are returned in submission order regardless of how the
+        work is scheduled, so callers (the streaming engine's batch
+        flush) stay deterministic.
+
+        Parameters
+        ----------
+        observations:
+            One Γ per device.
+        executor:
+            An optional ``concurrent.futures`` executor (typically a
+            ``ProcessPoolExecutor``) to fan the batch across.  The
+            batch is split into one contiguous chunk per worker — each
+            chunk ships a single pickled copy of the localizer — and
+            chunk results are concatenated in submission order.
+
+        Subclasses that can vectorize across a batch override
+        :meth:`_locate_batch_local` (M-Loc batches the disc-set
+        geometry through the NumPy kernels); the fan-out logic here is
+        shared.
+        """
+        gammas = [list(observed) for observed in observations]
+        if executor is None or len(gammas) <= 1:
+            return self._locate_batch_local(gammas)
+        workers = max(1, int(getattr(executor, "_max_workers", 1)))
+        chunk = -(-len(gammas) // workers)  # ceil division
+        # One localizer pickle per call, not per chunk: submit() copies
+        # the bytes instead of re-walking the AP database N times, and
+        # worker processes memoize the decode across calls (the engine
+        # sends the same localizer every micro-batch).
+        payload = pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        futures = [
+            executor.submit(_locate_batch_chunk, payload,
+                            gammas[s:s + chunk])
+            for s in range(0, len(gammas), chunk)
+        ]
+        results: List[Optional[LocalizationEstimate]] = []
+        for future in futures:
+            results.extend(future.result())
+        return results
+
+    def _locate_batch_local(self, gammas: List[List[MacAddress]]
+                            ) -> List[Optional[LocalizationEstimate]]:
+        """In-process batch localization; the override point."""
+        return [self.locate(gamma) for gamma in gammas]
+
+
+#: Single-entry per-process cache of the last decoded localizer.  Keyed
+#: by the exact payload bytes, so a changed localizer (re-fit, new
+#: knowledge base) can never be served stale.
+_chunk_localizer: List[Optional[tuple]] = [None]
+
+
+def _locate_batch_chunk(payload: bytes,
+                        gammas: List[List[MacAddress]]
+                        ) -> List[Optional[LocalizationEstimate]]:
+    """Module-level trampoline so executor tasks pickle cleanly."""
+    cached = _chunk_localizer[0]
+    if cached is None or cached[0] != payload:
+        cached = (payload, pickle.loads(payload))
+        _chunk_localizer[0] = cached
+    return cached[1]._locate_batch_local(gammas)
 
 
 def known_records(database, observed: Iterable[MacAddress]) -> List[ApRecord]:

@@ -19,11 +19,18 @@ all radii by the smallest factor that makes the region non-empty
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
+import numpy as np
+
+from repro.geometry import kernels
 from repro.geometry.circle import Circle
 from repro.geometry.point import Point, mean_point
-from repro.geometry.region import DiscIntersection
+from repro.geometry.region import (
+    KERNEL_MIN_DISCS,
+    DiscIntersection,
+    kernel_default,
+)
 from repro.knowledge.apdb import ApDatabase
 from repro.localization.base import (
     LocalizationEstimate,
@@ -85,13 +92,18 @@ class MLoc(Localizer):
             discs.append(Circle(record.location, radius))
         return discs
 
-    def locate_discs(self, discs: List[Circle]) -> LocalizationEstimate:
+    def locate_discs(self, discs: List[Circle],
+                     region: Optional[DiscIntersection] = None
+                     ) -> LocalizationEstimate:
         """Run the disc-intersection estimate on explicit discs.
 
         Exposed separately so AP-Loc can reuse the machinery with
-        training-location discs.
+        training-location discs.  ``region`` lets the batch path inject
+        an intersection whose vertices the batched kernel already
+        computed.
         """
-        region = DiscIntersection(discs)
+        if region is None:
+            region = DiscIntersection(discs)
         position = self._estimate_from_region(region)
         inflation = 1.0
         region_empty = region.is_empty
@@ -105,6 +117,44 @@ class MLoc(Localizer):
             region_empty=region_empty,
             inflation_factor=inflation,
         )
+
+    def _locate_batch_local(self, gammas: List[List[MacAddress]]
+                            ) -> List[Optional[LocalizationEstimate]]:
+        """Vectorized batch localization through the geometry kernels.
+
+        Disc sets of equal size are stacked into one
+        :func:`repro.geometry.kernels.batch_intersection_vertices` call
+        — a micro-batch of dirty devices costs one dispatch sequence
+        per distinct k instead of one per device.  Falls back to the
+        sequential reference when the kernel layer is disabled.
+        """
+        if not kernel_default():
+            return [self.locate(gamma) for gamma in gammas]
+        disc_sets = [self._discs_for(gamma) for gamma in gammas]
+        estimates: List[Optional[LocalizationEstimate]] = [None] * len(gammas)
+        by_size: Dict[int, List[int]] = {}
+        for index, discs in enumerate(disc_sets):
+            if len(discs) < 2:
+                # Unlocatable (k=0) or a single full disc: no pairwise
+                # geometry to batch.
+                if discs:
+                    estimates[index] = self.locate_discs(discs)
+                continue
+            by_size.setdefault(len(discs), []).append(index)
+        for size, indices in by_size.items():
+            centers = np.empty((len(indices), size, 2), dtype=np.float64)
+            radii = np.empty((len(indices), size), dtype=np.float64)
+            for row, index in enumerate(indices):
+                centers[row], radii[row] = kernels.discs_as_arrays(
+                    disc_sets[index])
+            vertex_sets = kernels.batch_intersection_vertices(centers, radii)
+            for index, coords in zip(indices, vertex_sets):
+                discs = disc_sets[index]
+                region = DiscIntersection(
+                    discs,
+                    precomputed_vertices=kernels.array_as_points(coords))
+                estimates[index] = self.locate_discs(discs, region=region)
+        return estimates
 
     def _estimate_from_region(self,
                               region: DiscIntersection) -> Optional[Point]:
@@ -140,10 +190,25 @@ class MLoc(Localizer):
 
         Non-emptiness is monotone in the scale factor, so bisection on
         ``[1, 16]`` converges; returns ``None`` when even 16x fails.
+
+        The pairwise center geometry is computed once and every probed
+        scale is evaluated against it as pure array arithmetic
+        (:func:`repro.geometry.kernels.nonempty_at_scale`) — inflating
+        radii never moves the centers, so there is nothing to rebuild
+        between bisection steps.  Below ``KERNEL_MIN_DISCS`` the scalar
+        probe wins (NumPy dispatch dominates tiny pair counts), same
+        crossover as :class:`DiscIntersection`.
         """
-        def non_empty(scale: float) -> bool:
-            scaled = [Circle(d.center, d.radius * scale) for d in discs]
-            return not DiscIntersection(scaled).is_empty
+        if kernel_default() and len(discs) >= KERNEL_MIN_DISCS:
+            centers, radii = kernels.discs_as_arrays(discs)
+            geom = kernels.pair_geometry(centers, radii)
+
+            def non_empty(scale: float) -> bool:
+                return kernels.nonempty_at_scale(geom, scale)
+        else:
+            def non_empty(scale: float) -> bool:
+                scaled = [Circle(d.center, d.radius * scale) for d in discs]
+                return not DiscIntersection(scaled).is_empty
 
         low, high = 1.0, _MAX_INFLATION
         if not non_empty(high):

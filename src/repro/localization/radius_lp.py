@@ -27,8 +27,11 @@ Practical deviations (documented in DESIGN.md):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
+from repro.geometry import kernels
 from repro.geometry.point import Point
 from repro.lp.problem import LpProblem
 from repro.net80211.mac import MacAddress
@@ -114,6 +117,13 @@ class RadiusEstimator:
         index_of = {bssid: i for i, bssid in enumerate(bssids)}
         co_observed = self._co_observed_pairs(observations, index_of)
         appearances = self._appearance_counts(observations, index_of)
+        # One vectorized pairwise-distance matrix, shared by the
+        # co-observation constraints, the separated-pair scan, and the
+        # final constraint ordering — previously each recomputed its
+        # own O(n²) scalar distance_to calls.
+        coords = np.array([self.locations[b].as_tuple() for b in bssids],
+                          dtype=np.float64).reshape(len(bssids), 2)
+        distances = kernels.pairwise_distance_matrix(coords)
 
         problem = LpProblem(maximize=True)
         radius_vars = [
@@ -125,18 +135,14 @@ class RadiusEstimator:
         co_count = 0
         sep_count = 0
         slack_vars: List[int] = []
-        n = len(bssids)
-        separated = self._separated_pairs(bssids, co_observed, appearances)
-        for i in range(n):
-            for j in range(i + 1, n):
-                if (i, j) not in co_observed:
-                    continue
-                distance = self.locations[bssids[i]].distance_to(
-                    self.locations[bssids[j]])
-                co_count += 1
-                rhs = min(distance, 2.0 * self.r_max)
-                problem.add_constraint(
-                    {radius_vars[i]: 1.0, radius_vars[j]: 1.0}, ">=", rhs)
+        separated = self._separated_pairs(bssids, co_observed, appearances,
+                                          distances)
+        for i, j in sorted(co_observed):
+            distance = float(distances[i, j])
+            co_count += 1
+            rhs = min(distance, 2.0 * self.r_max)
+            problem.add_constraint(
+                {radius_vars[i]: 1.0, radius_vars[j]: 1.0}, ">=", rhs)
         for i, j, distance in separated:
             sep_count += 1
             slack = problem.add_variable(f"s_{i}_{j}", low=0.0, up=None)
@@ -181,6 +187,7 @@ class RadiusEstimator:
         bssids: List[MacAddress],
         co_observed: Set[Tuple[int, int]],
         appearances: Dict[int, int],
+        distances: np.ndarray,
     ) -> List[Tuple[int, int, float]]:
         """Never-co-observed pairs whose "<" constraint can bind.
 
@@ -190,20 +197,27 @@ class RadiusEstimator:
         closest pairs give the tightest (near-dominating) upper bounds,
         so this is a good approximation that keeps the from-scratch
         simplex tractable on dense campuses.
+
+        ``distances`` is the precomputed pairwise matrix from
+        :meth:`fit`; candidate filtering reads it instead of
+        recomputing scalar distances pair by pair.
         """
         n = len(bssids)
+        evidenced = np.array(
+            [appearances.get(i, 0) >= self.min_evidence for i in range(n)],
+            dtype=bool)
         candidates: Dict[int, List[Tuple[float, int]]] = {
             i: [] for i in range(n)}
         for i in range(n):
-            if appearances.get(i, 0) < self.min_evidence:
+            if not evidenced[i]:
                 continue
+            row = distances[i]
             for j in range(i + 1, n):
-                if appearances.get(j, 0) < self.min_evidence:
+                if not evidenced[j]:
                     continue
                 if (i, j) in co_observed:
                     continue
-                distance = self.locations[bssids[i]].distance_to(
-                    self.locations[bssids[j]])
+                distance = float(row[j])
                 if distance >= 2.0 * self.r_max:
                     continue
                 candidates[i].append((distance, j))
@@ -216,9 +230,7 @@ class RadiusEstimator:
             for distance, j in selected:
                 kept.add((min(i, j), max(i, j)))
         return sorted(
-            (i, j, self.locations[bssids[i]].distance_to(
-                self.locations[bssids[j]]))
-            for i, j in kept
+            (i, j, float(distances[i, j])) for i, j in kept
         )
 
     def _co_observed_pairs(

@@ -112,3 +112,58 @@ def test_restored_tracks_carry_positions_not_regions(square_db):
         for point in restored.tracker.track_of(mobile):
             assert point.estimate.region is None
             assert point.estimate.algorithm == "m-loc"
+
+
+class TestWorkerPoolEquivalence:
+    """workers > 1 is a throughput knob, never a semantics knob."""
+
+    def test_parallel_run_matches_sequential(self, square_db):
+        frames = build_stream(square_db)
+        sequential = StreamingEngine(MLoc(square_db), window_s=30.0,
+                                     batch_size=3)
+        sequential.run(iter(frames))
+
+        parallel = StreamingEngine(MLoc(square_db), window_s=30.0,
+                                   batch_size=3, workers=4)
+        parallel.run(iter(frames))
+
+        assert final_tracks(parallel) == final_tracks(sequential)
+        assert (parallel.stats().estimates_emitted
+                == sequential.stats().estimates_emitted)
+
+    @pytest.mark.parametrize("cut", [5, 37, 73])
+    def test_roundtrip_with_workers_matches_uninterrupted(self, square_db,
+                                                          cut):
+        frames = build_stream(square_db)
+        uninterrupted = StreamingEngine(MLoc(square_db), window_s=30.0,
+                                        batch_size=3)
+        uninterrupted.run(iter(frames))
+
+        first = StreamingEngine(MLoc(square_db), window_s=30.0,
+                                batch_size=3, workers=4)
+        first.ingest_stream(frames[:cut])
+        blob = json.dumps(first.checkpoint())
+        first.close()
+
+        resumed = StreamingEngine.restore(json.loads(blob), MLoc(square_db))
+        assert resumed.workers == 4  # worker count rides the checkpoint
+        resumed.ingest_stream(frames[cut:])
+        resumed.flush()
+        resumed.close()
+
+        assert final_tracks(resumed) == final_tracks(uninterrupted)
+        assert (resumed.stats().estimates_emitted
+                == uninterrupted.stats().estimates_emitted)
+
+    def test_restore_can_override_worker_count(self, square_db):
+        frames = build_stream(square_db, devices=3, rounds=1)
+        engine = StreamingEngine(MLoc(square_db), batch_size=2, workers=4)
+        engine.ingest_stream(frames)
+        engine.close()
+        restored = StreamingEngine.restore(engine.checkpoint(),
+                                           MLoc(square_db), workers=1)
+        assert restored.workers == 1
+
+    def test_rejects_bad_worker_count(self, square_db):
+        with pytest.raises(ValueError):
+            StreamingEngine(MLoc(square_db), workers=0)

@@ -1,0 +1,274 @@
+"""Vectorized geometry kernels agree with the scalar reference.
+
+The scalar ``DiscIntersection`` / ``circle_intersections`` code is the
+reference implementation; the NumPy kernels are the fast path.  These
+property tests pin their agreement to 1e-9 over randomized disc sets
+plus the constructed edge cases (tangency, nested discs, empty
+intersections, concentric circles).
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import kernels
+from repro.geometry.circle import Circle, circle_intersections
+from repro.geometry.point import Point
+from repro.geometry.region import (
+    DiscIntersection,
+    kernel_default,
+    set_kernel_default,
+)
+
+TOL = 1e-9
+
+
+def random_disc_set(rng, k, spread=60.0, r_low=40.0, r_high=140.0):
+    """k discs scattered so intersections are non-trivial but common."""
+    cx, cy = rng.uniform(-50.0, 50.0, 2)
+    return [
+        Circle(Point(float(cx + rng.uniform(-spread, spread)),
+                     float(cy + rng.uniform(-spread, spread))),
+               float(rng.uniform(r_low, r_high)))
+        for _ in range(k)
+    ]
+
+
+def assert_regions_agree(discs):
+    scalar = DiscIntersection(discs, use_kernels=False)
+    fast = DiscIntersection(discs, use_kernels=True)
+    assert fast.is_empty == scalar.is_empty
+    assert len(fast.vertices) == len(scalar.vertices)
+    for got, want in zip(fast.vertices, scalar.vertices):
+        assert got.is_close(want, TOL)
+    assert fast.area == pytest.approx(scalar.area, abs=1e-6, rel=1e-9)
+    scalar_centroid = scalar.centroid()
+    fast_centroid = fast.centroid()
+    if scalar_centroid is None:
+        assert fast_centroid is None
+    else:
+        assert fast_centroid.is_close(scalar_centroid, 1e-6)
+
+
+class TestVertexAgreement:
+    @pytest.mark.parametrize("k", [2, 3, 4, 6, 10])
+    def test_randomized_disc_sets(self, k):
+        rng = np.random.default_rng(100 + k)
+        for _ in range(40):
+            assert_regions_agree(random_disc_set(rng, k))
+
+    def test_far_apart_empty_intersections(self):
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            discs = [
+                Circle(Point(float(i * 500.0 + rng.uniform(-10, 10)),
+                             float(rng.uniform(-10, 10))),
+                       float(rng.uniform(5.0, 40.0)))
+                for i in range(4)
+            ]
+            region = DiscIntersection(discs, use_kernels=True)
+            assert region.is_empty
+            assert_regions_agree(discs)
+
+    def test_externally_tangent_pair(self):
+        discs = [Circle(Point(0.0, 0.0), 1.0), Circle(Point(3.0, 0.0), 2.0)]
+        region = DiscIntersection(discs, use_kernels=True)
+        assert len(region.vertices) == 1
+        assert region.vertices[0].is_close(Point(1.0, 0.0), TOL)
+        assert_regions_agree(discs)
+
+    def test_internally_tangent_pair(self):
+        discs = [Circle(Point(0.0, 0.0), 5.0), Circle(Point(3.0, 0.0), 2.0)]
+        assert_regions_agree(discs)
+
+    def test_nested_disc_region_is_full_disc(self):
+        discs = [Circle(Point(0.0, 0.0), 50.0),
+                 Circle(Point(5.0, 0.0), 10.0),
+                 Circle(Point(4.0, 1.0), 20.0)]
+        scalar = DiscIntersection(discs, use_kernels=False)
+        fast = DiscIntersection(discs, use_kernels=True)
+        assert not fast.is_empty
+        assert fast.vertices == []
+        assert fast._full_disc == scalar._full_disc
+        assert fast.area == pytest.approx(scalar.area, rel=1e-12)
+
+    def test_concentric_circles(self):
+        discs = [Circle(Point(1.0, 2.0), 10.0), Circle(Point(1.0, 2.0), 4.0)]
+        assert_regions_agree(discs)
+
+    def test_identical_circles(self):
+        discs = [Circle(Point(1.0, 2.0), 10.0), Circle(Point(1.0, 2.0), 10.0)]
+        assert_regions_agree(discs)
+
+    def test_single_disc(self):
+        discs = [Circle(Point(3.0, 4.0), 25.0)]
+        assert_regions_agree(discs)
+
+
+class TestPairwiseCandidates:
+    """Kernel candidate generation vs scalar circle_intersections."""
+
+    @pytest.mark.parametrize("pair", [
+        (Circle(Point(0.0, 0.0), 10.0), Circle(Point(12.0, 5.0), 8.0)),
+        (Circle(Point(0.0, 0.0), 1.0), Circle(Point(3.0, 0.0), 2.0)),
+        (Circle(Point(0.0, 0.0), 5.0), Circle(Point(1.0, 0.0), 2.0)),
+        (Circle(Point(0.0, 0.0), 5.0), Circle(Point(0.0, 0.0), 5.0)),
+        (Circle(Point(0.0, 0.0), 2.0), Circle(Point(100.0, 0.0), 3.0)),
+    ])
+    def test_matches_scalar_pairwise(self, pair):
+        scalar = circle_intersections(*pair)
+        centers, radii = kernels.discs_as_arrays(pair)
+        geom = kernels.pair_geometry(centers, radii)
+        got = kernels.pairwise_intersection_candidates(geom)
+        assert len(got) == len(scalar)
+        for row, want in zip(got, scalar):
+            assert abs(row[0] - want.x) <= TOL
+            assert abs(row[1] - want.y) <= TOL
+
+    def test_randomized_pairs(self):
+        rng = np.random.default_rng(42)
+        for _ in range(200):
+            a = Circle(Point(*map(float, rng.uniform(-50, 50, 2))),
+                       float(rng.uniform(1.0, 80.0)))
+            b = Circle(Point(*map(float, rng.uniform(-50, 50, 2))),
+                       float(rng.uniform(1.0, 80.0)))
+            scalar = circle_intersections(a, b)
+            centers, radii = kernels.discs_as_arrays([a, b])
+            got = kernels.pairwise_intersection_candidates(
+                kernels.pair_geometry(centers, radii))
+            assert len(got) == len(scalar)
+            for row, want in zip(got, scalar):
+                assert abs(row[0] - want.x) <= TOL
+                assert abs(row[1] - want.y) <= TOL
+
+
+class TestBatchKernel:
+    @pytest.mark.parametrize("k", [2, 3, 6, 10])
+    def test_batch_matches_scalar_reference(self, k):
+        rng = np.random.default_rng(900 + k)
+        disc_sets = [random_disc_set(rng, k) for _ in range(32)]
+        centers = np.array([[(d.center.x, d.center.y) for d in s]
+                            for s in disc_sets])
+        radii = np.array([[d.radius for d in s] for s in disc_sets])
+        vertex_sets = kernels.batch_intersection_vertices(centers, radii)
+        assert len(vertex_sets) == len(disc_sets)
+        for discs, coords in zip(disc_sets, vertex_sets):
+            want = DiscIntersection(discs, use_kernels=False).vertices
+            assert len(coords) == len(want)
+            for row, vertex in zip(coords, want):
+                assert abs(row[0] - vertex.x) <= TOL
+                assert abs(row[1] - vertex.y) <= TOL
+
+    def test_single_disc_sets_have_no_vertices(self):
+        centers = np.zeros((3, 1, 2))
+        radii = np.ones((3, 1))
+        for coords in kernels.batch_intersection_vertices(centers, radii):
+            assert coords.shape == (0, 2)
+
+
+class TestFeasibilityScan:
+    @pytest.mark.parametrize("k", [2, 4, 7])
+    def test_nonempty_matches_region_emptiness(self, k):
+        rng = np.random.default_rng(300 + k)
+        for _ in range(25):
+            discs = random_disc_set(rng, k, spread=150.0,
+                                    r_low=20.0, r_high=90.0)
+            centers, radii = kernels.discs_as_arrays(discs)
+            geom = kernels.pair_geometry(centers, radii)
+            for scale in (1.0, 1.7, 3.0, 16.0):
+                scaled = [Circle(d.center, d.radius * scale) for d in discs]
+                want = not DiscIntersection(scaled,
+                                            use_kernels=False).is_empty
+                assert kernels.nonempty_at_scale(geom, scale) == want
+
+    def test_single_disc_always_nonempty(self):
+        centers, radii = kernels.discs_as_arrays(
+            [Circle(Point(0.0, 0.0), 5.0)])
+        geom = kernels.pair_geometry(centers, radii)
+        assert kernels.nonempty_at_scale(geom, 1.0)
+
+
+class TestSupportKernels:
+    def test_contains_mask_matches_circle_contains(self):
+        rng = np.random.default_rng(11)
+        discs = random_disc_set(rng, 5)
+        points = [Point(*map(float, rng.uniform(-150, 150, 2)))
+                  for _ in range(64)]
+        centers, radii = kernels.discs_as_arrays(discs)
+        mask = kernels.contains_mask(kernels.points_as_array(points),
+                                     centers, radii, slack=0.0)
+        for p_idx, point in enumerate(points):
+            for d_idx, disc in enumerate(discs):
+                assert mask[p_idx, d_idx] == disc.contains(point, tol=0.0)
+
+    def test_dedupe_keep_first_chain_semantics(self):
+        # a~b and b~c but a!~c: the scalar greedy keeps a and c.
+        points = np.array([[0.0, 0.0], [0.9, 0.0], [1.8, 0.0]])
+        got = kernels.dedupe_rows(points, tol=1.0)
+        assert got.shape == (2, 2)
+        assert got[0].tolist() == [0.0, 0.0]
+        assert got[1].tolist() == [1.8, 0.0]
+
+    def test_pairwise_distance_matrix(self):
+        rng = np.random.default_rng(5)
+        points = [Point(*map(float, rng.uniform(-100, 100, 2)))
+                  for _ in range(12)]
+        coords = kernels.points_as_array(points)
+        matrix = kernels.pairwise_distance_matrix(coords)
+        for i, a in enumerate(points):
+            for j, b in enumerate(points):
+                assert matrix[i, j] == pytest.approx(a.distance_to(b),
+                                                     abs=TOL)
+
+    def test_round_trip_point_packing(self):
+        points = [Point(1.5, -2.25), Point(0.0, 3.0)]
+        back = kernels.array_as_points(kernels.points_as_array(points))
+        assert back == points
+
+
+class TestKernelDefaultToggle:
+    def test_toggle_round_trips(self):
+        original = kernel_default()
+        try:
+            previous = set_kernel_default(False)
+            assert previous == original
+            assert kernel_default() is False
+            discs = [Circle(Point(0.0, 0.0), 10.0)] * 6
+            assert DiscIntersection(discs)._use_kernels is False
+        finally:
+            set_kernel_default(original)
+
+    def test_small_sets_default_to_scalar(self):
+        discs = [Circle(Point(float(i), 0.0), 10.0) for i in range(3)]
+        assert DiscIntersection(discs)._use_kernels is False
+        assert DiscIntersection(discs, use_kernels=True)._use_kernels is True
+
+
+class TestMonteCarloVectorized:
+    def test_area_estimate_matches_exact(self):
+        rng = np.random.default_rng(21)
+        discs = random_disc_set(rng, 4)
+        region = DiscIntersection(discs)
+        if region.is_empty:
+            pytest.skip("degenerate draw")
+        exact = region.area
+        estimate = region.monte_carlo_area(np.random.default_rng(3),
+                                           samples=40000)
+        assert estimate == pytest.approx(exact, rel=0.05)
+
+    def test_centroid_estimate_matches_exact(self):
+        discs = [Circle(Point(0.0, 0.0), 80.0),
+                 Circle(Point(100.0, 0.0), 80.0),
+                 Circle(Point(50.0, 90.0), 80.0)]
+        region = DiscIntersection(discs)
+        exact = region.centroid()
+        estimate = region.monte_carlo_centroid(np.random.default_rng(3),
+                                               samples=40000)
+        assert estimate is not None
+        assert estimate.is_close(exact, 2.0)
+
+    def test_empty_region_monte_carlo(self):
+        discs = [Circle(Point(0.0, 0.0), 5.0),
+                 Circle(Point(100.0, 0.0), 5.0)]
+        region = DiscIntersection(discs)
+        assert region.monte_carlo_area(np.random.default_rng(0)) == 0.0
+        assert region.monte_carlo_centroid(np.random.default_rng(0)) is None
