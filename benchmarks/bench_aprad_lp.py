@@ -1,0 +1,261 @@
+"""AP-Rad radius-LP throughput: dense tableau vs sparse revised simplex.
+
+The radius LP is re-solved every time the attack corpus grows.  This
+bench times three ways of absorbing the same evidence:
+
+* ``dense``       — cold fit with the dense two-phase tableau solver
+  (rebuilds and re-solves the full system);
+* ``revised``     — cold fit with the sparse revised-simplex engine;
+* ``incremental`` — the streaming path: the estimator already holds
+  the pre-delta corpus and LP basis, then ``ingest`` + warm-started
+  ``refit`` folds the delta in.
+
+Sweeps AP count × observation count.  Every cell cross-checks that all
+three paths land on the same radii (to 1e-6, with a tie-break making
+the LP optimum unique).  Run standalone for the JSON report (the
+tier-1 smoke test does)::
+
+    PYTHONPATH=src python benchmarks/bench_aprad_lp.py \
+        --aps 50,100,200 --observations 400 --json out.json
+
+or under pytest-benchmark with the rest of the bench suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, FrozenSet, List
+
+import numpy as np
+
+from repro.geometry.point import Point
+from repro.localization.radius_lp import RadiusEstimator
+from repro.net80211.mac import MacAddress
+
+R_MAX = 150.0
+TRUE_RADIUS = 90.0
+#: Density of the synthetic deployment (APs per square of this side).
+AREA_PER_AP = 150.0
+#: Uniqueness perturbation so "same radii" is well-defined across
+#: solvers and warm starts (alternate optima are routine in this LP).
+TIE_BREAK = 1e-7
+#: Neighbor cap bounding the separated-pair rows, as a deployment would.
+MAX_NEIGHBORS = 6
+#: Fraction of the corpus treated as the streaming delta (one engine
+#: re-fit interval's worth of fresh evidence).
+DELTA_FRACTION = 0.05
+
+DEFAULT_APS = (50, 100, 200)
+DEFAULT_OBSERVATIONS = 400
+
+
+def build_locations(ap_count: int, seed: int = 20090622
+                    ) -> Dict[MacAddress, Point]:
+    """A jittered-uniform deployment at constant density."""
+    rng = np.random.default_rng(seed + ap_count)
+    side = AREA_PER_AP * float(np.sqrt(ap_count))
+    return {
+        MacAddress(0x001B63000000 + i):
+            Point(float(rng.uniform(0.0, side)),
+                  float(rng.uniform(0.0, side)))
+        for i in range(ap_count)
+    }
+
+
+def build_corpus(locations: Dict[MacAddress, Point], count: int,
+                 seed: int = 7) -> List[FrozenSet[MacAddress]]:
+    """Observation Γ sets from uniform probes with exact disc coverage."""
+    rng = np.random.default_rng(seed)
+    coords = np.array([[p.x, p.y] for p in locations.values()])
+    macs = list(locations)
+    lo = coords.min(axis=0) - 40.0
+    hi = coords.max(axis=0) + 40.0
+    corpus: List[FrozenSet[MacAddress]] = []
+    while len(corpus) < count:
+        probe = rng.uniform(lo, hi)
+        dist = np.hypot(*(coords - probe).T)
+        members = np.nonzero(dist <= TRUE_RADIUS)[0]
+        if members.size:
+            corpus.append(frozenset(macs[i] for i in members))
+    return corpus
+
+
+def make_estimator(locations, solver: str) -> RadiusEstimator:
+    return RadiusEstimator(locations, r_max=R_MAX, solver=solver,
+                           max_separated_neighbors=MAX_NEIGHBORS,
+                           tie_break=TIE_BREAK)
+
+
+def _best_seconds(run, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_cell(ap_count: int, observations: int, repeats: int) -> dict:
+    """Time the three paths over one (AP count, corpus size) workload."""
+    locations = build_locations(ap_count)
+    corpus = build_corpus(locations, observations)
+    delta_size = max(1, int(len(corpus) * DELTA_FRACTION))
+    initial, delta = corpus[:-delta_size], corpus[-delta_size:]
+
+    dense_est = make_estimator(locations, "simplex")
+    dense_seconds = _best_seconds(lambda: dense_est.fit(corpus), repeats)
+    dense = dense_est.fit(corpus)
+
+    revised_est = make_estimator(locations, "revised")
+    revised_seconds = _best_seconds(lambda: revised_est.fit(corpus),
+                                    repeats)
+    revised = revised_est.fit(corpus)
+
+    # The streaming measurement: the estimator has already absorbed the
+    # initial corpus; the timed unit is ingest(delta) + warm refit —
+    # what one re-fit costs inside the engine loop.
+    warm_est = make_estimator(locations, "revised")
+    warm_est.fit(initial)
+    warm_seconds = float("inf")
+    for _ in range(repeats):
+        cold_base = make_estimator(locations, "revised")
+        cold_base.fit(initial)
+        start = time.perf_counter()
+        cold_base.ingest(delta)
+        estimate = cold_base.refit()
+        warm_seconds = min(warm_seconds, time.perf_counter() - start)
+    warm = estimate
+
+    max_diff = max(
+        max(abs(revised.radii[m] - dense.radii[m]) for m in locations),
+        max(abs(warm.radii[m] - dense.radii[m]) for m in locations))
+    return {
+        "aps": ap_count,
+        "observations": observations,
+        "lp_rows": revised_est.lp_rows,
+        "delta_observations": delta_size,
+        "dense_cold_seconds": dense_seconds,
+        "revised_cold_seconds": revised_seconds,
+        "incremental_seconds": warm_seconds,
+        "revised_vs_dense": (dense_seconds / revised_seconds
+                             if revised_seconds > 0.0 else 0.0),
+        "incremental_vs_dense": (dense_seconds / warm_seconds
+                                 if warm_seconds > 0.0 else 0.0),
+        "warm_started": bool(warm.warm_started),
+        "warm_iterations": warm.solver_iterations,
+        "dense_iterations": dense.solver_iterations,
+        "max_radius_diff_m": float(max_diff),
+        "radii_agree": bool(max_diff <= 1e-6),
+    }
+
+
+def run_sweep(aps, observations: int, repeats: int = 2) -> dict:
+    results = [run_cell(ap_count, observations, repeats)
+               for ap_count in aps]
+    # Acceptance: the largest deployment in the sweep.
+    acceptance = max(results, key=lambda c: c["aps"])
+    return {
+        "bench": "aprad_lp",
+        "config": {
+            "aps": list(aps),
+            "observations": observations,
+            "repeats": repeats,
+            "r_max": R_MAX,
+            "true_radius": TRUE_RADIUS,
+            "delta_fraction": DELTA_FRACTION,
+            "max_separated_neighbors": MAX_NEIGHBORS,
+            "tie_break": TIE_BREAK,
+        },
+        "results": results,
+        "acceptance": {
+            "aps": acceptance["aps"],
+            "incremental_vs_dense": acceptance["incremental_vs_dense"],
+            "revised_vs_dense": acceptance["revised_vs_dense"],
+            "radii_agree": all(c["radii_agree"] for c in results),
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry point (pytest benchmarks/ --benchmark-only)
+# ----------------------------------------------------------------------
+
+def test_aprad_incremental_refit_speedup(benchmark, reporter):
+    locations = build_locations(120)
+    corpus = build_corpus(locations, 300)
+    delta = corpus[-30:]
+    estimator = make_estimator(locations, "revised")
+    estimator.fit(corpus[:-30])
+
+    def refit_delta():
+        estimator.ingest(delta)
+        return estimator.refit()
+
+    benchmark(refit_delta)
+
+    report = run_sweep(aps=(60, 120), observations=250, repeats=1)
+    reporter("", "=== AP-Rad LP: dense cold vs incremental re-fit ===")
+    for cell in report["results"]:
+        reporter(
+            f"  aps={cell['aps']:>4} rows={cell['lp_rows']:>5}: "
+            f"dense {cell['dense_cold_seconds'] * 1e3:8.1f} ms | "
+            f"revised {cell['revised_cold_seconds'] * 1e3:8.1f} ms | "
+            f"incremental {cell['incremental_seconds'] * 1e3:7.1f} ms "
+            f"({cell['incremental_vs_dense']:.1f}x)")
+    assert report["acceptance"]["radii_agree"]
+    assert report["acceptance"]["incremental_vs_dense"] > 1.0
+    reporter("Warm-started re-fits pay for the evidence delta, not the"
+             " accumulated corpus.")
+
+
+# ----------------------------------------------------------------------
+# Standalone JSON mode (the tier-1 smoke invocation)
+# ----------------------------------------------------------------------
+
+def _int_list(text: str):
+    return tuple(int(part) for part in text.split(",") if part)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="AP-Rad radius LP: dense vs revised vs incremental")
+    parser.add_argument("--aps", type=_int_list, default=DEFAULT_APS,
+                        help="comma-separated AP deployment sizes")
+    parser.add_argument("--observations", type=int,
+                        default=DEFAULT_OBSERVATIONS,
+                        help="observation corpus size per cell")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="runs per timing (best is reported)")
+    parser.add_argument("--json", metavar="FILE",
+                        help="write the sweep as JSON to FILE")
+    args = parser.parse_args(argv)
+
+    report = run_sweep(args.aps, args.observations,
+                       repeats=args.repeats)
+    print(f"{'aps':>5} {'rows':>6} {'dense ms':>9} {'revised ms':>10} "
+          f"{'incr ms':>8} {'rx':>6} {'ix':>6} {'agree':>6}")
+    for cell in report["results"]:
+        print(f"{cell['aps']:>5} {cell['lp_rows']:>6} "
+              f"{cell['dense_cold_seconds'] * 1e3:>9.1f} "
+              f"{cell['revised_cold_seconds'] * 1e3:>10.1f} "
+              f"{cell['incremental_seconds'] * 1e3:>8.1f} "
+              f"{cell['revised_vs_dense']:>5.1f}x "
+              f"{cell['incremental_vs_dense']:>5.1f}x "
+              f"{'yes' if cell['radii_agree'] else 'NO':>6}")
+    acceptance = report["acceptance"]
+    print(f"acceptance cell aps={acceptance['aps']}: "
+          f"incremental speedup "
+          f"{acceptance['incremental_vs_dense']:.2f}x vs cold dense, "
+          f"radii agree: {acceptance['radii_agree']}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"JSON written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -93,6 +93,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                                "localization (default 1; resumed runs "
                                "keep the checkpointed width unless "
                                "overridden)")
+    p_engine.add_argument("--refit-every", type=int, default=0,
+                          help="re-fit AP radii (incremental AP-Rad LP) "
+                               "every N evidence events; 0 keeps the "
+                               "static M-Loc fallback range")
+    p_engine.add_argument("--r-max", type=float, default=150.0,
+                          help="radius upper bound for the AP-Rad LP "
+                               "(used with --refit-every)")
     p_engine.add_argument("--checkpoint", metavar="FILE",
                           help="write an engine checkpoint after the run")
     p_engine.add_argument("--resume", metavar="FILE",
@@ -336,11 +343,14 @@ def _cmd_replay(args) -> int:
 
 
 def _cmd_engine(args) -> int:
+    import json
+    from pathlib import Path
+
     from repro.engine import LatestFixSink, StreamingEngine
     from repro.geo.enu import LocalTangentPlane
     from repro.geo.wgs84 import GeodeticCoordinate
     from repro.knowledge.wigle import import_wigle_csv
-    from repro.localization import MLoc
+    from repro.localization import APRad, MLoc
     from repro.sniffer.replay import iter_capture
 
     plane = LocalTangentPlane(GeodeticCoordinate(args.lat, args.lon))
@@ -348,21 +358,49 @@ def _cmd_engine(args) -> int:
         database = import_wigle_csv(args.wigle, plane)
     except OSError as error:
         return _fail(f"cannot read WiGLE CSV {args.wigle!r}: {error}")
-    # WiGLE knowledge carries locations only: M-Loc with an assumed
-    # range is the stream-friendly choice (AP-Rad needs a corpus fit).
-    localizer = MLoc(database, fallback_range_m=args.fallback_range)
+    if args.refit_every < 0:
+        return _fail(f"--refit-every must be >= 0, got {args.refit_every}")
+    checkpoint_data = None
+    refit_every = args.refit_every
+    if args.resume:
+        try:
+            checkpoint_data = json.loads(
+                Path(args.resume).read_text(encoding="utf-8"))
+        except OSError as error:
+            return _fail(f"cannot read checkpoint {args.resume!r}: {error}")
+        except ValueError as error:
+            return _fail(f"corrupt checkpoint {args.resume!r}: {error}")
+        if refit_every == 0 and isinstance(checkpoint_data, dict):
+            # A checkpointed schedule survives the restart even when
+            # --refit-every is not repeated on the resume command line;
+            # the localizer choice below must match it.
+            config = checkpoint_data.get("config", {})
+            if isinstance(config, dict):
+                try:
+                    refit_every = int(config.get("refit_every", 0))
+                except (TypeError, ValueError) as error:
+                    return _fail(
+                        f"corrupt checkpoint {args.resume!r}: {error}")
+    if refit_every > 0:
+        # Streaming AP-Rad: radii re-estimated from the accumulating
+        # evidence on schedule, warm-starting the incremental LP.
+        localizer = APRad(database, r_max=args.r_max, solver="revised",
+                          min_evidence=2, overestimate_factor=1.2)
+    else:
+        # WiGLE knowledge carries locations only: M-Loc with an assumed
+        # range is the stream-friendly choice when no re-fit schedule
+        # is requested.
+        localizer = MLoc(database, fallback_range_m=args.fallback_range)
     cache_size = 0 if args.no_cache else args.cache_size
     fixes = LatestFixSink()
     if args.workers is not None and args.workers < 1:
         return _fail(f"--workers must be >= 1, got {args.workers}")
-    if args.resume:
+    if checkpoint_data is not None:
         try:
-            engine = StreamingEngine.load_checkpoint(
-                args.resume, localizer, sinks=[fixes],
+            engine = StreamingEngine.restore(
+                checkpoint_data, localizer, sinks=[fixes],
                 workers=args.workers)
-        except OSError as error:
-            return _fail(f"cannot read checkpoint {args.resume!r}: {error}")
-        except (ValueError, KeyError) as error:
+        except (ValueError, KeyError, TypeError) as error:
             return _fail(f"corrupt checkpoint {args.resume!r}: {error}")
         print(f"Resumed from {args.resume} "
               f"({engine.stats().frames_ingested} frames already seen).")
@@ -371,7 +409,8 @@ def _cmd_engine(args) -> int:
             engine = StreamingEngine(localizer, window_s=args.window,
                                      batch_size=args.batch,
                                      cache_size=cache_size, sinks=[fixes],
-                                     workers=args.workers or 1)
+                                     workers=args.workers or 1,
+                                     refit_every=refit_every)
         except ValueError as error:
             return _fail(str(error))
     try:

@@ -80,15 +80,32 @@ class StreamingEngine:
         ``ProcessPoolExecutor``.  Results are merged in submission
         order either way, so tracks — and checkpoint/resume
         equivalence — are independent of the worker count.
+    refit_every:
+        Re-fit the localizer's model every N evidence events (``0``
+        disables).  Each Γ change is accumulated as a pending
+        observation; on schedule the batch is handed to the
+        localizer's ``partial_fit`` (AP-Rad's incremental radius LP
+        warm-starts from its previous basis), every device is marked
+        dirty (new radii can move every estimate), and the fit wall
+        time lands in the ``fit`` stage of :class:`PipelineStats`.
+        A localizer without ``partial_fit`` ignores the schedule.
+        Until the first re-fit completes, an unfitted localizer
+        (``is_fitted`` false) yields no estimates — devices flushed
+        early are re-localized after the fit.
     """
 
     def __init__(self, localizer: Localizer, window_s: float = 30.0,
                  batch_size: int = 32, cache_size: int = 4096,
-                 sinks: Sequence[EngineSink] = (), workers: int = 1):
+                 sinks: Sequence[EngineSink] = (), workers: int = 1,
+                 refit_every: int = 0):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if refit_every < 0:
+            raise ValueError(
+                f"refit_every must be >= 0, got {refit_every}")
         self.localizer = localizer
         self.workers = workers
+        self.refit_every = refit_every
         self._executor: Optional[ProcessPoolExecutor] = None
         self.gamma_state = GammaState(window_s=window_s)
         self.scheduler = MicroBatchScheduler(batch_size=batch_size)
@@ -107,6 +124,12 @@ class StreamingEngine:
         self._batches_flushed = 0
         self._estimates_emitted = 0
         self._unlocatable = 0
+        # Re-fit scheduling: Γ snapshots accumulated since the last
+        # model fit, handed to localizer.partial_fit on schedule.
+        self._pending_refit: List[FrozenSet[MacAddress]] = []
+        self._events_since_refit = 0
+        self._refits = 0
+        self._last_fit_iterations = 0
 
     # ------------------------------------------------------------------
     # Ingest stage
@@ -129,6 +152,13 @@ class StreamingEngine:
                     gamma = self.gamma_state.observe(evidence)
                     if gamma != self._last_located.get(evidence.mobile):
                         self.scheduler.mark_dirty(evidence.mobile)
+                    if self.refit_every > 0:
+                        if gamma:
+                            self._pending_refit.append(gamma)
+                        self._events_since_refit += 1
+        if (self.refit_every > 0
+                and self._events_since_refit >= self.refit_every):
+            self._refit()
         while self.scheduler.ready:
             self._flush_batch()
 
@@ -140,6 +170,10 @@ class StreamingEngine:
     def run(self, stream: Iterable[ReceivedFrame]) -> PipelineStats:
         """Consume a whole stream, drain every device, close sinks."""
         self.ingest_stream(stream)
+        if self.refit_every > 0 and self._pending_refit:
+            # Catch-up fit so end-of-stream evidence (and any devices
+            # skipped while the model was unfitted) is not lost.
+            self._refit()
         self.flush()
         for sink in self.sinks:
             sink.close()
@@ -163,12 +197,42 @@ class StreamingEngine:
             emitted += self._flush_batch()
         return emitted
 
+    def _refit(self) -> None:
+        """Hand the pending Γ snapshots to the localizer's partial_fit."""
+        partial_fit = getattr(self.localizer, "partial_fit", None)
+        pending = self._pending_refit
+        self._pending_refit = []
+        self._events_since_refit = 0
+        if partial_fit is None or not pending:
+            return
+        with self._timer.stage("fit"):
+            estimate = partial_fit(pending)
+        self._refits += 1
+        self._last_fit_iterations = int(
+            getattr(estimate, "solver_iterations", 0))
+        # New radii can move every estimate: every device with a live Γ
+        # goes back through localization.  The memo cache keys on
+        # localizer.cache_key(), which the re-fit bumped.
+        for mobile in self.gamma_state.devices():
+            if self.gamma_state.gamma(mobile):
+                self.scheduler.mark_dirty(mobile)
+
+    def _localizer_ready(self) -> bool:
+        return bool(getattr(self.localizer, "is_fitted", True))
+
     def _flush_batch(self) -> int:
         batch = self.scheduler.next_batch()
         if not batch:
             return 0
         self._batches_flushed += 1
         gammas = [self.gamma_state.gamma(mobile) for mobile in batch]
+        if not self._localizer_ready():
+            # Model not fitted yet (refit_every engines start cold):
+            # nothing can be located.  The batch still clears — the
+            # first fit marks every Γ-holding device dirty again.
+            for mobile, gamma in zip(batch, gammas):
+                self._last_located[mobile] = gamma
+            return 0
         with self._timer.stage("localize"):
             estimates = self._locate_batch_memoized(gammas)
         emitted = 0
@@ -272,6 +336,8 @@ class StreamingEngine:
             cache_hits=cache_counters.get("hits", 0),
             cache_misses=cache_counters.get("misses", 0),
             cache_entries=cache_counters.get("entries", 0),
+            refits=self._refits,
+            last_fit_iterations=self._last_fit_iterations,
             stage_seconds=self._timer.seconds(),
         )
 
@@ -295,6 +361,7 @@ class StreamingEngine:
                 "cache_size": (self.cache.max_entries
                                if self.cache is not None else 0),
                 "workers": self.workers,
+                "refit_every": self.refit_every,
             },
             "gamma": self.gamma_state.to_dict(),
             "dirty": self.scheduler.to_list(),
@@ -323,6 +390,17 @@ class StreamingEngine:
                 "batches_flushed": self._batches_flushed,
                 "estimates_emitted": self._estimates_emitted,
                 "unlocatable": self._unlocatable,
+                "refits": self._refits,
+                "last_fit_iterations": self._last_fit_iterations,
+            },
+            # Pending re-fit evidence: the localizer's own model (LP
+            # basis, radii) is NOT serialized, so a restored engine
+            # must be given a localizer refitted from the same corpus
+            # — or simply re-accumulates and refits on schedule.
+            "refit": {
+                "events_since_refit": self._events_since_refit,
+                "pending": [sorted(str(ap) for ap in gamma)
+                            for gamma in self._pending_refit],
             },
             "stage_seconds": self._timer.seconds(),
         }
@@ -355,7 +433,8 @@ class StreamingEngine:
                      batch_size=int(config["batch_size"]),
                      cache_size=int(config["cache_size"]),
                      sinks=sinks,
-                     workers=workers)
+                     workers=workers,
+                     refit_every=int(config.get("refit_every", 0)))
         engine.gamma_state = GammaState.from_dict(data["gamma"])
         engine.scheduler.restore(data.get("dirty", []))
         engine._last_located = {
@@ -381,6 +460,16 @@ class StreamingEngine:
         engine._estimates_emitted = int(
             counters.get("estimates_emitted", 0))
         engine._unlocatable = int(counters.get("unlocatable", 0))
+        engine._refits = int(counters.get("refits", 0))
+        engine._last_fit_iterations = int(
+            counters.get("last_fit_iterations", 0))
+        refit = data.get("refit", {})
+        engine._events_since_refit = int(
+            refit.get("events_since_refit", 0))
+        engine._pending_refit = [
+            frozenset(MacAddress.parse(ap) for ap in gamma)
+            for gamma in refit.get("pending", [])
+        ]
         engine._timer.restore(data.get("stage_seconds", {}))
         return engine
 

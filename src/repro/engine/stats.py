@@ -56,6 +56,8 @@ class PipelineStats:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_entries: int = 0
+    refits: int = 0
+    last_fit_iterations: int = 0
     stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -87,6 +89,9 @@ class PipelineStats:
             "cache_misses": self.cache_misses,
             "cache_hit_rate": self.cache_hit_rate,
             "cache_entries": self.cache_entries,
+            "refits": self.refits,
+            "last_fit_iterations": self.last_fit_iterations,
+            "fit_seconds": self.stage_seconds.get("fit", 0.0),
             "stage_seconds": dict(self.stage_seconds),
             "elapsed_s": self.elapsed_s,
             "estimates_per_sec": self.estimates_per_sec,
@@ -112,6 +117,10 @@ class PipelineStats:
                 f"{self.cache_entries} entries)")
         else:
             lines.append("  cache             : disabled")
+        if self.refits:
+            lines.append(
+                f"  re-fits           : {self.refits} "
+                f"(last solve {self.last_fit_iterations} iterations)")
         for name in sorted(self.stage_seconds):
             lines.append(f"  {name + ' time':18s}: "
                          f"{self.stage_seconds[name] * 1e3:.2f} ms")

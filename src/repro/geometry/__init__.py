@@ -33,8 +33,10 @@ from repro.geometry.region import (
     set_kernel_default,
 )
 from repro.geometry import kernels
+from repro.geometry.grid import SpatialGrid
 
 __all__ = [
+    "SpatialGrid",
     "Point",
     "Circle",
     "circle_intersections",

@@ -1,0 +1,154 @@
+"""Uniform spatial hash over planar points.
+
+The AP-Rad linear program and AP-Loc's training-disc placement both
+start from "which pairs of points are within ``D`` of each other?"
+(D = ``2 * r_max`` for the LP's candidate constraints, ``2 * r`` for
+discs that can intersect at all).  The previous implementations
+answered it with a dense O(n²) scan / distance matrix; at city scale
+(tens of thousands of APs) that matrix alone is gigabytes.
+
+:class:`SpatialGrid` buckets points into square cells of side
+``cell_size`` and answers the two queries the attack pipeline needs:
+
+* :meth:`pairs_within` — all index pairs ``(i, j)``, ``i < j``, closer
+  than a radius.  Cells are enumerated with a half-neighborhood
+  stencil so every pair is produced exactly once, and the candidate
+  set is filtered by exact distance, so the result is identical to
+  the brute-force scan (including strict-vs-inclusive boundary
+  semantics) — only the cost changes: O(n + output) for bounded
+  point density instead of O(n²).
+* :meth:`query_radius` — indices of points within a radius of a probe
+  location.
+
+Cell membership uses ``floor(coordinate / cell_size)`` on int64 keys;
+the grid never stores geometry beyond the input coordinate array, so
+memory is O(n).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+class SpatialGrid:
+    """A uniform hash grid over an ``(n, 2)`` coordinate array.
+
+    Parameters
+    ----------
+    coords:
+        Planar coordinates, one row per point.  The array is kept by
+        reference for exact-distance filtering; do not mutate it.
+    cell_size:
+        Side of the square cells.  Pick the query radius (or the
+        largest one you will ask for) — :meth:`pairs_within` then only
+        visits the 3×3 cell neighborhood.
+    """
+
+    def __init__(self, coords: np.ndarray, cell_size: float):
+        coords = np.asarray(coords, dtype=np.float64)
+        if coords.ndim != 2 or coords.shape[1] != 2:
+            raise ValueError(
+                f"coords must have shape (n, 2), got {coords.shape}")
+        if not cell_size > 0.0:
+            raise ValueError(f"cell_size must be > 0, got {cell_size}")
+        self.coords = coords
+        self.cell_size = float(cell_size)
+        self._cells: Dict[Tuple[int, int], np.ndarray] = {}
+        if len(coords):
+            keys = np.floor(coords / self.cell_size).astype(np.int64)
+            # Group indices by cell via a lexicographic sort: one sort
+            # instead of n dict insertions of scalars.
+            order = np.lexsort((keys[:, 1], keys[:, 0]))
+            sorted_keys = keys[order]
+            boundaries = np.nonzero(
+                np.any(sorted_keys[1:] != sorted_keys[:-1], axis=1))[0] + 1
+            starts = np.concatenate(([0], boundaries))
+            ends = np.concatenate((boundaries, [len(order)]))
+            for start, end in zip(starts, ends):
+                cx, cy = sorted_keys[start]
+                self._cells[(int(cx), int(cy))] = order[start:end]
+
+    def __len__(self) -> int:
+        return len(self.coords)
+
+    @property
+    def occupied_cells(self) -> int:
+        """How many grid cells hold at least one point."""
+        return len(self._cells)
+
+    def pairs_within(self, radius: float, strict: bool = True
+                     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Every pair closer than ``radius``, as index/distance arrays.
+
+        Returns ``(i, j, dist)`` with ``i < j`` elementwise, sorted
+        lexicographically by ``(i, j)`` — the same enumeration order as
+        the dense upper-triangle scan, so downstream constraint
+        ordering is unchanged.  ``strict`` selects ``dist < radius``
+        (the LP's never-binding cutoff) versus ``dist <= radius``
+        (disc-tangency inclusive).
+        """
+        if radius < 0.0:
+            raise ValueError(f"radius must be >= 0, got {radius}")
+        reach = int(np.ceil(radius / self.cell_size)) if radius else 0
+        i_parts: List[np.ndarray] = []
+        j_parts: List[np.ndarray] = []
+        # Half-neighborhood stencil: (0, 0) pairs within a cell, plus
+        # lexicographically-positive offsets, so each cell pair is
+        # visited exactly once.
+        offsets = [(dx, dy)
+                   for dx in range(0, reach + 1)
+                   for dy in range(-reach, reach + 1)
+                   if (dx, dy) > (0, 0)]
+        for (cx, cy), members in self._cells.items():
+            if len(members) > 1:
+                a, b = np.triu_indices(len(members), k=1)
+                i_parts.append(members[a])
+                j_parts.append(members[b])
+            for dx, dy in offsets:
+                other = self._cells.get((cx + dx, cy + dy))
+                if other is None:
+                    continue
+                grid_a = np.repeat(members, len(other))
+                grid_b = np.tile(other, len(members))
+                i_parts.append(grid_a)
+                j_parts.append(grid_b)
+        if not i_parts:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), np.empty(0, dtype=np.float64)
+        raw_i = np.concatenate(i_parts)
+        raw_j = np.concatenate(j_parts)
+        # Cross-cell pairs can come out in either index order.
+        lo = np.minimum(raw_i, raw_j)
+        hi = np.maximum(raw_i, raw_j)
+        delta = self.coords[lo] - self.coords[hi]
+        dist = np.hypot(delta[:, 0], delta[:, 1])
+        keep = dist < radius if strict else dist <= radius
+        lo, hi, dist = lo[keep], hi[keep], dist[keep]
+        order = np.lexsort((hi, lo))
+        return lo[order], hi[order], dist[order]
+
+    def query_radius(self, x: float, y: float, radius: float,
+                     strict: bool = False) -> np.ndarray:
+        """Indices of points within ``radius`` of ``(x, y)``, ascending."""
+        if radius < 0.0:
+            raise ValueError(f"radius must be >= 0, got {radius}")
+        if not self._cells:
+            return np.empty(0, dtype=np.int64)
+        reach = int(np.ceil(radius / self.cell_size)) if radius else 0
+        cx = int(np.floor(x / self.cell_size))
+        cy = int(np.floor(y / self.cell_size))
+        buckets = [
+            self._cells[key]
+            for dx in range(-reach, reach + 1)
+            for dy in range(-reach, reach + 1)
+            if (key := (cx + dx, cy + dy)) in self._cells
+        ]
+        if not buckets:
+            return np.empty(0, dtype=np.int64)
+        candidates = np.concatenate(buckets)
+        delta = self.coords[candidates] - np.array([x, y])
+        dist = np.hypot(delta[:, 0], delta[:, 1])
+        keep = dist < radius if strict else dist <= radius
+        return np.sort(candidates[keep])

@@ -320,6 +320,36 @@ def batch_intersection_vertices(centers: np.ndarray, radii: np.ndarray,
     ]
 
 
+def intersection_vertices_pruned(centers: np.ndarray, radii: np.ndarray,
+                                 pair_i: np.ndarray, pair_j: np.ndarray,
+                                 contain_slack: float,
+                                 dedupe_tol: float) -> np.ndarray:
+    """Δ from an explicit candidate pair list instead of all pairs.
+
+    The caller supplies the ``i < j`` pairs worth intersecting —
+    typically from :class:`repro.geometry.grid.SpatialGrid` restricted
+    to pairs within ``r_i + r_j`` — and this computes exactly the
+    vertex set :func:`intersection_vertices` would: pairs farther
+    apart than the radius sum emit no candidates in the full kernel
+    either, so pruning them changes nothing but the cost.  Pairs must
+    be in lexicographic ``(i, j)`` order for the keep-first dedup to
+    match the all-pairs emission order.
+    """
+    if len(pair_i) == 0:
+        return np.empty((0, 2), dtype=np.float64)
+    z = _as_complex(centers)
+    z_i = z[pair_i]
+    delta = z[pair_j] - z_i
+    candidates, valid = _candidate_points(
+        z_i, delta, np.abs(delta), radii[pair_i], radii[pair_j],
+        INTERSECT_TOL)
+    flat = candidates.reshape(-1)[valid.reshape(-1)]
+    if flat.size == 0:
+        return np.empty((0, 2), dtype=np.float64)
+    surviving = flat[_contains_all_complex(flat, z, radii, contain_slack)]
+    return _as_coords(_dedupe_complex(surviving, dedupe_tol))
+
+
 # ----------------------------------------------------------------------
 # Feasibility scan (M-Loc radius inflation)
 # ----------------------------------------------------------------------

@@ -14,23 +14,31 @@ The training-disc radius upper bound plays the role of Theorem 3's
 ``R >= r``: overestimation keeps the true AP inside the intersection at
 the cost of a larger region, which shrinks as tuples accumulate — the
 paper's Fig 17 (error vs. number of training tuples).
+
+Placement cost: a single pass builds an inverted index (BSSID → the
+training locations that observed it), replacing the previous per-AP
+scan over the whole corpus, and each AP's disc intersection prunes its
+candidate pairs through a :class:`~repro.geometry.grid.SpatialGrid` —
+pairs of training discs farther apart than the radius sum cannot
+intersect, so skipping them yields exactly the same vertex set Δ.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
+import numpy as np
+
+from repro.geometry import kernels
 from repro.geometry.circle import Circle
-from repro.geometry.point import Point, mean_point
+from repro.geometry.grid import SpatialGrid
+from repro.geometry.point import Point
 from repro.geometry.region import DiscIntersection
 from repro.knowledge.apdb import ApDatabase, ApRecord
-from repro.knowledge.wardrive import (
-    TrainingTuple,
-    aps_in_training_data,
-    tuples_observing,
-)
+from repro.knowledge.wardrive import TrainingTuple
 from repro.localization.aprad import APRad
 from repro.localization.base import LocalizationEstimate, Localizer
+from repro.localization.radius_lp import RadiusEstimate
 from repro.net80211.mac import MacAddress
 from repro.net80211.ssid import Ssid
 
@@ -68,13 +76,14 @@ class APLoc(Localizer):
                  max_separated_neighbors: Optional[int] = None,
                  min_evidence: int = 1,
                  overestimate_factor: float = 1.0,
-                 refine_iterations: int = 0):
+                 refine_iterations: int = 0,
+                 tie_break: float = 0.0):
         if training_radius_m <= 0.0:
             raise ValueError(
                 f"training radius must be > 0, got {training_radius_m}")
         self.training = list(training)
         self.training_radius_m = training_radius_m
-        self._aprad = None  # built lazily in fit()
+        self._aprad: Optional[APRad] = None  # built lazily in fit()
         self._r_max = r_max
         self._r_min = r_min
         self._solver = solver
@@ -82,15 +91,76 @@ class APLoc(Localizer):
         self._max_separated_neighbors = max_separated_neighbors
         self._min_evidence = min_evidence
         self._overestimate_factor = overestimate_factor
+        self._tie_break = tie_break
         if refine_iterations < 0:
             raise ValueError(
                 f"refine_iterations must be >= 0, got {refine_iterations}")
         self.refine_iterations = refine_iterations
         self._estimated_locations: Optional[Dict[MacAddress, Point]] = None
+        self._training_coords = np.array(
+            [entry.location.as_tuple() for entry in self.training],
+            dtype=np.float64).reshape(len(self.training), 2)
+        self._observer_index: Optional[Dict[MacAddress, np.ndarray]] = None
+        self._fit_generation = 0
 
     # ------------------------------------------------------------------
     # Step 1: AP placement from training tuples
     # ------------------------------------------------------------------
+
+    def _observers_of(self) -> Dict[MacAddress, np.ndarray]:
+        """BSSID → indices of the training tuples that observed it.
+
+        Built in one pass over the corpus; the previous implementation
+        re-scanned all T tuples for each of the A APs (O(A·T)).
+        """
+        if self._observer_index is None:
+            collected: Dict[MacAddress, List[int]] = {}
+            for index, entry in enumerate(self.training):
+                for bssid in entry.observed:
+                    collected.setdefault(bssid, []).append(index)
+            self._observer_index = {
+                bssid: np.array(indices, dtype=np.int64)
+                for bssid, indices in collected.items()
+            }
+        return self._observer_index
+
+    def _place_ap(self, observer_rows: np.ndarray,
+                  radius: float) -> Optional[Point]:
+        """Centroid of the observing discs' intersection, or None.
+
+        Equal-radius discs at the observing training locations.  The
+        candidate vertex pairs are pruned through a spatial grid:
+        discs farther apart than ``2 * radius`` (the radius sum)
+        intersect nowhere, so only in-range pairs are handed to the
+        geometry kernel — the resulting Δ is identical to the all-pairs
+        computation.  A bounding-box check catches provably-empty
+        regions (two observers farther apart than any shared point
+        allows) before any pair work.
+        """
+        points = self._training_coords[observer_rows]
+        count = len(points)
+        discs = [Circle(Point(x, y), radius) for x, y in points]
+        if count == 1:
+            return DiscIntersection(discs).centroid()
+        # Tolerances exactly as DiscIntersection derives them, so the
+        # precomputed Δ matches what the region would compute itself.
+        tol = 1e-9 * max(1.0, radius)
+        spans = points.max(axis=0) - points.min(axis=0)
+        if float(spans.max()) > 2.0 * radius + 10.0 * tol:
+            # The two extreme observers are farther apart than 2r even
+            # after every tolerance: their discs are disjoint, the
+            # intersection is empty, and the caller's fallback applies.
+            return None
+        cutoff = 2.0 * radius + tol
+        grid = SpatialGrid(points, cell_size=cutoff)
+        pair_i, pair_j, _ = grid.pairs_within(cutoff, strict=False)
+        radii = np.full(count, radius, dtype=np.float64)
+        vertices = kernels.intersection_vertices_pruned(
+            points, radii, pair_i, pair_j,
+            contain_slack=tol, dedupe_tol=tol * 10.0)
+        region = DiscIntersection(
+            discs, precomputed_vertices=kernels.array_as_points(vertices))
+        return region.centroid()
 
     def estimate_ap_locations(self) -> Dict[MacAddress, Point]:
         """Place every AP seen in training by disc intersection.
@@ -103,15 +173,14 @@ class APLoc(Localizer):
         """
         if self._estimated_locations is not None:
             return dict(self._estimated_locations)
+        observers = self._observers_of()
         locations: Dict[MacAddress, Point] = {}
-        for bssid in sorted(aps_in_training_data(self.training)):
-            observers = tuples_observing(self.training, bssid)
-            discs = [Circle(entry.location, self.training_radius_m)
-                     for entry in observers]
-            region = DiscIntersection(discs)
-            centroid = region.centroid()
+        for bssid in sorted(observers):
+            rows = observers[bssid]
+            centroid = self._place_ap(rows, self.training_radius_m)
             if centroid is None:
-                centroid = mean_point(e.location for e in observers)
+                mean = self._training_coords[rows].mean(axis=0)
+                centroid = Point(float(mean[0]), float(mean[1]))
             locations[bssid] = centroid
         self._estimated_locations = locations
         return dict(locations)
@@ -139,34 +208,53 @@ class APLoc(Localizer):
                 solver=self._solver, mloc_mode=self._mloc_mode,
                 max_separated_neighbors=self._max_separated_neighbors,
                 min_evidence=self._min_evidence,
-                overestimate_factor=self._overestimate_factor)
+                overestimate_factor=self._overestimate_factor,
+                tie_break=self._tie_break)
             estimate = self._aprad.fit(observations)
             if iteration < self.refine_iterations:
                 locations = self._refine_locations(locations,
                                                    estimate.radii)
         self._estimated_locations = locations
-        self._fit_generation = getattr(self, "_fit_generation", 0) + 1
+        self._fit_generation += 1
         return estimate
+
+    def partial_fit(self, observations: Sequence[Iterable[MacAddress]]
+                    ) -> RadiusEstimate:
+        """Fold new attack-phase observations into the radius LP.
+
+        AP placements stay as fitted (they derive from the training
+        corpus, which does not grow here); the inner AP-Rad re-fit is
+        incremental, warm-starting from its previous basis when the
+        solver supports it.  Raises if :meth:`fit` has not run.
+        """
+        if self._aprad is None:
+            raise RuntimeError(
+                "APLoc.partial_fit called before fit(); run fit() with "
+                "the initial observation corpus first")
+        estimate = self._aprad.partial_fit(observations)
+        self._fit_generation += 1
+        return estimate
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._aprad is not None and self._aprad.is_fitted
 
     def cache_key(self) -> str:
         """Re-fitting moves APs and radii, so it bumps the cache key."""
-        return f"{self.name}#fit{getattr(self, '_fit_generation', 0)}"
+        return f"{self.name}#fit{self._fit_generation}"
 
     def _refine_locations(self, previous: Dict[MacAddress, Point],
                           radii: Dict[MacAddress, float]
                           ) -> Dict[MacAddress, Point]:
         """Re-place APs with their estimated radii as disc radii."""
+        observers = self._observers_of()
         refined: Dict[MacAddress, Point] = {}
         for bssid, location in previous.items():
             radius = radii.get(bssid)
             if radius is None or radius >= self.training_radius_m:
                 refined[bssid] = location
                 continue
-            observers = tuples_observing(self.training, bssid)
-            discs = [Circle(entry.location, radius)
-                     for entry in observers]
-            region = DiscIntersection(discs)
-            centroid = region.centroid()
+            centroid = self._place_ap(observers[bssid], radius)
             refined[bssid] = centroid if centroid is not None else location
         return refined
 

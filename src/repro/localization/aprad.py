@@ -40,7 +40,8 @@ class APRad(Localizer):
                  mloc_mode: str = "vertex",
                  max_separated_neighbors: Optional[int] = None,
                  min_evidence: int = 1,
-                 overestimate_factor: float = 1.0):
+                 overestimate_factor: float = 1.0,
+                 tie_break: float = 0.0):
         self.database = database
         self.r_max = r_max
         self.r_min = r_min
@@ -49,6 +50,8 @@ class APRad(Localizer):
         self.max_separated_neighbors = max_separated_neighbors
         self.min_evidence = min_evidence
         self.overestimate_factor = overestimate_factor
+        self.tie_break = tie_break
+        self._estimator: Optional[RadiusEstimator] = None
         self._fitted_db: Optional[ApDatabase] = None
         self._mloc: Optional[MLoc] = None
         self._last_fit: Optional[RadiusEstimate] = None
@@ -58,18 +61,18 @@ class APRad(Localizer):
     # Fitting
     # ------------------------------------------------------------------
 
-    def fit(self, observations: Sequence[Iterable[MacAddress]]
-            ) -> RadiusEstimate:
-        """Run the radius LP over the observation corpus."""
+    def _make_estimator(self) -> RadiusEstimator:
         locations = {record.bssid: record.location
                      for record in self.database}
-        estimator = RadiusEstimator(
+        return RadiusEstimator(
             locations, r_max=self.r_max, r_min=self.r_min,
             solver=self.solver,
             max_separated_neighbors=self.max_separated_neighbors,
             min_evidence=self.min_evidence,
-            overestimate_factor=self.overestimate_factor)
-        estimate = estimator.fit(observations)
+            overestimate_factor=self.overestimate_factor,
+            tie_break=self.tie_break)
+
+    def _apply_fit(self, estimate: RadiusEstimate) -> RadiusEstimate:
         fitted = ApDatabase(
             replace(record, max_range_m=estimate.radii[record.bssid])
             for record in self.database
@@ -79,6 +82,36 @@ class APRad(Localizer):
         self._last_fit = estimate
         self._fit_generation += 1
         return estimate
+
+    def fit(self, observations: Sequence[Iterable[MacAddress]]
+            ) -> RadiusEstimate:
+        """Run the radius LP over the observation corpus (cold)."""
+        self._estimator = self._make_estimator()
+        return self._apply_fit(self._estimator.fit(observations))
+
+    def partial_fit(self, observations: Sequence[Iterable[MacAddress]]
+                    ) -> RadiusEstimate:
+        """Fold new observations in and re-solve incrementally.
+
+        The estimator (and with ``solver="revised"`` its LP basis)
+        persists across calls, so each re-fit costs roughly the
+        evidence delta instead of the accumulated corpus.  The first
+        call on an unfitted instance is equivalent to :meth:`fit`.
+        """
+        if self._estimator is None:
+            return self.fit(observations)
+        self._estimator.ingest(observations)
+        return self._apply_fit(self._estimator.refit())
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether the radius LP has run (``locate`` is usable)."""
+        return self._mloc is not None
+
+    @property
+    def last_fit(self) -> Optional[RadiusEstimate]:
+        """Metadata from the most recent (re-)fit, if any."""
+        return self._last_fit
 
     def cache_key(self) -> str:
         """Re-fitting changes every radius, so it bumps the cache key."""

@@ -18,28 +18,48 @@ Practical deviations (documented in DESIGN.md):
   program is always feasible and slack is only used where the evidence
   conflicts.
 * Pairs farther apart than ``2 * r_max`` are skipped: with radii bounded
-  by ``r_max`` their "<" constraints can never bind, and skipping them
-  keeps the LP at a few thousand rows for campus-scale AP counts.
+  by ``r_max`` their "<" constraints can never bind.  Candidate pairs
+  come from a :class:`~repro.geometry.grid.SpatialGrid` over the AP
+  locations, so pair generation costs O(n + pairs-in-range) instead of
+  the previous dense O(n²) distance matrix.
 * A co-observed pair with ``d_ij > 2 * r_max`` (possible with noisy
   locations) has its ">=" right-hand side clamped to ``2 * r_max``.
+
+Streaming refits
+----------------
+
+The estimator also supports an incremental protocol for streaming
+corpora: :meth:`RadiusEstimator.ingest` folds new Γ observations into
+the evidence counters, and :meth:`RadiusEstimator.refit` re-solves by
+*mutating* the persistent LP instead of rebuilding it — new co-observed
+pairs append ">=" rows, separated pairs that became co-observed have
+their "<=" rows retuned to a never-binding right-hand side ("inerted"),
+and with ``solver="revised"`` the solve warm-starts from the previous
+optimal basis, so re-fit cost scales with the evidence delta rather
+than the corpus size.  Inert rows are garbage-collected by a full
+rebuild once they outnumber the live ones.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.geometry import kernels
+from repro.geometry.grid import SpatialGrid
 from repro.geometry.point import Point
 from repro.lp.problem import LpProblem
+from repro.lp.revised import LpState
 from repro.net80211.mac import MacAddress
 
 #: Objective weight penalizing slack on never-co-observed constraints.
 _SLACK_PENALTY = 10.0
 #: Margin standing in for the strict "<" of the paper.
 _STRICT_MARGIN_M = 1e-6
+#: Inert-row count (and excess over live rows) that triggers compaction.
+_COMPACT_THRESHOLD = 64
 
 
 @dataclass
@@ -50,6 +70,14 @@ class RadiusEstimate:
     co_observed_pairs: int
     separated_pairs: int
     total_slack: float
+    #: Simplex iterations the solve took (0 for backends not reporting).
+    solver_iterations: int = 0
+    #: Wall-clock seconds spent inside the LP solve.
+    solve_seconds: float = 0.0
+    #: Whether the solve restarted from a previous optimal basis.
+    warm_started: bool = False
+    #: Constraint rows in the LP at solve time (including inert rows).
+    lp_rows: int = 0
 
     def radius_of(self, bssid: MacAddress) -> float:
         return self.radii[bssid]
@@ -69,14 +97,25 @@ class RadiusEstimator:
     r_min:
         Lower bound; a working AP has some nonzero range.
     solver:
-        ``"simplex"`` (our solver) or ``"scipy"``.
+        ``"simplex"`` (dense tableau), ``"revised"`` (sparse, warm-
+        startable — required for cheap incremental refits), or
+        ``"scipy"``.
+    tie_break:
+        When > 0, adds a deterministic per-variable objective
+        perturbation of this magnitude (scaled into ``(0, tie_break]``
+        by variable index).  The radius LP routinely has alternate
+        optima (any split of a separated pair's distance budget scores
+        the same), so exact per-radius agreement across solvers — or
+        across cold and warm solves — needs the optimum made unique.
+        Off by default: the perturbation slightly biases later APs.
     """
 
     def __init__(self, locations: Dict[MacAddress, Point], r_max: float,
                  r_min: float = 1.0, solver: str = "simplex",
                  max_separated_neighbors: Optional[int] = None,
                  min_evidence: int = 1,
-                 overestimate_factor: float = 1.0):
+                 overestimate_factor: float = 1.0,
+                 tie_break: float = 0.0):
         if r_max <= 0.0:
             raise ValueError(f"r_max must be > 0, got {r_max}")
         if not 0.0 <= r_min <= r_max:
@@ -105,123 +144,151 @@ class RadiusEstimator:
         #: underestimate" (Theorem 3): a modest inflation protects the
         #: intersection from per-AP estimation scatter.
         self.overestimate_factor = overestimate_factor
+        if tie_break < 0.0:
+            raise ValueError(f"tie_break must be >= 0, got {tie_break}")
+        self.tie_break = tie_break
+
+        self._bssids = sorted(self.locations.keys())
+        self._index_of = {b: i for i, b in enumerate(self._bssids)}
+        # Fixed-seed jitter for the tie-break weights (see
+        # _objective_coefficient); depends only on AP count, so every
+        # estimator over the same locations perturbs identically.
+        self._tie_jitter = np.random.default_rng(0x71EB).random(
+            len(self._bssids))
+        self._coords = np.array(
+            [self.locations[b].as_tuple() for b in self._bssids],
+            dtype=np.float64).reshape(len(self._bssids), 2)
+        #: All index pairs closer than 2*r_max, from the spatial grid —
+        #: the only pairs whose constraints can ever bind.  Locations
+        #: are immutable, so this is computed once.
+        self._range_pairs = self._pairs_in_range()
+
+        # Streaming evidence state.
+        self._counts: Dict[int, int] = {}
+        self._co_pairs: Set[Tuple[int, int]] = set()
+        # Persistent LP state (solver="revised" incremental path).
+        self._problem: Optional[LpProblem] = None
+        self._radius_vars: List[int] = []
+        self._slack_vars: List[int] = []
+        self._co_rows: Set[Tuple[int, int]] = set()
+        self._sep_rows: Dict[Tuple[int, int], int] = {}
+        self._inert_rows = 0
+        self._lp_state: Optional[LpState] = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
 
     def fit(self, observations: Sequence[Iterable[MacAddress]]
             ) -> RadiusEstimate:
         """Solve the radius LP from a corpus of observed Γ sets.
 
         ``observations`` is one Γ (AP set) per monitored mobile device
-        (or per mobile per observation window).
+        (or per mobile per observation window).  A full (cold) fit:
+        any previously ingested evidence is discarded.
         """
-        bssids = sorted(self.locations.keys())
-        index_of = {bssid: i for i, bssid in enumerate(bssids)}
-        co_observed = self._co_observed_pairs(observations, index_of)
-        appearances = self._appearance_counts(observations, index_of)
-        # One vectorized pairwise-distance matrix, shared by the
-        # co-observation constraints, the separated-pair scan, and the
-        # final constraint ordering — previously each recomputed its
-        # own O(n²) scalar distance_to calls.
-        coords = np.array([self.locations[b].as_tuple() for b in bssids],
-                          dtype=np.float64).reshape(len(bssids), 2)
-        distances = kernels.pairwise_distance_matrix(coords)
+        self._reset_evidence()
+        self._absorb(observations)
+        self._rebuild_problem()
+        return self._solve(warm=False)
 
-        problem = LpProblem(maximize=True)
-        radius_vars = [
-            problem.add_variable(f"r_{bssid}", low=self.r_min, up=self.r_max)
-            for bssid in bssids
-        ]
-        objective: Dict[int, float] = {v: 1.0 for v in radius_vars}
+    def ingest(self, observations: Sequence[Iterable[MacAddress]]) -> int:
+        """Fold new Γ observations into the evidence counters.
 
-        co_count = 0
-        sep_count = 0
-        slack_vars: List[int] = []
-        separated = self._separated_pairs(bssids, co_observed, appearances,
-                                          distances)
-        for i, j in sorted(co_observed):
-            distance = float(distances[i, j])
-            co_count += 1
-            rhs = min(distance, 2.0 * self.r_max)
-            problem.add_constraint(
-                {radius_vars[i]: 1.0, radius_vars[j]: 1.0}, ">=", rhs)
-        for i, j, distance in separated:
-            sep_count += 1
-            slack = problem.add_variable(f"s_{i}_{j}", low=0.0, up=None)
-            slack_vars.append(slack)
-            objective[slack] = -_SLACK_PENALTY
-            problem.add_constraint(
-                {radius_vars[i]: 1.0, radius_vars[j]: 1.0, slack: -1.0},
-                "<=", max(self.r_min * 2.0, distance - _STRICT_MARGIN_M))
+        Returns how many observations were absorbed.  Cheap — no LP
+        work happens until :meth:`refit`.
+        """
+        return self._absorb(observations)
 
-        problem.set_objective(objective)
-        result = problem.solve(solver=self.solver)
-        if not result.is_optimal:
-            raise RuntimeError(
-                f"radius LP did not solve: status={result.status}")
-        radii = {
-            bssid: min(self.r_max,
-                       float(result.x[index_of[bssid]])
-                       * self.overestimate_factor)
-            for bssid in bssids
-        }
-        total_slack = float(sum(result.x[v] for v in slack_vars))
-        return RadiusEstimate(radii=radii, co_observed_pairs=co_count,
-                              separated_pairs=sep_count,
-                              total_slack=total_slack)
+    def refit(self) -> RadiusEstimate:
+        """Re-solve after :meth:`ingest`, reusing the previous LP.
 
-    def _appearance_counts(
-        self,
-        observations: Sequence[Iterable[MacAddress]],
-        index_of: Dict[MacAddress, int],
-    ) -> Dict[int, int]:
-        """How many observations each known AP appeared in."""
-        counts: Dict[int, int] = {i: 0 for i in index_of.values()}
+        With ``solver="revised"`` the existing constraint system is
+        mutated in place (rows appended or inerted, never rebuilt) and
+        the solve warm-starts from the last optimal basis; other
+        backends fall back to a full rebuild + cold solve.
+        """
+        if self._problem is None or self.solver != "revised":
+            self._rebuild_problem()
+            return self._solve(warm=False)
+        self._apply_evidence_delta()
+        if self._needs_compaction():
+            self._rebuild_problem()
+            return self._solve(warm=False)
+        return self._solve(warm=self._lp_state is not None)
+
+    @property
+    def lp_rows(self) -> int:
+        """Rows currently in the persistent LP (including inert)."""
+        return 0 if self._problem is None else self._problem.num_constraints
+
+    @property
+    def inert_rows(self) -> int:
+        """Rows neutralized by a separated→co-observed transition."""
+        return self._inert_rows
+
+    # ------------------------------------------------------------------
+    # Evidence accounting
+    # ------------------------------------------------------------------
+
+    def _reset_evidence(self) -> None:
+        self._counts = {}
+        self._co_pairs = set()
+        self._problem = None
+        self._lp_state = None
+
+    def _absorb(self, observations: Sequence[Iterable[MacAddress]]) -> int:
+        absorbed = 0
+        index_of = self._index_of
         for observed in observations:
-            for bssid in observed:
-                index = index_of.get(bssid)
-                if index is not None:
-                    counts[index] += 1
-        return counts
+            indices = sorted({index_of[b] for b in observed
+                              if b in index_of})
+            if not indices:
+                continue  # no known AP in this Γ: zero evidence
+            for i in indices:
+                self._counts[i] = self._counts.get(i, 0) + 1
+            for a_pos in range(len(indices)):
+                for b_pos in range(a_pos + 1, len(indices)):
+                    self._co_pairs.add((indices[a_pos], indices[b_pos]))
+            absorbed += 1
+        return absorbed
 
-    def _separated_pairs(
-        self,
-        bssids: List[MacAddress],
-        co_observed: Set[Tuple[int, int]],
-        appearances: Dict[int, int],
-        distances: np.ndarray,
-    ) -> List[Tuple[int, int, float]]:
+    def _pairs_in_range(self) -> List[Tuple[int, int, float]]:
+        """Index pairs with ``d < 2*r_max``, sorted by (i, j)."""
+        if len(self._bssids) < 2:
+            return []
+        cutoff = 2.0 * self.r_max
+        grid = SpatialGrid(self._coords, cell_size=cutoff)
+        pair_i, pair_j, dist = grid.pairs_within(cutoff, strict=True)
+        return [(int(i), int(j), float(d))
+                for i, j, d in zip(pair_i, pair_j, dist)]
+
+    def _pair_distance(self, i: int, j: int) -> float:
+        delta = self._coords[i] - self._coords[j]
+        return float(np.hypot(delta[0], delta[1]))
+
+    def _desired_separated(self) -> List[Tuple[int, int, float]]:
         """Never-co-observed pairs whose "<" constraint can bind.
 
-        Pairs at distance >= ``2 * r_max`` are skipped (never binding
-        under the radius bounds).  With ``max_separated_neighbors`` set,
-        each AP keeps only its nearest ``m`` separated partners — the
-        closest pairs give the tightest (near-dominating) upper bounds,
-        so this is a good approximation that keeps the from-scratch
-        simplex tractable on dense campuses.
-
-        ``distances`` is the precomputed pairwise matrix from
-        :meth:`fit`; candidate filtering reads it instead of
-        recomputing scalar distances pair by pair.
+        Candidates come from the precomputed in-range pair list (the
+        spatial grid already discarded everything beyond ``2*r_max``);
+        both endpoints must have ``min_evidence`` appearances.  With
+        ``max_separated_neighbors`` set, each AP keeps only its nearest
+        ``m`` separated partners — the closest pairs give the tightest
+        (near-dominating) upper bounds, so this is a good approximation
+        that keeps the LP tractable on dense campuses.
         """
-        n = len(bssids)
-        evidenced = np.array(
-            [appearances.get(i, 0) >= self.min_evidence for i in range(n)],
-            dtype=bool)
-        candidates: Dict[int, List[Tuple[float, int]]] = {
-            i: [] for i in range(n)}
-        for i in range(n):
-            if not evidenced[i]:
+        counts = self._counts
+        need = self.min_evidence
+        co = self._co_pairs
+        candidates: Dict[int, List[Tuple[float, int]]] = {}
+        for i, j, distance in self._range_pairs:
+            if counts.get(i, 0) < need or counts.get(j, 0) < need:
                 continue
-            row = distances[i]
-            for j in range(i + 1, n):
-                if not evidenced[j]:
-                    continue
-                if (i, j) in co_observed:
-                    continue
-                distance = float(row[j])
-                if distance >= 2.0 * self.r_max:
-                    continue
-                candidates[i].append((distance, j))
-                candidates[j].append((distance, i))
+            if (i, j) in co:
+                continue
+            candidates.setdefault(i, []).append((distance, j))
+            candidates.setdefault(j, []).append((distance, i))
         kept: Set[Tuple[int, int]] = set()
         limit = self.max_separated_neighbors
         for i, neighbors in candidates.items():
@@ -230,19 +297,137 @@ class RadiusEstimator:
             for distance, j in selected:
                 kept.add((min(i, j), max(i, j)))
         return sorted(
-            (i, j, float(distances[i, j])) for i, j in kept
+            (i, j, self._pair_distance(i, j)) for i, j in kept
         )
 
-    def _co_observed_pairs(
-        self,
-        observations: Sequence[Iterable[MacAddress]],
-        index_of: Dict[MacAddress, int],
-    ) -> Set[Tuple[int, int]]:
-        """Index pairs of APs seen together in at least one Γ."""
-        pairs: Set[Tuple[int, int]] = set()
-        for observed in observations:
-            indices = sorted(index_of[b] for b in observed if b in index_of)
-            for a_pos in range(len(indices)):
-                for b_pos in range(a_pos + 1, len(indices)):
-                    pairs.add((indices[a_pos], indices[b_pos]))
-        return pairs
+    # ------------------------------------------------------------------
+    # LP construction
+    # ------------------------------------------------------------------
+
+    def _sep_rhs(self, distance: float) -> float:
+        return max(self.r_min * 2.0, distance - _STRICT_MARGIN_M)
+
+    def _co_rhs(self, distance: float) -> float:
+        return min(distance, 2.0 * self.r_max)
+
+    def _inert_rhs(self) -> float:
+        # r_i + r_j - s <= 2*r_max can never bind: radii are capped at
+        # r_max and the slack is nonnegative.
+        return 2.0 * self.r_max
+
+    def _objective_coefficient(self, var_index: int) -> float:
+        if self.tie_break <= 0.0:
+            return 1.0
+        # Linear in the raw index, NOT normalized by AP count: adjacent
+        # coefficients must differ by more than the solvers' reduced-
+        # cost tolerance (~1e-9) or the perturbation is invisible and
+        # alternate optima return.  The seeded-random component breaks
+        # the degenerate cycles a purely linear ramp cannot: a balanced
+        # radius transfer around a cycle of binding pair constraints
+        # cancels linear weights exactly whenever the gaining and
+        # losing index sums coincide.
+        return 1.0 + self.tie_break * (var_index + 1
+                                       + self._tie_jitter[var_index])
+
+    def _add_co_row(self, problem: LpProblem, i: int, j: int) -> None:
+        problem.add_constraint(
+            {self._radius_vars[i]: 1.0, self._radius_vars[j]: 1.0},
+            ">=", self._co_rhs(self._pair_distance(i, j)))
+        self._co_rows.add((i, j))
+
+    def _add_sep_row(self, problem: LpProblem, i: int, j: int,
+                     distance: float) -> None:
+        slack = problem.add_variable(f"s_{i}_{j}", low=0.0, up=None)
+        self._slack_vars.append(slack)
+        problem.set_objective_coefficient(slack, -_SLACK_PENALTY)
+        self._sep_rows[(i, j)] = problem.num_constraints
+        problem.add_constraint(
+            {self._radius_vars[i]: 1.0, self._radius_vars[j]: 1.0,
+             slack: -1.0},
+            "<=", self._sep_rhs(distance))
+
+    def _rebuild_problem(self) -> None:
+        """Cold assembly of the full LP from the current evidence."""
+        problem = LpProblem(maximize=True)
+        self._radius_vars = [
+            problem.add_variable(f"r_{bssid}", low=self.r_min,
+                                 up=self.r_max)
+            for bssid in self._bssids
+        ]
+        problem.set_objective({
+            v: self._objective_coefficient(v) for v in self._radius_vars})
+        self._slack_vars = []
+        self._co_rows = set()
+        self._sep_rows = {}
+        self._inert_rows = 0
+        self._lp_state = None
+        for i, j in sorted(self._co_pairs):
+            self._add_co_row(problem, i, j)
+        for i, j, distance in self._desired_separated():
+            self._add_sep_row(problem, i, j, distance)
+        self._problem = problem
+
+    def _apply_evidence_delta(self) -> None:
+        """Mutate the persistent LP to match the current evidence."""
+        problem = self._problem
+        assert problem is not None
+        desired = {(i, j): d for i, j, d in self._desired_separated()}
+        # Separated rows invalidated by new evidence (the pair became
+        # co-observed, or the neighbor cap now prefers a closer
+        # partner): retune the rhs so the row can never bind.
+        for pair in list(self._sep_rows):
+            if pair not in desired:
+                problem.set_constraint_rhs(self._sep_rows.pop(pair),
+                                           self._inert_rhs())
+                self._inert_rows += 1
+        # Newly desired separated rows (APs crossed min_evidence, or a
+        # previously inerted pair is wanted again) append fresh rows.
+        for (i, j), distance in desired.items():
+            if (i, j) not in self._sep_rows:
+                self._add_sep_row(problem, i, j, distance)
+        # New co-observations append hard ">=" rows.
+        for i, j in sorted(self._co_pairs - self._co_rows):
+            self._add_co_row(problem, i, j)
+
+    def _needs_compaction(self) -> bool:
+        live = len(self._co_rows) + len(self._sep_rows)
+        return (self._inert_rows > _COMPACT_THRESHOLD
+                and self._inert_rows > live)
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+
+    def _solve(self, warm: bool) -> RadiusEstimate:
+        problem = self._problem
+        assert problem is not None
+        started = time.perf_counter()
+        if self.solver == "revised":
+            result = problem.solve_revised(
+                warm_start=self._lp_state if warm else None)
+            self._lp_state = result.state
+            warm_started = result.warm_started
+        else:
+            result = problem.solve(solver=self.solver)
+            warm_started = False
+        elapsed = time.perf_counter() - started
+        if not result.is_optimal:
+            raise RuntimeError(
+                f"radius LP did not solve: status={result.status}")
+        radii = {
+            bssid: min(self.r_max,
+                       float(result.x[self._index_of[bssid]])
+                       * self.overestimate_factor)
+            for bssid in self._bssids
+        }
+        total_slack = float(sum(result.x[v] for v in self._slack_vars))
+        return RadiusEstimate(
+            radii=radii,
+            co_observed_pairs=len(self._co_rows),
+            separated_pairs=len(self._sep_rows),
+            total_slack=total_slack,
+            solver_iterations=int(getattr(result, "iterations", 0)),
+            solve_seconds=elapsed,
+            warm_started=warm_started,
+            lp_rows=problem.num_constraints,
+        )

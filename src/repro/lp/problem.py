@@ -8,9 +8,10 @@ Lets AP-Rad express its radius-estimation program naturally::
     problem.set_objective({i: 1.0 for i in range(n)})
     result = problem.solve()
 
-The ``solver`` argument selects the from-scratch simplex (default) or
-``scipy.optimize.linprog`` (useful for large instances and used by the
-test suite as a cross-check).
+The ``solver`` argument selects the from-scratch dense simplex
+(default), the sparse revised simplex (``"revised"`` — supports warm
+starts from a previous solve's basis), or ``scipy.optimize.linprog``
+(used by the test suite as a cross-check).
 """
 
 from __future__ import annotations
@@ -20,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.lp.revised import LpState, RevisedResult, solve_revised
 from repro.lp.simplex import LpResult, solve_lp
 
 _SENSES = ("<=", ">=", "==")
@@ -80,6 +82,24 @@ class LpProblem:
                 raise IndexError(f"unknown variable index {index}")
         self._objective = dict(coefficients)
 
+    def set_objective_coefficient(self, index: int, value: float) -> None:
+        """Set a single objective coefficient in place."""
+        if not 0 <= index < len(self._names):
+            raise IndexError(f"unknown variable index {index}")
+        self._objective[index] = float(value)
+
+    def set_constraint_rhs(self, index: int, rhs: float) -> None:
+        """Retune an existing constraint's right-hand side in place.
+
+        This is the incremental-refit hook: tightening or relaxing a
+        row does not invalidate a warm-start basis, so the next
+        ``solve(solver="revised", warm_start=...)`` only repairs the
+        rows whose rhs actually moved.
+        """
+        if not 0 <= index < len(self._constraints):
+            raise IndexError(f"unknown constraint index {index}")
+        self._constraints[index].rhs = float(rhs)
+
     def _assemble(self):
         n = len(self._names)
         cost = np.zeros(n)
@@ -104,12 +124,14 @@ class LpProblem:
                 b_eq.append(constraint.rhs)
         return cost, a_ub, b_ub, a_eq, b_eq
 
-    def solve(self, solver: str = "simplex",
-              max_iter: int = 20000) -> LpResult:
-        """Solve with the chosen backend ("simplex" or "scipy").
+    def solve(self, solver: str = "simplex", max_iter: int = 20000,
+              warm_start: Optional[LpState] = None) -> LpResult:
+        """Solve with the chosen backend.
 
-        The from-scratch simplex is the reference implementation; the
-        scipy backend (sparse HiGHS) is for large AP-Rad instances.
+        ``"simplex"`` is the dense reference implementation,
+        ``"revised"`` the sparse revised simplex (the only backend that
+        honors ``warm_start``), and ``"scipy"`` linprog/HiGHS as an
+        external cross-check.
         """
         if solver == "simplex":
             cost, a_ub, b_ub, a_eq, b_eq = self._assemble()
@@ -117,9 +139,31 @@ class LpProblem:
                             a_eq or None, b_eq or None,
                             bounds=self._bounds, maximize=self.maximize,
                             max_iter=max_iter)
+        if solver == "revised":
+            return self.solve_revised(max_iter=max_iter,
+                                      warm_start=warm_start)
         if solver == "scipy":
             return self._solve_scipy()
         raise ValueError(f"unknown solver {solver!r}")
+
+    def solve_revised(self, max_iter: int = 20000,
+                      warm_start: Optional[LpState] = None,
+                      ) -> RevisedResult:
+        """Solve with the sparse revised simplex, keeping its richer
+        result (warm-start state, phase-1/refactorization counters).
+        """
+        n = len(self._names)
+        cost = np.zeros(n)
+        for index, value in self._objective.items():
+            cost[index] = value
+        constraints = [(c.coefficients, c.sense, c.rhs)
+                       for c in self._constraints]
+        lower = np.array([low for low, _ in self._bounds]) \
+            if n else np.zeros(0)
+        upper = [up for _, up in self._bounds]
+        return solve_revised(cost, constraints, lower, upper,
+                             maximize=self.maximize,
+                             warm_start=warm_start, max_iter=max_iter)
 
     def _solve_scipy(self) -> LpResult:
         from scipy.optimize import linprog
@@ -172,7 +216,8 @@ class LpProblem:
             method="highs",
         )
         if outcome.status == 0:
-            return LpResult("optimal", outcome.x, float(cost @ outcome.x))
+            return LpResult("optimal", outcome.x, float(cost @ outcome.x),
+                            iterations=int(getattr(outcome, "nit", 0)))
         if outcome.status == 2:
             return LpResult("infeasible", None, None)
         if outcome.status == 3:

@@ -1,0 +1,655 @@
+"""Sparse revised-simplex solver with warm starts.
+
+The dense tableau solver (:mod:`repro.lp.simplex`) carries the whole
+``m × (n + m)`` tableau through every pivot — O(m·n) work per iteration
+and a from-scratch rebuild per solve.  AP-Rad's streaming re-fits are
+the opposite workload: thousands of rows with 2–3 nonzeros each, solved
+over and over with only a handful of rows changed.  This module is the
+engine built for that shape:
+
+* **Sparse storage** — the constraint matrix lives in CSC form
+  (``indptr`` / ``indices`` / ``data`` arrays); the tableau is never
+  materialized.  Row slacks make every row an equality, and variable
+  bounds are handled directly by the bounded-variable simplex instead
+  of being expanded into extra rows.
+* **Factorized basis** — only the ``m × m`` basis is factorized (LU via
+  LAPACK — ``scipy.linalg.lu_factor`` when scipy is importable, an
+  explicit LAPACK-computed inverse otherwise), and each pivot appends a
+  product-form eta vector instead of refactorizing.  The basis is
+  refactorized — and the basic solution recomputed to wash out drift —
+  every :data:`REFACTOR_EVERY` pivots or on a degenerate pivot element.
+* **Dantzig pricing with Bland fallback** — steepest reduced cost
+  normally, switching to Bland's least-index rule after a pivot budget
+  so degenerate instances terminate.
+* **Phase 1 without artificials** — a composite infeasibility phase:
+  basic variables outside their bounds price with ±1 costs and the
+  ratio test stops at the first breakpoint where an infeasible basic
+  reaches its violated bound.  Starting from a warm basis this loop
+  runs for the *delta*, not the problem size, which is what makes
+  incremental AP-Rad re-fits cheap.
+* **Warm starts** — :class:`LpState` records the optimal basis in
+  solver-independent tags (``("v", var)`` / ``("s", row)``), so a
+  caller can append rows/columns to a problem and restart from the
+  previous optimum; unknown or clashing tags degrade gracefully to
+  that row's slack.
+
+The solver accepts the same problem family as :func:`repro.lp.simplex.
+solve_lp` (finite lower bounds; optional upper bounds) and is pinned
+against it by the property tests in ``tests/test_lp_revised.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+try:  # scipy is optional; the solver is self-contained without it.
+    from scipy.linalg import lu_factor as _lu_factor
+    from scipy.linalg import lu_solve as _lu_solve
+except ImportError:  # pragma: no cover - exercised on scipy-free hosts
+    _lu_factor = None
+    _lu_solve = None
+
+#: Reduced-cost optimality tolerance.
+DUAL_TOL = 1e-9
+#: Primal feasibility tolerance (matches the dense solver's phase-1 cut).
+FEAS_TOL = 1e-7
+#: Smallest acceptable pivot element before forcing a refactorization.
+PIVOT_TOL = 1e-10
+#: Pivots between basis refactorizations.
+REFACTOR_EVERY = 64
+
+_BASIC = 0
+_AT_LOWER = 1
+_AT_UPPER = 2
+
+
+@dataclass(frozen=True)
+class LpState:
+    """A warm-start snapshot in solver-independent coordinates.
+
+    ``row_basic[i]`` tags the column basic in row ``i`` — ``("v", j)``
+    for structural variable ``j`` or ``("s", k)`` for row ``k``'s
+    slack.  ``at_upper`` lists the nonbasic tags resting at their upper
+    bound (everything else defaults to its lower bound, or the upper
+    one when the lower is infinite).  Tags that no longer resolve in a
+    grown problem fall back to the row's own slack, so a state taken
+    before rows/columns were appended remains a valid (if partially
+    cold) starting point.
+    """
+
+    row_basic: Tuple[Tuple[str, int], ...]
+    at_upper: Tuple[Tuple[str, int], ...] = ()
+
+
+@dataclass
+class RevisedResult:
+    """Outcome of a revised-simplex solve."""
+
+    status: str  # "optimal" | "infeasible" | "unbounded" | "iteration_limit"
+    x: Optional[np.ndarray]  # structural variable values
+    objective: Optional[float]
+    iterations: int = 0
+    phase1_iterations: int = 0
+    refactorizations: int = 0
+    warm_started: bool = False
+    state: Optional[LpState] = None
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status == "optimal"
+
+
+class _Csc:
+    """Minimal CSC matrix: just the three arrays and column slicing."""
+
+    __slots__ = ("m", "n", "indptr", "indices", "data")
+
+    def __init__(self, m: int, n: int, indptr: np.ndarray,
+                 indices: np.ndarray, data: np.ndarray):
+        self.m = m
+        self.n = n
+        self.indptr = indptr
+        self.indices = indices
+        self.data = data
+
+    def column(self, j: int) -> Tuple[np.ndarray, np.ndarray]:
+        start, end = self.indptr[j], self.indptr[j + 1]
+        return self.indices[start:end], self.data[start:end]
+
+    def transpose_dot(self, y: np.ndarray) -> np.ndarray:
+        """``A^T y`` for all columns in one vectorized pass."""
+        out = np.zeros(self.n)
+        if self.data.size == 0:
+            return out
+        prod = self.data * y[self.indices]
+        starts = self.indptr[:-1]
+        nonempty = self.indptr[1:] > starts
+        sums = np.add.reduceat(prod, np.minimum(starts, prod.size - 1))
+        out[nonempty] = sums[nonempty]
+        return out
+
+
+def _build_csc(constraints: Sequence[Tuple[Dict[int, float], str, float]],
+               n: int) -> Tuple[_Csc, np.ndarray, np.ndarray, np.ndarray]:
+    """Assemble ``[A | I]`` in CSC plus rhs and slack bound arrays.
+
+    Row ``i``'s slack column is ``n + i`` with coefficient ``+1``;
+    its bounds encode the sense: ``<=`` → ``[0, ∞)``, ``>=`` →
+    ``(-∞, 0]``, ``==`` → ``[0, 0]``.
+    """
+    m = len(constraints)
+    per_column: List[List[Tuple[int, float]]] = [[] for _ in range(n)]
+    rhs = np.zeros(m)
+    slack_lower = np.zeros(m)
+    slack_upper = np.zeros(m)
+    for i, (coefficients, sense, value) in enumerate(constraints):
+        rhs[i] = value
+        for j, coef in coefficients.items():
+            if coef != 0.0:
+                per_column[j].append((i, coef))
+        if sense == "<=":
+            slack_lower[i], slack_upper[i] = 0.0, np.inf
+        elif sense == ">=":
+            slack_lower[i], slack_upper[i] = -np.inf, 0.0
+        elif sense == "==":
+            slack_lower[i], slack_upper[i] = 0.0, 0.0
+        else:
+            raise ValueError(f"unknown constraint sense {sense!r}")
+    total = n + m
+    indptr = np.zeros(total + 1, dtype=np.int64)
+    for j in range(n):
+        indptr[j + 1] = indptr[j] + len(per_column[j])
+    nnz_structural = int(indptr[n])
+    indptr[n + 1:] = nnz_structural + np.arange(1, m + 1)
+    indices = np.empty(nnz_structural + m, dtype=np.int64)
+    data = np.empty(nnz_structural + m)
+    cursor = 0
+    for j in range(n):
+        for row, coef in per_column[j]:
+            indices[cursor] = row
+            data[cursor] = coef
+            cursor += 1
+    indices[nnz_structural:] = np.arange(m)
+    data[nnz_structural:] = 1.0
+    return (_Csc(m, total, indptr, indices, data), rhs,
+            slack_lower, slack_upper)
+
+
+class _SingularBasis(Exception):
+    """Raised when the (warm) basis matrix cannot be factorized."""
+
+
+class _BasisFactor:
+    """LU-factorized basis with product-form eta updates.
+
+    ``ftran`` solves ``B x = a`` and ``btran`` solves ``B^T y = c``.
+    Each pivot appends one eta vector; the owner refactorizes when the
+    eta file grows past :data:`REFACTOR_EVERY` or a pivot is too small.
+    """
+
+    def __init__(self, matrix: _Csc, basis: np.ndarray):
+        m = matrix.m
+        dense = np.zeros((m, m))
+        for position, column in enumerate(basis):
+            rows, values = matrix.column(int(column))
+            dense[rows, position] = values
+        if _lu_factor is not None:
+            lu, piv = _lu_factor(dense, check_finite=False)
+            diag = np.abs(np.diag(lu))
+            scale = max(1.0, float(np.abs(dense).max())) if m else 1.0
+            if m and diag.min() <= 1e-11 * scale:
+                raise _SingularBasis
+            self._lu = (lu, piv)
+            self._inv = None
+        else:
+            try:
+                inverse = np.linalg.inv(dense)
+            except np.linalg.LinAlgError as error:
+                raise _SingularBasis from error
+            if not np.all(np.isfinite(inverse)):
+                raise _SingularBasis
+            self._lu = None
+            self._inv = inverse
+        self._etas: List[Tuple[int, np.ndarray]] = []
+
+    @property
+    def eta_count(self) -> int:
+        return len(self._etas)
+
+    def _base_solve(self, rhs: np.ndarray, transpose: bool) -> np.ndarray:
+        if self._lu is not None:
+            return _lu_solve(self._lu, rhs, trans=1 if transpose else 0,
+                             check_finite=False)
+        inverse = self._inv
+        return (inverse.T @ rhs) if transpose else (inverse @ rhs)
+
+    def ftran(self, rhs: np.ndarray) -> np.ndarray:
+        x = self._base_solve(rhs, transpose=False)
+        for position, eta in self._etas:
+            pivot_value = x[position]
+            if pivot_value != 0.0:
+                x[position] = 0.0
+                x += eta * pivot_value
+        return x
+
+    def btran(self, rhs: np.ndarray) -> np.ndarray:
+        y = np.array(rhs, dtype=float, copy=True)
+        for position, eta in reversed(self._etas):
+            y[position] = float(eta @ y)
+        return self._base_solve(y, transpose=True)
+
+    def update(self, position: int, w: np.ndarray) -> bool:
+        """Fold in a pivot replacing basis ``position`` (``w = B⁻¹ a_q``).
+
+        Returns False when the pivot element is numerically degenerate
+        and the caller must refactorize instead.
+        """
+        pivot_value = w[position]
+        if abs(pivot_value) < PIVOT_TOL:
+            return False
+        eta = -w / pivot_value
+        eta[position] = 1.0 / pivot_value
+        self._etas.append((position, eta))
+        return True
+
+
+def solve_revised(
+    cost: np.ndarray,
+    constraints: Sequence[Tuple[Dict[int, float], str, float]],
+    lower: np.ndarray,
+    upper: Sequence[Optional[float]],
+    maximize: bool = False,
+    warm_start: Optional[LpState] = None,
+    max_iter: int = 20000,
+    bland_after: Optional[int] = None,
+) -> RevisedResult:
+    """Solve a bounded LP with the sparse revised simplex.
+
+    Parameters mirror the modeling layer: ``cost`` over ``n``
+    structural variables, ``constraints`` as ``(coefficients, sense,
+    rhs)`` rows with sparse coefficient dicts, finite ``lower`` bounds
+    and optional ``upper`` bounds (``None`` = unbounded above).
+    ``warm_start`` is an :class:`LpState` from a previous solve of this
+    (possibly since-grown) problem.
+    """
+    c_struct = np.asarray(cost, dtype=float)
+    n = c_struct.shape[0]
+    if maximize:
+        c_struct = -c_struct
+    matrix, rhs, slack_lower, slack_upper = _build_csc(constraints, n)
+    m = matrix.m
+    total = matrix.n
+
+    lo = np.empty(total)
+    hi = np.empty(total)
+    lo[:n] = np.asarray(lower, dtype=float)
+    if not np.all(np.isfinite(lo[:n])):
+        raise ValueError(
+            "lower bounds must be finite (shift variables if needed)")
+    for j in range(n):
+        bound = upper[j]
+        hi[j] = np.inf if bound is None else float(bound)
+    lo[n:] = slack_lower
+    hi[n:] = slack_upper
+    if np.any(hi < lo - FEAS_TOL):
+        return RevisedResult("infeasible", None, None)
+    # Degenerate-range guard (upper < lower within tolerance): pin.
+    hi = np.maximum(hi, lo)
+
+    c_full = np.zeros(total)
+    c_full[:n] = c_struct
+
+    solver = _RevisedSimplex(matrix, rhs, lo, hi, c_full, n,
+                             max_iter=max_iter, bland_after=bland_after)
+    status = solver.run(warm_start)
+    result = RevisedResult(
+        status=status,
+        x=None,
+        objective=None,
+        iterations=solver.iterations,
+        phase1_iterations=solver.phase1_iterations,
+        refactorizations=solver.refactorizations,
+        warm_started=solver.warm_started,
+        state=None,
+    )
+    if status == "optimal":
+        x_full = solver.solution()
+        structural = x_full[:n]
+        sign = -1.0 if maximize else 1.0
+        result.x = structural
+        result.objective = float(sign * (c_struct @ structural))
+        result.state = solver.export_state()
+    return result
+
+
+class _RevisedSimplex:
+    """One solve's worth of revised-simplex state."""
+
+    def __init__(self, matrix: _Csc, rhs: np.ndarray, lo: np.ndarray,
+                 hi: np.ndarray, cost: np.ndarray, n_struct: int,
+                 max_iter: int, bland_after: Optional[int]):
+        self.matrix = matrix
+        self.rhs = rhs
+        self.lo = lo
+        self.hi = hi
+        self.cost = cost
+        self.n_struct = n_struct
+        self.m = matrix.m
+        self.total = matrix.n
+        self.max_iter = max_iter
+        self.bland_after = (bland_after if bland_after is not None
+                            else max(1000, 10 * (self.m + self.total)))
+        self.iterations = 0
+        self.phase1_iterations = 0
+        self.refactorizations = 0
+        self.warm_started = False
+        # Columns that can never usefully enter: fixed range.
+        self.fixed = (self.hi - self.lo) <= 0.0
+        self.status = np.empty(self.total, dtype=np.int8)
+        self.basis = np.empty(self.m, dtype=np.int64)
+        self.x_basic = np.zeros(self.m)
+        self.nonbasic_value = np.zeros(self.total)
+        self.factor: Optional[_BasisFactor] = None
+
+    # -- setup ---------------------------------------------------------
+
+    def _default_status(self, column: int) -> int:
+        return _AT_LOWER if np.isfinite(self.lo[column]) else _AT_UPPER
+
+    def _cold_basis(self) -> None:
+        self.basis = np.arange(self.n_struct, self.n_struct + self.m,
+                               dtype=np.int64)
+        self.status[:] = [self._default_status(j)
+                          for j in range(self.total)]
+        self.status[self.basis] = _BASIC
+
+    def _warm_basis(self, state: LpState) -> None:
+        taken = set()
+        chosen = np.full(self.m, -1, dtype=np.int64)
+        for row in range(self.m):
+            column = -1
+            if row < len(state.row_basic):
+                kind, index = state.row_basic[row]
+                if kind == "v" and 0 <= index < self.n_struct:
+                    column = index
+                elif kind == "s" and 0 <= index < self.m:
+                    column = self.n_struct + index
+            if column < 0 or column in taken:
+                column = self.n_struct + row
+            if column in taken:  # foreign slack claim clashed
+                continue
+            taken.add(column)
+            chosen[row] = column
+        for row in range(self.m):  # fill rows whose claim clashed
+            if chosen[row] < 0:
+                fallback = self.n_struct + row
+                if fallback in taken:
+                    raise _SingularBasis
+                taken.add(fallback)
+                chosen[row] = fallback
+        self.basis = chosen
+        self.status[:] = [self._default_status(j)
+                          for j in range(self.total)]
+        for kind, index in state.at_upper:
+            column = (index if kind == "v"
+                      else self.n_struct + index if kind == "s" else -1)
+            if (0 <= column < self.total
+                    and column not in taken
+                    and np.isfinite(self.hi[column])):
+                self.status[column] = _AT_UPPER
+        self.status[self.basis] = _BASIC
+
+    def _refresh_nonbasic_values(self) -> None:
+        at_lower = self.status == _AT_LOWER
+        at_upper = self.status == _AT_UPPER
+        self.nonbasic_value = np.where(at_lower, self.lo,
+                                       np.where(at_upper, self.hi, 0.0))
+
+    def _refactorize(self) -> None:
+        self.factor = _BasisFactor(self.matrix, self.basis)
+        self.refactorizations += 1
+        self._recompute_basics()
+
+    def _recompute_basics(self) -> None:
+        residual = self.rhs.copy()
+        self._refresh_nonbasic_values()
+        nonzero = np.nonzero((self.status != _BASIC)
+                             & (self.nonbasic_value != 0.0))[0]
+        for column in nonzero:
+            rows, values = self.matrix.column(int(column))
+            residual[rows] -= values * self.nonbasic_value[column]
+        self.x_basic = self.factor.ftran(residual)
+
+    # -- main loop -----------------------------------------------------
+
+    def run(self, warm_start: Optional[LpState]) -> str:
+        if self.m == 0:
+            return self._solve_unconstrained()
+        if warm_start is not None:
+            try:
+                self._warm_basis(warm_start)
+                self._refactorize()
+                self.warm_started = True
+            except _SingularBasis:
+                self.factor = None
+        if self.factor is None:
+            self._cold_basis()
+            try:
+                self._refactorize()
+            except _SingularBasis:  # pragma: no cover - identity basis
+                return "infeasible"
+        phase = 1 if self._infeasibility() > FEAS_TOL else 2
+        while self.iterations < self.max_iter:
+            if phase == 1 and self._infeasibility() <= FEAS_TOL:
+                phase = 2
+            entering, direction = self._price(phase)
+            if entering < 0:
+                if phase == 1:
+                    return ("infeasible"
+                            if self._infeasibility() > FEAS_TOL
+                            else "optimal"
+                            if self._price(2)[0] < 0
+                            else self._continue_phase2())
+                return "optimal"
+            step = self._step(entering, direction, phase)
+            if step == "unbounded":
+                return "unbounded"
+            self.iterations += 1
+            if phase == 1:
+                self.phase1_iterations += 1
+            if (self.factor.eta_count >= REFACTOR_EVERY
+                    or step == "refactor"):
+                try:
+                    self._refactorize()
+                except _SingularBasis:
+                    return "infeasible"
+        return "iteration_limit"
+
+    def _continue_phase2(self) -> str:
+        """Phase 1 hit feasibility exactly at its last pricing; resume."""
+        while self.iterations < self.max_iter:
+            entering, direction = self._price(2)
+            if entering < 0:
+                return "optimal"
+            step = self._step(entering, direction, 2)
+            if step == "unbounded":
+                return "unbounded"
+            self.iterations += 1
+            if (self.factor.eta_count >= REFACTOR_EVERY
+                    or step == "refactor"):
+                try:
+                    self._refactorize()
+                except _SingularBasis:
+                    return "infeasible"
+        return "iteration_limit"
+
+    def _solve_unconstrained(self) -> str:
+        finite_needed = (self.cost > 0) & ~np.isfinite(self.lo)
+        unbounded = ((self.cost < 0) & ~np.isfinite(self.hi)).any() \
+            or finite_needed.any()
+        if unbounded:
+            return "unbounded"
+        self.status[:] = np.where(self.cost >= 0, _AT_LOWER, _AT_UPPER)
+        self._refresh_nonbasic_values()
+        return "optimal"
+
+    # -- pricing -------------------------------------------------------
+
+    def _infeasibility(self) -> float:
+        lo_b = self.lo[self.basis]
+        hi_b = self.hi[self.basis]
+        below = np.maximum(0.0, lo_b - self.x_basic)
+        above = np.maximum(0.0, self.x_basic - hi_b)
+        return float(below.sum() + above.sum())
+
+    def _phase1_gradient(self) -> np.ndarray:
+        lo_b = self.lo[self.basis]
+        hi_b = self.hi[self.basis]
+        g = np.zeros(self.m)
+        g[self.x_basic < lo_b - FEAS_TOL] = -1.0
+        g[self.x_basic > hi_b + FEAS_TOL] = 1.0
+        return g
+
+    def _price(self, phase: int) -> Tuple[int, float]:
+        """Pick the entering column; returns (column, direction σ)."""
+        if phase == 1:
+            basic_cost = self._phase1_gradient()
+            offset = np.zeros(self.total)
+        else:
+            basic_cost = self.cost[self.basis]
+            offset = self.cost
+        y = self.factor.btran(basic_cost)
+        reduced = offset - self.matrix.transpose_dot(y)
+        at_lower = self.status == _AT_LOWER
+        at_upper = self.status == _AT_UPPER
+        candidates = ~self.fixed & (
+            (at_lower & (reduced < -DUAL_TOL))
+            | (at_upper & (reduced > DUAL_TOL)))
+        indices = np.nonzero(candidates)[0]
+        if indices.size == 0:
+            return -1, 0.0
+        if self.iterations < self.bland_after:
+            scores = np.abs(reduced[indices])
+            entering = int(indices[int(np.argmax(scores))])
+        else:
+            entering = int(indices[0])  # Bland: least index
+        direction = 1.0 if self.status[entering] == _AT_LOWER else -1.0
+        return entering, direction
+
+    # -- ratio test + pivot --------------------------------------------
+
+    def _step(self, entering: int, direction: float, phase: int) -> str:
+        rows, values = self.matrix.column(entering)
+        column_dense = np.zeros(self.m)
+        column_dense[rows] = values
+        w = self.factor.ftran(column_dense)
+        delta = -direction * w  # basic-variable velocity per unit step
+
+        lo_b = self.lo[self.basis]
+        hi_b = self.hi[self.basis]
+        x_b = self.x_basic
+
+        best_t = np.inf
+        best_row = -1
+        best_bound = 0  # _AT_LOWER / _AT_UPPER the leaving var lands on
+        moving = np.nonzero(np.abs(delta) > PIVOT_TOL)[0]
+        bland = self.iterations >= self.bland_after
+        for i in moving:
+            d = delta[i]
+            value = x_b[i]
+            low, high = lo_b[i], hi_b[i]
+            if phase == 1 and value < low - FEAS_TOL:
+                # Infeasible below: blocks only when moving up onto lo.
+                if d > 0.0:
+                    t = (low - value) / d
+                    bound = _AT_LOWER
+                else:
+                    continue
+            elif phase == 1 and value > high + FEAS_TOL:
+                if d < 0.0:
+                    t = (value - high) / (-d)
+                    bound = _AT_UPPER
+                else:
+                    continue
+            elif d < 0.0:
+                if not np.isfinite(low):
+                    continue
+                t = (value - low) / (-d)
+                bound = _AT_LOWER
+            else:
+                if not np.isfinite(high):
+                    continue
+                t = (high - value) / d
+                bound = _AT_UPPER
+            t = max(t, 0.0)
+            if t < best_t - FEAS_TOL:
+                best_t, best_row, best_bound = t, int(i), bound
+            elif t < best_t + FEAS_TOL and best_row >= 0:
+                if bland:
+                    if self.basis[i] < self.basis[best_row]:
+                        best_t = min(best_t, t)
+                        best_row, best_bound = int(i), bound
+                elif abs(d) > abs(delta[best_row]):
+                    best_t = min(best_t, t)
+                    best_row, best_bound = int(i), bound
+
+        bound_span = self.hi[entering] - self.lo[entering]
+        if bound_span < best_t and np.isfinite(bound_span):
+            # Bound flip: the entering variable crosses its own range
+            # before any basic blocks; no basis change.
+            self.x_basic = x_b - direction * bound_span * w
+            self.status[entering] = (_AT_UPPER if direction > 0
+                                     else _AT_LOWER)
+            return "ok"
+        if best_row < 0:
+            if not np.isfinite(best_t):
+                return "unbounded"
+            return "unbounded"  # pragma: no cover - defensive
+
+        entering_start = (self.lo[entering] if direction > 0
+                          else self.hi[entering])
+        entering_value = entering_start + direction * best_t
+        self.x_basic = x_b - direction * best_t * w
+        leaving = int(self.basis[best_row])
+        self.status[leaving] = best_bound
+        # Snap the leaving variable's stored value onto its bound.
+        self.basis[best_row] = entering
+        self.status[entering] = _BASIC
+        self.x_basic[best_row] = entering_value
+        if not self.factor.update(best_row, w):
+            return "refactor"
+        return "ok"
+
+    # -- extraction ----------------------------------------------------
+
+    def solution(self) -> np.ndarray:
+        self._refresh_nonbasic_values()
+        x = self.nonbasic_value.copy()
+        if self.m:
+            x[self.basis] = self.x_basic
+            # Clamp basic values onto their bounds within tolerance so
+            # downstream consumers see exactly-feasible numbers.
+            np.clip(x, self.lo, np.where(np.isfinite(self.hi),
+                                         self.hi, np.inf), out=x)
+        return x
+
+    def export_state(self) -> LpState:
+        row_basic = []
+        for column in self.basis:
+            column = int(column)
+            if column < self.n_struct:
+                row_basic.append(("v", column))
+            else:
+                row_basic.append(("s", column - self.n_struct))
+        at_upper = []
+        for column in np.nonzero(self.status == _AT_UPPER)[0]:
+            column = int(column)
+            if column < self.n_struct:
+                at_upper.append(("v", column))
+            else:
+                at_upper.append(("s", column - self.n_struct))
+        return LpState(row_basic=tuple(row_basic),
+                       at_upper=tuple(at_upper))

@@ -34,6 +34,7 @@ class LpResult:
     status: str  # "optimal" | "infeasible" | "unbounded" | "iteration_limit"
     x: Optional[np.ndarray]
     objective: Optional[float]
+    iterations: int = 0
 
     @property
     def is_optimal(self) -> bool:
@@ -97,13 +98,13 @@ def solve_lp(
     else:
         a_ub_all, b_ub_all = a_ub_m, b_ub_shift
 
-    solution, status = _two_phase_simplex(
+    solution, status, iterations = _two_phase_simplex(
         cost, a_ub_all, b_ub_all, a_eq_m, b_eq_shift, max_iter)
     if status != "optimal":
-        return LpResult(status, None, None)
+        return LpResult(status, None, None, iterations=iterations)
     x = solution[:n] + lower
     objective = float(np.asarray(c, dtype=float) @ x)
-    return LpResult("optimal", x, objective)
+    return LpResult("optimal", x, objective, iterations=iterations)
 
 
 def _as_matrix(rows, n: int) -> np.ndarray:
@@ -154,8 +155,8 @@ def _two_phase_simplex(cost, a_ub, b_ub, a_eq, b_eq, max_iter):
         # Only nonnegativity: minimum at 0 unless some cost is negative
         # with no upper bound (unbounded).
         if np.any(cost < -_EPS):
-            return None, "unbounded"
-        return np.zeros(n), "optimal"
+            return None, "unbounded", 0
+        return np.zeros(n), "optimal", 0
 
     # Assemble A x (+ slack) = b with b >= 0.
     slack_count = num_ub
@@ -202,16 +203,19 @@ def _two_phase_simplex(cost, a_ub, b_ub, a_eq, b_eq, max_iter):
         basis[row_index] = column
 
     # ---- Phase 1: minimize sum of artificials ----
+    total_iterations = 0
     if num_art > 0:
         phase1_cost = np.zeros(total_structural + num_art)
         phase1_cost[total_structural:] = 1.0
-        status = _run_simplex(full, rhs, phase1_cost, basis, max_iter)
+        status, iterations = _run_simplex(
+            full, rhs, phase1_cost, basis, max_iter)
+        total_iterations += iterations
         if status != "optimal":
-            return None, status
+            return None, status, total_iterations
         phase1_value = sum(rhs[i] for i in range(rows)
                            if basis[i] >= total_structural)
         if phase1_value > 1e-7:
-            return None, "infeasible"
+            return None, "infeasible", total_iterations
         _drive_out_artificials(full, rhs, basis, total_structural)
         # Remove artificial columns entirely.
         full = full[:, :total_structural]
@@ -219,14 +223,16 @@ def _two_phase_simplex(cost, a_ub, b_ub, a_eq, b_eq, max_iter):
     # ---- Phase 2 ----
     phase2_cost = np.zeros(full.shape[1])
     phase2_cost[:n] = cost
-    status = _run_simplex(full, rhs, phase2_cost, basis, max_iter)
+    status, iterations = _run_simplex(
+        full, rhs, phase2_cost, basis, max_iter)
+    total_iterations += iterations
     if status != "optimal":
-        return None, status
+        return None, status, total_iterations
     solution = np.zeros(full.shape[1])
     for i in range(rows):
         if 0 <= basis[i] < full.shape[1]:
             solution[basis[i]] = rhs[i]
-    return solution[:n], "optimal"
+    return solution[:n], "optimal", total_iterations
 
 
 def _drive_out_artificials(full, rhs, basis, total_structural) -> None:
@@ -251,7 +257,7 @@ def _drive_out_artificials(full, rhs, basis, total_structural) -> None:
         _pivot(full, rhs, basis, i, pivot_col)
 
 
-def _run_simplex(full, rhs, cost, basis, max_iter) -> str:
+def _run_simplex(full, rhs, cost, basis, max_iter) -> Tuple[str, int]:
     """Minimize ``cost`` over the current tableau; Dantzig then Bland."""
     rows, cols = full.shape
     bland_after = max(1000, 10 * (rows + cols))
@@ -260,7 +266,7 @@ def _run_simplex(full, rhs, cost, basis, max_iter) -> str:
         if iteration < bland_after:
             entering = int(np.argmin(reduced))
             if reduced[entering] >= -_EPS:
-                return "optimal"
+                return "optimal", iteration
         else:
             entering = -1
             for j in range(cols):
@@ -268,7 +274,7 @@ def _run_simplex(full, rhs, cost, basis, max_iter) -> str:
                     entering = j
                     break
             if entering < 0:
-                return "optimal"
+                return "optimal", iteration
         # Ratio test.
         leaving = -1
         best_ratio = np.inf
@@ -282,9 +288,9 @@ def _run_simplex(full, rhs, cost, basis, max_iter) -> str:
                     best_ratio = ratio
                     leaving = i
         if leaving < 0:
-            return "unbounded"
+            return "unbounded", iteration
         _pivot(full, rhs, basis, leaving, entering)
-    return "iteration_limit"
+    return "iteration_limit", max_iter
 
 
 def _reduced_costs(full, cost, basis) -> np.ndarray:

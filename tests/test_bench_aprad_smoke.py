@@ -1,0 +1,49 @@
+"""Tier-1 smoke for the AP-Rad LP bench (tiny configuration).
+
+Guards the acceptance properties — warm-started incremental re-fits
+must beat the cold dense solve, and every solver path must land on the
+same radii — without the full sweep.  Runs the bench script the same
+way an operator would, as a standalone process.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH = REPO_ROOT / "benchmarks" / "bench_aprad_lp.py"
+
+
+def test_bench_aprad_lp_smoke(tmp_path):
+    out_path = tmp_path / "aprad_lp.json"
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
+                         if env.get("PYTHONPATH") else src)
+    result = subprocess.run(
+        [sys.executable, str(BENCH), "--aps", "60", "--observations",
+         "200", "--repeats", "1", "--json", str(out_path)],
+        capture_output=True, text=True, env=env, timeout=300)
+    assert result.returncode == 0, result.stderr
+    assert "acceptance cell" in result.stdout
+
+    report = json.loads(out_path.read_text())
+    assert report["bench"] == "aprad_lp"
+    assert report["config"]["aps"] == [60]
+    (cell,) = report["results"]
+    assert cell["aps"] == 60 and cell["observations"] == 200
+    # All three paths ran and produced real timings.
+    assert cell["dense_cold_seconds"] > 0.0
+    assert cell["revised_cold_seconds"] > 0.0
+    assert cell["incremental_seconds"] > 0.0
+    assert cell["warm_started"]
+    # The correctness property is exact at any scale: every solver
+    # path must agree on the radii.
+    assert cell["radii_agree"], cell["max_radius_diff_m"]
+    # The acceptance property (loose bound — the full sweep is the
+    # authoritative ≥3x check; the smoke just guards the direction).
+    assert cell["incremental_vs_dense"] > 1.0
+    assert (report["acceptance"]["incremental_vs_dense"]
+            == cell["incremental_vs_dense"])

@@ -1,5 +1,7 @@
 """`marauder engine` CLI tests: end-to-end run, resume, clean failures."""
 
+import re
+
 import pytest
 
 from repro.cli import main
@@ -52,6 +54,18 @@ class TestEngineCommand:
         assert code == 0
         assert "cache             : disabled" in capsys.readouterr().out
 
+    def test_refit_every_reports_fit_time(self, sim_capture, capsys):
+        scenario, capture_path, wigle_path = sim_capture
+        code = main(["engine", str(capture_path),
+                     "--wigle", str(wigle_path),
+                     "--refit-every", "50", "--r-max", "120"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "re-fits" in out
+        assert "fit time" in out
+        # The streaming localizer is AP-Rad, not the M-Loc fallback.
+        assert str(scenario.victim.mac) in out
+
     def test_checkpoint_then_resume(self, sim_capture, tmp_path, capsys):
         _, capture_path, wigle_path = sim_capture
         ckpt = tmp_path / "engine.ckpt.json"
@@ -67,6 +81,41 @@ class TestEngineCommand:
         out = capsys.readouterr().out
         assert "Resumed from" in out
         assert "PipelineStats" in out
+
+    def test_resume_restores_refit_schedule(self, sim_capture, tmp_path,
+                                            capsys):
+        """Resuming without --refit-every must honor the checkpointed
+        schedule — including choosing the AP-Rad localizer, so re-fits
+        keep running instead of silently no-opping on M-Loc."""
+        scenario, capture_path, wigle_path = sim_capture
+        lines = capture_path.read_text().splitlines(keepends=True)
+        half = len(lines) // 2
+        first = tmp_path / "first.jsonl"
+        second = tmp_path / "second.jsonl"
+        first.write_text("".join(lines[:half]))
+        second.write_text("".join(lines[half:]))
+
+        def refit_count(text):
+            # stats line looks like "re-fits : 2 (last solve ...)"
+            match = re.search(r"re-fits\s*:\s*(\d+)", text)
+            assert match, text
+            return int(match.group(1))
+
+        ckpt = tmp_path / "refit.ckpt.json"
+        assert main(["engine", str(first), "--wigle", str(wigle_path),
+                     "--refit-every", "50", "--r-max", "120",
+                     "--checkpoint", str(ckpt)]) == 0
+        first_refits = refit_count(capsys.readouterr().out)
+        assert first_refits > 0
+
+        # Second half: no --refit-every on the command line.
+        assert main(["engine", str(second), "--wigle", str(wigle_path),
+                     "--resume", str(ckpt)]) == 0
+        out = capsys.readouterr().out
+        assert "Resumed from" in out
+        # The schedule kept firing on the second half's evidence.
+        assert refit_count(out) > first_refits
+        assert str(scenario.victim.mac) in out
 
 
 class TestCleanFailures:

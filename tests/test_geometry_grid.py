@@ -1,0 +1,158 @@
+"""Spatial-grid tests: exact equivalence with the brute-force scan.
+
+The grid is a pure pruning structure — callers (the radius LP's pair
+generation, AP-Loc's disc placement) rely on it returning *exactly*
+the pairs a dense upper-triangle scan would, in the same order, so the
+constraint systems and vertex sets built on top are bit-identical.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.grid import SpatialGrid
+
+
+def brute_force_pairs(coords, radius, strict):
+    """The dense reference: upper-triangle scan in (i, j) order."""
+    i_out, j_out, d_out = [], [], []
+    n = len(coords)
+    for i in range(n):
+        for j in range(i + 1, n):
+            dist = float(np.hypot(*(coords[i] - coords[j])))
+            if (dist < radius) if strict else (dist <= radius):
+                i_out.append(i)
+                j_out.append(j)
+                d_out.append(dist)
+    return (np.array(i_out, dtype=np.int64),
+            np.array(j_out, dtype=np.int64),
+            np.array(d_out, dtype=np.float64))
+
+
+class TestConstruction:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            SpatialGrid(np.zeros((3, 3)), cell_size=1.0)
+        with pytest.raises(ValueError):
+            SpatialGrid(np.zeros((2, 2)), cell_size=0.0)
+
+    def test_empty_grid(self):
+        grid = SpatialGrid(np.empty((0, 2)), cell_size=5.0)
+        assert len(grid) == 0
+        assert grid.occupied_cells == 0
+        i, j, dist = grid.pairs_within(10.0)
+        assert i.size == j.size == dist.size == 0
+        assert grid.query_radius(0.0, 0.0, 10.0).size == 0
+
+    def test_single_point(self):
+        grid = SpatialGrid(np.array([[1.0, 2.0]]), cell_size=5.0)
+        i, j, _ = grid.pairs_within(10.0)
+        assert i.size == 0
+        np.testing.assert_array_equal(grid.query_radius(1.0, 2.0, 0.5),
+                                      [0])
+
+
+class TestPairsWithin:
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_matches_brute_force(self, data):
+        n = data.draw(st.integers(min_value=0, max_value=40))
+        seed = data.draw(st.integers(min_value=0, max_value=2**31))
+        radius = data.draw(st.floats(min_value=0.5, max_value=80.0,
+                                     allow_nan=False))
+        cell = data.draw(st.floats(min_value=0.5, max_value=120.0,
+                                   allow_nan=False))
+        strict = data.draw(st.booleans())
+        rng = np.random.default_rng(seed)
+        coords = rng.uniform(-100.0, 100.0, size=(n, 2))
+
+        grid = SpatialGrid(coords, cell_size=cell)
+        got = grid.pairs_within(radius, strict=strict)
+        want = brute_force_pairs(coords, radius, strict)
+        np.testing.assert_array_equal(got[0], want[0])
+        np.testing.assert_array_equal(got[1], want[1])
+        np.testing.assert_allclose(got[2], want[2])
+
+    def test_boundary_semantics(self):
+        # Two points exactly `radius` apart: inclusive keeps the pair,
+        # strict drops it — mirroring the LP's "no constraint can bind
+        # at exactly 2 r_max" cutoff versus disc tangency.
+        coords = np.array([[0.0, 0.0], [10.0, 0.0]])
+        grid = SpatialGrid(coords, cell_size=10.0)
+        i, _, _ = grid.pairs_within(10.0, strict=True)
+        assert i.size == 0
+        i, j, dist = grid.pairs_within(10.0, strict=False)
+        np.testing.assert_array_equal(i, [0])
+        np.testing.assert_array_equal(j, [1])
+        assert dist[0] == pytest.approx(10.0)
+
+    def test_ordering_is_lexicographic(self):
+        rng = np.random.default_rng(7)
+        coords = rng.uniform(0.0, 50.0, size=(30, 2))
+        grid = SpatialGrid(coords, cell_size=8.0)
+        i, j, _ = grid.pairs_within(25.0)
+        assert np.all(i < j)
+        pairs = list(zip(i.tolist(), j.tolist()))
+        assert pairs == sorted(pairs)
+
+    def test_cell_size_does_not_change_result(self):
+        # The stencil reach adapts to radius / cell_size, so any cell
+        # size returns the same pair set.
+        rng = np.random.default_rng(11)
+        coords = rng.uniform(-30.0, 30.0, size=(25, 2))
+        reference = None
+        for cell in (1.5, 6.0, 20.0, 100.0):
+            got = SpatialGrid(coords, cell_size=cell).pairs_within(12.0)
+            if reference is None:
+                reference = got
+            else:
+                np.testing.assert_array_equal(got[0], reference[0])
+                np.testing.assert_array_equal(got[1], reference[1])
+
+    def test_negative_coordinates(self):
+        # floor() keying must not fold negative cells onto positive
+        # ones (a truncation bug would).
+        coords = np.array([[-0.5, -0.5], [0.5, 0.5], [-0.5, 0.5]])
+        grid = SpatialGrid(coords, cell_size=1.0)
+        i, j, _ = grid.pairs_within(2.0)
+        assert list(zip(i.tolist(), j.tolist())) == [(0, 1), (0, 2),
+                                                     (1, 2)]
+
+    def test_duplicate_points(self):
+        coords = np.array([[5.0, 5.0], [5.0, 5.0], [5.0, 5.0]])
+        grid = SpatialGrid(coords, cell_size=2.0)
+        i, j, dist = grid.pairs_within(1.0)
+        assert list(zip(i.tolist(), j.tolist())) == [(0, 1), (0, 2),
+                                                     (1, 2)]
+        np.testing.assert_allclose(dist, 0.0)
+
+    def test_radius_validation(self):
+        grid = SpatialGrid(np.zeros((1, 2)), cell_size=1.0)
+        with pytest.raises(ValueError):
+            grid.pairs_within(-1.0)
+        with pytest.raises(ValueError):
+            grid.query_radius(0.0, 0.0, -1.0)
+
+
+class TestQueryRadius:
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_matches_brute_force(self, data):
+        n = data.draw(st.integers(min_value=0, max_value=40))
+        seed = data.draw(st.integers(min_value=0, max_value=2**31))
+        radius = data.draw(st.floats(min_value=0.0, max_value=60.0,
+                                     allow_nan=False))
+        strict = data.draw(st.booleans())
+        rng = np.random.default_rng(seed)
+        coords = rng.uniform(-50.0, 50.0, size=(n, 2))
+        probe = rng.uniform(-60.0, 60.0, size=2)
+
+        grid = SpatialGrid(coords, cell_size=10.0)
+        got = grid.query_radius(probe[0], probe[1], radius, strict=strict)
+        dist = np.hypot(*(coords - probe).T) if n else np.empty(0)
+        keep = dist < radius if strict else dist <= radius
+        np.testing.assert_array_equal(got, np.nonzero(keep)[0])
+
+    def test_far_probe_returns_empty(self):
+        grid = SpatialGrid(np.zeros((4, 2)), cell_size=1.0)
+        assert grid.query_radius(1e6, 1e6, 5.0).size == 0
