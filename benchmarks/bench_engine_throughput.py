@@ -101,6 +101,7 @@ def run_engine(frames: List[ReceivedFrame], database: ApDatabase,
     result["wall_s"] = elapsed
     result["wall_estimates_per_sec"] = (
         stats.estimates_emitted / elapsed if elapsed > 0.0 else 0.0)
+    result["metrics"] = engine.metrics_snapshot()
     return result
 
 

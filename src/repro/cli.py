@@ -7,6 +7,9 @@ Subcommands::
     marauder simulate  — run the full campus attack and report accuracy
     marauder map       — render the Marauder's-map HTML display
     marauder week      — the 7-day probing-feasibility statistics
+    marauder engine    — streaming engine (``--metrics-json``/``--trace``
+                         export observability data)
+    marauder metrics   — inspect a metrics snapshot JSON
 
 Every subcommand accepts ``--seed`` for reproducibility.
 """
@@ -108,6 +111,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_engine.add_argument("--tracks", action="store_true",
                           help="print every device's track, not just "
                                "the latest fixes")
+    p_engine.add_argument("--localizer", metavar="SPEC",
+                          help="localizer spec, e.g. 'm-loc' or "
+                               "'ap-rad:r_max=200,solver=revised' "
+                               "(default: ap-rad when --refit-every is "
+                               "set, else m-loc)")
+    p_engine.add_argument("--metrics-json", metavar="FILE",
+                          help="write the engine's metrics-registry "
+                               "snapshot as JSON")
+    p_engine.add_argument("--trace", metavar="FILE",
+                          help="write a Chrome trace_event JSON of the "
+                               "run's spans")
+
+    p_metrics = sub.add_parser(
+        "metrics", help="inspect a metrics snapshot JSON")
+    p_metrics.add_argument("snapshot",
+                           help="snapshot file written by "
+                                "'engine --metrics-json'")
+    p_metrics.add_argument("--prometheus", action="store_true",
+                           help="render Prometheus text exposition "
+                                "instead of the human-readable block")
 
     args = parser.parse_args(argv)
     handler = {
@@ -119,6 +142,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "plan": _cmd_plan,
         "replay": _cmd_replay,
         "engine": _cmd_engine,
+        "metrics": _cmd_metrics,
     }[args.command]
     return handler(args)
 
@@ -303,7 +327,7 @@ def _cmd_replay(args) -> int:
     from repro.geo.enu import LocalTangentPlane
     from repro.geo.wgs84 import GeodeticCoordinate
     from repro.knowledge.wigle import import_wigle_csv
-    from repro.localization import APRad
+    from repro.localization import make_localizer
     from repro.sniffer.replay import replay_capture
 
     plane = LocalTangentPlane(GeodeticCoordinate(args.lat, args.lon))
@@ -324,8 +348,9 @@ def _cmd_replay(args) -> int:
         print("No (mobile, AP) communication evidence in the capture.")
         return 0
     # WiGLE knowledge has locations only: AP-Rad is the right algorithm.
-    aprad = APRad(database, r_max=args.r_max, solver="scipy",
-                  min_evidence=2, overestimate_factor=1.2)
+    aprad = make_localizer("ap-rad", database=database,
+                           r_max=args.r_max, solver="scipy",
+                           min_evidence=2, overestimate_factor=1.2)
     aprad.fit(result.store.corpus())
     located = 0
     for mobile, estimate in sorted(
@@ -346,11 +371,12 @@ def _cmd_engine(args) -> int:
     import json
     from pathlib import Path
 
-    from repro.engine import LatestFixSink, StreamingEngine
+    from repro import obs
+    from repro.engine import StreamingEngine, make_sink
     from repro.geo.enu import LocalTangentPlane
     from repro.geo.wgs84 import GeodeticCoordinate
     from repro.knowledge.wigle import import_wigle_csv
-    from repro.localization import APRad, MLoc
+    from repro.localization import make_localizer
     from repro.sniffer.replay import iter_capture
 
     plane = LocalTangentPlane(GeodeticCoordinate(args.lat, args.lon))
@@ -381,18 +407,27 @@ def _cmd_engine(args) -> int:
                 except (TypeError, ValueError) as error:
                     return _fail(
                         f"corrupt checkpoint {args.resume!r}: {error}")
-    if refit_every > 0:
-        # Streaming AP-Rad: radii re-estimated from the accumulating
-        # evidence on schedule, warm-starting the incremental LP.
-        localizer = APRad(database, r_max=args.r_max, solver="revised",
-                          min_evidence=2, overestimate_factor=1.2)
-    else:
-        # WiGLE knowledge carries locations only: M-Loc with an assumed
-        # range is the stream-friendly choice when no re-fit schedule
-        # is requested.
-        localizer = MLoc(database, fallback_range_m=args.fallback_range)
+    try:
+        if args.localizer:
+            localizer = make_localizer(args.localizer, database=database)
+        elif refit_every > 0:
+            # Streaming AP-Rad: radii re-estimated from the
+            # accumulating evidence on schedule, warm-starting the
+            # incremental LP.
+            localizer = make_localizer(
+                "ap-rad", database=database, r_max=args.r_max,
+                solver="revised", min_evidence=2, overestimate_factor=1.2)
+        else:
+            # WiGLE knowledge carries locations only: M-Loc with an
+            # assumed range is the stream-friendly choice when no
+            # re-fit schedule is requested.
+            localizer = make_localizer(
+                "m-loc", database=database,
+                fallback_range_m=args.fallback_range)
+    except ValueError as error:
+        return _fail(str(error))
     cache_size = 0 if args.no_cache else args.cache_size
-    fixes = LatestFixSink()
+    fixes = make_sink("latest")
     if args.workers is not None and args.workers < 1:
         return _fail(f"--workers must be >= 1, got {args.workers}")
     if checkpoint_data is not None:
@@ -413,8 +448,13 @@ def _cmd_engine(args) -> int:
                                      refit_every=refit_every)
         except ValueError as error:
             return _fail(str(error))
+    recorder = obs.SpanRecorder() if args.trace else None
     try:
-        stats = engine.run(iter_capture(args.capture))
+        if recorder is not None:
+            with obs.use_recorder(recorder):
+                stats = engine.run(iter_capture(args.capture))
+        else:
+            stats = engine.run(iter_capture(args.capture))
     except OSError as error:
         return _fail(f"cannot read capture {args.capture!r}: {error}")
     except (ValueError, KeyError) as error:
@@ -434,9 +474,45 @@ def _cmd_engine(args) -> int:
                                 f"{p.estimate.position.y:.0f})@{p.timestamp:.0f}s"
                                 for p in track))
     print(stats.format())
+    if args.metrics_json:
+        Path(args.metrics_json).write_text(
+            json.dumps(engine.metrics_snapshot(), indent=2, sort_keys=True),
+            encoding="utf-8")
+        print(f"Metrics snapshot written to {args.metrics_json}")
+    if recorder is not None:
+        recorder.export_chrome(args.trace)
+        print(f"Trace ({len(recorder)} spans) written to {args.trace}")
     if args.checkpoint:
         engine.save_checkpoint(args.checkpoint)
         print(f"Checkpoint written to {args.checkpoint}")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro import obs
+
+    try:
+        data = json.loads(Path(args.snapshot).read_text(encoding="utf-8"))
+    except OSError as error:
+        return _fail(f"cannot read snapshot {args.snapshot!r}: {error}")
+    except ValueError as error:
+        return _fail(f"corrupt snapshot {args.snapshot!r}: {error}")
+    if not isinstance(data, dict):
+        return _fail(f"corrupt snapshot {args.snapshot!r}: expected a "
+                     "JSON object")
+    if args.prometheus:
+        registry = obs.MetricsRegistry()
+        try:
+            registry.merge(data)
+        except (KeyError, TypeError, ValueError) as error:
+            return _fail(
+                f"corrupt snapshot {args.snapshot!r}: {error}")
+        print(registry.render_prometheus(), end="")
+    else:
+        print(obs.format_snapshot(data))
     return 0
 
 

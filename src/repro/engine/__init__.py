@@ -20,8 +20,10 @@ from repro.engine.sinks import (
     LatestFixSink,
     RendererSink,
     TrackerSink,
+    make_sink,
+    sink_names,
 )
-from repro.engine.stats import PipelineStats, StageTimer
+from repro.engine.stats import EngineStats, PipelineStats, StageTimer
 
 __all__ = [
     "StreamingEngine",
@@ -30,6 +32,7 @@ __all__ = [
     "Evidence",
     "extract_evidence",
     "MicroBatchScheduler",
+    "EngineStats",
     "PipelineStats",
     "StageTimer",
     "EngineSink",
@@ -38,4 +41,6 @@ __all__ = [
     "LatestFixSink",
     "RendererSink",
     "FanoutSink",
+    "make_sink",
+    "sink_names",
 ]

@@ -19,11 +19,17 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import FrozenSet, Hashable, Optional, Tuple
 
+from repro import obs
 from repro.localization.base import LocalizationEstimate
 from repro.net80211.mac import MacAddress
 
 #: Distinguishes "cached None" (Γ known unlocatable) from "not cached".
 _ABSENT = object()
+
+
+def _count(event: str, by: int = 1) -> None:
+    """Mirror a cache event to ``repro.engine.cache.<event>``."""
+    obs.current_registry().counter(f"repro.engine.cache.{event}").inc(by)
 
 
 class GammaCache:
@@ -32,6 +38,12 @@ class GammaCache:
     ``None`` results are cached too: a Γ with no known APs stays
     unlocatable until the knowledge base changes, and re-discovering
     that is exactly as expensive as a real localization.
+
+    Every event is mirrored to ``repro.engine.cache.*`` counters on the
+    currently-routed :class:`~repro.obs.MetricsRegistry` (whatever
+    :func:`repro.obs.current_registry` resolves to at event time — the
+    engine routes its own registry around each flush).  The plain int
+    attributes remain the authoritative per-cache counters.
     """
 
     def __init__(self, max_entries: int = 4096):
@@ -61,9 +73,11 @@ class GammaCache:
         key = self.key_for(localizer_key, gamma)
         if key in self._entries:
             self.hits += 1
+            _count("hit")
             self._entries.move_to_end(key)
             return self._entries[key]
         self.misses += 1
+        _count("miss")
         return _ABSENT
 
     def count_pending_hit(self) -> None:
@@ -75,20 +89,29 @@ class GammaCache:
         report it the same way a post-:meth:`put` lookup would.
         """
         self.hits += 1
+        _count("hit")
 
     def put(self, localizer_key: str, gamma: FrozenSet[MacAddress],
             estimate: Optional[LocalizationEstimate]) -> None:
         key = self.key_for(localizer_key, gamma)
         self._entries[key] = estimate
         self._entries.move_to_end(key)
+        evicted = 0
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.evictions += 1
+            evicted += 1
+        if evicted:
+            _count("eviction", evicted)
+        obs.current_registry().gauge("repro.engine.cache.entries").set(
+            len(self._entries))
 
     def invalidate(self) -> None:
         """Drop every entry — call after any AP knowledge-base mutation."""
         self._entries.clear()
         self.invalidations += 1
+        _count("invalidation")
+        obs.current_registry().gauge("repro.engine.cache.entries").set(0)
 
     @property
     def hit_rate(self) -> float:

@@ -39,11 +39,12 @@ from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Union
 
+from repro import obs
 from repro.engine.cache import GammaCache
 from repro.engine.ingest import GammaState, extract_evidence
 from repro.engine.scheduler import MicroBatchScheduler
 from repro.engine.sinks import EngineSink
-from repro.engine.stats import PipelineStats, StageTimer
+from repro.engine.stats import EngineStats
 from repro.geometry.point import Point
 from repro.localization.base import LocalizationEstimate, Localizer
 from repro.net80211.frames import FrameType
@@ -53,7 +54,21 @@ from repro.sniffer.tracker import DeviceTracker, PseudonymLinker
 
 PathLike = Union[str, Path]
 
-CHECKPOINT_VERSION = 1
+#: v2 added the ``"metrics"`` registry snapshot; v1 checkpoints (ints
+#: only) are still restorable.
+CHECKPOINT_VERSION = 2
+
+#: Counter names mirrored into the legacy ``"counters"`` checkpoint
+#: block, in its historical key order.
+_COUNTER_METRICS = (
+    ("frames_ingested", "repro.engine.frames"),
+    ("evidence_events", "repro.engine.evidence"),
+    ("probe_requests", "repro.engine.probe_requests"),
+    ("batches_flushed", "repro.engine.batches"),
+    ("estimates_emitted", "repro.engine.estimates"),
+    ("unlocatable", "repro.engine.unlocatable"),
+    ("refits", "repro.engine.refits"),
+)
 
 
 class StreamingEngine:
@@ -87,17 +102,27 @@ class StreamingEngine:
         localizer's ``partial_fit`` (AP-Rad's incremental radius LP
         warm-starts from its previous basis), every device is marked
         dirty (new radii can move every estimate), and the fit wall
-        time lands in the ``fit`` stage of :class:`PipelineStats`.
-        A localizer without ``partial_fit`` ignores the schedule.
-        Until the first re-fit completes, an unfitted localizer
-        (``is_fitted`` false) yields no estimates — devices flushed
-        early are re-localized after the fit.
+        time lands in the ``fit`` stage of :class:`EngineStats`.
+        Localizers that do not declare ``supports_partial_fit`` ignore
+        the schedule.  Until the first re-fit completes, an unfitted
+        localizer (``is_fitted`` false) yields no estimates — devices
+        flushed early are re-localized after the fit.
+    registry:
+        The :class:`~repro.obs.MetricsRegistry` this engine reports
+        into.  Defaults to a fresh private registry, so concurrent
+        engines never share counters; pass
+        :func:`repro.obs.default_registry` to publish process-wide.
+        While the engine works — ingest, flush, re-fit — its registry
+        is routed as :func:`repro.obs.current_registry`, so metrics
+        emitted deep in the LP solvers, the spatial grid, and batch
+        localization all land here too.
     """
 
     def __init__(self, localizer: Localizer, window_s: float = 30.0,
                  batch_size: int = 32, cache_size: int = 4096,
                  sinks: Sequence[EngineSink] = (), workers: int = 1,
-                 refit_every: int = 0):
+                 refit_every: int = 0,
+                 registry: Optional[obs.MetricsRegistry] = None):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if refit_every < 0:
@@ -114,22 +139,35 @@ class StreamingEngine:
         self.tracker = DeviceTracker()
         self.linker = PseudonymLinker()
         self.sinks: List[EngineSink] = list(sinks)
-        self._timer = StageTimer()
+        self.registry = (registry if registry is not None
+                         else obs.MetricsRegistry())
+        # Bound instrument handles (hot path: attribute access, no
+        # registry lookup).  Binding at init also guarantees the core
+        # series appear in every snapshot, even at zero.
+        self._c_frames = self.registry.counter("repro.engine.frames")
+        self._c_evidence = self.registry.counter("repro.engine.evidence")
+        self._c_probes = self.registry.counter(
+            "repro.engine.probe_requests")
+        self._c_batches = self.registry.counter("repro.engine.batches")
+        self._c_estimates = self.registry.counter("repro.engine.estimates")
+        self._c_unlocatable = self.registry.counter(
+            "repro.engine.unlocatable")
+        self._c_refits = self.registry.counter("repro.engine.refits")
+        self._g_fit_iterations = self.registry.gauge(
+            "repro.engine.fit.iterations")
+        self._g_devices = self.registry.gauge("repro.engine.devices.seen")
+        self._t_flush = self.registry.timer("repro.engine.flush.duration")
+        if self.cache is not None:
+            for event in ("hit", "miss", "eviction", "invalidation"):
+                self.registry.counter(f"repro.engine.cache.{event}")
+            self.registry.gauge("repro.engine.cache.entries")
         # Γ each device was last localized with (dirty = differs now).
         self._last_located: Dict[MacAddress, FrozenSet[MacAddress]] = {}
         self._seen: Set[MacAddress] = set()
-        self._frames_ingested = 0
-        self._evidence_events = 0
-        self._probe_requests = 0
-        self._batches_flushed = 0
-        self._estimates_emitted = 0
-        self._unlocatable = 0
         # Re-fit scheduling: Γ snapshots accumulated since the last
         # model fit, handed to localizer.partial_fit on schedule.
         self._pending_refit: List[FrozenSet[MacAddress]] = []
         self._events_since_refit = 0
-        self._refits = 0
-        self._last_fit_iterations = 0
 
     # ------------------------------------------------------------------
     # Ingest stage
@@ -137,17 +175,17 @@ class StreamingEngine:
 
     def ingest(self, received: ReceivedFrame) -> None:
         """Consume one captured frame; flush if a micro-batch is due."""
-        with self._timer.stage("ingest"):
-            self._frames_ingested += 1
+        with self._stage("ingest"):
+            self._c_frames.inc()
             frame = received.frame
             if frame.frame_type is FrameType.PROBE_REQUEST:
-                self._probe_requests += 1
+                self._c_probes.inc()
                 self._seen.add(frame.source)
                 self.linker.ingest(frame)
             else:
                 evidence = extract_evidence(received)
                 if evidence is not None:
-                    self._evidence_events += 1
+                    self._c_evidence.inc()
                     self._seen.add(evidence.mobile)
                     gamma = self.gamma_state.observe(evidence)
                     if gamma != self._last_located.get(evidence.mobile):
@@ -156,6 +194,7 @@ class StreamingEngine:
                         if gamma:
                             self._pending_refit.append(gamma)
                         self._events_since_refit += 1
+            self._g_devices.set(len(self._seen))
         if (self.refit_every > 0
                 and self._events_since_refit >= self.refit_every):
             self._refit()
@@ -167,17 +206,25 @@ class StreamingEngine:
         for received in stream:
             self.ingest(received)
 
-    def run(self, stream: Iterable[ReceivedFrame]) -> PipelineStats:
-        """Consume a whole stream, drain every device, close sinks."""
-        self.ingest_stream(stream)
-        if self.refit_every > 0 and self._pending_refit:
-            # Catch-up fit so end-of-stream evidence (and any devices
-            # skipped while the model was unfitted) is not lost.
-            self._refit()
-        self.flush()
-        for sink in self.sinks:
-            sink.close()
-        self.close()
+    def run(self, stream: Iterable[ReceivedFrame]) -> EngineStats:
+        """Consume a whole stream, drain every device, close sinks.
+
+        The whole run executes with the engine's registry routed as
+        :func:`repro.obs.current_registry`, so instrumentation anywhere
+        below — the capture reader, the LP solver inside a re-fit, the
+        spatial grid — reports into this engine.
+        """
+        with obs.use_registry(self.registry), obs.trace("engine.run"):
+            self.ingest_stream(stream)
+            if self.refit_every > 0 and self._pending_refit:
+                # Catch-up fit so end-of-stream evidence (and any
+                # devices skipped while the model was unfitted) is not
+                # lost.
+                self._refit()
+            self.flush()
+            for sink in self.sinks:
+                sink.close()
+            self.close()
         return self.stats()
 
     def close(self) -> None:
@@ -199,17 +246,18 @@ class StreamingEngine:
 
     def _refit(self) -> None:
         """Hand the pending Γ snapshots to the localizer's partial_fit."""
-        partial_fit = getattr(self.localizer, "partial_fit", None)
         pending = self._pending_refit
         self._pending_refit = []
         self._events_since_refit = 0
-        if partial_fit is None or not pending:
+        if not self.localizer.supports_partial_fit or not pending:
             return
-        with self._timer.stage("fit"):
-            estimate = partial_fit(pending)
-        self._refits += 1
-        self._last_fit_iterations = int(
-            getattr(estimate, "solver_iterations", 0))
+        with obs.use_registry(self.registry), \
+                obs.trace("engine.refit", observations=len(pending)), \
+                self._stage("fit"):
+            estimate = self.localizer.partial_fit(pending)
+        self._c_refits.inc()
+        self._g_fit_iterations.set(int(
+            getattr(estimate, "solver_iterations", 0)))
         # New radii can move every estimate: every device with a live Γ
         # goes back through localization.  The memo cache keys on
         # localizer.cache_key(), which the re-fit bumped.
@@ -224,7 +272,7 @@ class StreamingEngine:
         batch = self.scheduler.next_batch()
         if not batch:
             return 0
-        self._batches_flushed += 1
+        self._c_batches.inc()
         gammas = [self.gamma_state.gamma(mobile) for mobile in batch]
         if not self._localizer_ready():
             # Model not fitted yet (refit_every engines start cold):
@@ -233,18 +281,21 @@ class StreamingEngine:
             for mobile, gamma in zip(batch, gammas):
                 self._last_located[mobile] = gamma
             return 0
-        with self._timer.stage("localize"):
-            estimates = self._locate_batch_memoized(gammas)
-        emitted = 0
-        for mobile, gamma, estimate in zip(batch, gammas, estimates):
-            self._last_located[mobile] = gamma
-            if estimate is None:
-                self._unlocatable += 1
-                continue
-            timestamp = self.gamma_state.last_seen(mobile)
-            with self._timer.stage("sink"):
-                self._emit(mobile, timestamp, estimate)
-            emitted += 1
+        with obs.use_registry(self.registry), \
+                obs.trace("engine.flush", batch=len(batch)), \
+                self._t_flush.time():
+            with self._stage("localize"):
+                estimates = self._locate_batch_memoized(gammas)
+            emitted = 0
+            for mobile, gamma, estimate in zip(batch, gammas, estimates):
+                self._last_located[mobile] = gamma
+                if estimate is None:
+                    self._c_unlocatable.inc()
+                    continue
+                timestamp = self.gamma_state.last_seen(mobile)
+                with self._stage("sink"):
+                    self._emit(mobile, timestamp, estimate)
+                emitted += 1
         return emitted
 
     def _locate_batch_memoized(
@@ -301,7 +352,7 @@ class StreamingEngine:
 
     def _emit(self, mobile: MacAddress, timestamp: float,
               estimate: LocalizationEstimate) -> None:
-        self._estimates_emitted += 1
+        self._c_estimates.inc()
         latest = self.tracker.latest(mobile)
         if latest is not None and timestamp < latest.timestamp:
             # A late, out-of-order burst for an already-tracked device:
@@ -320,25 +371,46 @@ class StreamingEngine:
     # Observability
     # ------------------------------------------------------------------
 
-    def stats(self) -> PipelineStats:
-        """A consistent snapshot of every pipeline counter."""
+    def _stage(self, name: str):
+        """Timing context for one pipeline stage (lazy per-stage series)."""
+        return self.registry.timer("repro.engine.stage.duration",
+                                   stage=name).time()
+
+    def _stage_seconds(self) -> Dict[str, float]:
+        """Accumulated seconds per stage, from the registry series."""
+        return {
+            dict(inst.labels).get("stage", ""): inst.sum
+            for inst in self.registry.find("repro.engine.stage.duration")
+        }
+
+    def metrics_snapshot(self) -> dict:
+        """The engine registry's JSON-compatible snapshot."""
+        return self.registry.snapshot()
+
+    def stats(self) -> EngineStats:
+        """A consistent snapshot of every pipeline counter.
+
+        A *view* over :attr:`registry` — the registry is the source of
+        truth; this projects the core series into the ergonomic
+        dataclass the CLI and benches print.
+        """
         cache_counters = (self.cache.counters() if self.cache is not None
                           else {})
-        return PipelineStats(
-            frames_ingested=self._frames_ingested,
-            evidence_events=self._evidence_events,
-            probe_requests=self._probe_requests,
+        return EngineStats(
+            frames_ingested=int(self._c_frames.value),
+            evidence_events=int(self._c_evidence.value),
+            probe_requests=int(self._c_probes.value),
             devices_seen=len(self._seen),
-            batches_flushed=self._batches_flushed,
-            estimates_emitted=self._estimates_emitted,
-            unlocatable=self._unlocatable,
+            batches_flushed=int(self._c_batches.value),
+            estimates_emitted=int(self._c_estimates.value),
+            unlocatable=int(self._c_unlocatable.value),
             cache_enabled=self.cache is not None,
             cache_hits=cache_counters.get("hits", 0),
             cache_misses=cache_counters.get("misses", 0),
             cache_entries=cache_counters.get("entries", 0),
-            refits=self._refits,
-            last_fit_iterations=self._last_fit_iterations,
-            stage_seconds=self._timer.seconds(),
+            refits=int(self._c_refits.value),
+            last_fit_iterations=int(self._g_fit_iterations.value),
+            stage_seconds=self._stage_seconds(),
         )
 
     # ------------------------------------------------------------------
@@ -383,16 +455,16 @@ class StreamingEngine:
                 ]
                 for mobile in self.tracker.devices()
             },
-            "counters": {
-                "frames_ingested": self._frames_ingested,
-                "evidence_events": self._evidence_events,
-                "probe_requests": self._probe_requests,
-                "batches_flushed": self._batches_flushed,
-                "estimates_emitted": self._estimates_emitted,
-                "unlocatable": self._unlocatable,
-                "refits": self._refits,
-                "last_fit_iterations": self._last_fit_iterations,
-            },
+            # Legacy (v1) counter block, kept so external consumers of
+            # checkpoint JSON keep working; the registry snapshot below
+            # is the authoritative cumulative record.
+            "counters": dict(
+                [(field, int(self.registry.counter(metric).value))
+                 for field, metric in _COUNTER_METRICS]
+                + [("last_fit_iterations",
+                    int(self._g_fit_iterations.value))]
+            ),
+            "metrics": self.registry.snapshot(),
             # Pending re-fit evidence: the localizer's own model (LP
             # basis, radii) is NOT serialized, so a restored engine
             # must be given a localizer refitted from the same corpus
@@ -402,7 +474,7 @@ class StreamingEngine:
                 "pending": [sorted(str(ap) for ap in gamma)
                             for gamma in self._pending_refit],
             },
-            "stage_seconds": self._timer.seconds(),
+            "stage_seconds": self._stage_seconds(),
         }
 
     def save_checkpoint(self, path: PathLike) -> None:
@@ -422,7 +494,7 @@ class StreamingEngine:
         count never affects results, only throughput.
         """
         version = data.get("engine_checkpoint")
-        if version != CHECKPOINT_VERSION:
+        if version not in (1, CHECKPOINT_VERSION):
             raise ValueError(
                 f"unsupported engine checkpoint version {version!r}")
         config = data["config"]
@@ -452,17 +524,28 @@ class StreamingEngine:
                                                          float(point["y"])),
                                           algorithm=point["algorithm"],
                                           used_ap_count=int(point["k"])))
-        counters = data.get("counters", {})
-        engine._frames_ingested = int(counters.get("frames_ingested", 0))
-        engine._evidence_events = int(counters.get("evidence_events", 0))
-        engine._probe_requests = int(counters.get("probe_requests", 0))
-        engine._batches_flushed = int(counters.get("batches_flushed", 0))
-        engine._estimates_emitted = int(
-            counters.get("estimates_emitted", 0))
-        engine._unlocatable = int(counters.get("unlocatable", 0))
-        engine._refits = int(counters.get("refits", 0))
-        engine._last_fit_iterations = int(
-            counters.get("last_fit_iterations", 0))
+        metrics = data.get("metrics")
+        if metrics is not None:
+            # v2: the registry snapshot is the cumulative record —
+            # merging it makes resumed totals (counters, histograms,
+            # buckets) exactly those of an uninterrupted run.
+            engine.registry.merge(metrics)
+        else:
+            # v1: reconstruct the core counter series from the legacy
+            # int block and seed each stage histogram with one
+            # observation carrying the accumulated wall time.
+            counters = data.get("counters", {})
+            for field, metric in _COUNTER_METRICS:
+                value = int(counters.get(field, 0))
+                if value:
+                    engine.registry.counter(metric).inc(value)
+            engine._g_fit_iterations.set(
+                int(counters.get("last_fit_iterations", 0)))
+            for stage, seconds in data.get("stage_seconds", {}).items():
+                engine.registry.timer(
+                    "repro.engine.stage.duration",
+                    stage=stage).observe(float(seconds))
+        engine._g_devices.set(len(engine._seen))
         refit = data.get("refit", {})
         engine._events_since_refit = int(
             refit.get("events_since_refit", 0))
@@ -470,7 +553,6 @@ class StreamingEngine:
             frozenset(MacAddress.parse(ap) for ap in gamma)
             for gamma in refit.get("pending", [])
         ]
-        engine._timer.restore(data.get("stage_seconds", {}))
         return engine
 
     @classmethod

@@ -6,15 +6,30 @@ tracker (:class:`TrackerSink` — the engine always owns one), the map
 display (:class:`RendererSink`), ad-hoc consumers
 (:class:`CallbackSink`), and live dashboards that only want the newest
 fix per device (:class:`LatestFixSink`).
+
+Construction is unified behind :func:`make_sink`: callers (the CLI, the
+simulation harness) name a sink by spec string — ``"tracker"``,
+``"latest"``, ``"renderer:label_devices=false"`` — and supply any
+required live objects as keyword context.  The old style of handing a
+sink's constructor one positional config dict still works for one
+release but emits a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+import warnings
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from repro.localization.base import LocalizationEstimate
 from repro.net80211.mac import MacAddress
 from repro.sniffer.tracker import DeviceTracker
+
+
+def _warn_dict_config(cls_name: str) -> None:
+    warnings.warn(
+        f"passing a positional config dict to {cls_name} is deprecated; "
+        f"use keyword arguments or make_sink()",
+        DeprecationWarning, stacklevel=3)
 
 
 class EngineSink:
@@ -32,6 +47,9 @@ class TrackerSink(EngineSink):
     """Appends every estimate to a :class:`DeviceTracker` track."""
 
     def __init__(self, tracker: Optional[DeviceTracker] = None):
+        if isinstance(tracker, dict):
+            _warn_dict_config("TrackerSink")
+            tracker = tracker.get("tracker")
         self.tracker = tracker if tracker is not None else DeviceTracker()
 
     def emit(self, mobile: MacAddress, timestamp: float,
@@ -44,6 +62,9 @@ class CallbackSink(EngineSink):
 
     def __init__(self, callback: Callable[
             [MacAddress, float, LocalizationEstimate], None]):
+        if isinstance(callback, dict):
+            _warn_dict_config("CallbackSink")
+            callback = callback["callback"]
         self.callback = callback
 
     def emit(self, mobile: MacAddress, timestamp: float,
@@ -76,6 +97,11 @@ class RendererSink(EngineSink):
     """Plots every estimate on a :class:`repro.display.MapRenderer`."""
 
     def __init__(self, renderer, label_devices: bool = True):
+        if isinstance(renderer, dict):
+            _warn_dict_config("RendererSink")
+            config = renderer
+            renderer = config["renderer"]
+            label_devices = bool(config.get("label_devices", label_devices))
         self.renderer = renderer
         self.label_devices = label_devices
         self.emitted = 0
@@ -88,9 +114,13 @@ class RendererSink(EngineSink):
 
 
 class FanoutSink(EngineSink):
-    """Composes several sinks into one."""
+    """Composes several sinks into one.
 
-    def __init__(self, sinks: List[EngineSink]):
+    Accepts any iterable of sinks — list, tuple, generator — and
+    snapshots it at construction.
+    """
+
+    def __init__(self, sinks: Iterable[EngineSink]):
         self.sinks = list(sinks)
 
     def emit(self, mobile: MacAddress, timestamp: float,
@@ -101,3 +131,58 @@ class FanoutSink(EngineSink):
     def close(self) -> None:
         for sink in self.sinks:
             sink.close()
+
+
+# ----------------------------------------------------------------------
+# Unified construction
+# ----------------------------------------------------------------------
+
+#: spec name → (class, context keys the factory forwards when present)
+_SINKS = {
+    "tracker": (TrackerSink, ("tracker",)),
+    "callback": (CallbackSink, ("callback",)),
+    "latest": (LatestFixSink, ()),
+    "renderer": (RendererSink, ("renderer",)),
+}
+
+
+def sink_names() -> Tuple[str, ...]:
+    """The spec names :func:`make_sink` accepts, stable order."""
+    return tuple(_SINKS)
+
+
+def make_sink(spec, **context) -> EngineSink:
+    """Build a sink from a spec.
+
+    ``spec`` may be:
+
+    * an :class:`EngineSink` instance — returned as-is;
+    * an iterable of specs — each built recursively and composed into
+      a :class:`FanoutSink`;
+    * a string ``name`` or ``name:key=value,...`` (``tracker``,
+      ``callback``, ``latest``, ``renderer``), with live objects the
+      sink needs — the tracker, the callback, the renderer — supplied
+      as keyword ``context``.
+
+    Option values are coerced like localizer specs: ``int`` → ``float``
+    → ``bool`` → ``str``.
+    """
+    if isinstance(spec, EngineSink):
+        return spec
+    if not isinstance(spec, str) and isinstance(spec, Iterable):
+        return FanoutSink(make_sink(part, **context) for part in spec)
+    from repro.localization.factory import parse_spec
+    name, options = parse_spec(spec)
+    try:
+        cls, context_keys = _SINKS[name]
+    except KeyError:
+        known = ", ".join(_SINKS)
+        raise ValueError(
+            f"unknown sink {name!r}; expected one of: {known}") from None
+    kwargs = {key: context[key] for key in context_keys if key in context}
+    kwargs.update(options)
+    try:
+        return cls(**kwargs)
+    except (TypeError, KeyError) as error:
+        raise ValueError(
+            f"bad options for sink {name!r}: {error}") from None

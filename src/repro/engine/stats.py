@@ -3,13 +3,17 @@
 A production engine is judged by its counters — estimates per second,
 cache hit rate, where the wall time goes.  :class:`StageTimer`
 accumulates per-stage wall time with negligible overhead;
-:class:`PipelineStats` is the immutable snapshot the engine hands out
-(and the CLI / throughput bench print).
+:class:`EngineStats` is the immutable snapshot the engine hands out
+(and the CLI / throughput bench print).  Since the ``repro.obs``
+subsystem landed, the snapshot is a *view* computed from the engine's
+:class:`~repro.obs.MetricsRegistry`; :class:`PipelineStats` remains as
+a deprecated alias for one release.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict
@@ -42,8 +46,13 @@ class StageTimer:
 
 
 @dataclass(frozen=True)
-class PipelineStats:
-    """One consistent snapshot of the engine's counters."""
+class EngineStats:
+    """One consistent snapshot of the engine's counters.
+
+    Built by :meth:`StreamingEngine.stats` as a view over the engine's
+    metrics registry — the registry is the source of truth, this is the
+    ergonomic read side.
+    """
 
     frames_ingested: int = 0
     evidence_events: int = 0
@@ -127,3 +136,19 @@ class PipelineStats:
         lines.append(f"  throughput        : "
                      f"{self.estimates_per_sec:.0f} estimates/s")
         return "\n".join(lines)
+
+
+class PipelineStats(EngineStats):
+    """Deprecated alias of :class:`EngineStats` (one-release shim).
+
+    Instantiating it warns; everything else — fields, properties,
+    ``to_dict`` / ``format`` — is inherited unchanged, so existing
+    callers keep working while they migrate.
+    """
+
+    def __init__(self, *args, **kwargs):
+        warnings.warn(
+            "PipelineStats is deprecated; use EngineStats "
+            "(repro.engine.EngineStats) instead",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(*args, **kwargs)

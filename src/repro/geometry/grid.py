@@ -31,6 +31,8 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro import obs
+
 
 class SpatialGrid:
     """A uniform hash grid over an ``(n, 2)`` coordinate array.
@@ -114,6 +116,8 @@ class SpatialGrid:
                 grid_b = np.tile(other, len(members))
                 i_parts.append(grid_a)
                 j_parts.append(grid_b)
+        registry = obs.current_registry()
+        registry.counter("repro.geometry.grid.pair_queries").inc()
         if not i_parts:
             empty = np.empty(0, dtype=np.int64)
             return empty, empty.copy(), np.empty(0, dtype=np.float64)
@@ -126,6 +130,7 @@ class SpatialGrid:
         dist = np.hypot(delta[:, 0], delta[:, 1])
         keep = dist < radius if strict else dist <= radius
         lo, hi, dist = lo[keep], hi[keep], dist[keep]
+        registry.counter("repro.geometry.grid.pairs").inc(len(lo))
         order = np.lexsort((hi, lo))
         return lo[order], hi[order], dist[order]
 
@@ -134,6 +139,8 @@ class SpatialGrid:
         """Indices of points within ``radius`` of ``(x, y)``, ascending."""
         if radius < 0.0:
             raise ValueError(f"radius must be >= 0, got {radius}")
+        obs.current_registry().counter(
+            "repro.geometry.grid.point_queries").inc()
         if not self._cells:
             return np.empty(0, dtype=np.int64)
         reach = int(np.ceil(radius / self.cell_size)) if radius else 0

@@ -14,7 +14,10 @@ estimate the device's location:
 
 All localizers share the :class:`LocalizationEstimate` result type,
 which carries the estimated point, the intersected region (for the
-area / coverage-probability metrics of Figs 15–16), and diagnostics.
+area / coverage-probability metrics of Figs 15–16), and diagnostics —
+and the uniform :class:`Localizer` protocol (fit / partial_fit /
+is_fitted / locate / locate_batch / name / cache_key), so
+:func:`make_localizer` can build any of them from a spec string.
 """
 
 from repro.localization.base import LocalizationEstimate, Localizer
@@ -25,6 +28,11 @@ from repro.localization.aploc import APLoc
 from repro.localization.centroid import CentroidLocalizer
 from repro.localization.nearest import NearestApLocalizer
 from repro.localization.weighted import WeightedCentroidLocalizer
+from repro.localization.factory import (
+    localizer_names,
+    make_localizer,
+    make_localizers,
+)
 
 __all__ = [
     "Localizer",
@@ -36,4 +44,7 @@ __all__ = [
     "CentroidLocalizer",
     "NearestApLocalizer",
     "WeightedCentroidLocalizer",
+    "make_localizer",
+    "make_localizers",
+    "localizer_names",
 ]

@@ -68,6 +68,7 @@ class APLoc(Localizer):
     """
 
     name = "ap-loc"
+    supports_partial_fit = True
 
     def __init__(self, training: Sequence[TrainingTuple],
                  training_radius_m: float, r_max: float,

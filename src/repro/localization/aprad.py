@@ -34,6 +34,7 @@ class APRad(Localizer):
     """
 
     name = "ap-rad"
+    supports_partial_fit = True
 
     def __init__(self, database: ApDatabase, r_max: float,
                  r_min: float = 1.0, solver: str = "simplex",

@@ -5,10 +5,11 @@ from __future__ import annotations
 import abc
 import pickle
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.geometry.point import Point
 from repro.geometry.region import DiscIntersection
 from repro.knowledge.apdb import ApRecord
@@ -99,10 +100,55 @@ class LocalizationEstimate:
 
 
 class Localizer(abc.ABC):
-    """Interface all localization algorithms implement."""
+    """The localization protocol every algorithm implements uniformly.
+
+    The full surface (``make_localizer`` constructs any of them from a
+    spec string; the engine and experiments program against this
+    alone):
+
+    * :meth:`fit` / :meth:`partial_fit` — model estimation over an
+      observation corpus.  Stateless algorithms (M-Loc, Centroid,
+      Nearest-AP, Weighted-Centroid) inherit no-op defaults and are
+      always fitted; AP-Rad / AP-Loc run their radius LP here and set
+      :attr:`supports_partial_fit` so the streaming engine knows a
+      re-fit schedule is meaningful.
+    * :attr:`is_fitted` — whether :meth:`locate` is usable.
+    * :meth:`locate` / :meth:`locate_batch` — Γ → estimate, single and
+      micro-batch (batch results always match per-Γ ``locate``).
+    * :attr:`name` / :meth:`cache_key` — stable identity for reports
+      and for the engine's Γ-set memoization.
+    """
 
     #: Short algorithm name used in reports.
     name: str = "localizer"
+
+    #: Whether :meth:`partial_fit` folds evidence into a live model
+    #: (AP-Rad / AP-Loc).  The streaming engine only schedules re-fits
+    #: for localizers that declare support.
+    supports_partial_fit: bool = False
+
+    def fit(self, observations) -> None:
+        """Estimate model state from an observation corpus.
+
+        The default is a no-op: stateless localizers need no model.
+        Fitted algorithms (AP-Rad, AP-Loc) override this and return
+        their fit metadata.
+        """
+        return None
+
+    def partial_fit(self, observations) -> None:
+        """Fold new observations into the model incrementally.
+
+        Default: a no-op, mirroring :meth:`fit`.  Localizers that
+        support true incremental re-fitting override this and set
+        :attr:`supports_partial_fit`.
+        """
+        return None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`locate` may be called (default: always)."""
+        return True
 
     def cache_key(self) -> str:
         """Stable identity for Γ-set memoization (``repro.engine``).
@@ -155,7 +201,9 @@ class Localizer(abc.ABC):
         """
         gammas = [list(observed) for observed in observations]
         if executor is None or len(gammas) <= 1:
-            return self._locate_batch_local(gammas)
+            results = self._locate_batch_local(gammas)
+            _count_batch(self.name, results)
+            return results
         workers = max(1, int(getattr(executor, "_max_workers", 1)))
         chunk = -(-len(gammas) // workers)  # ceil division
         # One localizer pickle per call, not per chunk: submit() copies
@@ -169,14 +217,34 @@ class Localizer(abc.ABC):
             for s in range(0, len(gammas), chunk)
         ]
         results: List[Optional[LocalizationEstimate]] = []
+        registry = obs.current_registry()
         for future in futures:
-            results.extend(future.result())
+            chunk_results, worker_metrics = future.result()
+            results.extend(chunk_results)
+            # Chunks run against worker-local registries; folding their
+            # snapshots back in *submission order* keeps the merged
+            # totals deterministic whatever the pool's scheduling was.
+            registry.merge(worker_metrics)
         return results
 
     def _locate_batch_local(self, gammas: List[List[MacAddress]]
                             ) -> List[Optional[LocalizationEstimate]]:
         """In-process batch localization; the override point."""
         return [self.locate(gamma) for gamma in gammas]
+
+
+def _count_batch(algorithm: str,
+                 results: List[Optional[LocalizationEstimate]]) -> None:
+    """The shared instrumentation seam for every localizer's batch path."""
+    registry = obs.current_registry()
+    located = sum(1 for estimate in results if estimate is not None)
+    if located:
+        registry.counter("repro.localization.located",
+                         algorithm=algorithm).inc(located)
+    missed = len(results) - located
+    if missed:
+        registry.counter("repro.localization.unlocatable",
+                         algorithm=algorithm).inc(missed)
 
 
 #: Single-entry per-process cache of the last decoded localizer.  Keyed
@@ -187,13 +255,24 @@ _chunk_localizer: List[Optional[tuple]] = [None]
 
 def _locate_batch_chunk(payload: bytes,
                         gammas: List[List[MacAddress]]
-                        ) -> List[Optional[LocalizationEstimate]]:
-    """Module-level trampoline so executor tasks pickle cleanly."""
+                        ) -> Tuple[List[Optional[LocalizationEstimate]],
+                                   dict]:
+    """Module-level trampoline so executor tasks pickle cleanly.
+
+    Returns ``(estimates, metrics_snapshot)``: the chunk runs against a
+    fresh worker-local registry whose snapshot the parent merges, so
+    instrumentation deep in the geometry/LP layers survives the process
+    boundary without any shared state.
+    """
     cached = _chunk_localizer[0]
     if cached is None or cached[0] != payload:
         cached = (payload, pickle.loads(payload))
         _chunk_localizer[0] = cached
-    return cached[1]._locate_batch_local(gammas)
+    registry = obs.MetricsRegistry()
+    with obs.use_registry(registry):
+        results = cached[1]._locate_batch_local(gammas)
+        _count_batch(cached[1].name, results)
+    return results, registry.snapshot()
 
 
 def known_records(database, observed: Iterable[MacAddress]) -> List[ApRecord]:

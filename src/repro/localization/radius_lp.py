@@ -48,6 +48,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.geometry.grid import SpatialGrid
 from repro.geometry.point import Point
 from repro.lp.problem import LpProblem
@@ -72,6 +73,8 @@ class RadiusEstimate:
     total_slack: float
     #: Simplex iterations the solve took (0 for backends not reporting).
     solver_iterations: int = 0
+    #: Basis refactorizations (0 for backends without a factored basis).
+    refactorizations: int = 0
     #: Wall-clock seconds spent inside the LP solve.
     solve_seconds: float = 0.0
     #: Whether the solve restarted from a previous optimal basis.
@@ -421,12 +424,18 @@ class RadiusEstimator:
             for bssid in self._bssids
         }
         total_slack = float(sum(result.x[v] for v in self._slack_vars))
+        registry = obs.current_registry()
+        registry.timer(
+            "repro.localization.radius_fit.duration").observe(elapsed)
+        registry.counter("repro.localization.radius_fit.solves",
+                         warm=str(bool(warm_started)).lower()).inc()
         return RadiusEstimate(
             radii=radii,
             co_observed_pairs=len(self._co_rows),
             separated_pairs=len(self._sep_rows),
             total_slack=total_slack,
             solver_iterations=int(getattr(result, "iterations", 0)),
+            refactorizations=int(getattr(result, "refactorizations", 0)),
             solve_seconds=elapsed,
             warm_started=warm_started,
             lp_rows=problem.num_constraints,

@@ -45,6 +45,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
+
 try:  # scipy is optional; the solver is self-contained without it.
     from scipy.linalg import lu_factor as _lu_factor
     from scipy.linalg import lu_solve as _lu_solve
@@ -305,6 +307,13 @@ def solve_revised(
     solver = _RevisedSimplex(matrix, rhs, lo, hi, c_full, n,
                              max_iter=max_iter, bland_after=bland_after)
     status = solver.run(warm_start)
+    # Register-then-inc so the series exist (at zero) from the first
+    # solve, however trivial; a snapshot taken right after always shows
+    # them.
+    registry = obs.current_registry()
+    registry.counter("repro.lp.revised.pivots").inc(solver.iterations)
+    registry.counter("repro.lp.revised.refactorizations").inc(
+        solver.refactorizations)
     result = RevisedResult(
         status=status,
         x=None,

@@ -24,17 +24,25 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
+
 _EPS = 1e-9
 
 
 @dataclass
 class LpResult:
-    """Outcome of an LP solve."""
+    """Outcome of an LP solve.
+
+    ``refactorizations`` exists on every backend's result so callers
+    can read it uniformly; the dense tableau and scipy backends never
+    refactorize a basis, so it stays 0 for them.
+    """
 
     status: str  # "optimal" | "infeasible" | "unbounded" | "iteration_limit"
     x: Optional[np.ndarray]
     objective: Optional[float]
     iterations: int = 0
+    refactorizations: int = 0
 
     @property
     def is_optimal(self) -> bool:
@@ -100,6 +108,7 @@ def solve_lp(
 
     solution, status, iterations = _two_phase_simplex(
         cost, a_ub_all, b_ub_all, a_eq_m, b_eq_shift, max_iter)
+    obs.current_registry().counter("repro.lp.dense.pivots").inc(iterations)
     if status != "optimal":
         return LpResult(status, None, None, iterations=iterations)
     x = solution[:n] + lower

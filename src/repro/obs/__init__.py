@@ -1,0 +1,104 @@
+"""``repro.obs`` — the dependency-free observability subsystem.
+
+Three layers (DESIGN.md §6):
+
+* **Metrics** — typed instruments (:class:`Counter`, :class:`Gauge`,
+  :class:`Histogram`, :class:`Timer`) in a :class:`MetricsRegistry`,
+  addressed by dotted name + labels, with snapshot/delta/reset,
+  Prometheus-text and JSON exposition.
+* **Tracing** — ``with trace("engine.flush", ...)`` spans in a bounded
+  ring, exportable as Chrome ``trace_event`` JSON.
+* **Routing** — a process-wide default registry plus a thread-local
+  override stack (:func:`use_registry`), so deep components (the LP
+  solvers, the spatial grid, batch localization) emit through one seam
+  — :func:`current_registry` — and an engine can capture everything
+  that happens on its behalf into its own registry without threading a
+  handle through every call.
+
+Nothing here imports outside the standard library; recording is a few
+attribute updates, and no exposition cost is paid until a snapshot is
+actually taken.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    format_snapshot,
+    parse_key,
+)
+from repro.obs.trace import (
+    Span,
+    SpanRecorder,
+    current_recorder,
+    default_recorder,
+    trace,
+    use_recorder,
+)
+
+#: The process-wide registry: what module-level instrumentation reaches
+#: when no :func:`use_registry` override is active.
+_default_registry = MetricsRegistry()
+_tls = threading.local()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry (never replaced, only reset)."""
+    return _default_registry
+
+
+def current_registry() -> MetricsRegistry:
+    """The innermost :func:`use_registry` target, else the default.
+
+    This is the single seam deep components emit through: the LP
+    solvers, the spatial grid, and batch localization all call
+    ``current_registry().counter(...)`` so whichever registry the
+    caller activated — the engine's own, a test's, the default —
+    receives the metrics.
+    """
+    stack = getattr(_tls, "registries", None)
+    if stack:
+        return stack[-1]
+    return _default_registry
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry):
+    """Route :func:`current_registry` to ``registry`` within the block."""
+    stack = getattr(_tls, "registries", None)
+    if stack is None:
+        stack = _tls.registries = []
+    stack.append(registry)
+    try:
+        yield registry
+    finally:
+        stack.pop()
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "format_snapshot",
+    "parse_key",
+    "Span",
+    "SpanRecorder",
+    "trace",
+    "use_recorder",
+    "current_recorder",
+    "default_recorder",
+    "default_registry",
+    "current_registry",
+    "use_registry",
+]

@@ -1,0 +1,430 @@
+"""Typed metric instruments and the registry that owns them.
+
+The observability substrate for the whole pipeline (DESIGN.md §6).
+Four instrument kinds cover everything the engine, localizers, LP
+solvers, and geometry layers need to report:
+
+* :class:`Counter` — a monotonically increasing count (frames ingested,
+  cache hits, simplex pivots).
+* :class:`Gauge` — a point-in-time value (cache entries, devices seen).
+* :class:`Histogram` — a distribution over fixed log-scale buckets
+  (flush durations, batch sizes).  Bucket bounds never change after
+  construction, so snapshots merge exactly.
+* :class:`Timer` — a histogram of seconds with a ``with timer.time():``
+  convenience; it *is* a histogram, so exposition and merging treat it
+  identically.
+
+Instruments are addressed by dotted name (convention:
+``repro.<pkg>.<metric>``) plus an optional label set, and live in a
+:class:`MetricsRegistry`.  The registry supports point-in-time
+:meth:`~MetricsRegistry.snapshot`, :meth:`~MetricsRegistry.delta`
+against an earlier snapshot, :meth:`~MetricsRegistry.reset`,
+:meth:`~MetricsRegistry.merge` of foreign snapshots (worker-process
+registries, checkpoint restores), and two expositions: Prometheus text
+(:meth:`~MetricsRegistry.render_prometheus`) and JSON (the snapshot
+itself is JSON-compatible).
+
+Everything here is dependency-free and cheap: recording is a couple of
+attribute updates under the GIL, and nothing is paid for exposition
+until an exporter actually asks for a snapshot.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+#: Default histogram bounds: two log-scale buckets per decade
+#: (mantissas 1 and 3) from one microsecond to ~3000 — wide enough for
+#: durations in seconds and for small integer sizes alike.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(
+    mantissa * 10.0 ** exponent
+    for exponent in range(-6, 4)
+    for mantissa in (1.0, 3.0)
+)
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_items(labels: Dict[str, object]) -> LabelItems:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _format_key(name: str, labels: LabelItems) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+def parse_key(key: str) -> Tuple[str, LabelItems]:
+    """Invert :func:`_format_key` (snapshot keys → name + labels)."""
+    if not key.endswith("}") or "{" not in key:
+        return key, ()
+    name, _, inner = key.partition("{")
+    items = []
+    for part in inner[:-1].split(","):
+        if not part:
+            continue
+        label, _, value = part.partition("=")
+        items.append((label, value))
+    return name, tuple(items)
+
+
+def _fmt_number(value: float) -> str:
+    """Compact, deterministic number text for expositions."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class Instrument:
+    """Common identity: dotted name plus a sorted label tuple."""
+
+    __slots__ = ("name", "labels")
+
+    kind = "instrument"
+
+    def __init__(self, name: str, labels: LabelItems = ()):
+        self.name = name
+        self.labels = labels
+
+    @property
+    def key(self) -> str:
+        return _format_key(self.name, self.labels)
+
+
+class Counter(Instrument):
+    """A monotonically increasing count."""
+
+    __slots__ = ("_value",)
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelItems = ()):
+        super().__init__(name, labels)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0.0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge(Instrument):
+    """A value that can move in both directions."""
+
+    __slots__ = ("_value",)
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelItems = ()):
+        super().__init__(name, labels)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram(Instrument):
+    """A distribution over fixed log-scale buckets.
+
+    ``bounds`` are the inclusive upper bucket edges; an implicit +Inf
+    bucket catches the overflow.  Counts are stored per-bucket
+    (non-cumulative) and rendered cumulatively for Prometheus.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "overflow", "count", "sum")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: LabelItems = (),
+                 bounds: Optional[Sequence[float]] = None):
+        super().__init__(name, labels)
+        chosen = DEFAULT_BUCKETS if bounds is None else tuple(
+            float(b) for b in bounds)
+        if list(chosen) != sorted(set(chosen)):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.bounds: Tuple[float, ...] = chosen
+        self.bucket_counts: List[int] = [0] * len(chosen)
+        self.overflow = 0
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        index = bisect_left(self.bounds, value)
+        if index < len(self.bounds):
+            self.bucket_counts[index] += 1
+        else:
+            self.overflow += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``(le, cumulative_count)`` pairs, Prometheus-style."""
+        running = 0
+        out = []
+        for bound, bucket in zip(self.bounds, self.bucket_counts):
+            running += bucket
+            out.append((bound, running))
+        return out
+
+
+class Timer(Histogram):
+    """A histogram of seconds with a context-manager convenience."""
+
+    __slots__ = ()
+
+    @contextmanager
+    def time(self):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter() - start)
+
+
+class MetricsRegistry:
+    """Owns every instrument; the engine's and CLI's exposition seam.
+
+    Instruments are created on first use and cached, so holding the
+    returned handle (rather than re-looking it up) is the hot-path
+    idiom::
+
+        frames = registry.counter("repro.engine.frames")
+        ...
+        frames.inc()
+
+    A registry is cheap (one dict); code that must aggregate across
+    processes or runs exchanges :meth:`snapshot` dicts and
+    :meth:`merge`\\ s them — counters and histogram buckets add,
+    gauges take the incoming value, so merging worker snapshots in
+    submission order is deterministic.
+    """
+
+    def __init__(self):
+        self._instruments: Dict[Tuple[str, LabelItems], Instrument] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument access
+    # ------------------------------------------------------------------
+
+    def _lookup(self, cls, name: str, labels: Dict[str, object],
+                **kwargs) -> Instrument:
+        key = (name, _label_items(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, key[1], **kwargs)
+            self._instruments[key] = instrument
+            return instrument
+        if not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {_format_key(*key)!r} is a {instrument.kind}, "
+                f"not a {cls.kind}")
+        return instrument
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._lookup(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._lookup(Gauge, name, labels)
+
+    def histogram(self, name: str,
+                  bounds: Optional[Sequence[float]] = None,
+                  **labels) -> Histogram:
+        # Always instantiate the Timer subclass so histogram() and
+        # timer() interchangeably address the same instrument.
+        return self._lookup(Timer, name, labels, bounds=bounds)
+
+    def timer(self, name: str, **labels) -> Timer:
+        return self._lookup(Timer, name, labels)
+
+    def instruments(self) -> Iterator[Instrument]:
+        """Every registered instrument, in deterministic order."""
+        for key in sorted(self._instruments):
+            yield self._instruments[key]
+
+    def find(self, name: str) -> List[Instrument]:
+        """All instruments registered under a dotted name (any labels)."""
+        return [inst for inst in self.instruments() if inst.name == name]
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    # ------------------------------------------------------------------
+    # Snapshot / delta / reset / merge
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A JSON-compatible point-in-time copy of every instrument."""
+        counters: Dict[str, float] = {}
+        gauges: Dict[str, float] = {}
+        histograms: Dict[str, dict] = {}
+        for inst in self.instruments():
+            if isinstance(inst, Counter):
+                counters[inst.key] = inst.value
+            elif isinstance(inst, Gauge):
+                gauges[inst.key] = inst.value
+            elif isinstance(inst, Histogram):
+                histograms[inst.key] = {
+                    "count": inst.count,
+                    "sum": inst.sum,
+                    "bounds": list(inst.bounds),
+                    "counts": list(inst.bucket_counts),
+                    "overflow": inst.overflow,
+                }
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    def delta(self, previous: dict) -> dict:
+        """Current snapshot minus an earlier one (gauges: current)."""
+        current = self.snapshot()
+        prev_counters = previous.get("counters", {})
+        for key in current["counters"]:
+            current["counters"][key] -= prev_counters.get(key, 0.0)
+        prev_hists = previous.get("histograms", {})
+        for key, hist in current["histograms"].items():
+            before = prev_hists.get(key)
+            if not before or before.get("bounds") != hist["bounds"]:
+                continue
+            hist["count"] -= before["count"]
+            hist["sum"] -= before["sum"]
+            hist["counts"] = [a - b for a, b in
+                              zip(hist["counts"], before["counts"])]
+            hist["overflow"] -= before["overflow"]
+        return current
+
+    def reset(self) -> None:
+        """Zero every instrument in place (handles stay valid)."""
+        for inst in self._instruments.values():
+            if isinstance(inst, (Counter, Gauge)):
+                inst._value = 0.0
+            elif isinstance(inst, Histogram):
+                inst.bucket_counts = [0] * len(inst.bounds)
+                inst.overflow = 0
+                inst.count = 0
+                inst.sum = 0.0
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a foreign snapshot in: counters/histograms add, gauges
+        take the incoming value.  Used for worker-registry merges and
+        checkpoint restores."""
+        for key, value in snapshot.get("counters", {}).items():
+            name, labels = parse_key(key)
+            self._lookup(Counter, name, dict(labels))._value += value
+        for key, value in snapshot.get("gauges", {}).items():
+            name, labels = parse_key(key)
+            self._lookup(Gauge, name, dict(labels))._value = value
+        for key, data in snapshot.get("histograms", {}).items():
+            name, labels = parse_key(key)
+            hist = self._lookup(Timer, name, dict(labels),
+                                bounds=data.get("bounds"))
+            if list(hist.bounds) != [float(b) for b in data["bounds"]]:
+                raise ValueError(
+                    f"cannot merge histogram {key!r}: bucket bounds differ")
+            hist.count += int(data["count"])
+            hist.sum += float(data["sum"])
+            hist.overflow += int(data["overflow"])
+            hist.bucket_counts = [
+                a + int(b) for a, b in zip(hist.bucket_counts,
+                                           data["counts"])]
+
+    # ------------------------------------------------------------------
+    # Exposition
+    # ------------------------------------------------------------------
+
+    def render_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        lines: List[str] = []
+        typed: Dict[str, str] = {}
+        for inst in self.instruments():
+            metric = _prom_name(inst.name)
+            if typed.get(metric) is None:
+                kind = ("histogram" if isinstance(inst, Histogram)
+                        else inst.kind)
+                lines.append(f"# TYPE {metric} {kind}")
+                typed[metric] = kind
+            if isinstance(inst, Histogram):
+                for bound, cumulative in inst.cumulative_buckets():
+                    labels = _prom_labels(inst.labels,
+                                          ("le", _fmt_number(bound)))
+                    lines.append(f"{metric}_bucket{labels} {cumulative}")
+                labels = _prom_labels(inst.labels, ("le", "+Inf"))
+                lines.append(f"{metric}_bucket{labels} {inst.count}")
+                base = _prom_labels(inst.labels)
+                lines.append(f"{metric}_sum{base} {_fmt_number(inst.sum)}")
+                lines.append(f"{metric}_count{base} {inst.count}")
+            elif isinstance(inst, Counter):
+                labels = _prom_labels(inst.labels)
+                lines.append(
+                    f"{metric}_total{labels} {_fmt_number(inst.value)}")
+            else:
+                labels = _prom_labels(inst.labels)
+                lines.append(f"{metric}{labels} {_fmt_number(inst.value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def format(self) -> str:
+        """Human-readable block (what ``marauder metrics`` prints)."""
+        return format_snapshot(self.snapshot())
+
+
+def _prom_name(name: str) -> str:
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(labels: LabelItems, *extra: Tuple[str, str]) -> str:
+    items = list(labels) + list(extra)
+    if not items:
+        return ""
+    inner = ",".join(f'{_prom_name(k)}="{v}"' for k, v in items)
+    return "{" + inner + "}"
+
+
+def format_snapshot(snapshot: dict) -> str:
+    """Pretty-print a :meth:`MetricsRegistry.snapshot` dict."""
+    lines: List[str] = []
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    if counters:
+        lines.append("counters:")
+        width = max(len(k) for k in counters)
+        for key in sorted(counters):
+            lines.append(f"  {key:<{width}}  {_fmt_number(counters[key])}")
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(k) for k in gauges)
+        for key in sorted(gauges):
+            lines.append(f"  {key:<{width}}  {_fmt_number(gauges[key])}")
+    if histograms:
+        lines.append("histograms:")
+        for key in sorted(histograms):
+            hist = histograms[key]
+            count = hist["count"]
+            mean = hist["sum"] / count if count else 0.0
+            lines.append(f"  {key}  count={count} "
+                         f"sum={_fmt_number(round(hist['sum'], 9))} "
+                         f"mean={mean:.6g}")
+    if not lines:
+        return "(empty registry)"
+    return "\n".join(lines)

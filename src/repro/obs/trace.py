@@ -1,0 +1,176 @@
+"""Lightweight in-process span tracing.
+
+A :class:`Span` is one timed operation (an engine flush, a radius-LP
+solve); spans nest through a thread-local stack, so each records its
+parent and the Chrome trace viewer reconstructs the call tree.  Spans
+land in a :class:`SpanRecorder` — a bounded ring, so a week-long stream
+keeps only the most recent ``capacity`` spans and memory stays flat.
+
+Usage::
+
+    from repro.obs import trace
+
+    with trace("engine.flush", batch=len(batch)):
+        ...
+
+Export is Chrome ``trace_event`` JSON (load the file at
+``chrome://tracing`` or https://ui.perfetto.dev)::
+
+    recorder = obs.default_recorder()
+    recorder.export_chrome("engine_trace.json")
+
+A recorder with ``capacity=0`` is disabled: ``trace`` then yields
+``None`` without touching the clock, so tracing can be compiled out of
+hot paths by swapping the active recorder.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from contextlib import contextmanager
+from collections import deque
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+_ids = itertools.count(1)
+_tls = threading.local()
+
+
+class Span:
+    """One timed, named operation with optional key=value arguments."""
+
+    __slots__ = ("name", "args", "span_id", "parent_id", "thread_id",
+                 "start_s", "end_s")
+
+    def __init__(self, name: str, args: Dict[str, object],
+                 span_id: int, parent_id: Optional[int],
+                 thread_id: int, start_s: float):
+        self.name = name
+        self.args = args
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.thread_id = thread_id
+        self.start_s = start_s
+        self.end_s = start_s
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, {self.duration_s * 1e3:.3f} ms, "
+                f"id={self.span_id}, parent={self.parent_id})")
+
+
+class SpanRecorder:
+    """A bounded ring of completed spans."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._ring: "deque[Span]" = deque(maxlen=capacity or 1)
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def record(self, span: Span) -> None:
+        if self.capacity > 0:
+            self._ring.append(span)
+
+    def spans(self) -> List[Span]:
+        """Completed spans, oldest first."""
+        return list(self._ring)
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    # ------------------------------------------------------------------
+    # Chrome trace_event exposition
+    # ------------------------------------------------------------------
+
+    def to_chrome(self) -> dict:
+        """The ring as a Chrome ``trace_event`` JSON object."""
+        events = []
+        for span in sorted(self._ring, key=lambda s: (s.start_s,
+                                                      s.span_id)):
+            args = {str(k): v for k, v in span.args.items()}
+            if span.parent_id is not None:
+                args["parent_span"] = span.parent_id
+            args["span"] = span.span_id
+            events.append({
+                "name": span.name,
+                "ph": "X",
+                "ts": span.start_s * 1e6,
+                "dur": span.duration_s * 1e6,
+                "pid": 0,
+                "tid": span.thread_id,
+                "args": args,
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def export_chrome(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(json.dumps(self.to_chrome()),
+                              encoding="utf-8")
+
+
+#: The process-wide recorder ``trace`` falls back to.
+_default_recorder = SpanRecorder()
+
+
+def default_recorder() -> SpanRecorder:
+    return _default_recorder
+
+
+def current_recorder() -> SpanRecorder:
+    """The innermost :func:`use_recorder` target, else the default."""
+    stack = getattr(_tls, "recorders", None)
+    if stack:
+        return stack[-1]
+    return _default_recorder
+
+
+@contextmanager
+def use_recorder(recorder: SpanRecorder):
+    """Route ``trace`` spans to ``recorder`` within the block."""
+    stack = getattr(_tls, "recorders", None)
+    if stack is None:
+        stack = _tls.recorders = []
+    stack.append(recorder)
+    try:
+        yield recorder
+    finally:
+        stack.pop()
+
+
+@contextmanager
+def trace(name: str, recorder: Optional[SpanRecorder] = None, **args):
+    """Record a span around the block; yields the live :class:`Span`.
+
+    Spans started while another ``trace`` block is open on the same
+    thread record it as their parent, so exports show the nesting.
+    """
+    target = recorder if recorder is not None else current_recorder()
+    if not target.enabled:
+        yield None
+        return
+    open_spans = getattr(_tls, "spans", None)
+    if open_spans is None:
+        open_spans = _tls.spans = []
+    parent_id = open_spans[-1].span_id if open_spans else None
+    span = Span(name, args, next(_ids), parent_id,
+                threading.get_ident(), time.perf_counter())
+    open_spans.append(span)
+    try:
+        yield span
+    finally:
+        open_spans.pop()
+        span.end_s = time.perf_counter()
+        target.record(span)

@@ -197,11 +197,12 @@ class DiscModelExperiment:
     def make_aprad(self, solver: str = "scipy"):
         """An :class:`~repro.localization.aprad.APRad` wired with the
         scenario's recommended settings (not yet fitted)."""
-        from repro.localization.aprad import APRad
+        from repro.localization import make_localizer
 
-        return APRad(self.location_db, r_max=self.r_max, solver=solver,
-                     min_evidence=self.aprad_min_evidence,
-                     overestimate_factor=self.aprad_overestimate)
+        return make_localizer(
+            "ap-rad", database=self.location_db, r_max=self.r_max,
+            solver=solver, min_evidence=self.aprad_min_evidence,
+            overestimate_factor=self.aprad_overestimate)
 
 
 def build_disc_model_experiment(

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Set, Union
 
+from repro import obs
 from repro.localization.base import LocalizationEstimate, Localizer
 from repro.net80211.capture_file import CaptureReader
 from repro.net80211.mac import MacAddress
@@ -44,14 +45,21 @@ def iter_capture(path: PathLike,
         raise ValueError(
             f"reorder_buffer must be >= 0, got {reorder_buffer}")
     reader = CaptureReader(path)
+    # Resolved at generator start, not per frame: replay counts flow to
+    # whichever registry is routed when iteration begins (the engine's,
+    # when this feeds StreamingEngine.run).
+    frames = obs.current_registry().counter("repro.sniffer.replay.frames")
     if reorder_buffer == 0:
-        yield from reader
+        for received in reader:
+            frames.inc()
+            yield received
         return
     # (timestamp, arrival index) keys make the sort stable; the index
     # also keeps ReceivedFrame itself out of heap comparisons.
     heap: list = []
     arrival = itertools.count()
     for received in reader:
+        frames.inc()
         heapq.heappush(heap,
                        (received.rx_timestamp, next(arrival), received))
         if len(heap) > reorder_buffer:

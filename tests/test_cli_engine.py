@@ -118,6 +118,59 @@ class TestEngineCommand:
         assert str(scenario.victim.mac) in out
 
 
+class TestEngineObservability:
+    def test_metrics_json_contains_acceptance_series(self, sim_capture,
+                                                     tmp_path, capsys):
+        import json
+
+        _, capture_path, wigle_path = sim_capture
+        out_path = tmp_path / "metrics.json"
+        code = main(["engine", str(capture_path),
+                     "--wigle", str(wigle_path),
+                     "--refit-every", "50", "--r-max", "120",
+                     "--localizer", "ap-rad:r_max=120,solver=revised",
+                     "--metrics-json", str(out_path)])
+        assert code == 0
+        assert "Metrics snapshot written to" in capsys.readouterr().out
+        snapshot = json.loads(out_path.read_text())
+        assert "repro.engine.flush.duration" in snapshot["histograms"]
+        for event in ("hit", "miss", "eviction"):
+            assert f"repro.engine.cache.{event}" in snapshot["counters"]
+        assert "repro.lp.revised.pivots" in snapshot["counters"]
+        assert snapshot["counters"]["repro.sniffer.replay.frames"] > 0
+
+    def test_trace_exports_chrome_json(self, sim_capture, tmp_path,
+                                       capsys):
+        import json
+
+        _, capture_path, wigle_path = sim_capture
+        trace_path = tmp_path / "trace.json"
+        code = main(["engine", str(capture_path),
+                     "--wigle", str(wigle_path),
+                     "--trace", str(trace_path)])
+        assert code == 0
+        assert "spans) written to" in capsys.readouterr().out
+        events = json.loads(trace_path.read_text())["traceEvents"]
+        names = {event["name"] for event in events}
+        assert "engine.flush" in names
+
+    def test_localizer_spec_selects_algorithm(self, sim_capture, capsys):
+        _, capture_path, wigle_path = sim_capture
+        code = main(["engine", str(capture_path),
+                     "--wigle", str(wigle_path),
+                     "--localizer", "centroid"])
+        assert code == 0
+        assert "PipelineStats" in capsys.readouterr().out
+
+    def test_bad_localizer_spec_fails_cleanly(self, sim_capture, capsys):
+        _, capture_path, wigle_path = sim_capture
+        code = main(["engine", str(capture_path),
+                     "--wigle", str(wigle_path),
+                     "--localizer", "triangulate"])
+        assert code == 2
+        assert "unknown localizer" in capsys.readouterr().err
+
+
 class TestCleanFailures:
     def test_engine_missing_capture(self, sim_capture, tmp_path, capsys):
         _, _, wigle_path = sim_capture

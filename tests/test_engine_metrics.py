@@ -1,0 +1,279 @@
+"""Engine observability: registry routing, checkpoint totals, factories."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.engine import (
+    EngineStats,
+    FanoutSink,
+    LatestFixSink,
+    PipelineStats,
+    StreamingEngine,
+    TrackerSink,
+    CallbackSink,
+    RendererSink,
+    make_sink,
+    sink_names,
+)
+from repro.localization import MLoc, make_localizer
+from repro.net80211.frames import probe_request, probe_response
+from repro.net80211.mac import MacAddress
+from repro.net80211.medium import ReceivedFrame
+from repro.net80211.ssid import Ssid
+from repro.sniffer.tracker import DeviceTracker
+
+
+def station(index):
+    return MacAddress(0x020000000000 + index)
+
+
+def build_stream(square_db, devices=8, rounds=3):
+    frames = []
+    t = 0.0
+    records = list(square_db)
+    for round_index in range(rounds):
+        for d in range(devices):
+            heard = records if round_index % 2 == 0 else records[:-1]
+            frames.append(ReceivedFrame(
+                probe_request(station(d), 6, t, ssid=Ssid("home")),
+                rssi_dbm=-70.0, snr_db=20.0, rx_channel=6,
+                rx_timestamp=t))
+            for record in heard:
+                t += 0.01
+                frame = probe_response(record.bssid, station(d), 6, t,
+                                       ssid=record.ssid)
+                frames.append(ReceivedFrame(frame, rssi_dbm=-70.0,
+                                            snr_db=20.0, rx_channel=6,
+                                            rx_timestamp=t))
+            t += 2.0
+        t += 40.0
+    return frames
+
+
+CORE_COUNTERS = (
+    "repro.engine.frames",
+    "repro.engine.evidence",
+    "repro.engine.probe_requests",
+    "repro.engine.batches",
+    "repro.engine.estimates",
+    "repro.engine.unlocatable",
+    "repro.engine.refits",
+)
+
+
+class TestEngineRegistry:
+    def test_core_series_present_at_zero_before_any_frame(self, square_db):
+        snapshot = StreamingEngine(MLoc(square_db)).metrics_snapshot()
+        for name in CORE_COUNTERS:
+            assert snapshot["counters"][name] == 0
+        assert snapshot["histograms"]["repro.engine.flush.duration"][
+            "count"] == 0
+        for event in ("hit", "miss", "eviction", "invalidation"):
+            assert snapshot["counters"][f"repro.engine.cache.{event}"] == 0
+        assert snapshot["gauges"]["repro.engine.cache.entries"] == 0
+
+    def test_run_populates_acceptance_series(self, square_db):
+        engine = StreamingEngine(MLoc(square_db), window_s=30.0,
+                                 batch_size=3)
+        stats = engine.run(iter(build_stream(square_db)))
+        snapshot = engine.metrics_snapshot()
+        counters = snapshot["counters"]
+        assert counters["repro.engine.frames"] == stats.frames_ingested
+        assert counters["repro.engine.estimates"] == stats.estimates_emitted
+        assert counters["repro.engine.cache.hit"] == stats.cache_hits
+        assert counters["repro.engine.cache.miss"] == stats.cache_misses
+        flush = snapshot["histograms"]["repro.engine.flush.duration"]
+        assert flush["count"] == stats.batches_flushed
+        assert flush["sum"] > 0.0
+        # Deep layers report into the engine's registry, not the default.
+        located = counters["repro.localization.located{algorithm=m-loc}"]
+        assert located == stats.cache_misses
+        assert snapshot["gauges"]["repro.engine.devices.seen"] == (
+            stats.devices_seen)
+
+    def test_engine_registries_are_isolated(self, square_db):
+        frames = build_stream(square_db, devices=3, rounds=1)
+        first = StreamingEngine(MLoc(square_db), batch_size=3)
+        second = StreamingEngine(MLoc(square_db), batch_size=3)
+        first.run(iter(frames))
+        snapshot = second.metrics_snapshot()
+        assert snapshot["counters"]["repro.engine.frames"] == 0
+        assert first.registry is not second.registry
+
+    def test_revised_lp_metrics_flow_through_refit(self, square_db):
+        localizer = make_localizer("ap-rad:r_max=150,solver=revised",
+                                   database=square_db)
+        engine = StreamingEngine(localizer, window_s=30.0, batch_size=3,
+                                 refit_every=20)
+        stats = engine.run(iter(build_stream(square_db)))
+        assert stats.refits > 0
+        counters = engine.metrics_snapshot()["counters"]
+        assert counters["repro.engine.refits"] == stats.refits
+        assert "repro.lp.revised.pivots" in counters
+        assert "repro.lp.revised.refactorizations" in counters
+        assert counters["repro.lp.revised.pivots"] > 0
+        # The re-fit wall time landed in the fit stage series.
+        assert stats.stage_seconds.get("fit", 0.0) > 0.0
+
+    def test_stats_is_a_view_over_the_registry(self, square_db):
+        engine = StreamingEngine(MLoc(square_db), batch_size=3)
+        engine.ingest_stream(build_stream(square_db, devices=2, rounds=1))
+        engine.flush()
+        stats = engine.stats()
+        assert isinstance(stats, EngineStats)
+        assert stats.frames_ingested == int(
+            engine.registry.counter("repro.engine.frames").value)
+
+
+class TestCheckpointCumulativeTotals:
+    def test_resumed_totals_equal_uninterrupted(self, square_db):
+        frames = build_stream(square_db)
+        cut = 37
+
+        uninterrupted = StreamingEngine(MLoc(square_db), window_s=30.0,
+                                        batch_size=3)
+        uninterrupted.run(iter(frames))
+
+        first = StreamingEngine(MLoc(square_db), window_s=30.0,
+                                batch_size=3)
+        first.ingest_stream(frames[:cut])
+        blob = json.dumps(first.checkpoint())
+        resumed = StreamingEngine.restore(json.loads(blob),
+                                          MLoc(square_db))
+        resumed.ingest_stream(frames[cut:])
+        resumed.flush()
+
+        full = uninterrupted.metrics_snapshot()
+        again = resumed.metrics_snapshot()
+        for name in CORE_COUNTERS:
+            assert again["counters"][name] == full["counters"][name], name
+        # Histogram *event counts* carry over too (sums are wall time).
+        assert (again["histograms"]["repro.engine.flush.duration"]["count"]
+                == full["histograms"]["repro.engine.flush.duration"][
+                    "count"])
+        assert resumed.stats().to_dict().keys() == (
+            uninterrupted.stats().to_dict().keys())
+
+    def test_checkpoint_carries_registry_snapshot(self, square_db):
+        engine = StreamingEngine(MLoc(square_db), batch_size=2)
+        engine.ingest_stream(build_stream(square_db, devices=3, rounds=1))
+        data = engine.checkpoint()
+        assert data["engine_checkpoint"] == 2
+        assert data["metrics"] == engine.metrics_snapshot()
+        # The legacy int block stays for external checkpoint consumers.
+        assert data["counters"]["frames_ingested"] == (
+            engine.stats().frames_ingested)
+
+    def test_v1_checkpoint_still_restores(self, square_db):
+        engine = StreamingEngine(MLoc(square_db), batch_size=2)
+        engine.ingest_stream(build_stream(square_db, devices=3, rounds=1))
+        engine.flush()
+        data = json.loads(json.dumps(engine.checkpoint()))
+        del data["metrics"]
+        data["engine_checkpoint"] = 1
+        restored = StreamingEngine.restore(data, MLoc(square_db))
+        stats = restored.stats()
+        assert stats.frames_ingested == engine.stats().frames_ingested
+        assert stats.estimates_emitted == engine.stats().estimates_emitted
+        for stage, seconds in engine.stats().stage_seconds.items():
+            assert stats.stage_seconds[stage] == pytest.approx(seconds)
+
+
+class TestWorkerRegistryMerge:
+    def test_parallel_run_merges_worker_metrics_deterministically(
+            self, square_db):
+        frames = build_stream(square_db)
+        sequential = StreamingEngine(MLoc(square_db), window_s=30.0,
+                                     batch_size=3)
+        sequential.run(iter(frames))
+        parallel = StreamingEngine(MLoc(square_db), window_s=30.0,
+                                   batch_size=3, workers=2)
+        parallel.run(iter(frames))
+
+        seq = sequential.metrics_snapshot()["counters"]
+        par = parallel.metrics_snapshot()["counters"]
+        # Worker-local registries were folded back in submission order:
+        # the located totals match the sequential run exactly.
+        key = "repro.localization.located{algorithm=m-loc}"
+        assert par[key] == seq[key]
+        for name in CORE_COUNTERS:
+            assert par[name] == seq[name], name
+
+
+class TestSinkFactory:
+    def test_names(self):
+        assert set(sink_names()) == {"tracker", "callback", "latest",
+                                     "renderer"}
+
+    def test_builds_by_name_with_context(self):
+        tracker = DeviceTracker()
+        sink = make_sink("tracker", tracker=tracker)
+        assert isinstance(sink, TrackerSink)
+        assert sink.tracker is tracker
+        assert isinstance(make_sink("latest"), LatestFixSink)
+
+    def test_passthrough_and_fanout(self):
+        latest = LatestFixSink()
+        assert make_sink(latest) is latest
+        fanout = make_sink(["latest", latest])
+        assert isinstance(fanout, FanoutSink)
+        assert fanout.sinks[1] is latest
+
+    def test_spec_options(self):
+        class FakeRenderer:
+            def add_estimate(self, *args, **kwargs):
+                pass
+
+        sink = make_sink("renderer:label_devices=false",
+                         renderer=FakeRenderer())
+        assert isinstance(sink, RendererSink)
+        assert sink.label_devices is False
+
+    def test_unknown_and_bad_specs_raise(self):
+        with pytest.raises(ValueError, match="unknown sink"):
+            make_sink("kafka")
+        with pytest.raises(ValueError, match="bad options"):
+            make_sink("callback")  # no callback supplied
+
+    def test_fanout_accepts_any_iterable(self):
+        fanout = FanoutSink(sink for sink in (LatestFixSink(),
+                                              LatestFixSink()))
+        assert len(fanout.sinks) == 2
+
+
+class TestDeprecations:
+    def test_pipeline_stats_alias_warns(self):
+        with pytest.warns(DeprecationWarning, match="PipelineStats"):
+            stats = PipelineStats()
+        assert isinstance(stats, EngineStats)
+        assert "PipelineStats:" in stats.format()
+
+    def test_engine_stats_does_not_warn(self, recwarn):
+        EngineStats()
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_dict_config_sinks_warn_but_work(self):
+        tracker = DeviceTracker()
+        with pytest.warns(DeprecationWarning, match="TrackerSink"):
+            sink = TrackerSink({"tracker": tracker})
+        assert sink.tracker is tracker
+
+        def record(mobile, timestamp, estimate):
+            pass
+
+        with pytest.warns(DeprecationWarning, match="CallbackSink"):
+            sink = CallbackSink({"callback": record})
+        assert sink.callback is record
+
+        class FakeRenderer:
+            pass
+
+        renderer = FakeRenderer()
+        with pytest.warns(DeprecationWarning, match="RendererSink"):
+            sink = RendererSink({"renderer": renderer,
+                                 "label_devices": False})
+        assert sink.renderer is renderer
+        assert sink.label_devices is False

@@ -298,6 +298,48 @@ class TestLpProblemIntegration:
         assert revised.iterations > 0
 
 
+class TestRefactorizationParity:
+    """``refactorizations`` reads uniformly across backends."""
+
+    def _problem(self):
+        problem = LpProblem(maximize=True)
+        x = problem.add_variable("x", low=0.0, up=5.0)
+        y = problem.add_variable("y", low=0.0, up=5.0)
+        problem.set_objective({x: 2.0, y: 1.0})
+        problem.add_constraint({x: 1.0, y: 1.0}, "<=", 6.0)
+        return problem
+
+    def test_solve_dispatch_agrees_with_solve_revised(self):
+        problem = self._problem()
+        dispatched = problem.solve(solver="revised")
+        direct = problem.solve_revised()
+        assert dispatched.iterations == direct.iterations
+        assert dispatched.refactorizations == direct.refactorizations
+        assert dispatched.objective == pytest.approx(direct.objective)
+
+    def test_dense_backend_reports_zero_refactorizations(self):
+        result = self._problem().solve(solver="simplex")
+        assert result.is_optimal
+        assert result.refactorizations == 0
+
+    def test_scipy_backend_reports_zero_refactorizations(self):
+        pytest.importorskip("scipy.optimize")
+        result = self._problem().solve(solver="scipy")
+        assert result.is_optimal
+        assert result.refactorizations == 0
+
+    def test_pivot_metrics_land_in_routed_registry(self):
+        from repro import obs
+
+        registry = obs.MetricsRegistry()
+        with obs.use_registry(registry):
+            result = self._problem().solve(solver="revised")
+        counters = registry.snapshot()["counters"]
+        assert counters["repro.lp.revised.pivots"] == result.iterations
+        assert (counters["repro.lp.revised.refactorizations"]
+                == result.refactorizations)
+
+
 class TestScipyCrossCheck:
     @settings(max_examples=40, deadline=None)
     @given(st.data())

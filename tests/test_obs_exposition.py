@@ -1,0 +1,84 @@
+"""Exposition formats: golden Prometheus text, JSON round trip, CLI."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.obs import MetricsRegistry, format_snapshot
+
+GOLDEN = Path(__file__).parent / "data" / "metrics_golden.prom"
+
+
+def demo_registry() -> MetricsRegistry:
+    """A small registry whose exposition is bit-for-bit deterministic.
+
+    Observed values are binary-exact so the histogram sum renders the
+    same on every platform.
+    """
+    registry = MetricsRegistry()
+    registry.counter("repro.demo.requests", code=200).inc(3)
+    registry.counter("repro.demo.requests", code=404).inc()
+    registry.gauge("repro.demo.entries").set(7)
+    latency = registry.histogram("repro.demo.latency",
+                                 bounds=(0.25, 1.0, 2.0))
+    for value in (0.25, 0.5, 0.5, 4.0):
+        latency.observe(value)
+    return registry
+
+
+class TestPrometheusText:
+    def test_matches_golden_file(self):
+        assert demo_registry().render_prometheus() == GOLDEN.read_text()
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+    def test_survives_snapshot_round_trip(self):
+        """merge(snapshot) reproduces the exposition exactly."""
+        snapshot = json.loads(json.dumps(demo_registry().snapshot()))
+        rebuilt = MetricsRegistry()
+        rebuilt.merge(snapshot)
+        assert rebuilt.render_prometheus() == GOLDEN.read_text()
+
+
+class TestFormatSnapshot:
+    def test_sections_and_values(self):
+        text = format_snapshot(demo_registry().snapshot())
+        assert "counters:" in text
+        assert "repro.demo.requests{code=200}  3" in text
+        assert "gauges:" in text
+        assert "histograms:" in text
+        assert "count=4" in text
+
+    def test_empty_snapshot(self):
+        assert format_snapshot({}) == "(empty registry)"
+
+
+class TestMetricsCommand:
+    @pytest.fixture
+    def snapshot_file(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(demo_registry().snapshot()))
+        return path
+
+    def test_prints_human_summary(self, snapshot_file, capsys):
+        assert main(["metrics", str(snapshot_file)]) == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "repro.demo.requests{code=200}" in out
+
+    def test_prometheus_flag_matches_golden(self, snapshot_file, capsys):
+        assert main(["metrics", str(snapshot_file), "--prometheus"]) == 0
+        assert capsys.readouterr().out == GOLDEN.read_text()
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["metrics", str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_non_snapshot_json_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2, 3]")
+        assert main(["metrics", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err

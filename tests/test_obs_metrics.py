@@ -1,0 +1,230 @@
+"""repro.obs metrics: instrument semantics, registry, snapshot algebra."""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    parse_key,
+)
+
+
+class TestInstruments:
+    def test_counter_increments_monotonically(self):
+        counter = Counter("repro.test.hits")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5.0
+
+    def test_counter_rejects_negative_increment(self):
+        counter = Counter("repro.test.hits")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge("repro.test.entries")
+        gauge.set(10)
+        gauge.inc(2.5)
+        gauge.dec()
+        assert gauge.value == 11.5
+
+    def test_histogram_buckets_and_overflow(self):
+        hist = Histogram("repro.test.sizes", bounds=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 5.0, 50.0, 1e6):
+            hist.observe(value)
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(1000060.5)
+        assert hist.bucket_counts == [1, 2, 1]
+        assert hist.overflow == 1
+        assert hist.mean == pytest.approx(1000060.5 / 5)
+        assert hist.cumulative_buckets() == [(1.0, 1), (10.0, 3),
+                                             (100.0, 4)]
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("repro.test.bad", bounds=(10.0, 1.0))
+
+    def test_default_buckets_are_strictly_increasing(self):
+        assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))
+
+    def test_timer_is_a_histogram_of_seconds(self):
+        timer = Timer("repro.test.duration")
+        with timer.time():
+            pass
+        assert timer.count == 1
+        assert timer.sum >= 0.0
+        assert isinstance(timer, Histogram)
+
+
+class TestKeys:
+    def test_labels_sort_deterministically(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro.test.located", b="2", a="1")
+        b = registry.counter("repro.test.located", a="1", b="2")
+        assert a is b
+        assert a.key == "repro.test.located{a=1,b=2}"
+
+    def test_parse_key_round_trips(self):
+        registry = MetricsRegistry()
+        inst = registry.counter("repro.test.x", stage="fit", k=3)
+        name, labels = parse_key(inst.key)
+        assert name == "repro.test.x"
+        assert dict(labels) == {"stage": "fit", "k": "3"}
+        assert parse_key("repro.plain") == ("repro.plain", ())
+
+
+class TestRegistry:
+    def test_same_name_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("repro.a") is registry.counter("repro.a")
+        assert registry.counter("repro.a", x="1") is not registry.counter(
+            "repro.a")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro.a")
+        with pytest.raises(TypeError):
+            registry.gauge("repro.a")
+
+    def test_timer_and_histogram_share_an_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.timer("repro.t") is registry.histogram("repro.t")
+
+    def test_find_matches_all_label_sets(self):
+        registry = MetricsRegistry()
+        registry.counter("repro.stage", stage="fit")
+        registry.counter("repro.stage", stage="sink")
+        registry.counter("repro.other")
+        assert len(registry.find("repro.stage")) == 2
+        assert len(registry) == 3
+
+    def test_snapshot_is_json_compatible(self):
+        registry = MetricsRegistry()
+        registry.counter("repro.c").inc(3)
+        registry.gauge("repro.g").set(7)
+        registry.histogram("repro.h", bounds=(1.0, 2.0)).observe(1.5)
+        snap = json.loads(json.dumps(registry.snapshot()))
+        assert snap["counters"]["repro.c"] == 3
+        assert snap["gauges"]["repro.g"] == 7
+        assert snap["histograms"]["repro.h"]["count"] == 1
+
+    def test_delta_subtracts_counters_and_histograms(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro.c")
+        hist = registry.histogram("repro.h", bounds=(10.0,))
+        counter.inc(2)
+        hist.observe(1.0)
+        before = registry.snapshot()
+        counter.inc(5)
+        hist.observe(3.0)
+        delta = registry.delta(before)
+        assert delta["counters"]["repro.c"] == 5
+        assert delta["histograms"]["repro.h"]["count"] == 1
+        assert delta["histograms"]["repro.h"]["sum"] == pytest.approx(3.0)
+
+    def test_reset_keeps_handles_valid(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro.c")
+        counter.inc(9)
+        registry.reset()
+        assert counter.value == 0.0
+        counter.inc()
+        assert registry.snapshot()["counters"]["repro.c"] == 1.0
+
+    def test_merge_adds_counters_and_buckets(self):
+        worker = MetricsRegistry()
+        worker.counter("repro.c", w="1").inc(4)
+        worker.histogram("repro.h", bounds=(1.0, 10.0)).observe(0.5)
+        parent = MetricsRegistry()
+        parent.counter("repro.c", w="1").inc(1)
+        parent.histogram("repro.h", bounds=(1.0, 10.0)).observe(5.0)
+        parent.merge(worker.snapshot())
+        assert parent.counter("repro.c", w="1").value == 5.0
+        hist = parent.histogram("repro.h")
+        assert hist.count == 2
+        assert hist.bucket_counts == [1, 1]
+
+    def test_merge_takes_incoming_gauge_value(self):
+        worker = MetricsRegistry()
+        worker.gauge("repro.g").set(42)
+        parent = MetricsRegistry()
+        parent.gauge("repro.g").set(7)
+        parent.merge(worker.snapshot())
+        assert parent.gauge("repro.g").value == 42.0
+
+    def test_merge_rejects_mismatched_bounds(self):
+        worker = MetricsRegistry()
+        worker.histogram("repro.h", bounds=(1.0, 2.0)).observe(1.0)
+        parent = MetricsRegistry()
+        parent.histogram("repro.h", bounds=(5.0,)).observe(1.0)
+        with pytest.raises(ValueError):
+            parent.merge(worker.snapshot())
+
+    def test_merge_is_associative_over_submission_order(self):
+        snaps = []
+        for k in range(3):
+            worker = MetricsRegistry()
+            worker.counter("repro.c").inc(k + 1)
+            worker.histogram("repro.h", bounds=(10.0,)).observe(k)
+            snaps.append(worker.snapshot())
+        merged = MetricsRegistry()
+        for snap in snaps:
+            merged.merge(snap)
+        assert merged.counter("repro.c").value == 6.0
+        assert merged.histogram("repro.h").count == 3
+
+
+class TestRouting:
+    def test_default_registry_is_the_fallback(self):
+        assert obs.current_registry() is obs.default_registry()
+
+    def test_use_registry_overrides_and_restores(self):
+        mine = MetricsRegistry()
+        with obs.use_registry(mine):
+            assert obs.current_registry() is mine
+            obs.current_registry().counter("repro.test.routed").inc()
+        assert obs.current_registry() is obs.default_registry()
+        assert mine.counter("repro.test.routed").value == 1.0
+
+    def test_use_registry_nests(self):
+        outer, inner = MetricsRegistry(), MetricsRegistry()
+        with obs.use_registry(outer):
+            with obs.use_registry(inner):
+                assert obs.current_registry() is inner
+            assert obs.current_registry() is outer
+
+    def test_override_is_thread_local(self):
+        mine = MetricsRegistry()
+        seen = []
+        with obs.use_registry(mine):
+            thread = threading.Thread(
+                target=lambda: seen.append(obs.current_registry()))
+            thread.start()
+            thread.join()
+        assert seen == [obs.default_registry()]
+
+
+class TestZeroCost:
+    """Satellite 6: importable, and zero-cost when nothing exports."""
+
+    def test_default_registry_importable_from_package(self):
+        import repro.obs as module
+        assert isinstance(module.default_registry(), MetricsRegistry)
+
+    def test_recording_allocates_nothing_beyond_the_instrument(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro.test.cheap")
+        before = len(registry)
+        for _ in range(1000):
+            counter.inc()
+        assert len(registry) == before
+        # Instruments carry __slots__ — no per-record dict growth.
+        assert not hasattr(counter, "__dict__")

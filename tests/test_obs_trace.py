@@ -1,0 +1,102 @@
+"""repro.obs tracing: span nesting, ring bounds, Chrome export."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import SpanRecorder, trace, use_recorder
+
+
+class TestSpans:
+    def test_trace_records_a_completed_span(self):
+        recorder = SpanRecorder()
+        with trace("unit.op", recorder=recorder, batch=3) as span:
+            assert span.name == "unit.op"
+        spans = recorder.spans()
+        assert len(spans) == 1
+        assert spans[0].args == {"batch": 3}
+        assert spans[0].duration_s >= 0.0
+        assert spans[0].parent_id is None
+
+    def test_nested_spans_record_parents(self):
+        recorder = SpanRecorder()
+        with use_recorder(recorder):
+            with trace("outer") as outer:
+                with trace("inner"):
+                    pass
+        inner, outer_done = recorder.spans()
+        assert inner.name == "inner"
+        assert inner.parent_id == outer.span_id
+        assert outer_done.name == "outer"
+
+    def test_span_records_even_when_body_raises(self):
+        recorder = SpanRecorder()
+        with pytest.raises(RuntimeError):
+            with trace("unit.fail", recorder=recorder):
+                raise RuntimeError("boom")
+        assert len(recorder) == 1
+
+
+class TestRecorder:
+    def test_ring_is_bounded(self):
+        recorder = SpanRecorder(capacity=4)
+        for index in range(10):
+            with trace(f"op-{index}", recorder=recorder):
+                pass
+        names = [span.name for span in recorder.spans()]
+        assert names == ["op-6", "op-7", "op-8", "op-9"]
+
+    def test_zero_capacity_disables_tracing(self):
+        recorder = SpanRecorder(capacity=0)
+        assert not recorder.enabled
+        with trace("op", recorder=recorder) as span:
+            assert span is None
+        assert len(recorder) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SpanRecorder(capacity=-1)
+
+    def test_use_recorder_routes_and_restores(self):
+        mine = SpanRecorder()
+        with use_recorder(mine):
+            assert obs.current_recorder() is mine
+            with trace("routed"):
+                pass
+        assert obs.current_recorder() is obs.default_recorder()
+        assert [span.name for span in mine.spans()] == ["routed"]
+
+    def test_clear_empties_the_ring(self):
+        recorder = SpanRecorder()
+        with trace("op", recorder=recorder):
+            pass
+        recorder.clear()
+        assert len(recorder) == 0
+
+
+class TestChromeExport:
+    def test_export_shape(self, tmp_path):
+        recorder = SpanRecorder()
+        with use_recorder(recorder):
+            with trace("outer", batch=2):
+                with trace("inner"):
+                    pass
+        path = tmp_path / "trace.json"
+        recorder.export_chrome(path)
+        data = json.loads(path.read_text())
+        assert data["displayTimeUnit"] == "ms"
+        events = data["traceEvents"]
+        assert [event["name"] for event in events] == ["outer", "inner"]
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["dur"] >= 0.0
+        outer, inner = events
+        assert outer["args"]["batch"] == 2
+        assert inner["args"]["parent_span"] == outer["args"]["span"]
+
+    def test_empty_recorder_exports_empty_trace(self, tmp_path):
+        recorder = SpanRecorder()
+        path = tmp_path / "empty.json"
+        recorder.export_chrome(path)
+        assert json.loads(path.read_text())["traceEvents"] == []
