@@ -15,7 +15,10 @@ end to end on a simulated substrate:
 * :mod:`repro.theory` — Theorems 1–3 numerics,
 * :mod:`repro.sim` — the campus world used in place of field tests,
 * :mod:`repro.analysis` / :mod:`repro.display` — experiment harness and
-  the map display.
+  the map display,
+* :mod:`repro.faults` — the typed failure hierarchy, deterministic
+  fault injection, retry/supervision policies behind the streaming
+  engine's fault tolerance.
 
 Quickstart::
 
@@ -30,6 +33,16 @@ Quickstart::
     print(estimate.position)
 """
 
+from repro.faults import (
+    CaptureError,
+    CheckpointError,
+    InfeasibleError,
+    ReproError,
+    SinkError,
+    SolverError,
+    UnboundedError,
+    WorkerError,
+)
 from repro.geometry import Circle, DiscIntersection, Point
 from repro.knowledge import ApDatabase, ApRecord, TrainingTuple
 from repro.localization import (
@@ -61,5 +74,13 @@ __all__ = [
     "CentroidLocalizer",
     "NearestApLocalizer",
     "LocalizationEstimate",
+    "ReproError",
+    "CaptureError",
+    "SolverError",
+    "InfeasibleError",
+    "UnboundedError",
+    "SinkError",
+    "CheckpointError",
+    "WorkerError",
     "__version__",
 ]

@@ -69,6 +69,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                           help="tangent-plane origin longitude")
     p_replay.add_argument("--r-max", type=float, default=150.0,
                           help="radius upper bound for the AP-Rad LP")
+    p_replay.add_argument("--lenient", action="store_true",
+                          help="skip (and count) malformed capture "
+                               "records instead of aborting on the "
+                               "first one")
 
     p_engine = sub.add_parser(
         "engine",
@@ -105,15 +109,43 @@ def main(argv: Optional[List[str]] = None) -> int:
                                "(used with --refit-every)")
     p_engine.add_argument("--checkpoint", metavar="FILE",
                           help="write an engine checkpoint after the run")
+    p_engine.add_argument("--checkpoint-keep", type=int, default=1,
+                          metavar="N",
+                          help="checkpoint generations to keep (rotated "
+                               "to FILE.1, FILE.2, ...; default 1)")
     p_engine.add_argument("--resume", metavar="FILE",
                           help="restore engine state from a checkpoint "
-                               "before ingesting")
+                               "before ingesting (falls back to the "
+                               "newest valid FILE.N rotation when FILE "
+                               "is corrupt)")
+    p_engine.add_argument("--lenient", action="store_true",
+                          help="skip (and count) malformed capture "
+                               "records instead of aborting on the "
+                               "first one")
+    p_engine.add_argument("--inject", action="append", metavar="SPEC",
+                          default=None,
+                          help="arm a deterministic fault for chaos "
+                               "testing, e.g. "
+                               "'sink.emit:raise=SinkError,times=3' or "
+                               "'lp.solve:delay=0.05'; repeatable")
+    p_engine.add_argument("--inject-seed", type=int, default=0,
+                          help="seed for the fault injector's "
+                               "probability streams")
+    p_engine.add_argument("--quarantine-after", type=int, default=3,
+                          help="quarantine a device after N consecutive "
+                               "localization failures (0 disables)")
+    p_engine.add_argument("--worker-timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="per-chunk deadline for pool workers "
+                               "(default: wait forever)")
     p_engine.add_argument("--tracks", action="store_true",
                           help="print every device's track, not just "
                                "the latest fixes")
     p_engine.add_argument("--localizer", metavar="SPEC",
-                          help="localizer spec, e.g. 'm-loc' or "
-                               "'ap-rad:r_max=200,solver=revised' "
+                          help="localizer spec, e.g. 'm-loc', "
+                               "'ap-rad:r_max=200,solver=revised', or a "
+                               "degradation chain "
+                               "'ap-rad:r_max=200+fallback:m-loc,centroid' "
                                "(default: ap-rad when --refit-every is "
                                "set, else m-loc)")
     p_engine.add_argument("--metrics-json", metavar="FILE",
@@ -336,7 +368,7 @@ def _cmd_replay(args) -> int:
     except OSError as error:
         return _fail(f"cannot read WiGLE CSV {args.wigle!r}: {error}")
     try:
-        result = replay_capture(args.capture)
+        result = replay_capture(args.capture, strict=not args.lenient)
     except OSError as error:
         return _fail(f"cannot read capture {args.capture!r}: {error}")
     except (ValueError, KeyError) as error:
@@ -372,7 +404,17 @@ def _cmd_engine(args) -> int:
     from pathlib import Path
 
     from repro import obs
-    from repro.engine import StreamingEngine, make_sink
+    from repro.engine import (
+        StreamingEngine,
+        load_checkpoint_data,
+        make_sink,
+    )
+    from repro.faults import (
+        CheckpointError,
+        FaultInjector,
+        parse_fault_spec,
+        use_injector,
+    )
     from repro.geo.enu import LocalTangentPlane
     from repro.geo.wgs84 import GeodeticCoordinate
     from repro.knowledge.wigle import import_wigle_csv
@@ -386,16 +428,28 @@ def _cmd_engine(args) -> int:
         return _fail(f"cannot read WiGLE CSV {args.wigle!r}: {error}")
     if args.refit_every < 0:
         return _fail(f"--refit-every must be >= 0, got {args.refit_every}")
+    if args.checkpoint_keep < 1:
+        return _fail(
+            f"--checkpoint-keep must be >= 1, got {args.checkpoint_keep}")
+    if args.quarantine_after < 0:
+        return _fail(f"--quarantine-after must be >= 0, "
+                     f"got {args.quarantine_after}")
+    injector = None
+    if args.inject:
+        try:
+            specs = [parse_fault_spec(text) for text in args.inject]
+        except ValueError as error:
+            return _fail(str(error))
+        injector = FaultInjector(specs, seed=args.inject_seed)
     checkpoint_data = None
     refit_every = args.refit_every
     if args.resume:
         try:
-            checkpoint_data = json.loads(
-                Path(args.resume).read_text(encoding="utf-8"))
+            checkpoint_data = load_checkpoint_data(args.resume)
+        except CheckpointError as error:
+            return _fail(f"corrupt checkpoint {args.resume!r}: {error}")
         except OSError as error:
             return _fail(f"cannot read checkpoint {args.resume!r}: {error}")
-        except ValueError as error:
-            return _fail(f"corrupt checkpoint {args.resume!r}: {error}")
         if refit_every == 0 and isinstance(checkpoint_data, dict):
             # A checkpointed schedule survives the restart even when
             # --refit-every is not repeated on the resume command line;
@@ -445,16 +499,26 @@ def _cmd_engine(args) -> int:
                                      batch_size=args.batch,
                                      cache_size=cache_size, sinks=[fixes],
                                      workers=args.workers or 1,
-                                     refit_every=refit_every)
+                                     refit_every=refit_every,
+                                     quarantine_after=args.quarantine_after,
+                                     worker_timeout_s=args.worker_timeout)
         except ValueError as error:
             return _fail(str(error))
     recorder = obs.SpanRecorder() if args.trace else None
+
+    def run_engine():
+        frames = iter_capture(args.capture, strict=not args.lenient)
+        if injector is not None:
+            with use_injector(injector):
+                return engine.run(frames)
+        return engine.run(frames)
+
     try:
         if recorder is not None:
             with obs.use_recorder(recorder):
-                stats = engine.run(iter_capture(args.capture))
+                stats = run_engine()
         else:
-            stats = engine.run(iter_capture(args.capture))
+            stats = run_engine()
     except OSError as error:
         return _fail(f"cannot read capture {args.capture!r}: {error}")
     except (ValueError, KeyError) as error:
@@ -474,6 +538,14 @@ def _cmd_engine(args) -> int:
                                 f"{p.estimate.position.y:.0f})@{p.timestamp:.0f}s"
                                 for p in track))
     print(stats.format())
+    if injector is not None:
+        fired = injector.fired()
+        if fired:
+            print("Injected faults: "
+                  + ", ".join(f"{site} x{count}"
+                              for site, count in sorted(fired.items())))
+        else:
+            print("Injected faults: none fired")
     if args.metrics_json:
         Path(args.metrics_json).write_text(
             json.dumps(engine.metrics_snapshot(), indent=2, sort_keys=True),
@@ -483,7 +555,7 @@ def _cmd_engine(args) -> int:
         recorder.export_chrome(args.trace)
         print(f"Trace ({len(recorder)} spans) written to {args.trace}")
     if args.checkpoint:
-        engine.save_checkpoint(args.checkpoint)
+        engine.save_checkpoint(args.checkpoint, keep=args.checkpoint_keep)
         print(f"Checkpoint written to {args.checkpoint}")
     return 0
 

@@ -10,7 +10,11 @@ memoization invariant.
 """
 
 from repro.engine.cache import GammaCache
-from repro.engine.core import StreamingEngine
+from repro.engine.core import (
+    StreamingEngine,
+    checkpoint_crc,
+    load_checkpoint_data,
+)
 from repro.engine.ingest import Evidence, GammaState, extract_evidence
 from repro.engine.scheduler import MicroBatchScheduler
 from repro.engine.sinks import (
@@ -27,6 +31,8 @@ from repro.engine.stats import EngineStats, PipelineStats, StageTimer
 
 __all__ = [
     "StreamingEngine",
+    "checkpoint_crc",
+    "load_checkpoint_data",
     "GammaCache",
     "GammaState",
     "Evidence",

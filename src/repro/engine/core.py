@@ -35,11 +35,19 @@ Design points (see DESIGN.md "Streaming engine"):
 from __future__ import annotations
 
 import json
+import os
+import zlib
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Union
 
-from repro import obs
+from repro import faults, obs
+from repro.faults import (
+    CheckpointError,
+    ReproError,
+    RetryPolicy,
+    WorkerSupervisor,
+)
 from repro.engine.cache import GammaCache
 from repro.engine.ingest import GammaState, extract_evidence
 from repro.engine.scheduler import MicroBatchScheduler
@@ -54,9 +62,10 @@ from repro.sniffer.tracker import DeviceTracker, PseudonymLinker
 
 PathLike = Union[str, Path]
 
-#: v2 added the ``"metrics"`` registry snapshot; v1 checkpoints (ints
-#: only) are still restorable.
-CHECKPOINT_VERSION = 2
+#: v2 added the ``"metrics"`` registry snapshot; v3 adds the embedded
+#: ``"crc32"`` integrity field plus quarantine/failure state.  v1 and
+#: v2 checkpoints are still restorable.
+CHECKPOINT_VERSION = 3
 
 #: Counter names mirrored into the legacy ``"counters"`` checkpoint
 #: block, in its historical key order.
@@ -116,22 +125,54 @@ class StreamingEngine:
         is routed as :func:`repro.obs.current_registry`, so metrics
         emitted deep in the LP solvers, the spatial grid, and batch
         localization all land here too.
+    retry:
+        The :class:`~repro.faults.RetryPolicy` wrapped around the
+        fallible stages — batch localization, sink emission, and model
+        re-fits.  Only :class:`~repro.faults.ReproError` (and the
+        policy's configured ``retryable`` types) are retried; anything
+        else propagates.  Defaults to 3 attempts with short exponential
+        backoff and no jitter, so retried runs stay deterministic.
+    quarantine_after:
+        After this many consecutive per-device localization failures
+        the device is quarantined — dropped from scheduling with the
+        failing error recorded — so one poison Γ cannot stall the rest
+        of the stream.  ``0`` disables quarantine.
+    worker_timeout_s:
+        Per-chunk deadline for pool workers (``None`` = wait forever).
+        On a timeout or pool breakage the supervisor replaces the pool
+        and re-dispatches the chunk, up to its bounded dispatch budget.
     """
 
     def __init__(self, localizer: Localizer, window_s: float = 30.0,
                  batch_size: int = 32, cache_size: int = 4096,
                  sinks: Sequence[EngineSink] = (), workers: int = 1,
                  refit_every: int = 0,
-                 registry: Optional[obs.MetricsRegistry] = None):
+                 registry: Optional[obs.MetricsRegistry] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 quarantine_after: int = 3,
+                 worker_timeout_s: Optional[float] = None):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if refit_every < 0:
             raise ValueError(
                 f"refit_every must be >= 0, got {refit_every}")
+        if quarantine_after < 0:
+            raise ValueError(
+                f"quarantine_after must be >= 0, got {quarantine_after}")
         self.localizer = localizer
         self.workers = workers
         self.refit_every = refit_every
+        self.retry = retry if retry is not None else RetryPolicy(
+            max_attempts=3, base_delay=0.02, multiplier=2.0, jitter=0.0)
+        self.quarantine_after = quarantine_after
+        self.worker_timeout_s = worker_timeout_s
         self._executor: Optional[ProcessPoolExecutor] = None
+        self._supervisor = WorkerSupervisor(
+            timeout_s=worker_timeout_s,
+            max_dispatches=3,
+            on_failure=self._on_worker_failure,
+            current_executor=lambda: self._batch_executor(2),
+        ) if workers > 1 else None
         self.gamma_state = GammaState(window_s=window_s)
         self.scheduler = MicroBatchScheduler(batch_size=batch_size)
         self.cache: Optional[GammaCache] = (
@@ -164,6 +205,11 @@ class StreamingEngine:
         # Γ each device was last localized with (dirty = differs now).
         self._last_located: Dict[MacAddress, FrozenSet[MacAddress]] = {}
         self._seen: Set[MacAddress] = set()
+        # Consecutive localization failures per device; at
+        # ``quarantine_after`` the device moves to the quarantine map
+        # (mobile → failing error text) and stops being scheduled.
+        self._failures: Dict[MacAddress, int] = {}
+        self._quarantine: Dict[MacAddress, str] = {}
         # Re-fit scheduling: Γ snapshots accumulated since the last
         # model fit, handed to localizer.partial_fit on schedule.
         self._pending_refit: List[FrozenSet[MacAddress]] = []
@@ -188,7 +234,9 @@ class StreamingEngine:
                     self._c_evidence.inc()
                     self._seen.add(evidence.mobile)
                     gamma = self.gamma_state.observe(evidence)
-                    if gamma != self._last_located.get(evidence.mobile):
+                    if (evidence.mobile not in self._quarantine
+                            and gamma != self._last_located.get(
+                                evidence.mobile)):
                         self.scheduler.mark_dirty(evidence.mobile)
                     if self.refit_every > 0:
                         if gamma:
@@ -233,6 +281,19 @@ class StreamingEngine:
             self._executor.shutdown()
             self._executor = None
 
+    def _on_worker_failure(self, index: int, error: BaseException) -> None:
+        """Supervisor callback: a chunk timed out / its pool broke.
+
+        The pool is torn down without waiting — a wedged worker would
+        otherwise block shutdown — and the supervisor picks up a fresh
+        one through ``current_executor`` on re-dispatch.
+        """
+        self.registry.counter("repro.engine.worker.redispatch",
+                              error=type(error).__name__).inc()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
     # ------------------------------------------------------------------
     # Localize + sink stages
     # ------------------------------------------------------------------
@@ -251,10 +312,30 @@ class StreamingEngine:
         self._events_since_refit = 0
         if not self.localizer.supports_partial_fit or not pending:
             return
-        with obs.use_registry(self.registry), \
-                obs.trace("engine.refit", observations=len(pending)), \
-                self._stage("fit"):
-            estimate = self.localizer.partial_fit(pending)
+        # Evidence ingestion happens before the solve inside
+        # partial_fit and is NOT idempotent (AP-Rad's evidence counts
+        # accumulate), so a retry after a mid-solve fault must hand the
+        # localizer an *empty* batch: the already-absorbed evidence
+        # stays, and partial_fit([]) just re-runs the identical solve.
+        batches = iter([pending])
+
+        def attempt():
+            faults.hook("engine.refit")
+            batch = next(batches, [])
+            with obs.use_registry(self.registry), \
+                    obs.trace("engine.refit", observations=len(pending)), \
+                    self._stage("fit"):
+                return self.localizer.partial_fit(batch)
+
+        try:
+            estimate = self.retry.call(
+                attempt, on_retry=self._count_retry("engine.refit"))
+        except ReproError as error:
+            # The model keeps its previous radii; estimates stay
+            # answerable, just stale until the next scheduled re-fit.
+            self.registry.counter("repro.engine.refit.failures",
+                                  error=type(error).__name__).inc()
+            return
         self._c_refits.inc()
         self._g_fit_iterations.set(int(
             getattr(estimate, "solver_iterations", 0)))
@@ -284,11 +365,14 @@ class StreamingEngine:
         with obs.use_registry(self.registry), \
                 obs.trace("engine.flush", batch=len(batch)), \
                 self._t_flush.time():
-            with self._stage("localize"):
-                estimates = self._locate_batch_memoized(gammas)
+            try:
+                estimates = self._locate_with_retry(gammas)
+            except ReproError as error:
+                return self._flush_degraded(batch, gammas, error)
             emitted = 0
             for mobile, gamma, estimate in zip(batch, gammas, estimates):
                 self._last_located[mobile] = gamma
+                self._failures.pop(mobile, None)
                 if estimate is None:
                     self._c_unlocatable.inc()
                     continue
@@ -297,6 +381,84 @@ class StreamingEngine:
                     self._emit(mobile, timestamp, estimate)
                 emitted += 1
         return emitted
+
+    def _locate_with_retry(
+        self, gammas: Sequence[FrozenSet[MacAddress]]
+    ) -> List[Optional[LocalizationEstimate]]:
+        def attempt():
+            faults.hook("engine.flush")
+            with self._stage("localize"):
+                return self._locate_batch_memoized(gammas)
+
+        return self.retry.call(
+            attempt, on_retry=self._count_retry("engine.flush"))
+
+    def _flush_degraded(self, batch: Sequence[MacAddress],
+                        gammas: Sequence[FrozenSet[MacAddress]],
+                        error: ReproError) -> int:
+        """Per-device salvage after the batch path exhausted its retries.
+
+        Devices are located one at a time, so the failure isolates to
+        whichever Γ actually triggers it; healthy devices still emit.
+        A device that keeps failing is re-dispatched until
+        :attr:`quarantine_after` consecutive failures quarantine it.
+        """
+        self.registry.counter("repro.engine.flush.degraded",
+                              error=type(error).__name__).inc()
+        emitted = 0
+        for mobile, gamma in zip(batch, gammas):
+            try:
+                faults.hook("engine.localize", key=str(mobile))
+                with self._stage("localize"):
+                    estimate = self.localizer.locate(gamma)
+            except ReproError as device_error:
+                self._record_failure(mobile, gamma, device_error)
+                continue
+            self._failures.pop(mobile, None)
+            self._last_located[mobile] = gamma
+            if estimate is None:
+                self._c_unlocatable.inc()
+                continue
+            timestamp = self.gamma_state.last_seen(mobile)
+            with self._stage("sink"):
+                self._emit(mobile, timestamp, estimate)
+            emitted += 1
+        return emitted
+
+    def _record_failure(self, mobile: MacAddress,
+                        gamma: FrozenSet[MacAddress],
+                        error: BaseException) -> None:
+        count = self._failures.get(mobile, 0) + 1
+        self._failures[mobile] = count
+        self.registry.counter("repro.engine.localize.failures",
+                              error=type(error).__name__).inc()
+        if self.quarantine_after and count >= self.quarantine_after:
+            self._failures.pop(mobile, None)
+            self._quarantine[mobile] = f"{type(error).__name__}: {error}"
+            self.registry.counter("repro.engine.quarantined").inc()
+            self._last_located[mobile] = gamma
+        elif self.quarantine_after:
+            # Bounded re-dispatch: the flush drain loop keeps retrying
+            # this device until it answers or quarantines.
+            self.scheduler.mark_dirty(mobile)
+        else:
+            # Quarantine disabled: retry only when Γ changes again, so
+            # a permanently failing device cannot spin the drain loop.
+            self._last_located[mobile] = gamma
+
+    def _count_retry(self, site: str):
+        """An ``on_retry`` callback counting into the engine registry."""
+        counter = self.registry.counter("repro.engine.retries", site=site)
+
+        def on_retry(attempt: int, error: BaseException,
+                     delay: float) -> None:
+            counter.inc()
+
+        return on_retry
+
+    def quarantined(self) -> Dict[MacAddress, str]:
+        """Quarantined devices and the error text that condemned them."""
+        return dict(self._quarantine)
 
     def _locate_batch_memoized(
         self, gammas: Sequence[FrozenSet[MacAddress]]
@@ -333,8 +495,10 @@ class StreamingEngine:
         if not pending:
             return results
         order = list(pending.keys())
+        executor = self._batch_executor(len(order))
         estimates = self.localizer.locate_batch(
-            order, executor=self._batch_executor(len(order)))
+            order, executor=executor,
+            supervisor=self._supervisor if executor is not None else None)
         for gamma, estimate in zip(order, estimates):
             if self.cache is not None:
                 self.cache.put(key, gamma, estimate)
@@ -360,7 +524,19 @@ class StreamingEngine:
             timestamp = latest.timestamp
         self.tracker.record(mobile, timestamp, estimate)
         for sink in self.sinks:
-            sink.emit(mobile, timestamp, estimate)
+            def attempt(sink=sink):
+                faults.hook("sink.emit", key=str(mobile))
+                sink.emit(mobile, timestamp, estimate)
+
+            try:
+                self.retry.call(
+                    attempt, on_retry=self._count_retry("sink.emit"))
+            except Exception as error:
+                # A sink is an observer, never the pipeline: drop the
+                # emission, count it, keep streaming.  The tracker above
+                # already holds the authoritative fix.
+                self.registry.counter("repro.engine.sink.failures",
+                                      error=type(error).__name__).inc()
 
     def invalidate_cache(self) -> None:
         """Flush the Γ memoization after an AP knowledge-base mutation."""
@@ -396,6 +572,11 @@ class StreamingEngine:
         """
         cache_counters = (self.cache.counters() if self.cache is not None
                           else {})
+
+        def _total(metric: str) -> int:
+            return sum(int(inst.value)
+                       for inst in self.registry.find(metric))
+
         return EngineStats(
             frames_ingested=int(self._c_frames.value),
             evidence_events=int(self._c_evidence.value),
@@ -411,6 +592,11 @@ class StreamingEngine:
             refits=int(self._c_refits.value),
             last_fit_iterations=int(self._g_fit_iterations.value),
             stage_seconds=self._stage_seconds(),
+            retries=_total("repro.engine.retries"),
+            sink_failures=_total("repro.engine.sink.failures"),
+            quarantined=len(self._quarantine),
+            degraded=(_total("repro.engine.flush.degraded")
+                      + _total("repro.localization.fallback.degraded")),
         )
 
     # ------------------------------------------------------------------
@@ -434,6 +620,8 @@ class StreamingEngine:
                                if self.cache is not None else 0),
                 "workers": self.workers,
                 "refit_every": self.refit_every,
+                "quarantine_after": self.quarantine_after,
+                "worker_timeout_s": self.worker_timeout_s,
             },
             "gamma": self.gamma_state.to_dict(),
             "dirty": self.scheduler.to_list(),
@@ -475,11 +663,46 @@ class StreamingEngine:
                             for gamma in self._pending_refit],
             },
             "stage_seconds": self._stage_seconds(),
+            # v3 fault-tolerance state: a resumed run must not
+            # re-admit devices the interrupted run already condemned.
+            "quarantine": {str(mobile): reason
+                           for mobile, reason in self._quarantine.items()},
+            "failure_counts": {str(mobile): count
+                               for mobile, count in self._failures.items()},
         }
 
-    def save_checkpoint(self, path: PathLike) -> None:
-        Path(path).write_text(json.dumps(self.checkpoint()),
-                              encoding="utf-8")
+    def save_checkpoint(self, path: PathLike, keep: int = 1) -> None:
+        """Durably write a v3 checkpoint to ``path``.
+
+        The payload (with an embedded CRC32 over its canonical JSON)
+        lands in a temp file first, is fsync'd, and replaces ``path``
+        atomically — a crash at any instant leaves either the old
+        checkpoint or the new one, never a torn file.  With
+        ``keep > 1``, previous generations rotate logrotate-style to
+        ``path.1``, ``path.2``, ... so :func:`load_checkpoint_data`
+        can fall back past a checkpoint that was corrupted at rest.
+        """
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        payload = self.checkpoint()
+        payload["crc32"] = checkpoint_crc(payload)
+        path = Path(path)
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload))
+            handle.flush()
+            os.fsync(handle.fileno())
+        # The crash-mid-checkpoint injection site: a fault here proves
+        # the previous checkpoint at ``path`` survives intact.
+        faults.hook("engine.checkpoint", key=str(path))
+        if keep > 1 and path.exists():
+            for generation in range(keep - 1, 0, -1):
+                older = path.with_name(f"{path.name}.{generation}")
+                newer = (path if generation == 1 else
+                         path.with_name(f"{path.name}.{generation - 1}"))
+                if newer.exists():
+                    os.replace(newer, older)
+        os.replace(tmp, path)
 
     @classmethod
     def restore(cls, data: dict, localizer: Localizer,
@@ -494,19 +717,30 @@ class StreamingEngine:
         count never affects results, only throughput.
         """
         version = data.get("engine_checkpoint")
-        if version not in (1, CHECKPOINT_VERSION):
-            raise ValueError(
+        if version not in (1, 2, CHECKPOINT_VERSION):
+            raise CheckpointError(
                 f"unsupported engine checkpoint version {version!r}")
+        stored_crc = data.get("crc32")
+        if stored_crc is not None:
+            computed = checkpoint_crc(data)
+            if int(stored_crc) != computed:
+                raise CheckpointError(
+                    f"checkpoint CRC mismatch: stored {stored_crc}, "
+                    f"computed {computed} — file is corrupt")
         config = data["config"]
         if workers is None:
             workers = int(config.get("workers", 1))
+        timeout_s = config.get("worker_timeout_s")
         engine = cls(localizer,
                      window_s=float(config["window_s"]),
                      batch_size=int(config["batch_size"]),
                      cache_size=int(config["cache_size"]),
                      sinks=sinks,
                      workers=workers,
-                     refit_every=int(config.get("refit_every", 0)))
+                     refit_every=int(config.get("refit_every", 0)),
+                     quarantine_after=int(config.get("quarantine_after", 3)),
+                     worker_timeout_s=(float(timeout_s)
+                                       if timeout_s is not None else None))
         engine.gamma_state = GammaState.from_dict(data["gamma"])
         engine.scheduler.restore(data.get("dirty", []))
         engine._last_located = {
@@ -553,12 +787,90 @@ class StreamingEngine:
             frozenset(MacAddress.parse(ap) for ap in gamma)
             for gamma in refit.get("pending", [])
         ]
+        engine._quarantine = {
+            MacAddress.parse(mobile): str(reason)
+            for mobile, reason in data.get("quarantine", {}).items()
+        }
+        engine._failures = {
+            MacAddress.parse(mobile): int(count)
+            for mobile, count in data.get("failure_counts", {}).items()
+        }
         return engine
 
     @classmethod
     def load_checkpoint(cls, path: PathLike, localizer: Localizer,
                         sinks: Sequence[EngineSink] = (),
-                        workers: Optional[int] = None
-                        ) -> "StreamingEngine":
-        data = json.loads(Path(path).read_text(encoding="utf-8"))
+                        workers: Optional[int] = None,
+                        fallback: bool = True) -> "StreamingEngine":
+        """Restore from ``path``, falling back through rotations.
+
+        With ``fallback`` (the default), a corrupt or unreadable
+        ``path`` does not end the campaign: :func:`load_checkpoint_data`
+        walks ``path.1``, ``path.2``, ... and restores the newest
+        generation that validates.
+        """
+        data = load_checkpoint_data(path, fallback=fallback)
         return cls.restore(data, localizer, sinks=sinks, workers=workers)
+
+
+def checkpoint_crc(payload: dict) -> int:
+    """CRC32 over the canonical JSON of everything but ``"crc32"``."""
+    canonical = json.dumps(
+        {key: value for key, value in payload.items() if key != "crc32"},
+        sort_keys=True)
+    return zlib.crc32(canonical.encode("utf-8"))
+
+
+def _validate_checkpoint(path: Path) -> dict:
+    """Parse + integrity-check one checkpoint file, raising on any flaw."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as error:
+        raise CheckpointError(
+            f"unreadable checkpoint {path}: {error}") from error
+    if not isinstance(data, dict):
+        raise CheckpointError(
+            f"checkpoint {path} is not a JSON object")
+    version = data.get("engine_checkpoint")
+    if version not in (1, 2, CHECKPOINT_VERSION):
+        raise CheckpointError(
+            f"unsupported engine checkpoint version {version!r} in {path}")
+    stored_crc = data.get("crc32")
+    if stored_crc is not None and int(stored_crc) != checkpoint_crc(data):
+        raise CheckpointError(
+            f"checkpoint CRC mismatch in {path} — file is corrupt")
+    return data
+
+
+def load_checkpoint_data(path: PathLike, fallback: bool = True) -> dict:
+    """Read the newest valid checkpoint generation at ``path``.
+
+    Tries ``path`` itself, then — when ``fallback`` is set — each
+    rotated generation ``path.1``, ``path.2``, ... in age order,
+    returning the first payload that parses and passes its CRC.  When
+    every candidate fails, raises :class:`~repro.faults.CheckpointError`
+    naming each file tried, so the operator sees the whole story.
+    """
+    path = Path(path)
+    candidates = [path]
+    if fallback:
+        generation = 1
+        while path.with_name(f"{path.name}.{generation}").exists():
+            candidates.append(path.with_name(f"{path.name}.{generation}"))
+            generation += 1
+    problems: List[str] = []
+    for candidate in candidates:
+        if not candidate.exists():
+            problems.append(f"{candidate}: not found")
+            continue
+        try:
+            data = _validate_checkpoint(candidate)
+        except CheckpointError as error:
+            problems.append(str(error))
+            continue
+        if candidate is not path:
+            obs.current_registry().counter(
+                "repro.engine.checkpoint.fallback").inc()
+        return data
+    raise CheckpointError(
+        "no valid checkpoint found; tried: " + "; ".join(problems))

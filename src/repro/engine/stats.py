@@ -68,6 +68,10 @@ class EngineStats:
     refits: int = 0
     last_fit_iterations: int = 0
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    retries: int = 0
+    sink_failures: int = 0
+    quarantined: int = 0
+    degraded: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -100,6 +104,10 @@ class EngineStats:
             "cache_entries": self.cache_entries,
             "refits": self.refits,
             "last_fit_iterations": self.last_fit_iterations,
+            "retries": self.retries,
+            "sink_failures": self.sink_failures,
+            "quarantined": self.quarantined,
+            "degraded": self.degraded,
             "fit_seconds": self.stage_seconds.get("fit", 0.0),
             "stage_seconds": dict(self.stage_seconds),
             "elapsed_s": self.elapsed_s,
@@ -130,6 +138,14 @@ class EngineStats:
             lines.append(
                 f"  re-fits           : {self.refits} "
                 f"(last solve {self.last_fit_iterations} iterations)")
+        if self.retries:
+            lines.append(f"  retries           : {self.retries}")
+        if self.sink_failures:
+            lines.append(f"  sink failures     : {self.sink_failures}")
+        if self.quarantined:
+            lines.append(f"  quarantined       : {self.quarantined}")
+        if self.degraded:
+            lines.append(f"  degraded          : {self.degraded}")
         for name in sorted(self.stage_seconds):
             lines.append(f"  {name + ' time':18s}: "
                          f"{self.stage_seconds[name] * 1e3:.2f} ms")

@@ -1,0 +1,118 @@
+"""Worker-chunk supervision: timeouts, broken pools, bounded re-dispatch.
+
+``Localizer.locate_batch`` fans a micro-batch across a process pool as
+one future per chunk.  A hung worker (or a pool whose process died)
+would otherwise wedge the merge loop forever — the classic way a
+long-running capture campaign dies at hour six.  The
+:class:`WorkerSupervisor` collects chunk futures *in submission order*
+(preserving the engine's determinism guarantee) with a per-chunk
+timeout; on a timeout, cancellation, broken pool, or typed
+:class:`~repro.faults.errors.ReproError` escaping a chunk it notifies
+the owner (who replaces the executor), re-dispatches every uncollected
+chunk, and gives up with :class:`WorkerError` only after a bounded
+number of dispatches of the same chunk.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import BrokenExecutor, CancelledError
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Callable, List, Optional, Sequence
+
+from repro.faults.errors import ReproError, WorkerError
+
+
+class _FailedDispatch:
+    """Placeholder future for a submission that itself raised."""
+
+    def __init__(self, error: BaseException):
+        self.error = error
+
+
+class WorkerSupervisor:
+    """Collects fan-out futures with timeout and bounded re-dispatch.
+
+    Parameters
+    ----------
+    timeout_s:
+        Per-chunk wall-clock budget for ``future.result``; ``None``
+        waits forever (timeouts disabled, pool breakage still handled).
+    max_dispatches:
+        How many times one chunk may be dispatched before the
+        supervisor raises :class:`WorkerError`.
+    on_failure:
+        ``on_failure(index, error)`` notification before a re-dispatch
+        (or the final failure).  The engine uses it to count the event
+        and replace its executor, so the re-submissions land on a
+        fresh pool.
+    current_executor:
+        Optional zero-arg callable returning the executor to submit on
+        *now* — consulted by the caller's submit closure after a pool
+        replacement.
+    """
+
+    #: Failure shapes that trigger re-dispatch rather than propagation.
+    FAILURES = (FutureTimeoutError, CancelledError, BrokenExecutor,
+                ReproError)
+
+    def __init__(self, timeout_s: Optional[float] = None,
+                 max_dispatches: int = 3,
+                 on_failure: Optional[Callable[[int, BaseException],
+                                               None]] = None,
+                 current_executor: Optional[Callable[[], object]] = None):
+        if timeout_s is not None and timeout_s <= 0.0:
+            raise ValueError(f"timeout_s must be > 0, got {timeout_s}")
+        if max_dispatches < 1:
+            raise ValueError(
+                f"max_dispatches must be >= 1, got {max_dispatches}")
+        self.timeout_s = timeout_s
+        self.max_dispatches = max_dispatches
+        self.on_failure = on_failure
+        self.current_executor = current_executor
+
+    def _try_submit(self, submit, task):
+        try:
+            return submit(task)
+        except self.FAILURES as error:
+            return _FailedDispatch(error)
+
+    def run(self, submit: Callable[[object], object],
+            tasks: Sequence[object]) -> List[object]:
+        """Dispatch every task and return results in task order.
+
+        ``submit(task)`` returns a future (or raises, which counts as
+        that task's dispatch failing).  On a failure of task *i*, every
+        not-yet-collected future is cancelled and re-submitted — after
+        ``on_failure`` has had the chance to swap the pool — but only
+        task *i*'s dispatch count increases, so one poison chunk cannot
+        exhaust its neighbors' budgets.
+        """
+        tasks = list(tasks)
+        futures = [self._try_submit(submit, task) for task in tasks]
+        dispatches = [1] * len(tasks)
+        results: List[object] = [None] * len(tasks)
+        index = 0
+        while index < len(tasks):
+            entry = futures[index]
+            try:
+                if isinstance(entry, _FailedDispatch):
+                    raise entry.error
+                results[index] = entry.result(self.timeout_s)
+            except self.FAILURES as error:
+                if self.on_failure is not None:
+                    self.on_failure(index, error)
+                if dispatches[index] >= self.max_dispatches:
+                    raise WorkerError(
+                        f"worker chunk {index} failed after "
+                        f"{dispatches[index]} dispatch(es): "
+                        f"{type(error).__name__}: {error}") from error
+                for later in futures[index:]:
+                    if not isinstance(later, _FailedDispatch):
+                        later.cancel()
+                for position in range(index, len(tasks)):
+                    futures[position] = self._try_submit(
+                        submit, tasks[position])
+                dispatches[index] += 1
+                continue
+            index += 1
+        return results

@@ -26,6 +26,7 @@ from repro.localization.radius_lp import RadiusEstimator
 from repro.localization.aprad import APRad
 from repro.localization.aploc import APLoc
 from repro.localization.centroid import CentroidLocalizer
+from repro.localization.fallback import FallbackLocalizer
 from repro.localization.nearest import NearestApLocalizer
 from repro.localization.weighted import WeightedCentroidLocalizer
 from repro.localization.factory import (
@@ -42,6 +43,7 @@ __all__ = [
     "APLoc",
     "RadiusEstimator",
     "CentroidLocalizer",
+    "FallbackLocalizer",
     "NearestApLocalizer",
     "WeightedCentroidLocalizer",
     "make_localizer",

@@ -9,7 +9,7 @@ from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from repro import obs
+from repro import faults, obs
 from repro.geometry.point import Point
 from repro.geometry.region import DiscIntersection
 from repro.knowledge.apdb import ApRecord
@@ -176,7 +176,8 @@ class Localizer(abc.ABC):
         return [self.locate(observed) for observed in observations]
 
     def locate_batch(self, observations: Iterable[Iterable[MacAddress]],
-                     executor=None) -> List[Optional[LocalizationEstimate]]:
+                     executor=None, supervisor=None
+                     ) -> List[Optional[LocalizationEstimate]]:
         """Localize a micro-batch of Γ sets in one shot.
 
         Results are returned in submission order regardless of how the
@@ -193,6 +194,13 @@ class Localizer(abc.ABC):
             batch is split into one contiguous chunk per worker — each
             chunk ships a single pickled copy of the localizer — and
             chunk results are concatenated in submission order.
+        supervisor:
+            An optional :class:`repro.faults.WorkerSupervisor`.  With
+            one, chunk futures are collected under its per-chunk
+            timeout and bounded re-dispatch policy (consulting its
+            ``current_executor`` after a pool replacement); without
+            one, a lost worker blocks forever — acceptable for batch
+            scripts, not for a streaming campaign.
 
         Subclasses that can vectorize across a batch override
         :meth:`_locate_batch_local` (M-Loc batches the disc-set
@@ -201,25 +209,36 @@ class Localizer(abc.ABC):
         """
         gammas = [list(observed) for observed in observations]
         if executor is None or len(gammas) <= 1:
+            faults.hook("worker.chunk")
             results = self._locate_batch_local(gammas)
             _count_batch(self.name, results)
             return results
         workers = max(1, int(getattr(executor, "_max_workers", 1)))
         chunk = -(-len(gammas) // workers)  # ceil division
+        chunks = [gammas[s:s + chunk]
+                  for s in range(0, len(gammas), chunk)]
         # One localizer pickle per call, not per chunk: submit() copies
         # the bytes instead of re-walking the AP database N times, and
         # worker processes memoize the decode across calls (the engine
         # sends the same localizer every micro-batch).
         payload = pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
-        futures = [
-            executor.submit(_locate_batch_chunk, payload,
-                            gammas[s:s + chunk])
-            for s in range(0, len(gammas), chunk)
-        ]
+
+        def submit(chunk_gammas):
+            faults.hook("worker.chunk")
+            pool = executor
+            if supervisor is not None \
+                    and supervisor.current_executor is not None:
+                pool = supervisor.current_executor() or executor
+            return pool.submit(_locate_batch_chunk, payload, chunk_gammas)
+
+        if supervisor is not None:
+            outcomes = supervisor.run(submit, chunks)
+        else:
+            futures = [submit(chunk_gammas) for chunk_gammas in chunks]
+            outcomes = [future.result() for future in futures]
         results: List[Optional[LocalizationEstimate]] = []
         registry = obs.current_registry()
-        for future in futures:
-            chunk_results, worker_metrics = future.result()
+        for chunk_results, worker_metrics in outcomes:
             results.extend(chunk_results)
             # Chunks run against worker-local registries; folding their
             # snapshots back in *submission order* keeps the merged

@@ -26,6 +26,7 @@ from repro.localization.aploc import APLoc
 from repro.localization.aprad import APRad
 from repro.localization.base import Localizer
 from repro.localization.centroid import CentroidLocalizer
+from repro.localization.fallback import FallbackLocalizer
 from repro.localization.mloc import MLoc
 from repro.localization.nearest import NearestApLocalizer
 from repro.localization.weighted import WeightedCentroidLocalizer
@@ -100,7 +101,29 @@ def make_localizer(spec: str, database=None, training=None,
         sequence, required by ``ap-loc`` only.
     defaults:
         Constructor keyword defaults; spec overrides win.
+
+    A ``+fallback:`` suffix builds a graceful-degradation chain: the
+    spec before the suffix is the primary tier, and the comma-separated
+    *names* after it are tried in order when the primary is unfitted,
+    raises a solver error, or answers ``None`` —
+    ``"ap-rad:r_max=150+fallback:m-loc,centroid"`` yields a
+    :class:`FallbackLocalizer` over three tiers.  (Fallback tiers take
+    no per-tier options, and keyword ``defaults`` bind to the primary
+    tier only — they are usually algorithm-specific.)
     """
+    head, fallback_sep, fallback_tail = spec.partition("+fallback:")
+    if fallback_sep:
+        tier_names = [part.strip() for part in fallback_tail.split(",")
+                      if part.strip()]
+        if not tier_names:
+            raise ValueError(
+                f"empty fallback chain in spec {spec!r}")
+        tiers = [make_localizer(head, database=database,
+                                training=training, **defaults)]
+        for tier_name in tier_names:
+            tiers.append(make_localizer(tier_name, database=database,
+                                        training=training))
+        return FallbackLocalizer(tiers)
     name, overrides = parse_spec(spec)
     try:
         cls, needs_db, needs_training = _LOCALIZERS[name]

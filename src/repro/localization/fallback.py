@@ -1,0 +1,119 @@
+"""Graceful degradation: a chain of localizers tried in order.
+
+A long-running campaign must keep answering even when the preferred
+algorithm cannot: AP-Rad's radius LP may be mid-re-fit (unfitted), a
+poisoned Γ may make its solve blow up, noisy knowledge may leave no
+known AP in Γ.  :class:`FallbackLocalizer` wraps an ordered tier list
+(e.g. AP-Rad → M-Loc → Centroid) and answers from the first tier that
+
+* is fitted,
+* does not raise a typed :class:`~repro.faults.SolverError`
+  (which covers ``InfeasibleError``/``UnboundedError``), and
+* returns a non-``None`` estimate (an empty Γ∩knowledge intersection
+  yields ``None``, the "empty intersection" degradation trigger).
+
+Which tier answered is recorded per call (:attr:`last_tier`) and
+counted in the current metrics registry under
+``repro.localization.fallback.answered{tier=...,rank=...}`` — plus
+``...fallback.degraded`` whenever a non-primary tier had to answer —
+so a run's degradation history shows up in ``marauder metrics``.
+
+Construction composes through :func:`make_localizer` specs with the
+``+fallback:`` suffix: ``"ap-rad+fallback:m-loc,centroid"``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro import obs
+from repro.faults import SolverError
+from repro.localization.base import LocalizationEstimate, Localizer
+from repro.net80211.mac import MacAddress
+
+
+class FallbackLocalizer(Localizer):
+    """Answer from the first healthy tier of an ordered localizer chain."""
+
+    def __init__(self, tiers: Sequence[Localizer]):
+        tiers = list(tiers)
+        if not tiers:
+            raise ValueError("fallback chain needs at least one tier")
+        self.tiers: List[Localizer] = tiers
+        self.name = "fallback(" + ">".join(t.name for t in tiers) + ")"
+        self.supports_partial_fit = any(t.supports_partial_fit
+                                        for t in tiers)
+        #: Name of the tier that produced the most recent estimate
+        #: (``None`` before the first answer or when all tiers passed).
+        self.last_tier: Optional[str] = None
+
+    @property
+    def primary(self) -> Localizer:
+        return self.tiers[0]
+
+    # ------------------------------------------------------------------
+    # Model estimation: delegated to every tier that has a model.
+    # ------------------------------------------------------------------
+
+    def fit(self, observations):
+        outcome = None
+        for tier in self.tiers:
+            result = tier.fit(observations)
+            if outcome is None:
+                outcome = result
+        return outcome
+
+    def partial_fit(self, observations):
+        outcome = None
+        for tier in self.tiers:
+            if not tier.supports_partial_fit:
+                continue
+            result = tier.partial_fit(observations)
+            if outcome is None:
+                outcome = result
+        return outcome
+
+    @property
+    def is_fitted(self) -> bool:
+        """Usable as soon as *any* tier can answer."""
+        return any(tier.is_fitted for tier in self.tiers)
+
+    def cache_key(self) -> str:
+        """Composite of the tier keys: a re-fit anywhere in the chain
+        must invalidate memoized chain answers."""
+        return "|".join(tier.cache_key() for tier in self.tiers)
+
+    # ------------------------------------------------------------------
+    # Localization
+    # ------------------------------------------------------------------
+
+    def locate(self, observed: Iterable[MacAddress]
+               ) -> Optional[LocalizationEstimate]:
+        gamma = list(observed)
+        registry = obs.current_registry()
+        for rank, tier in enumerate(self.tiers):
+            if not tier.is_fitted:
+                registry.counter("repro.localization.fallback.unfitted",
+                                 tier=tier.name).inc()
+                continue
+            try:
+                estimate = tier.locate(gamma)
+            except SolverError as error:
+                registry.counter("repro.localization.fallback.errors",
+                                 tier=tier.name,
+                                 error=type(error).__name__).inc()
+                continue
+            if estimate is None:
+                registry.counter("repro.localization.fallback.empty",
+                                 tier=tier.name).inc()
+                continue
+            self.last_tier = tier.name
+            registry.counter("repro.localization.fallback.answered",
+                             tier=tier.name, rank=rank).inc()
+            if rank > 0:
+                registry.counter(
+                    "repro.localization.fallback.degraded").inc()
+            return estimate
+        self.last_tier = None
+        registry.counter("repro.localization.fallback.exhausted").inc()
+        return None

@@ -49,6 +49,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro import obs
+from repro.faults import InfeasibleError, SolverError, UnboundedError
 from repro.geometry.grid import SpatialGrid
 from repro.geometry.point import Point
 from repro.lp.problem import LpProblem
@@ -415,8 +416,14 @@ class RadiusEstimator:
             warm_started = False
         elapsed = time.perf_counter() - started
         if not result.is_optimal:
-            raise RuntimeError(
-                f"radius LP did not solve: status={result.status}")
+            if result.status == "infeasible":
+                raise InfeasibleError(
+                    f"radius LP infeasible over {len(self._bssids)} APs")
+            if result.status == "unbounded":
+                raise UnboundedError("radius LP unbounded")
+            raise SolverError(
+                f"radius LP did not solve: status={result.status}",
+                status=result.status)
         radii = {
             bssid: min(self.r_max,
                        float(result.x[self._index_of[bssid]])

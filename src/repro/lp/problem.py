@@ -21,10 +21,24 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import faults
+from repro.faults import InfeasibleError, SolverError, UnboundedError
 from repro.lp.revised import LpState, RevisedResult, solve_revised
 from repro.lp.simplex import LpResult, solve_lp
 
 _SENSES = ("<=", ">=", "==")
+
+
+def _check_result(result: LpResult, raise_on_failure: bool) -> LpResult:
+    """Optionally promote a non-optimal status to a typed exception."""
+    if not raise_on_failure or result.is_optimal:
+        return result
+    if result.status == "infeasible":
+        raise InfeasibleError()
+    if result.status == "unbounded":
+        raise UnboundedError()
+    raise SolverError(f"LP solve failed: {result.status}",
+                      status=result.status)
 
 
 @dataclass
@@ -125,33 +139,46 @@ class LpProblem:
         return cost, a_ub, b_ub, a_eq, b_eq
 
     def solve(self, solver: str = "simplex", max_iter: int = 20000,
-              warm_start: Optional[LpState] = None) -> LpResult:
+              warm_start: Optional[LpState] = None,
+              raise_on_failure: bool = False) -> LpResult:
         """Solve with the chosen backend.
 
         ``"simplex"`` is the dense reference implementation,
         ``"revised"`` the sparse revised simplex (the only backend that
         honors ``warm_start``), and ``"scipy"`` linprog/HiGHS as an
         external cross-check.
+
+        With ``raise_on_failure=True`` a non-optimal outcome raises the
+        typed :class:`~repro.faults.InfeasibleError`,
+        :class:`~repro.faults.UnboundedError`, or
+        :class:`~repro.faults.SolverError` instead of making every
+        caller string-match ``result.status``.
         """
-        if solver == "simplex":
-            cost, a_ub, b_ub, a_eq, b_eq = self._assemble()
-            return solve_lp(cost, a_ub or None, b_ub or None,
-                            a_eq or None, b_eq or None,
-                            bounds=self._bounds, maximize=self.maximize,
-                            max_iter=max_iter)
         if solver == "revised":
             return self.solve_revised(max_iter=max_iter,
-                                      warm_start=warm_start)
+                                      warm_start=warm_start,
+                                      raise_on_failure=raise_on_failure)
+        faults.hook("lp.solve")
+        if solver == "simplex":
+            cost, a_ub, b_ub, a_eq, b_eq = self._assemble()
+            return _check_result(
+                solve_lp(cost, a_ub or None, b_ub or None,
+                         a_eq or None, b_eq or None,
+                         bounds=self._bounds, maximize=self.maximize,
+                         max_iter=max_iter),
+                raise_on_failure)
         if solver == "scipy":
-            return self._solve_scipy()
+            return _check_result(self._solve_scipy(), raise_on_failure)
         raise ValueError(f"unknown solver {solver!r}")
 
     def solve_revised(self, max_iter: int = 20000,
                       warm_start: Optional[LpState] = None,
+                      raise_on_failure: bool = False,
                       ) -> RevisedResult:
         """Solve with the sparse revised simplex, keeping its richer
         result (warm-start state, phase-1/refactorization counters).
         """
+        faults.hook("lp.solve")
         n = len(self._names)
         cost = np.zeros(n)
         for index, value in self._objective.items():
@@ -161,9 +188,11 @@ class LpProblem:
         lower = np.array([low for low, _ in self._bounds]) \
             if n else np.zeros(0)
         upper = [up for _, up in self._bounds]
-        return solve_revised(cost, constraints, lower, upper,
-                             maximize=self.maximize,
-                             warm_start=warm_start, max_iter=max_iter)
+        return _check_result(
+            solve_revised(cost, constraints, lower, upper,
+                          maximize=self.maximize,
+                          warm_start=warm_start, max_iter=max_iter),
+            raise_on_failure)
 
     def _solve_scipy(self) -> LpResult:
         from scipy.optimize import linprog

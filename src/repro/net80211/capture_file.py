@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterator, Union
+from typing import Callable, Iterator, Optional, Union
 
+from repro.faults import CaptureError
 from repro.net80211.frames import Dot11Frame, FrameType
 from repro.net80211.mac import MacAddress
 from repro.net80211.medium import ReceivedFrame
@@ -89,28 +90,65 @@ class CaptureWriter:
 
 
 class CaptureReader:
-    """Iterate the records of a JSONL capture file."""
+    """Iterate the records of a JSONL capture file.
 
-    def __init__(self, path: PathLike):
+    ``strict`` (the default) raises a typed
+    :class:`~repro.faults.CaptureError` on the first malformed record —
+    right for tests and for captures this codebase wrote itself.  With
+    ``strict=False`` malformed *records* are skipped and counted
+    (:attr:`skipped`, plus an ``on_skip`` callback per skip), the
+    seven-day-tcpdump posture where one truncated line must not void a
+    week of traffic.  A bad file *header* (unsupported format version)
+    always raises: that is the whole capture, not one record.
+    """
+
+    def __init__(self, path: PathLike, strict: bool = True,
+                 on_skip: Optional[Callable[[int, str], None]] = None):
         self.path = Path(path)
+        self.strict = strict
+        self.on_skip = on_skip
+        #: Malformed records skipped by the most recent iteration.
+        self.skipped = 0
 
     def __iter__(self) -> Iterator[ReceivedFrame]:
+        self.skipped = 0
         with self.path.open("r", encoding="utf-8") as handle:
-            for line in handle:
+            for line_number, line in enumerate(handle, start=1):
                 line = line.strip()
                 if not line:
                     continue
-                data = json.loads(line)
+                try:
+                    data = json.loads(line)
+                    if not isinstance(data, dict):
+                        raise CaptureError(
+                            f"record is not a JSON object: {line[:60]!r}")
+                except ValueError as error:
+                    self._skip(line_number, str(error))
+                    continue
                 if "capture_format" in data:
                     version = data["capture_format"]
                     if version != FORMAT_VERSION:
-                        raise ValueError(
+                        raise CaptureError(
                             f"unsupported capture format {version}")
                     continue
-                yield ReceivedFrame(
-                    frame=frame_from_dict(data["frame"]),
-                    rssi_dbm=float(data["rssi_dbm"]),
-                    snr_db=float(data["snr_db"]),
-                    rx_channel=int(data["rx_channel"]),
-                    rx_timestamp=float(data["rx_ts"]),
-                )
+                try:
+                    received = ReceivedFrame(
+                        frame=frame_from_dict(data["frame"]),
+                        rssi_dbm=float(data["rssi_dbm"]),
+                        snr_db=float(data["snr_db"]),
+                        rx_channel=int(data["rx_channel"]),
+                        rx_timestamp=float(data["rx_ts"]),
+                    )
+                except (KeyError, TypeError, ValueError) as error:
+                    self._skip(line_number, f"{type(error).__name__}: {error}")
+                    continue
+                yield received
+
+    def _skip(self, line_number: int, reason: str) -> None:
+        if self.strict:
+            raise CaptureError(
+                f"{self.path}:{line_number}: malformed capture record "
+                f"({reason})")
+        self.skipped += 1
+        if self.on_skip is not None:
+            self.on_skip(line_number, reason)

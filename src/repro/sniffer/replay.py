@@ -17,7 +17,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Set, Union
 
-from repro import obs
+from repro import faults, obs
+from repro.faults import DROPPED, CaptureError
 from repro.localization.base import LocalizationEstimate, Localizer
 from repro.net80211.capture_file import CaptureReader
 from repro.net80211.mac import MacAddress
@@ -29,7 +30,8 @@ PathLike = Union[str, Path]
 
 
 def iter_capture(path: PathLike,
-                 reorder_buffer: int = 256) -> Iterator[ReceivedFrame]:
+                 reorder_buffer: int = 256,
+                 strict: bool = True) -> Iterator[ReceivedFrame]:
     """Yield a capture's frames in rx-timestamp order, streaming.
 
     The streaming engine's ingest path consumes this: memory stays
@@ -40,26 +42,50 @@ def iter_capture(path: PathLike,
     exactly whenever no record is displaced by more than
     ``reorder_buffer`` positions.  ``reorder_buffer=0`` yields file
     order unchanged.
+
+    ``strict=False`` skips (and counts, under
+    ``repro.sniffer.replay.skipped``) malformed capture records instead
+    of raising :class:`~repro.faults.CaptureError` on the first one —
+    the right posture for week-long field captures.
     """
     if reorder_buffer < 0:
         raise ValueError(
             f"reorder_buffer must be >= 0, got {reorder_buffer}")
-    reader = CaptureReader(path)
     # Resolved at generator start, not per frame: replay counts flow to
     # whichever registry is routed when iteration begins (the engine's,
     # when this feeds StreamingEngine.run).
-    frames = obs.current_registry().counter("repro.sniffer.replay.frames")
-    if reorder_buffer == 0:
+    registry = obs.current_registry()
+    frames = registry.counter("repro.sniffer.replay.frames")
+    skips = registry.counter("repro.sniffer.replay.skipped")
+    reader = CaptureReader(
+        path, strict=strict,
+        on_skip=lambda line_number, reason: skips.inc())
+
+    def records() -> Iterator[ReceivedFrame]:
         for received in reader:
+            # Fault-injection seam: a spec on ``capture.record`` can
+            # drop or corrupt records to exercise the lenient path.
+            received = faults.hook("capture.record", received)
+            if received is DROPPED:
+                skips.inc()
+                continue
+            if not isinstance(received, ReceivedFrame):
+                if strict:
+                    raise CaptureError(
+                        f"corrupt capture record: {received!r}")
+                skips.inc()
+                continue
             frames.inc()
             yield received
+
+    if reorder_buffer == 0:
+        yield from records()
         return
     # (timestamp, arrival index) keys make the sort stable; the index
     # also keeps ReceivedFrame itself out of heap comparisons.
     heap: list = []
     arrival = itertools.count()
-    for received in reader:
-        frames.inc()
+    for received in records():
         heapq.heappush(heap,
                        (received.rx_timestamp, next(arrival), received))
         if len(heap) > reorder_buffer:
@@ -90,12 +116,13 @@ class ReplayResult:
 
 
 def replay_capture(path: PathLike,
-                   window_s: float = 30.0) -> ReplayResult:
+                   window_s: float = 30.0,
+                   strict: bool = True) -> ReplayResult:
     """Rebuild the observation database from a capture file."""
     store = ObservationStore(window_s=window_s)
     linker = PseudonymLinker()
     count = 0
-    for received in iter_capture(path):
+    for received in iter_capture(path, strict=strict):
         store.ingest(received)
         linker.ingest(received.frame)
         count += 1

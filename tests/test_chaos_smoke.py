@@ -1,0 +1,95 @@
+"""Chaos smoke: seeded fault runs must match their fault-free twins.
+
+This is the CI canary for the fault-tolerance stack: inject transient
+faults at every supervised site, and require the exact same estimates
+as an unfaulted run — the retries must be invisible in the output.
+"""
+
+from repro.engine import StreamingEngine
+from repro.engine.sinks import LatestFixSink
+from repro.faults import (
+    FaultInjector,
+    RetryPolicy,
+    parse_fault_spec,
+    use_injector,
+)
+from repro.localization import MLoc, make_localizer
+
+from tests.test_engine_checkpoint import build_stream, final_tracks
+
+
+def noop_sleep(_seconds):
+    pass
+
+
+def latest_fixes(sink):
+    return {mobile: (timestamp, (estimate.position.x, estimate.position.y))
+            for mobile, (timestamp, estimate) in sink.fixes.items()}
+
+
+def run_mloc(square_db, frames, injector=None):
+    sink = LatestFixSink()
+    # Six attempts: enough headroom to absorb two engine.flush faults
+    # followed by two worker.chunk faults inside one retry budget.
+    engine = StreamingEngine(
+        MLoc(square_db), window_s=30.0, batch_size=3, sinks=[sink],
+        retry=RetryPolicy(max_attempts=6, base_delay=0.0,
+                          sleep=noop_sleep))
+    if injector is None:
+        engine.run(iter(frames))
+    else:
+        with use_injector(injector):
+            engine.run(iter(frames))
+    return engine, sink
+
+
+def test_faulted_run_matches_fault_free_output(square_db):
+    frames = build_stream(square_db)
+    baseline, baseline_sink = run_mloc(square_db, frames)
+
+    injector = FaultInjector(
+        [parse_fault_spec(spec) for spec in [
+            "sink.emit:raise=SinkError,times=2",
+            "engine.flush:raise,times=2",
+            "worker.chunk:raise=WorkerError,times=2",
+        ]],
+        seed=5)
+    chaotic, chaotic_sink = run_mloc(square_db, frames, injector)
+
+    assert injector.total_fired == 6
+    stats = chaotic.stats()
+    assert stats.retries > 0
+    assert stats.quarantined == 0
+    assert stats.sink_failures == 0
+    assert final_tracks(chaotic) == final_tracks(baseline)
+    assert latest_fixes(chaotic_sink) == latest_fixes(baseline_sink)
+
+
+def run_aprad(square_db, frames, injector=None):
+    localizer = make_localizer("ap-rad:r_max=150,solver=revised",
+                               database=square_db)
+    engine = StreamingEngine(
+        localizer, window_s=30.0, batch_size=3, refit_every=20,
+        retry=RetryPolicy(max_attempts=3, base_delay=0.0,
+                          sleep=noop_sleep))
+    if injector is None:
+        engine.run(iter(frames))
+    else:
+        with use_injector(injector):
+            engine.run(iter(frames))
+    return engine
+
+
+def test_refit_retry_is_invisible_in_aprad_output(square_db):
+    frames = build_stream(square_db)
+    baseline = run_aprad(square_db, frames)
+
+    injector = FaultInjector(
+        [parse_fault_spec("lp.solve:raise=SolverError,times=1")], seed=5)
+    chaotic = run_aprad(square_db, frames, injector)
+
+    assert injector.total_fired == 1
+    stats = chaotic.stats()
+    assert stats.retries > 0
+    assert stats.refits == baseline.stats().refits > 0
+    assert final_tracks(chaotic) == final_tracks(baseline)

@@ -160,7 +160,7 @@ class TestCheckpointCumulativeTotals:
         engine = StreamingEngine(MLoc(square_db), batch_size=2)
         engine.ingest_stream(build_stream(square_db, devices=3, rounds=1))
         data = engine.checkpoint()
-        assert data["engine_checkpoint"] == 2
+        assert data["engine_checkpoint"] == 3
         assert data["metrics"] == engine.metrics_snapshot()
         # The legacy int block stays for external checkpoint consumers.
         assert data["counters"]["frames_ingested"] == (

@@ -1,0 +1,182 @@
+"""FaultInjector: determinism, spec parsing, the hook seam."""
+
+import pytest
+
+from repro import obs
+from repro.faults import (
+    DROPPED,
+    CaptureError,
+    FaultInjector,
+    FaultSpec,
+    ReproError,
+    SinkError,
+    active_injector,
+    hook,
+    parse_fault_spec,
+    use_injector,
+)
+
+
+class TestHookSeam:
+    def test_hook_is_identity_without_injector(self):
+        assert active_injector() is None
+        sentinel = object()
+        assert hook("engine.flush") is None
+        assert hook("capture.record", sentinel) is sentinel
+
+    def test_use_injector_scopes_and_restores(self):
+        injector = FaultInjector([FaultSpec("site.a", mode="raise")])
+        with use_injector(injector) as armed:
+            assert armed is injector
+            assert active_injector() is injector
+            with pytest.raises(ReproError):
+                hook("site.a")
+        assert active_injector() is None
+
+    def test_nested_injectors_restore_outer(self):
+        outer = FaultInjector([])
+        inner = FaultInjector([])
+        with use_injector(outer):
+            with use_injector(inner):
+                assert active_injector() is inner
+            assert active_injector() is outer
+
+
+class TestFiring:
+    def test_raise_mode_raises_named_error(self):
+        injector = FaultInjector(
+            [FaultSpec("sink.emit", mode="raise", error="SinkError",
+                       message="boom")])
+        with pytest.raises(SinkError, match="boom"):
+            injector.fire("sink.emit")
+
+    def test_times_limits_fires(self):
+        injector = FaultInjector(
+            [FaultSpec("engine.flush", mode="raise", times=2)])
+        for _ in range(2):
+            with pytest.raises(ReproError):
+                injector.fire("engine.flush")
+        injector.fire("engine.flush")  # budget exhausted: no-op
+        assert injector.total_fired == 2
+        assert injector.fired() == {"engine.flush:raise": 2}
+
+    def test_after_skips_leading_calls(self):
+        injector = FaultInjector(
+            [FaultSpec("engine.flush", mode="raise", after=3, times=1)])
+        for _ in range(3):
+            injector.fire("engine.flush")
+        with pytest.raises(ReproError):
+            injector.fire("engine.flush")
+
+    def test_drop_returns_sentinel(self):
+        injector = FaultInjector([FaultSpec("capture.record", mode="drop")])
+        assert injector.fire("capture.record", "value") is DROPPED
+
+    def test_corrupt_default_mutations(self):
+        injector = FaultInjector(
+            [FaultSpec("capture.record", mode="corrupt")])
+        assert injector.fire("capture.record", {"a": 1}) == {}
+        assert injector.fire("capture.record", "abc") == "cba"
+        assert injector.fire("capture.record", object()) is None
+
+    def test_corrupt_custom_mutate(self):
+        injector = FaultInjector(
+            [FaultSpec("capture.record", mode="corrupt",
+                       mutate=lambda value: value * 2)])
+        assert injector.fire("capture.record", 21) == 42
+
+    def test_delay_uses_injected_sleep(self):
+        sleeps = []
+        injector = FaultInjector(
+            [FaultSpec("lp.solve", mode="delay", delay_s=0.25, times=2)],
+            sleep=sleeps.append)
+        injector.fire("lp.solve")
+        injector.fire("lp.solve")
+        injector.fire("lp.solve")
+        assert sleeps == [0.25, 0.25]
+
+    def test_site_glob_matches_families(self):
+        injector = FaultInjector(
+            [FaultSpec("engine.*", mode="raise", times=10)])
+        with pytest.raises(ReproError):
+            injector.fire("engine.flush")
+        with pytest.raises(ReproError):
+            injector.fire("engine.refit")
+        assert injector.fire("sink.emit") is None
+
+    def test_key_match_targets_one_device(self):
+        injector = FaultInjector(
+            [FaultSpec("engine.localize", mode="raise",
+                       match="02:00:00:00:00:07")])
+        injector.fire("engine.localize", key="02:00:00:00:00:01")
+        with pytest.raises(ReproError):
+            injector.fire("engine.localize", key="02:00:00:00:00:07")
+
+    def test_probability_stream_is_seeded_and_deterministic(self):
+        def pattern(seed):
+            injector = FaultInjector(
+                [FaultSpec("x", mode="drop", probability=0.5)], seed=seed)
+            return [injector.fire("x", 1) is DROPPED for _ in range(64)]
+
+        assert pattern(7) == pattern(7)
+        assert pattern(7) != pattern(8)
+        assert any(pattern(7)) and not all(pattern(7))
+
+    def test_fired_counts_land_in_registry(self):
+        registry = obs.MetricsRegistry()
+        injector = FaultInjector(
+            [FaultSpec("sink.emit", mode="raise", times=1)])
+        with obs.use_registry(registry):
+            with pytest.raises(ReproError):
+                injector.fire("sink.emit")
+        assert registry.counter("repro.faults.injected", site="sink.emit",
+                                mode="raise").value == 1
+
+
+class TestParseFaultSpec:
+    def test_raise_with_error_and_options(self):
+        spec = parse_fault_spec("sink.emit:raise=SinkError,times=3,after=1")
+        assert spec.site == "sink.emit"
+        assert spec.mode == "raise"
+        assert spec.error == "SinkError"
+        assert spec.times == 3
+        assert spec.after == 1
+
+    def test_delay_and_probability(self):
+        spec = parse_fault_spec("lp.solve:delay=0.05,p=0.5")
+        assert spec.mode == "delay"
+        assert spec.delay_s == pytest.approx(0.05)
+        assert spec.probability == pytest.approx(0.5)
+
+    def test_drop_and_match(self):
+        spec = parse_fault_spec(
+            "capture.record:drop,match=02:00:00:00:00:07")
+        assert spec.mode == "drop"
+        assert spec.match == "02:00:00:00:00:07"
+
+    @pytest.mark.parametrize("text", [
+        "no-colon",
+        "site:",
+        ":raise",
+        "site:explode",
+        "site:raise=NoSuchError",
+        "site:drop=arg",
+        "site:raise,unknown=1",
+        "site:raise,times",
+    ])
+    def test_malformed_specs_raise(self, text):
+        with pytest.raises(ValueError):
+            parse_fault_spec(text)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec("x", mode="raise", probability=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec("x", mode="raise", after=-1)
+        with pytest.raises(ValueError):
+            FaultSpec("x", mode="raise", times=-1)
+
+    def test_capture_error_type_available(self):
+        spec = parse_fault_spec("capture.record:raise=CaptureError")
+        with pytest.raises(CaptureError):
+            FaultInjector([spec]).fire("capture.record")

@@ -1,0 +1,123 @@
+"""WorkerSupervisor: timeouts, re-dispatch, order, bounded budgets."""
+
+from concurrent.futures import BrokenExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+
+import pytest
+
+from repro.faults import WorkerError, WorkerSupervisor
+
+
+class FakeFuture:
+    """A scripted future: value, or an exception instance to raise."""
+
+    def __init__(self, outcome):
+        self.outcome = outcome
+        self.cancelled = False
+
+    def result(self, timeout=None):
+        if isinstance(self.outcome, BaseException):
+            raise self.outcome
+        return self.outcome
+
+    def cancel(self):
+        self.cancelled = True
+
+
+class ScriptedPool:
+    """Returns scripted outcomes per (task, dispatch-count) pair."""
+
+    def __init__(self, script):
+        # script: task -> list of outcomes, one per successive dispatch.
+        self.script = {task: list(outcomes)
+                       for task, outcomes in script.items()}
+        self.submissions = []
+
+    def submit(self, task):
+        self.submissions.append(task)
+        outcomes = self.script[task]
+        outcome = outcomes.pop(0) if len(outcomes) > 1 else outcomes[0]
+        return FakeFuture(outcome)
+
+
+class TestSupervisor:
+    def test_happy_path_returns_results_in_task_order(self):
+        pool = ScriptedPool({"a": ["A"], "b": ["B"], "c": ["C"]})
+        supervisor = WorkerSupervisor()
+        assert supervisor.run(pool.submit, ["a", "b", "c"]) == \
+            ["A", "B", "C"]
+
+    def test_timeout_triggers_on_failure_and_redispatch(self):
+        pool = ScriptedPool({
+            "a": ["A"],
+            "b": [FutureTimeoutError(), "B"],
+            "c": ["C"],
+        })
+        failures = []
+        supervisor = WorkerSupervisor(
+            timeout_s=0.5,
+            on_failure=lambda index, error: failures.append(
+                (index, type(error).__name__)))
+        assert supervisor.run(pool.submit, ["a", "b", "c"]) == \
+            ["A", "B", "C"]
+        assert failures == [(1, "TimeoutError")]
+        # a was collected before the failure; b and c were re-submitted.
+        assert pool.submissions == ["a", "b", "c", "b", "c"]
+
+    def test_uncollected_futures_cancelled_on_redispatch(self):
+        timeout_then_ok = [FutureTimeoutError(), "B"]
+        pool = ScriptedPool({"b": timeout_then_ok, "c": ["C"]})
+        first_c_futures = []
+        original_submit = pool.submit
+
+        def submit(task):
+            future = original_submit(task)
+            if task == "c" and not first_c_futures:
+                first_c_futures.append(future)
+            return future
+
+        supervisor = WorkerSupervisor(timeout_s=0.5)
+        assert supervisor.run(submit, ["b", "c"]) == ["B", "C"]
+        assert first_c_futures[0].cancelled
+
+    def test_worker_error_after_max_dispatches(self):
+        pool = ScriptedPool({"b": [BrokenExecutor("pool died")]})
+        supervisor = WorkerSupervisor(max_dispatches=3)
+        with pytest.raises(WorkerError, match="chunk 0 failed after 3"):
+            supervisor.run(pool.submit, ["b"])
+        assert pool.submissions == ["b", "b", "b"]
+
+    def test_only_failing_chunk_consumes_budget(self):
+        pool = ScriptedPool({
+            "a": [FutureTimeoutError(), FutureTimeoutError(), "A"],
+            "b": ["B"],
+        })
+        supervisor = WorkerSupervisor(timeout_s=0.5, max_dispatches=3)
+        assert supervisor.run(pool.submit, ["a", "b"]) == ["A", "B"]
+        # b was re-submitted alongside a's retries but never charged.
+        assert pool.submissions.count("a") == 3
+
+    def test_submit_raising_counts_as_dispatch_failure(self):
+        calls = []
+
+        def submit(task):
+            calls.append(task)
+            if len(calls) == 1:
+                raise BrokenExecutor("dead on arrival")
+            return FakeFuture("ok")
+
+        supervisor = WorkerSupervisor()
+        assert supervisor.run(submit, ["a"]) == ["ok"]
+        assert len(calls) == 2
+
+    def test_non_failure_exception_propagates(self):
+        pool = ScriptedPool({"a": [KeyError("bug in chunk")]})
+        supervisor = WorkerSupervisor()
+        with pytest.raises(KeyError):
+            supervisor.run(pool.submit, ["a"])
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            WorkerSupervisor(timeout_s=0.0)
+        with pytest.raises(ValueError):
+            WorkerSupervisor(max_dispatches=0)

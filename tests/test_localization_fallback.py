@@ -1,0 +1,157 @@
+"""FallbackLocalizer: tier selection, spec construction, cache keys."""
+
+import pytest
+
+from repro import obs
+from repro.faults import InfeasibleError, SolverError
+from repro.geometry.point import Point
+from repro.localization import (
+    FallbackLocalizer,
+    LocalizationEstimate,
+    Localizer,
+    make_localizer,
+)
+
+from tests.helpers import make_record
+
+
+class StubLocalizer(Localizer):
+    """Scripted tier: answers, answers None, raises, or is unfitted."""
+
+    def __init__(self, name, behavior="answer", fitted=True):
+        self.name = name
+        self.behavior = behavior
+        self.fitted = fitted
+        self.calls = 0
+        self.fit_calls = 0
+
+    @property
+    def is_fitted(self):
+        return self.fitted
+
+    def fit(self, observations):
+        self.fit_calls += 1
+        return f"{self.name}-fit"
+
+    def locate(self, observed):
+        self.calls += 1
+        if self.behavior == "raise":
+            raise SolverError(f"{self.name} blew up", status="numerical")
+        if self.behavior == "infeasible":
+            raise InfeasibleError()
+        if self.behavior == "none":
+            return None
+        return LocalizationEstimate(position=Point(1.0, 2.0),
+                                    algorithm=self.name)
+
+
+def gamma():
+    return [make_record(0, 0.0, 0.0, 80.0).bssid]
+
+
+class TestTierSelection:
+    def test_primary_answers_when_healthy(self):
+        primary = StubLocalizer("primary")
+        backup = StubLocalizer("backup")
+        chain = FallbackLocalizer([primary, backup])
+        estimate = chain.locate(gamma())
+        assert estimate.algorithm == "primary"
+        assert chain.last_tier == "primary"
+        assert backup.calls == 0
+
+    @pytest.mark.parametrize("behavior", ["raise", "infeasible", "none"])
+    def test_degrades_past_failing_primary(self, behavior):
+        primary = StubLocalizer("primary", behavior=behavior)
+        backup = StubLocalizer("backup")
+        chain = FallbackLocalizer([primary, backup])
+        estimate = chain.locate(gamma())
+        assert estimate.algorithm == "backup"
+        assert chain.last_tier == "backup"
+
+    def test_unfitted_tier_skipped_without_calling(self):
+        primary = StubLocalizer("primary", fitted=False)
+        backup = StubLocalizer("backup")
+        chain = FallbackLocalizer([primary, backup])
+        assert chain.locate(gamma()).algorithm == "backup"
+        assert primary.calls == 0
+
+    def test_exhausted_chain_returns_none(self):
+        chain = FallbackLocalizer([StubLocalizer("a", behavior="none"),
+                                   StubLocalizer("b", behavior="raise")])
+        assert chain.locate(gamma()) is None
+        assert chain.last_tier is None
+
+    def test_degradation_is_counted(self):
+        registry = obs.MetricsRegistry()
+        chain = FallbackLocalizer([StubLocalizer("a", behavior="raise"),
+                                   StubLocalizer("b")])
+        with obs.use_registry(registry):
+            chain.locate(gamma())
+            chain.locate(gamma())
+        counters = registry.snapshot()["counters"]
+        assert counters[
+            "repro.localization.fallback.errors"
+            "{error=SolverError,tier=a}"] == 2
+        assert counters[
+            "repro.localization.fallback.answered{rank=1,tier=b}"] == 2
+        assert counters["repro.localization.fallback.degraded"] == 2
+
+    def test_non_solver_errors_propagate(self):
+        class Buggy(StubLocalizer):
+            def locate(self, observed):
+                raise KeyError("a real bug, not a degradation trigger")
+
+        chain = FallbackLocalizer([Buggy("buggy"), StubLocalizer("b")])
+        with pytest.raises(KeyError):
+            chain.locate(gamma())
+
+
+class TestChainProtocol:
+    def test_requires_at_least_one_tier(self):
+        with pytest.raises(ValueError):
+            FallbackLocalizer([])
+
+    def test_name_and_cache_key_compose(self):
+        chain = FallbackLocalizer([StubLocalizer("a"), StubLocalizer("b")])
+        assert chain.name == "fallback(a>b)"
+        assert chain.cache_key() == "a|b"
+
+    def test_fit_reaches_every_tier(self):
+        tiers = [StubLocalizer("a"), StubLocalizer("b")]
+        chain = FallbackLocalizer(tiers)
+        assert chain.fit([]) == "a-fit"
+        assert [tier.fit_calls for tier in tiers] == [1, 1]
+
+    def test_is_fitted_when_any_tier_is(self):
+        chain = FallbackLocalizer([StubLocalizer("a", fitted=False),
+                                   StubLocalizer("b")])
+        assert chain.is_fitted
+        chain = FallbackLocalizer([StubLocalizer("a", fitted=False)])
+        assert not chain.is_fitted
+
+
+class TestSpecConstruction:
+    def test_make_localizer_builds_chain(self, square_db):
+        chain = make_localizer("m-loc+fallback:centroid,nearest-ap",
+                               database=square_db)
+        assert isinstance(chain, FallbackLocalizer)
+        assert [tier.name for tier in chain.tiers] == \
+            ["m-loc", "centroid", "nearest-ap"]
+
+    def test_primary_spec_options_survive(self, square_db):
+        chain = make_localizer(
+            "m-loc:fallback_range_m=120+fallback:centroid",
+            database=square_db)
+        assert chain.primary.fallback_range_m == 120
+
+    def test_chain_answers_through_fallback(self, square_db):
+        chain = make_localizer("m-loc+fallback:centroid",
+                               database=square_db)
+        observed = [record.bssid for record in square_db]
+        estimate = chain.locate(observed)
+        assert estimate is not None
+        assert chain.last_tier == "m-loc"
+
+    def test_empty_chain_rejected(self, square_db):
+        with pytest.raises(ValueError, match="empty fallback"):
+            make_localizer("m-loc+fallback:", database=square_db)

@@ -93,3 +93,46 @@ class TestSolving:
             assert result.x[0] + result.x[1] == pytest.approx(6.0)
             assert result.objective == pytest.approx(0.0, abs=1e-9)
             assert result.x[0] == pytest.approx(6.0)
+
+
+class TestRaiseOnFailure:
+    def test_infeasible_raises_typed_error(self):
+        from repro.faults import InfeasibleError
+
+        problem = LpProblem()
+        x = problem.add_variable("x", low=0.0, up=10.0)
+        problem.add_constraint({x: 1.0}, ">=", 3.0)
+        problem.add_constraint({x: 1.0}, "<=", 1.0)
+        problem.set_objective({x: 1.0})
+        with pytest.raises(InfeasibleError):
+            problem.solve(raise_on_failure=True)
+
+    def test_unbounded_raises_typed_error(self):
+        from repro.faults import UnboundedError
+
+        problem = LpProblem(maximize=True)
+        x = problem.add_variable("x", low=0.0)
+        problem.set_objective({x: 1.0})
+        with pytest.raises(UnboundedError):
+            problem.solve(raise_on_failure=True)
+
+    def test_typed_errors_are_runtime_errors(self):
+        from repro.faults import SolverError
+
+        problem = LpProblem(maximize=True)
+        x = problem.add_variable("x", low=0.0)
+        problem.set_objective({x: 1.0})
+        with pytest.raises(RuntimeError) as excinfo:
+            problem.solve(solver="revised", raise_on_failure=True)
+        assert isinstance(excinfo.value, SolverError)
+        assert excinfo.value.status == "unbounded"
+
+    def test_default_returns_status_result(self):
+        problem = LpProblem()
+        x = problem.add_variable("x", low=0.0, up=10.0)
+        problem.add_constraint({x: 1.0}, ">=", 3.0)
+        problem.add_constraint({x: 1.0}, "<=", 1.0)
+        problem.set_objective({x: 1.0})
+        result = problem.solve()
+        assert not result.is_optimal
+        assert result.status == "infeasible"

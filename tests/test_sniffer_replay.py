@@ -126,3 +126,47 @@ class TestIterCapture:
         write_capture(path, square_db)
         with pytest.raises(ValueError):
             list(iter_capture(path, reorder_buffer=-1))
+
+
+class TestLenientReplay:
+    def corrupt(self, path):
+        lines = path.read_text().splitlines()
+        lines.insert(2, '{"type": "frame", "garbage": true}')
+        lines.insert(4, "not json at all {{{")
+        path.write_text("\n".join(lines) + "\n")
+
+    def test_strict_replay_raises_on_malformed_record(self, tmp_path,
+                                                      square_db):
+        from repro.faults import CaptureError
+
+        path = tmp_path / "capture.jsonl"
+        write_capture(path, square_db)
+        self.corrupt(path)
+        with pytest.raises(CaptureError, match="malformed capture record"):
+            list(iter_capture(path))
+        # CaptureError still satisfies pre-existing ValueError handlers.
+        with pytest.raises(ValueError):
+            list(iter_capture(path))
+
+    def test_lenient_replay_skips_and_counts(self, tmp_path, square_db):
+        from repro import obs
+
+        path = tmp_path / "capture.jsonl"
+        write_capture(path, square_db)
+        self.corrupt(path)
+        registry = obs.MetricsRegistry()
+        with obs.use_registry(registry):
+            frames = list(iter_capture(path, strict=False))
+        assert len(frames) == 5  # every well-formed frame survives
+        counters = registry.snapshot()["counters"]
+        assert counters["repro.sniffer.replay.skipped"] == 2
+        assert counters["repro.sniffer.replay.frames"] == 5
+
+    def test_lenient_full_replay_still_localizes(self, tmp_path,
+                                                 square_db):
+        path = tmp_path / "capture.jsonl"
+        write_capture(path, square_db)
+        self.corrupt(path)
+        result = replay_capture(path, strict=False)
+        assert result.frames_replayed == 5
+        assert result.store.gamma(STA) == set(square_db.bssids)
