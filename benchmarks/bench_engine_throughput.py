@@ -1,10 +1,17 @@
-"""Streaming-engine throughput: Γ-set memoization on vs. off.
+"""Streaming-engine throughput: Γ-set memoization, and sharded scaling.
 
 A campus stream is duplicate-heavy — most devices sit in one of a few
 AP neighborhoods — so the engine's Γ-set cache should collapse N
 identical disc intersections into one.  This bench replays the same
 synthetic stream through :class:`repro.engine.StreamingEngine` twice
 (cache enabled / disabled) and reports estimates/sec for both.
+
+The ``--sharded`` mode measures the scale-out story instead: the same
+stream (cache *off*, so localization compute dominates and the scaling
+is honest) through a :class:`repro.service.ShardedEngine` at 1/2/4
+shards on the process transport, each shard discarding estimates into a
+``null`` sink.  Reported speedups are against the single-engine
+baseline on the identical workload.
 
 Run standalone for the JSON report (the tier-1 smoke test does)::
 
@@ -17,12 +24,13 @@ or under pytest-benchmark with the rest of the bench suite.
 from __future__ import annotations
 
 import argparse
+import functools
 import json
 import sys
 import time
 from typing import Iterator, List
 
-from repro.engine import StreamingEngine
+from repro.engine import StreamingEngine, make_sink
 from repro.knowledge.apdb import ApDatabase, ApRecord
 from repro.geometry.point import Point
 from repro.localization import MLoc
@@ -30,6 +38,7 @@ from repro.net80211.frames import probe_response
 from repro.net80211.mac import MacAddress
 from repro.net80211.medium import ReceivedFrame
 from repro.net80211.ssid import Ssid
+from repro.service import ShardConfig, ShardedEngine
 
 #: AP grid geometry: 6x6 grid, 100 m spacing, 140 m range — every
 #: cell's four corner discs overlap at the cell center.
@@ -136,6 +145,95 @@ def run_comparison(frame_budget: int, pattern_count: int,
     }
 
 
+def run_sharded(frames: List[ReceivedFrame], database: ApDatabase,
+                shards: int, transport: str = "process",
+                publish_batch: int = 256) -> dict:
+    """One sharded pass (cache off, null sinks); wall-clock over
+    ingest + drain only — fleet spawn/teardown is not throughput.
+    """
+    engine = ShardedEngine(
+        functools.partial(MLoc, database),
+        shards=shards, transport=transport,
+        config=ShardConfig(window_s=600.0, batch_size=32, cache_size=0,
+                           reorder_capacity=0, sink_specs=("null",)),
+        publish_batch=publish_batch)
+    try:
+        start = time.perf_counter()
+        stats = engine.run(iter(frames))
+        elapsed = time.perf_counter() - start
+    finally:
+        engine.stop()
+    return {
+        "shards": shards,
+        "transport": transport,
+        "wall_s": elapsed,
+        "estimates_emitted": stats.estimates_emitted,
+        "frames_ingested": stats.frames_ingested,
+        "wall_estimates_per_sec": (stats.estimates_emitted / elapsed
+                                   if elapsed > 0.0 else 0.0),
+    }
+
+
+def run_scaling(frame_budget: int, pattern_count: int,
+                shard_counts=(1, 2, 4), repeats: int = 3,
+                transport: str = "process") -> dict:
+    """Sharded scaling vs the single-engine baseline (best of N each).
+
+    Cache is off everywhere and every engine discards into a ``null``
+    sink, so the comparison is pure localization throughput; the
+    single-process baseline is a plain :class:`StreamingEngine`, not a
+    one-shard fleet, so bus overhead counts *against* the service.
+    """
+    database = build_database()
+    frames = build_stream(frame_budget, pattern_count)
+
+    def baseline_once() -> dict:
+        engine = StreamingEngine(MLoc(database), window_s=600.0,
+                                 batch_size=32, cache_size=0,
+                                 sinks=[make_sink("null")])
+        start = time.perf_counter()
+        stats = engine.run(iter(frames))
+        elapsed = time.perf_counter() - start
+        return {"wall_s": elapsed,
+                "estimates_emitted": stats.estimates_emitted,
+                "wall_estimates_per_sec": (
+                    stats.estimates_emitted / elapsed
+                    if elapsed > 0.0 else 0.0)}
+
+    baseline = max((baseline_once() for _ in range(repeats)),
+                   key=lambda r: r["wall_estimates_per_sec"])
+    fleets = []
+    for shards in shard_counts:
+        best = max((run_sharded(frames, database, shards,
+                                transport=transport)
+                    for _ in range(repeats)),
+                   key=lambda r: r["wall_estimates_per_sec"])
+        best["speedup_vs_single"] = (
+            best["wall_estimates_per_sec"]
+            / baseline["wall_estimates_per_sec"]
+            if baseline["wall_estimates_per_sec"] > 0.0 else 0.0)
+        fleets.append(best)
+    import os
+    return {
+        "bench": "engine_throughput_sharded",
+        "config": {
+            "frames": len(frames),
+            "devices": max(1, len(frames) // APS_PER_GAMMA),
+            "patterns": pattern_count,
+            "cache": "off",
+            "sink": "null",
+            "transport": transport,
+            "repeats": repeats,
+            # Scaling is bounded by the cores actually available: on a
+            # single-core box the process fleet *cannot* beat the
+            # single engine, and the committed numbers say so.
+            "cpu_count": os.cpu_count(),
+        },
+        "single_engine": baseline,
+        "sharded": fleets,
+    }
+
+
 # ----------------------------------------------------------------------
 # pytest-benchmark entry point (pytest benchmarks/ --benchmark-only)
 # ----------------------------------------------------------------------
@@ -160,6 +258,27 @@ def test_engine_throughput_cache_speedup(benchmark, reporter):
              " intersection each.")
 
 
+def test_engine_throughput_sharded_scaling(benchmark, reporter):
+    """Fleet widths agree on the work done; speedup is hardware-bound."""
+    scaling = benchmark(lambda: run_scaling(800, pattern_count=12,
+                                            shard_counts=(1, 2),
+                                            repeats=1,
+                                            transport="thread"))
+    single = scaling["single_engine"]
+    lines = ["", "=== Engine throughput: sharded scaling ===",
+             f"  single engine     : "
+             f"{single['wall_estimates_per_sec']:10.0f} est/s"]
+    for fleet in scaling["sharded"]:
+        lines.append(f"  {fleet['shards']} shard fleet     : "
+                     f"{fleet['wall_estimates_per_sec']:10.0f} est/s "
+                     f"({fleet['speedup_vs_single']:.2f}x)")
+        # Same workload, same answers: the fleet emits what the
+        # single engine emits, whatever the width.
+        assert (fleet["estimates_emitted"]
+                == single["estimates_emitted"])
+    reporter(*lines)
+
+
 # ----------------------------------------------------------------------
 # Standalone JSON mode (the tier-1 smoke invocation)
 # ----------------------------------------------------------------------
@@ -173,12 +292,28 @@ def main(argv=None) -> int:
                         help="distinct AP neighborhoods in the stream")
     parser.add_argument("--repeats", type=int, default=3,
                         help="runs per mode (best is reported)")
+    parser.add_argument("--sharded", action="store_true",
+                        help="also run the sharded-service scaling "
+                             "comparison (process transport, null "
+                             "sink, cache off)")
+    parser.add_argument("--shard-counts", default="1,2,4",
+                        help="comma-separated fleet widths for "
+                             "--sharded (default 1,2,4)")
+    parser.add_argument("--transport", choices=("thread", "process"),
+                        default="process",
+                        help="shard transport for --sharded")
     parser.add_argument("--json", metavar="FILE",
                         help="write the comparison as JSON to FILE")
     args = parser.parse_args(argv)
 
     report = run_comparison(args.frames, args.patterns,
                             repeats=args.repeats)
+    if args.sharded:
+        counts = tuple(int(part) for part in
+                       args.shard_counts.split(",") if part.strip())
+        report["sharded"] = run_scaling(
+            args.frames, args.patterns, shard_counts=counts,
+            repeats=args.repeats, transport=args.transport)
     on, off = report["cache_on"], report["cache_off"]
     print(f"frames={report['config']['frames']} "
           f"devices={report['config']['devices']} "
@@ -188,6 +323,17 @@ def main(argv=None) -> int:
           f"(hit rate {on['cache_hit_rate']:.1%})")
     print(f"cache off: {off['wall_estimates_per_sec']:10.0f} est/s")
     print(f"speedup  : {report['speedup']:.2f}x")
+    if args.sharded:
+        scaling = report["sharded"]
+        single = scaling["single_engine"]
+        print(f"--- sharded scaling ({scaling['config']['transport']} "
+              f"transport, cache off, null sink) ---")
+        print(f"single engine: "
+              f"{single['wall_estimates_per_sec']:10.0f} est/s")
+        for fleet in scaling["sharded"]:
+            print(f"{fleet['shards']} shard(s)   : "
+                  f"{fleet['wall_estimates_per_sec']:10.0f} est/s "
+                  f"({fleet['speedup_vs_single']:.2f}x)")
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2)

@@ -155,6 +155,60 @@ def main(argv: Optional[List[str]] = None) -> int:
                           help="write a Chrome trace_event JSON of the "
                                "run's spans")
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="sharded tracking service over a capture file")
+    p_serve.add_argument("capture", help="JSONL capture file")
+    p_serve.add_argument("--wigle", required=True,
+                         help="WiGLE-style CSV with AP knowledge")
+    p_serve.add_argument("--lat", type=float, default=42.6555,
+                         help="tangent-plane origin latitude")
+    p_serve.add_argument("--lon", type=float, default=-71.3262,
+                         help="tangent-plane origin longitude")
+    p_serve.add_argument("--shards", type=int, default=2,
+                         help="engine shards in the fleet (default 2)")
+    p_serve.add_argument("--transport", choices=("thread", "process"),
+                         default="thread",
+                         help="shard transport: in-process threads or "
+                              "one OS process per shard")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="HTTP bind address")
+    p_serve.add_argument("--port", type=int, default=8737,
+                         help="HTTP port (0 picks a free one)")
+    p_serve.add_argument("--window", type=float, default=30.0,
+                         help="sliding co-observation window (s)")
+    p_serve.add_argument("--batch", type=int, default=32,
+                         help="dirty devices per micro-batch")
+    p_serve.add_argument("--fallback-range", type=float, default=150.0,
+                         help="assumed AP range (m) when the knowledge "
+                              "base has none (the WiGLE case)")
+    p_serve.add_argument("--localizer", metavar="SPEC",
+                         help="localizer spec per shard (default m-loc)")
+    p_serve.add_argument("--publish-batch", type=int, default=64,
+                         help="frames per bus message")
+    p_serve.add_argument("--checkpoint-dir", metavar="DIR",
+                         help="directory for per-shard checkpoints "
+                              "(enables crash recovery)")
+    p_serve.add_argument("--checkpoint-every", type=int, default=0,
+                         metavar="N",
+                         help="checkpoint a shard every N published "
+                              "frames (0 = only explicit barriers)")
+    p_serve.add_argument("--resume", action="store_true",
+                         help="restore the fleet from --checkpoint-dir "
+                              "before ingesting")
+    p_serve.add_argument("--serve-seconds", type=float, default=None,
+                         metavar="S",
+                         help="keep serving S seconds after ingest, "
+                              "then drain and exit (default: until "
+                              "SIGINT/SIGTERM)")
+    p_serve.add_argument("--chaos", action="store_true",
+                         help="enable the POST /chaos/kill endpoint "
+                              "(testing only)")
+    p_serve.add_argument("--lenient", action="store_true",
+                         help="skip (and count) malformed capture "
+                              "records instead of aborting on the "
+                              "first one")
+
     p_metrics = sub.add_parser(
         "metrics", help="inspect a metrics snapshot JSON")
     p_metrics.add_argument("snapshot",
@@ -174,6 +228,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "plan": _cmd_plan,
         "replay": _cmd_replay,
         "engine": _cmd_engine,
+        "serve": _cmd_serve,
         "metrics": _cmd_metrics,
     }[args.command]
     return handler(args)
@@ -557,6 +612,95 @@ def _cmd_engine(args) -> int:
     if args.checkpoint:
         engine.save_checkpoint(args.checkpoint, keep=args.checkpoint_keep)
         print(f"Checkpoint written to {args.checkpoint}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import functools
+    import signal
+    import threading
+
+    from repro.geo.enu import LocalTangentPlane
+    from repro.geo.wgs84 import GeodeticCoordinate
+    from repro.knowledge.wigle import import_wigle_csv
+    from repro.localization import make_localizer
+    from repro.service import (
+        ServiceError,
+        ServiceServer,
+        ShardConfig,
+        ShardedEngine,
+    )
+    from repro.sniffer.replay import iter_capture
+
+    plane = LocalTangentPlane(GeodeticCoordinate(args.lat, args.lon))
+    try:
+        database = import_wigle_csv(args.wigle, plane)
+    except OSError as error:
+        return _fail(f"cannot read WiGLE CSV {args.wigle!r}: {error}")
+    if args.shards < 1:
+        return _fail(f"--shards must be >= 1, got {args.shards}")
+    spec = args.localizer or "m-loc"
+    try:
+        # A picklable factory: each shard (possibly another process)
+        # builds its own localizer from the same spec and knowledge.
+        factory = functools.partial(
+            make_localizer, spec, database=database,
+            **({} if args.localizer else
+               {"fallback_range_m": args.fallback_range}))
+        factory()  # validate the spec before spawning the fleet
+    except ValueError as error:
+        return _fail(str(error))
+    config = ShardConfig(window_s=args.window, batch_size=args.batch)
+    try:
+        engine = ShardedEngine(
+            factory, shards=args.shards, transport=args.transport,
+            config=config, checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            publish_batch=args.publish_batch, resume=args.resume)
+    except (ServiceError, ValueError) as error:
+        return _fail(str(error))
+
+    stop_event = threading.Event()
+    # Signal handlers only install from the main thread (tests drive
+    # this handler from workers; there the deadline is the only stop).
+    previous = {}
+    if threading.current_thread() is threading.main_thread():
+        previous = {signum: signal.signal(signum,
+                                          lambda *_: stop_event.set())
+                    for signum in (signal.SIGINT, signal.SIGTERM)}
+    try:
+        with ServiceServer(engine, host=args.host, port=args.port,
+                           allow_chaos=args.chaos) as server:
+            host, port = server.address
+            print(f"Serving {args.shards} shard(s) [{args.transport}] "
+                  f"on http://{host}:{port}", flush=True)
+            try:
+                engine.ingest_stream(
+                    iter_capture(args.capture, strict=not args.lenient))
+                stats = engine.drain()
+            except OSError as error:
+                engine.stop()
+                return _fail(
+                    f"cannot read capture {args.capture!r}: {error}")
+            except (ValueError, KeyError) as error:
+                engine.stop()
+                return _fail(
+                    f"corrupt capture {args.capture!r}: {error}")
+            print(f"Ingest complete: {stats.frames_ingested} frames, "
+                  f"{stats.devices_seen} devices, "
+                  f"{stats.estimates_emitted} localizations.",
+                  flush=True)
+            # Serve until the deadline or a signal; queries (and chaos
+            # kills + supervised restarts) keep flowing meanwhile.
+            stop_event.wait(timeout=args.serve_seconds)
+            print("Draining fleet for shutdown...", flush=True)
+            engine.stop()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    final = engine.stats()
+    print(f"Served fleet stopped cleanly "
+          f"({final.estimates_emitted} localizations total).")
     return 0
 
 

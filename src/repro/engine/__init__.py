@@ -16,12 +16,14 @@ from repro.engine.core import (
     load_checkpoint_data,
 )
 from repro.engine.ingest import Evidence, GammaState, extract_evidence
+from repro.engine.reorder import ReorderBuffer
 from repro.engine.scheduler import MicroBatchScheduler
 from repro.engine.sinks import (
     CallbackSink,
     EngineSink,
     FanoutSink,
     LatestFixSink,
+    NullSink,
     RendererSink,
     TrackerSink,
     make_sink,
@@ -38,6 +40,7 @@ __all__ = [
     "Evidence",
     "extract_evidence",
     "MicroBatchScheduler",
+    "ReorderBuffer",
     "EngineStats",
     "PipelineStats",
     "StageTimer",
@@ -45,6 +48,7 @@ __all__ = [
     "TrackerSink",
     "CallbackSink",
     "LatestFixSink",
+    "NullSink",
     "RendererSink",
     "FanoutSink",
     "make_sink",

@@ -264,16 +264,27 @@ class StreamingEngine:
         """
         with obs.use_registry(self.registry), obs.trace("engine.run"):
             self.ingest_stream(stream)
+            self.drain()
+            for sink in self.sinks:
+                sink.close()
+            self.close()
+        return self.stats()
+
+    def drain(self) -> int:
+        """End-of-stream settling: catch-up re-fit, then full flush.
+
+        Exactly what :meth:`run` does when its stream ends, callable on
+        its own — the sharded service sends a drain barrier through the
+        bus and each shard settles without owning the stream.  Returns
+        the estimates emitted by the flush.
+        """
+        with obs.use_registry(self.registry):
             if self.refit_every > 0 and self._pending_refit:
                 # Catch-up fit so end-of-stream evidence (and any
                 # devices skipped while the model was unfitted) is not
                 # lost.
                 self._refit()
-            self.flush()
-            for sink in self.sinks:
-                sink.close()
-            self.close()
-        return self.stats()
+            return self.flush()
 
     def close(self) -> None:
         """Release the worker pool (recreated lazily if flushed again)."""
@@ -671,7 +682,8 @@ class StreamingEngine:
                                for mobile, count in self._failures.items()},
         }
 
-    def save_checkpoint(self, path: PathLike, keep: int = 1) -> None:
+    def save_checkpoint(self, path: PathLike, keep: int = 1,
+                        extra: Optional[dict] = None) -> None:
         """Durably write a v3 checkpoint to ``path``.
 
         The payload (with an embedded CRC32 over its canonical JSON)
@@ -681,10 +693,18 @@ class StreamingEngine:
         ``keep > 1``, previous generations rotate logrotate-style to
         ``path.1``, ``path.2``, ... so :func:`load_checkpoint_data`
         can fall back past a checkpoint that was corrupted at rest.
+
+        ``extra`` is caller metadata (JSON-serializable) stored under
+        the payload's ``"extra"`` key, covered by the CRC, and ignored
+        by :meth:`restore` — the sharded service uses it to bind a
+        checkpoint to the exact ingest position it covers, atomically
+        with the state itself.
         """
         if keep < 1:
             raise ValueError(f"keep must be >= 1, got {keep}")
         payload = self.checkpoint()
+        if extra is not None:
+            payload["extra"] = extra
         payload["crc32"] = checkpoint_crc(payload)
         path = Path(path)
         tmp = path.with_name(path.name + ".tmp")

@@ -113,6 +113,26 @@ class RendererSink(EngineSink):
         self.emitted += 1
 
 
+class NullSink(EngineSink):
+    """Counts emissions and discards them.
+
+    The load-test sink: service benchmarks measure engine throughput
+    without rendering or tracking overhead polluting the numbers, but
+    still assert how many estimates flowed.
+    """
+
+    def __init__(self):
+        self.emitted = 0
+        self.closed = False
+
+    def emit(self, mobile: MacAddress, timestamp: float,
+             estimate: LocalizationEstimate) -> None:
+        self.emitted += 1
+
+    def close(self) -> None:
+        self.closed = True
+
+
 class FanoutSink(EngineSink):
     """Composes several sinks into one.
 
@@ -143,6 +163,7 @@ _SINKS = {
     "callback": (CallbackSink, ("callback",)),
     "latest": (LatestFixSink, ()),
     "renderer": (RendererSink, ("renderer",)),
+    "null": (NullSink, ()),
 }
 
 

@@ -16,7 +16,7 @@ import time
 import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Iterable
 
 
 class StageTimer:
@@ -72,6 +72,52 @@ class EngineStats:
     sink_failures: int = 0
     quarantined: int = 0
     degraded: int = 0
+
+    def merge(self, other: "EngineStats") -> "EngineStats":
+        """Combine two disjoint snapshots (e.g. two shards') into one.
+
+        The merge is associative and commutative — counters sum,
+        per-stage seconds sum key-wise, ``cache_enabled`` ORs, and
+        ``last_fit_iterations`` takes the max — so folding any number
+        of shard snapshots together yields the same totals whatever
+        the fold order.  ``EngineStats(cache_enabled=False)`` is the
+        identity element.
+        Derived properties (hit rate, throughput) are recomputed from
+        the merged counters, never averaged.
+        """
+        stage_seconds = dict(self.stage_seconds)
+        for name, seconds in other.stage_seconds.items():
+            stage_seconds[name] = stage_seconds.get(name, 0.0) + seconds
+        return EngineStats(
+            frames_ingested=self.frames_ingested + other.frames_ingested,
+            evidence_events=self.evidence_events + other.evidence_events,
+            probe_requests=self.probe_requests + other.probe_requests,
+            devices_seen=self.devices_seen + other.devices_seen,
+            batches_flushed=self.batches_flushed + other.batches_flushed,
+            estimates_emitted=(self.estimates_emitted
+                               + other.estimates_emitted),
+            unlocatable=self.unlocatable + other.unlocatable,
+            cache_enabled=self.cache_enabled or other.cache_enabled,
+            cache_hits=self.cache_hits + other.cache_hits,
+            cache_misses=self.cache_misses + other.cache_misses,
+            cache_entries=self.cache_entries + other.cache_entries,
+            refits=self.refits + other.refits,
+            last_fit_iterations=max(self.last_fit_iterations,
+                                    other.last_fit_iterations),
+            stage_seconds=stage_seconds,
+            retries=self.retries + other.retries,
+            sink_failures=self.sink_failures + other.sink_failures,
+            quarantined=self.quarantined + other.quarantined,
+            degraded=self.degraded + other.degraded,
+        )
+
+    @classmethod
+    def merge_all(cls, snapshots: "Iterable[EngineStats]") -> "EngineStats":
+        """Fold any number of snapshots into one (order-independent)."""
+        merged = cls(cache_enabled=False)
+        for snapshot in snapshots:
+            merged = merged.merge(snapshot)
+        return merged
 
     @property
     def cache_hit_rate(self) -> float:

@@ -33,6 +33,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     Timer,
     format_snapshot,
+    merge_snapshots,
     parse_key,
 )
 from repro.obs.trace import (
@@ -91,6 +92,7 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
     "format_snapshot",
+    "merge_snapshots",
     "parse_key",
     "Span",
     "SpanRecorder",

@@ -31,6 +31,7 @@ until an exporter actually asks for a snapshot.
 
 from __future__ import annotations
 
+import threading
 import time
 from bisect import bisect_left
 from contextlib import contextmanager
@@ -224,6 +225,12 @@ class MetricsRegistry:
 
     def __init__(self):
         self._instruments: Dict[Tuple[str, LabelItems], Instrument] = {}
+        # Guards the instrument *dict* (creation, iteration, merge,
+        # reset) so a scrape can snapshot while shard threads register
+        # new series.  Recording on an already-held instrument handle
+        # stays lock-free — a couple of attribute updates under the
+        # GIL.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Instrument access
@@ -232,11 +239,12 @@ class MetricsRegistry:
     def _lookup(self, cls, name: str, labels: Dict[str, object],
                 **kwargs) -> Instrument:
         key = (name, _label_items(labels))
-        instrument = self._instruments.get(key)
-        if instrument is None:
-            instrument = cls(name, key[1], **kwargs)
-            self._instruments[key] = instrument
-            return instrument
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = cls(name, key[1], **kwargs)
+                self._instruments[key] = instrument
+                return instrument
         if not isinstance(instrument, cls):
             raise TypeError(
                 f"metric {_format_key(*key)!r} is a {instrument.kind}, "
@@ -260,16 +268,24 @@ class MetricsRegistry:
         return self._lookup(Timer, name, labels)
 
     def instruments(self) -> Iterator[Instrument]:
-        """Every registered instrument, in deterministic order."""
-        for key in sorted(self._instruments):
-            yield self._instruments[key]
+        """Every registered instrument, in deterministic order.
+
+        The instrument list is snapshotted under the registry lock, so
+        iteration never races concurrent series creation; instruments
+        registered *after* the call simply do not appear.
+        """
+        with self._lock:
+            ordered = [self._instruments[key]
+                       for key in sorted(self._instruments)]
+        yield from ordered
 
     def find(self, name: str) -> List[Instrument]:
         """All instruments registered under a dotted name (any labels)."""
         return [inst for inst in self.instruments() if inst.name == name]
 
     def __len__(self) -> int:
-        return len(self._instruments)
+        with self._lock:
+            return len(self._instruments)
 
     # ------------------------------------------------------------------
     # Snapshot / delta / reset / merge
@@ -316,7 +332,9 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Zero every instrument in place (handles stay valid)."""
-        for inst in self._instruments.values():
+        with self._lock:
+            instruments = list(self._instruments.values())
+        for inst in instruments:
             if isinstance(inst, (Counter, Gauge)):
                 inst._value = 0.0
             elif isinstance(inst, Histogram):
@@ -327,8 +345,14 @@ class MetricsRegistry:
 
     def merge(self, snapshot: dict) -> None:
         """Fold a foreign snapshot in: counters/histograms add, gauges
-        take the incoming value.  Used for worker-registry merges and
-        checkpoint restores."""
+        take the incoming value.  Used for worker-registry merges,
+        checkpoint restores, and the service scrape path (per-shard
+        snapshots folded into one exposition registry).  Atomic with
+        respect to concurrent :meth:`snapshot` readers."""
+        with self._lock:
+            self._merge_locked(snapshot)
+
+    def _merge_locked(self, snapshot: dict) -> None:
         for key, value in snapshot.get("counters", {}).items():
             name, labels = parse_key(key)
             self._lookup(Counter, name, dict(labels))._value += value
@@ -386,6 +410,21 @@ class MetricsRegistry:
     def format(self) -> str:
         """Human-readable block (what ``marauder metrics`` prints)."""
         return format_snapshot(self.snapshot())
+
+
+def merge_snapshots(snapshots: Sequence[dict]) -> MetricsRegistry:
+    """Fold several registry snapshots into one fresh registry.
+
+    The service scrape path: each shard hands over its private
+    registry's snapshot, and the merged registry renders one coherent
+    Prometheus exposition for the whole fleet.  Counters and histogram
+    buckets add; a gauge takes the value of the *last* snapshot that
+    carries it, so per-shard gauges should be labelled by shard.
+    """
+    merged = MetricsRegistry()
+    for snapshot in snapshots:
+        merged.merge(snapshot)
+    return merged
 
 
 def _prom_name(name: str) -> str:

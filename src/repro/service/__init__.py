@@ -1,0 +1,26 @@
+"""repro.service — the sharded tracking service.
+
+The scale-out layer over :mod:`repro.engine`: devices are partitioned
+across N :class:`~repro.engine.StreamingEngine` shards by a stable hash
+of the device id (:mod:`repro.service.sharding`), frames flow through a
+pluggable :class:`Bus` (in-process queues today, sockets tomorrow), and
+one :class:`ShardedEngine` router re-exposes the single-engine surface
+— plus serving queries and a Prometheus scrape — over the fleet.
+Per-shard checkpoints and router-side retention make a shard crash
+invisible: the restarted shard replays to exactly the state it lost.
+"""
+
+from repro.service.bus import (Bus, BusTimeout, MpQueueBus, QueueBus,
+                               DEFAULT_CAPACITY)
+from repro.service.core import ServiceError, ShardedEngine
+from repro.service.http import ServiceServer, estimate_to_dict
+from repro.service.shard import (LocalizerFactory, ShardConfig,
+                                 ShardRuntime, run_shard)
+from repro.service.sharding import device_shard, routing_key, shard_of
+
+__all__ = [
+    "Bus", "BusTimeout", "DEFAULT_CAPACITY", "LocalizerFactory",
+    "MpQueueBus", "QueueBus", "ServiceError", "ServiceServer",
+    "ShardConfig", "ShardRuntime", "ShardedEngine", "device_shard",
+    "estimate_to_dict", "routing_key", "run_shard", "shard_of",
+]

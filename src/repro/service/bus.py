@@ -1,0 +1,149 @@
+"""The pluggable ingest bus between the router and the engine shards.
+
+A :class:`Bus` owns, per shard, one *inbox* (router → shard: frame
+batches and control messages) and one *outbox* (shard → router:
+checkpoint acks and request replies).  Messages are opaque picklable
+tuples — the bus moves envelopes, the shard runtime interprets them —
+so a transport only has to provide queue semantics:
+
+* :class:`QueueBus` — in-process ``queue.Queue`` pairs; shards run as
+  threads.  Zero serialization cost, shared GIL.
+* :class:`MpQueueBus` — ``multiprocessing.Queue`` pairs; shards run as
+  OS processes.  Frames pickle across, each shard gets its own
+  interpreter (and its own GIL), which is what the throughput bench
+  exercises.
+
+A socket transport slots in later behind the same five methods; nothing
+above the bus (the :class:`~repro.service.core.ShardedEngine`, the
+serving layer) would change.
+
+Inboxes are bounded, so a slow shard back-pressures the router instead
+of buffering the whole capture in memory.  :meth:`Bus.reset` replaces
+one shard's endpoints with fresh queues — after a shard crash the old
+queues may hold garbage (or, for a terminated process, be corrupted
+mid-``put``), so a supervised restart never reuses them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+from typing import Any, List, Optional, Tuple
+
+#: Default inbox bound, in *messages* (a message is a frame batch or a
+#: control record), giving bounded memory with enough slack that the
+#: router rarely blocks.
+DEFAULT_CAPACITY = 256
+
+
+class BusTimeout(Exception):
+    """A bounded receive elapsed with nothing to deliver."""
+
+
+class Bus:
+    """Per-shard inbox/outbox queue pairs behind one transport seam."""
+
+    def __init__(self, shards: int, capacity: int = DEFAULT_CAPACITY):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.shards = shards
+        self.capacity = capacity
+        self._inboxes: List[Any] = [self._make_queue(capacity)
+                                    for _ in range(shards)]
+        self._outboxes: List[Any] = [self._make_queue(0)
+                                     for _ in range(shards)]
+
+    # -- transport seam ------------------------------------------------
+
+    def _make_queue(self, capacity: int):
+        raise NotImplementedError
+
+    # -- router side ---------------------------------------------------
+
+    def publish(self, shard: int, message: Tuple,
+                timeout: Optional[float] = None) -> None:
+        """Enqueue one message for a shard.
+
+        Blocks when the inbox is full — back-pressure, not loss.  With
+        ``timeout`` set, raises :class:`BusTimeout` instead of blocking
+        forever, which is how the router notices a consumer that died
+        with a full inbox.
+        """
+        try:
+            self._inboxes[shard].put(message, timeout=timeout)
+        except queue.Full:
+            raise BusTimeout(
+                f"shard {shard} inbox full after {timeout}s"
+            ) from None
+
+    def collect(self, shard: int,
+                timeout: Optional[float] = None,
+                block: bool = True) -> Tuple:
+        """Dequeue one shard → router message.
+
+        Raises :class:`BusTimeout` when nothing arrives in time (or,
+        non-blocking, when the outbox is empty).
+        """
+        try:
+            return self._outboxes[shard].get(block=block, timeout=timeout)
+        except queue.Empty:
+            raise BusTimeout(
+                f"no message from shard {shard} within {timeout}s"
+            ) from None
+
+    def reset(self, shard: int) -> None:
+        """Replace one shard's endpoints with fresh queues (post-crash)."""
+        self._inboxes[shard] = self._make_queue(self.capacity)
+        self._outboxes[shard] = self._make_queue(0)
+
+    # -- shard side ----------------------------------------------------
+
+    def endpoints(self, shard: int) -> Tuple[Any, Any]:
+        """The ``(inbox, outbox)`` pair a shard runtime consumes.
+
+        For a process transport these are picklable and shipped to the
+        child; the parent must not read a shard's inbox once its worker
+        owns it.
+        """
+        return self._inboxes[shard], self._outboxes[shard]
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Release transport resources (no-op for in-process queues)."""
+
+
+class QueueBus(Bus):
+    """In-process transport: ``queue.Queue`` pairs, shard threads."""
+
+    def _make_queue(self, capacity: int):
+        return queue.Queue(maxsize=capacity)
+
+
+class MpQueueBus(Bus):
+    """Multiprocess transport: ``multiprocessing.Queue`` pairs.
+
+    Uses an explicit context so the transport is deliberate about the
+    start method rather than inheriting whatever the platform default
+    happens to be.
+    """
+
+    def __init__(self, shards: int, capacity: int = DEFAULT_CAPACITY,
+                 context: Optional[str] = None):
+        self._ctx = multiprocessing.get_context(context)
+        super().__init__(shards, capacity)
+
+    def _make_queue(self, capacity: int):
+        return self._ctx.Queue(maxsize=capacity)
+
+    def close(self) -> None:
+        for q in self._inboxes + self._outboxes:
+            # Cancel the feeder-thread join so interpreter shutdown
+            # never blocks on a queue a dead shard stopped draining.
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except (OSError, ValueError):  # pragma: no cover
+                pass

@@ -1,0 +1,626 @@
+"""The sharded tracking service: router, supervision, merged read side.
+
+:class:`ShardedEngine` partitions devices across N
+:class:`~repro.engine.StreamingEngine` shards by hashed device id
+(:mod:`repro.service.sharding`), feeds them through a pluggable
+:class:`~repro.service.bus.Bus`, and re-exposes the single-engine
+surface — ``run`` / ``ingest`` / ``drain`` / ``locate`` / ``stats`` —
+over the fleet:
+
+* **Equivalence** — a device's whole frame history lands on one shard
+  in order, and shard engines are plain StreamingEngines, so the final
+  per-device localizations of a sharded run equal a single-engine
+  run's, independent of shard count.
+* **Durability** — the router retains every published frame until the
+  owning shard acks a checkpoint barrier covering it.  A dead shard is
+  restarted (supervised by a :class:`~repro.faults.RetryPolicy`) from
+  its last checkpoint, the retained tail is replayed, and because
+  ingest is deterministic the restarted shard converges to exactly the
+  state the crash destroyed — invisible to the rest of the fleet.
+* **Merged reads** — ``stats()`` folds per-shard
+  :class:`~repro.engine.EngineStats` with the associative merge;
+  ``metrics_snapshot()`` / ``render_prometheus()`` fold per-shard
+  registry snapshots through :func:`repro.obs.merge_snapshots`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import uuid
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro import obs
+from repro.engine.core import load_checkpoint_data
+from repro.engine.stats import EngineStats
+from repro.faults import ReproError, RetryPolicy
+from repro.localization.base import LocalizationEstimate
+from repro.net80211.mac import MacAddress
+from repro.net80211.medium import ReceivedFrame
+from repro.service.bus import Bus, BusTimeout, MpQueueBus, QueueBus
+from repro.service.shard import LocalizerFactory, ShardConfig, run_shard
+from repro.service.sharding import device_shard, shard_of
+
+PathLike = Union[str, Path]
+
+MANIFEST_NAME = "service.manifest.json"
+MANIFEST_VERSION = 1
+
+
+class ServiceError(ReproError):
+    """A sharded-service failure (dead shard, timeout, bad manifest)."""
+
+
+class _ShardHandle:
+    """Router-side bookkeeping for one shard."""
+
+    def __init__(self, index: int):
+        self.index = index
+        self.worker = None            # Thread or Process
+        self.crash_event = None       # thread transport only
+        # Serializes this shard's outbox reads and request/reply pairs.
+        self.lock = threading.RLock()
+        # Frames published since the last acked checkpoint barrier.
+        self.retention: List[ReceivedFrame] = []
+        self.pending: List[ReceivedFrame] = []   # not yet published
+        self.published = 0
+        self.since_checkpoint = 0
+        # (marker, retention length at barrier send), one in flight.
+        self.inflight_checkpoint: Optional[Tuple[int, int]] = None
+        self.next_request = 0
+        self.restarts = 0
+
+    def alive(self) -> bool:
+        return self.worker is not None and self.worker.is_alive()
+
+
+class ShardedEngine:
+    """N StreamingEngine shards behind one bus and one serving surface.
+
+    Parameters
+    ----------
+    localizer_factory:
+        Zero-arg callable building one shard's localizer.  Each shard
+        gets its own instance; for ``transport="process"`` it must be
+        picklable (``functools.partial(make_localizer, spec,
+        database=db)`` is the canonical form).
+    shards:
+        Fleet width (>= 1).
+    transport:
+        ``"thread"`` (QueueBus, shared process) or ``"process"``
+        (MpQueueBus, one OS process per shard — real parallelism).
+    config:
+        Per-shard :class:`~repro.service.shard.ShardConfig`.
+    checkpoint_dir:
+        Directory for per-shard checkpoint-v3 files plus the fleet
+        manifest.  ``None`` disables durable checkpoints; restarts then
+        replay the full retention (which is never trimmed).
+    checkpoint_every:
+        Send a checkpoint barrier to a shard every N published frames
+        (``0`` disables scheduled barriers; explicit
+        :meth:`save_checkpoints` still works).
+    publish_batch:
+        Frames per bus message — the pickling/latency trade-off knob.
+    resume:
+        Restore every shard from ``checkpoint_dir`` (validating the
+        manifest) instead of starting cold.
+    request_timeout_s:
+        Serving-request deadline per shard before the router checks for
+        a dead worker.
+    restart_retry:
+        :class:`~repro.faults.RetryPolicy` supervising shard restarts.
+    """
+
+    def __init__(self, localizer_factory: LocalizerFactory,
+                 shards: int = 2, transport: str = "thread",
+                 config: ShardConfig = ShardConfig(),
+                 bus: Optional[Bus] = None,
+                 checkpoint_dir: Optional[PathLike] = None,
+                 checkpoint_every: int = 0,
+                 publish_batch: int = 64,
+                 resume: bool = False,
+                 request_timeout_s: float = 30.0,
+                 restart_retry: Optional[RetryPolicy] = None,
+                 registry: Optional[obs.MetricsRegistry] = None):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if transport not in ("thread", "process"):
+            raise ValueError(
+                f"transport must be 'thread' or 'process', got "
+                f"{transport!r}")
+        if checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}")
+        if publish_batch < 1:
+            raise ValueError(
+                f"publish_batch must be >= 1, got {publish_batch}")
+        self.localizer_factory = localizer_factory
+        self.shards = shards
+        self.transport = transport
+        self.config = config
+        self.checkpoint_dir = (Path(checkpoint_dir)
+                               if checkpoint_dir is not None else None)
+        self.checkpoint_every = checkpoint_every
+        self.publish_batch = publish_batch
+        self.request_timeout_s = request_timeout_s
+        self.restart_retry = restart_retry if restart_retry is not None \
+            else RetryPolicy(max_attempts=3, base_delay=0.05,
+                             multiplier=2.0, jitter=0.0)
+        self.registry = (registry if registry is not None
+                         else obs.MetricsRegistry())
+        # Namespaces checkpoint markers: a marker embedded by a prior
+        # service run must not trim *this* run's retention.
+        self.run_id = uuid.uuid4().hex
+        self._c_published = self.registry.counter(
+            "repro.service.frames.published")
+        self._c_restarts = self.registry.counter(
+            "repro.service.shard.restarts")
+        self._c_barriers = self.registry.counter(
+            "repro.service.checkpoint.barriers")
+        if bus is None:
+            bus = (QueueBus(shards) if transport == "thread"
+                   else MpQueueBus(shards))
+        self.bus = bus
+        self._handles = [_ShardHandle(index) for index in range(shards)]
+        self._drained: Optional[List[dict]] = None
+        self._stopped = False
+        if self.checkpoint_dir is not None:
+            self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+            if resume:
+                self._validate_manifest()
+            else:
+                self._write_manifest()
+        elif resume:
+            raise ServiceError("resume=True requires a checkpoint_dir")
+        for handle in self._handles:
+            self._start_worker(handle, resume=resume)
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+
+    def _checkpoint_path(self, index: int) -> Optional[str]:
+        if self.checkpoint_dir is None:
+            return None
+        return str(self.checkpoint_dir / f"shard-{index:03d}.ckpt.json")
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "service_manifest": MANIFEST_VERSION,
+            "shards": self.shards,
+            "transport": self.transport,
+        }
+        (self.checkpoint_dir / MANIFEST_NAME).write_text(
+            json.dumps(manifest, indent=2), encoding="utf-8")
+
+    def _validate_manifest(self) -> None:
+        path = self.checkpoint_dir / MANIFEST_NAME
+        try:
+            manifest = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as error:
+            raise ServiceError(
+                f"cannot resume: unreadable manifest {path}: {error}"
+            ) from error
+        stored = manifest.get("shards")
+        if stored != self.shards:
+            # The partition function is keyed by shard count: resuming
+            # with a different width would strand device state on the
+            # wrong shard.
+            raise ServiceError(
+                f"cannot resume: checkpoint fleet has {stored} shards, "
+                f"requested {self.shards}")
+
+    def _start_worker(self, handle: _ShardHandle, resume: bool) -> None:
+        inbox, outbox = self.bus.endpoints(handle.index)
+        args = (handle.index, self.localizer_factory, self.config,
+                self._checkpoint_path(handle.index), resume, self.run_id,
+                inbox, outbox)
+        if self.transport == "thread":
+            handle.crash_event = threading.Event()
+            handle.worker = threading.Thread(
+                target=run_shard, args=args + (handle.crash_event,),
+                name=f"repro-shard-{handle.index}", daemon=True)
+        else:
+            ctx = getattr(self.bus, "_ctx", None)
+            process_cls = ctx.Process if ctx is not None else None
+            if process_cls is None:  # pragma: no cover - custom bus
+                import multiprocessing
+                process_cls = multiprocessing.get_context().Process
+            handle.crash_event = None
+            handle.worker = process_cls(
+                target=run_shard, args=args,
+                name=f"repro-shard-{handle.index}", daemon=True)
+        handle.worker.start()
+
+    def kill_shard(self, index: int) -> None:
+        """Hard-kill one shard (chaos/testing): no drain, no checkpoint.
+
+        The next interaction with the shard — a publish, a serving
+        request — triggers the supervised restart path.
+        """
+        handle = self._handles[index]
+        if self.transport == "thread":
+            if handle.crash_event is not None:
+                handle.crash_event.set()
+            # Wake a get()-blocked runtime so the event is observed.
+            try:
+                self.bus.publish(index, ("crash",), timeout=1.0)
+            except BusTimeout:  # pragma: no cover - full inbox
+                pass
+            if handle.worker is not None:
+                handle.worker.join(timeout=10.0)
+        else:
+            if handle.worker is not None:
+                handle.worker.terminate()
+                handle.worker.join(timeout=10.0)
+
+    def restart_shard(self, index: int) -> None:
+        """Supervised restart: fresh endpoints, checkpoint restore,
+        retention replay.
+
+        Safe only for a dead shard (the live engine would otherwise
+        fork).  Raises :class:`ServiceError` if the shard is alive.
+        """
+        handle = self._handles[index]
+        if handle.alive():
+            raise ServiceError(
+                f"shard {index} is alive; kill it before restarting")
+
+        def attempt():
+            self.bus.reset(index)
+            handle.inflight_checkpoint = None
+            handle.since_checkpoint = 0
+            path = self._checkpoint_path(index)
+            resume = path is not None and Path(path).exists()
+            if resume:
+                # The checkpoint may cover frames whose ack died with
+                # the shard; its embedded marker says exactly how far.
+                covered = self._covered_marker(path)
+                acked = handle.published - len(handle.retention)
+                if covered > acked:
+                    del handle.retention[:covered - acked]
+            self._start_worker(handle, resume=resume)
+            # Deterministic replay of everything the checkpoint does
+            # not cover; the restarted engine converges to the exact
+            # pre-crash state.
+            for start in range(0, len(handle.retention),
+                               self.publish_batch):
+                self.bus.publish(
+                    index, ("frames",
+                            handle.retention[start:start
+                                             + self.publish_batch]))
+            if not handle.alive():
+                raise ServiceError(
+                    f"shard {index} died during restart")
+
+        self.restart_retry.call(attempt)
+        handle.restarts += 1
+        self._c_restarts.inc()
+        if self._drained is not None:
+            # The fleet was settled when this shard died: replay alone
+            # rebuilds Γ but leaves the re-ingested devices unflushed.
+            # Re-drain the survivor so its serving state (tracker,
+            # cached report) is exactly what the crash destroyed.
+            self._drained[index] = self._request(index, "drain")
+
+    def _covered_marker(self, path: str) -> int:
+        """The ingest position a shard's checkpoint file covers.
+
+        Only markers stamped by *this* service run count; a prior run's
+        marker is meaningless against this run's published counters.
+        """
+        try:
+            data = load_checkpoint_data(path)
+        except ReproError:
+            return 0
+        extra = data.get("extra") or {}
+        if extra.get("service_run") != self.run_id:
+            return 0
+        return int(extra.get("service_marker", 0))
+
+    def _ensure_alive(self, handle: _ShardHandle) -> None:
+        if not handle.alive():
+            self.restart_shard(handle.index)
+
+    # ------------------------------------------------------------------
+    # Ingest path
+    # ------------------------------------------------------------------
+
+    def ingest(self, received: ReceivedFrame) -> None:
+        """Route one frame to its owning shard (batched publish)."""
+        if self._stopped:
+            raise ServiceError("service is stopped")
+        # New traffic invalidates any cached drain report.
+        self._drained = None
+        shard = shard_of(received, self.shards)
+        handle = self._handles[shard]
+        handle.pending.append(received)
+        if len(handle.pending) >= self.publish_batch:
+            self._publish_pending(handle)
+
+    def ingest_stream(self, stream: Iterable[ReceivedFrame]) -> None:
+        for received in stream:
+            self.ingest(received)
+
+    def run(self, stream: Iterable[ReceivedFrame]) -> EngineStats:
+        """Consume a whole stream, drain the fleet, return merged stats.
+
+        The fleet stays up afterwards — serving requests keep working
+        until :meth:`stop`.
+        """
+        self.ingest_stream(stream)
+        self.drain()
+        return self.stats()
+
+    def _publish_pending(self, handle: _ShardHandle) -> None:
+        batch = handle.pending
+        if not batch:
+            return
+        handle.pending = []
+        with handle.lock:
+            self._ensure_alive(handle)
+            self._publish_message(handle, ("frames", batch))
+            handle.retention.extend(batch)
+            handle.published += len(batch)
+            handle.since_checkpoint += len(batch)
+            self._c_published.inc(len(batch))
+            self._pump_acks(handle)
+            if (self.checkpoint_every > 0
+                    and handle.since_checkpoint >= self.checkpoint_every
+                    and handle.inflight_checkpoint is None):
+                self._send_barrier(handle)
+
+    def _publish_message(self, handle: _ShardHandle, message) -> None:
+        """Publish with back-pressure, surviving a mid-block crash."""
+        while True:
+            try:
+                self.bus.publish(handle.index, message, timeout=1.0)
+                return
+            except BusTimeout:
+                if not handle.alive():
+                    # The inbox filled because the consumer died;
+                    # restart resets the endpoints, then re-publish.
+                    self.restart_shard(handle.index)
+
+    def _send_barrier(self, handle: _ShardHandle) -> None:
+        marker = handle.published
+        self._publish_message(handle, ("checkpoint", marker))
+        handle.inflight_checkpoint = (marker, len(handle.retention))
+        handle.since_checkpoint = 0
+        self._c_barriers.inc()
+
+    def _pump_acks(self, handle: _ShardHandle,
+                   block_for: Optional[int] = None,
+                   timeout: Optional[float] = None):
+        """Drain the shard's outbox; return a matching reply if asked.
+
+        Processes checkpoint acks inline (trimming retention).  With
+        ``block_for`` set, blocks until the reply with that request id
+        arrives or ``timeout`` elapses (:class:`BusTimeout`).
+        """
+        while True:
+            try:
+                message = self.bus.collect(
+                    handle.index, block=block_for is not None,
+                    timeout=timeout)
+            except BusTimeout:
+                if block_for is None:
+                    return None
+                raise
+            reply = self._handle_message(handle, message)
+            if reply is not None and block_for is not None \
+                    and reply[0] == block_for:
+                return reply[1]
+
+    def _handle_message(self, handle: _ShardHandle, message
+                        ) -> Optional[Tuple[int, object]]:
+        """Process one outbox message; return (req_id, result) replies."""
+        kind = message[0]
+        if kind == "ckpt_ack":
+            inflight = handle.inflight_checkpoint
+            if inflight is not None and message[1] == inflight[0]:
+                del handle.retention[:inflight[1]]
+                handle.inflight_checkpoint = None
+            return None
+        if kind == "reply":
+            # A reply nobody is waiting for (an abandoned request from
+            # before a restart) is dropped by the caller.
+            return message[1], message[2]
+        if kind == "fatal":
+            raise ServiceError(
+                f"shard {handle.index} failed: {message[1]}")
+        return None  # pragma: no cover - unknown message
+
+    # ------------------------------------------------------------------
+    # Serving requests
+    # ------------------------------------------------------------------
+
+    def _request(self, index: int, what: str, payload=None,
+                 timeout: Optional[float] = None):
+        handle = self._handles[index]
+        deadline = timeout if timeout is not None else \
+            self.request_timeout_s
+        with handle.lock:
+            self._ensure_alive(handle)
+            req_id = handle.next_request
+            handle.next_request += 1
+            self._publish_message(handle, ("request", req_id, what,
+                                           payload))
+            try:
+                return self._pump_acks(handle, block_for=req_id,
+                                       timeout=deadline)
+            except BusTimeout:
+                if not handle.alive():
+                    # Died mid-request: restart and retry once.
+                    self.restart_shard(index)
+                    req_id = handle.next_request
+                    handle.next_request += 1
+                    self._publish_message(
+                        handle, ("request", req_id, what, payload))
+                    return self._pump_acks(handle, block_for=req_id,
+                                           timeout=deadline)
+                raise ServiceError(
+                    f"shard {index} did not answer {what!r} within "
+                    f"{deadline}s") from None
+
+    def locate(self, mobile: Union[MacAddress, str]
+               ) -> Optional[Tuple[float, LocalizationEstimate]]:
+        """The newest (timestamp, estimate) fix for a device, or None."""
+        if isinstance(mobile, str):
+            mobile = MacAddress.parse(mobile)
+        index = device_shard(mobile, self.shards)
+        if self._stopped:
+            return self._drained_fix(index, mobile)
+        return self._request(index, "locate", str(mobile))
+
+    def _drained_fix(self, index, mobile):
+        if self._drained is None:
+            raise ServiceError("service is stopped")
+        return self._drained[index]["fixes"].get(mobile)
+
+    def snapshot(self) -> Dict[MacAddress,
+                               Tuple[float, LocalizationEstimate]]:
+        """Latest fix per device, merged across the fleet."""
+        if self._stopped:
+            if self._drained is None:
+                raise ServiceError("service is stopped")
+            per_shard = [result["fixes"] for result in self._drained]
+        else:
+            per_shard = [self._request(index, "snapshot")
+                         for index in range(self.shards)]
+        merged: Dict[MacAddress, Tuple[float, LocalizationEstimate]] = {}
+        for fixes in per_shard:
+            merged.update(fixes)
+        return merged
+
+    def health(self) -> dict:
+        """Per-shard liveness + lag; never raises for a dead shard."""
+        reports = []
+        for handle in self._handles:
+            if not handle.alive():
+                reports.append({"shard": handle.index, "alive": False,
+                                "restarts": handle.restarts})
+                continue
+            try:
+                report = self._request(handle.index, "health",
+                                       timeout=self.request_timeout_s)
+            except (ServiceError, BusTimeout):
+                report = {"shard": handle.index, "alive": False}
+            report["restarts"] = handle.restarts
+            report["retained_frames"] = len(handle.retention)
+            reports.append(report)
+        return {
+            "healthy": all(r.get("alive") for r in reports),
+            "shards": reports,
+        }
+
+    def stats(self) -> EngineStats:
+        """Merged fleet stats (associative per-shard fold)."""
+        if self._drained is not None:
+            snapshots = [result["stats"] for result in self._drained]
+        else:
+            snapshots = [self._request(index, "stats")
+                         for index in range(self.shards)]
+        return EngineStats.merge_all(snapshots)
+
+    def metrics_snapshot(self) -> dict:
+        """Merged registry snapshot: every shard plus the router."""
+        if self._drained is not None:
+            snapshots = [result["metrics"] for result in self._drained]
+        else:
+            snapshots = [self._request(index, "metrics")
+                         for index in range(self.shards)]
+        merged = obs.merge_snapshots(snapshots + [self.registry.snapshot()])
+        return merged.snapshot()
+
+    def render_prometheus(self) -> str:
+        """One Prometheus text exposition for the whole fleet."""
+        merged = obs.MetricsRegistry()
+        merged.merge(self.metrics_snapshot())
+        return merged.render_prometheus()
+
+    # ------------------------------------------------------------------
+    # Drain / checkpoint / stop
+    # ------------------------------------------------------------------
+
+    def flush_publishes(self) -> None:
+        """Push every batched-but-unpublished frame onto the bus."""
+        for handle in self._handles:
+            self._publish_pending(handle)
+
+    def drain(self) -> EngineStats:
+        """Settle the whole fleet (reorder buffers, refits, flushes).
+
+        Caches each shard's drain report — fixes, stats, metrics — so
+        the read side keeps answering after :meth:`stop`.  Returns the
+        merged stats.
+        """
+        self.flush_publishes()
+        results = []
+        for index in range(self.shards):
+            results.append(self._request(index, "drain"))
+        self._drained = results
+        return EngineStats.merge_all(r["stats"] for r in results)
+
+    def save_checkpoints(self, timeout: Optional[float] = None) -> None:
+        """Synchronous checkpoint barrier across the fleet."""
+        if self.checkpoint_dir is None:
+            raise ServiceError(
+                "save_checkpoints requires a checkpoint_dir")
+        deadline = timeout if timeout is not None else \
+            self.request_timeout_s
+        for handle in self._handles:
+            with handle.lock:
+                self._ensure_alive(handle)
+                self._publish_pending_locked(handle)
+                if handle.inflight_checkpoint is None:
+                    self._send_barrier(handle)
+                while handle.inflight_checkpoint is not None:
+                    try:
+                        message = self.bus.collect(handle.index,
+                                                   timeout=deadline)
+                    except BusTimeout:
+                        raise ServiceError(
+                            f"shard {handle.index} did not ack its "
+                            f"checkpoint within {deadline}s") from None
+                    self._handle_message(handle, message)
+
+    def _publish_pending_locked(self, handle: _ShardHandle) -> None:
+        """Publish pending frames while already holding handle.lock."""
+        batch = handle.pending
+        if not batch:
+            return
+        handle.pending = []
+        self._publish_message(handle, ("frames", batch))
+        handle.retention.extend(batch)
+        handle.published += len(batch)
+        handle.since_checkpoint += len(batch)
+        self._c_published.inc(len(batch))
+
+    def stop(self) -> None:
+        """Graceful shutdown: drain if needed, stop workers, close bus."""
+        if self._stopped:
+            return
+        if self._drained is None:
+            try:
+                self.drain()
+            except (ServiceError, BusTimeout):  # pragma: no cover
+                pass
+        for handle in self._handles:
+            if handle.alive():
+                try:
+                    self._publish_message(handle, ("stop",))
+                except (ServiceError, BusTimeout):  # pragma: no cover
+                    continue
+        for handle in self._handles:
+            if handle.worker is not None:
+                handle.worker.join(timeout=10.0)
+        self._stopped = True
+        self.bus.close()
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -11,13 +11,12 @@ workflow of the feasibility study.
 
 from __future__ import annotations
 
-import heapq
-import itertools
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Set, Union
 
 from repro import faults, obs
+from repro.engine.reorder import ReorderBuffer
 from repro.faults import DROPPED, CaptureError
 from repro.localization.base import LocalizationEstimate, Localizer
 from repro.net80211.capture_file import CaptureReader
@@ -78,20 +77,10 @@ def iter_capture(path: PathLike,
             frames.inc()
             yield received
 
-    if reorder_buffer == 0:
-        yield from records()
-        return
-    # (timestamp, arrival index) keys make the sort stable; the index
-    # also keeps ReceivedFrame itself out of heap comparisons.
-    heap: list = []
-    arrival = itertools.count()
+    buffer: ReorderBuffer[ReceivedFrame] = ReorderBuffer(reorder_buffer)
     for received in records():
-        heapq.heappush(heap,
-                       (received.rx_timestamp, next(arrival), received))
-        if len(heap) > reorder_buffer:
-            yield heapq.heappop(heap)[2]
-    while heap:
-        yield heapq.heappop(heap)[2]
+        yield from buffer.push(received.rx_timestamp, received)
+    yield from buffer.drain()
 
 
 @dataclass

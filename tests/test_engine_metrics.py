@@ -205,7 +205,7 @@ class TestWorkerRegistryMerge:
 class TestSinkFactory:
     def test_names(self):
         assert set(sink_names()) == {"tracker", "callback", "latest",
-                                     "renderer"}
+                                     "renderer", "null"}
 
     def test_builds_by_name_with_context(self):
         tracker = DeviceTracker()

@@ -1,0 +1,80 @@
+"""ReorderBuffer boundary conditions (the shard-ingest reorder path)."""
+
+import pytest
+
+from repro.engine import ReorderBuffer
+
+
+def push_all(buffer, items):
+    """Push (ts, payload) pairs; return everything displaced, in order."""
+    out = []
+    for ts, payload in items:
+        out.extend(buffer.push(ts, payload))
+    return out
+
+
+class TestCapacityBounds:
+    def test_zero_capacity_is_passthrough(self):
+        buffer = ReorderBuffer(0)
+        assert list(buffer.push(5.0, "a")) == ["a"]
+        assert list(buffer.push(1.0, "b")) == ["b"]  # even out of order
+        assert buffer.pending == 0
+        assert list(buffer.drain()) == []
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ReorderBuffer(-1)
+
+    def test_capacity_one_swaps_adjacent(self):
+        buffer = ReorderBuffer(1)
+        out = push_all(buffer, [(2.0, "late"), (1.0, "early")])
+        out.extend(buffer.drain())
+        assert out == ["early", "late"]
+
+    def test_buffer_holds_at_most_capacity(self):
+        buffer = ReorderBuffer(3)
+        for i in range(10):
+            buffer.push(float(i), i)
+        assert buffer.pending <= 3
+        assert len(buffer) == buffer.pending
+
+
+class TestOrdering:
+    def test_sorts_within_window(self):
+        buffer = ReorderBuffer(4)
+        out = push_all(buffer, [(3.0, "c"), (1.0, "a"), (2.0, "b"),
+                                (5.0, "e"), (4.0, "d")])
+        out.extend(buffer.drain())
+        assert out == ["a", "b", "c", "d", "e"]
+
+    def test_displacement_beyond_window_keeps_arrival_order(self):
+        # A frame older than everything already displaced cannot be
+        # rescued — but nothing already yielded is reordered after it.
+        buffer = ReorderBuffer(2)
+        out = push_all(buffer, [(10.0, "x"), (11.0, "y"), (12.0, "z"),
+                                (1.0, "stale")])
+        out.extend(buffer.drain())
+        assert out.index("x") < out.index("y") < out.index("z")
+        assert set(out) == {"x", "y", "z", "stale"}
+
+    def test_equal_timestamps_stay_in_arrival_order(self):
+        buffer = ReorderBuffer(4)
+        out = push_all(buffer, [(1.0, "first"), (1.0, "second"),
+                                (1.0, "third")])
+        out.extend(buffer.drain())
+        assert out == ["first", "second", "third"]
+
+    def test_drain_empties_and_is_idempotent(self):
+        buffer = ReorderBuffer(8)
+        buffer.push(2.0, "b")
+        buffer.push(1.0, "a")
+        assert list(buffer.drain()) == ["a", "b"]
+        assert buffer.pending == 0
+        assert list(buffer.drain()) == []
+
+    def test_in_order_stream_passes_through_unchanged(self):
+        buffer = ReorderBuffer(16)
+        items = [(float(i), i) for i in range(50)]
+        out = push_all(buffer, items)
+        out.extend(buffer.drain())
+        assert out == list(range(50))

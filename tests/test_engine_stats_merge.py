@@ -1,0 +1,112 @@
+"""EngineStats.merge algebra: associative, commutative, identity.
+
+The sharded service folds per-shard snapshots in whatever order the
+shards answer, so the merge must not care about fold order.  Counter
+fields are exact integers; ``stage_seconds`` are floats, where addition
+is only approximately associative — the properties compare them with
+``pytest.approx``.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import EngineStats
+
+counts = st.integers(min_value=0, max_value=10**9)
+seconds = st.floats(min_value=0.0, max_value=1e6,
+                    allow_nan=False, allow_infinity=False)
+stage_names = st.sampled_from(["ingest", "flush", "locate", "fit"])
+
+
+@st.composite
+def engine_stats(draw):
+    return EngineStats(
+        frames_ingested=draw(counts),
+        evidence_events=draw(counts),
+        probe_requests=draw(counts),
+        devices_seen=draw(counts),
+        batches_flushed=draw(counts),
+        estimates_emitted=draw(counts),
+        unlocatable=draw(counts),
+        cache_enabled=draw(st.booleans()),
+        cache_hits=draw(counts),
+        cache_misses=draw(counts),
+        cache_entries=draw(counts),
+        refits=draw(counts),
+        last_fit_iterations=draw(counts),
+        stage_seconds=draw(st.dictionaries(stage_names, seconds,
+                                           max_size=4)),
+        retries=draw(counts),
+        sink_failures=draw(counts),
+        quarantined=draw(counts),
+        degraded=draw(counts),
+    )
+
+
+def assert_equivalent(left: EngineStats, right: EngineStats) -> None:
+    """Exact on counters, approx on the float stage accumulators."""
+    left_d = dataclasses.asdict(left)
+    right_d = dataclasses.asdict(right)
+    left_stages = left_d.pop("stage_seconds")
+    right_stages = right_d.pop("stage_seconds")
+    assert left_d == right_d
+    assert left_stages == pytest.approx(right_stages)
+
+
+class TestMergeAlgebra:
+    @settings(max_examples=200, deadline=None)
+    @given(engine_stats(), engine_stats(), engine_stats())
+    def test_associative(self, a, b, c):
+        assert_equivalent(a.merge(b.merge(c)), a.merge(b).merge(c))
+
+    @settings(max_examples=200, deadline=None)
+    @given(engine_stats(), engine_stats())
+    def test_commutative(self, a, b):
+        assert_equivalent(a.merge(b), b.merge(a))
+
+    @settings(max_examples=100, deadline=None)
+    @given(engine_stats())
+    def test_identity_element(self, a):
+        identity = EngineStats(cache_enabled=False)
+        assert_equivalent(identity.merge(a), a)
+        assert_equivalent(a.merge(identity), a)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(engine_stats(), max_size=6))
+    def test_merge_all_is_order_independent(self, snapshots):
+        forward = EngineStats.merge_all(snapshots)
+        backward = EngineStats.merge_all(list(reversed(snapshots)))
+        assert_equivalent(forward, backward)
+
+    def test_merge_all_of_nothing_is_the_identity(self):
+        assert EngineStats.merge_all([]) == EngineStats(
+            cache_enabled=False)
+
+
+class TestMergeSemantics:
+    def test_counters_sum_and_iterations_max(self):
+        a = EngineStats(frames_ingested=3, last_fit_iterations=7,
+                        stage_seconds={"flush": 1.0})
+        b = EngineStats(frames_ingested=4, last_fit_iterations=5,
+                        stage_seconds={"flush": 0.5, "fit": 2.0})
+        merged = a.merge(b)
+        assert merged.frames_ingested == 7
+        assert merged.last_fit_iterations == 7
+        assert merged.stage_seconds == pytest.approx(
+            {"flush": 1.5, "fit": 2.0})
+
+    def test_cache_enabled_ors(self):
+        off = EngineStats(cache_enabled=False)
+        on = EngineStats(cache_enabled=True)
+        assert off.merge(off).cache_enabled is False
+        assert off.merge(on).cache_enabled is True
+
+    def test_originals_are_untouched(self):
+        a = EngineStats(stage_seconds={"flush": 1.0})
+        b = EngineStats(stage_seconds={"flush": 2.0})
+        a.merge(b)
+        assert a.stage_seconds == {"flush": 1.0}
+        assert b.stage_seconds == {"flush": 2.0}

@@ -1,0 +1,153 @@
+"""Serving-layer tests: the five GET endpoints plus the admin verbs."""
+
+import functools
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.localization import MLoc
+from repro.service import ServiceServer, ShardConfig, ShardedEngine
+
+from tests.test_service_engine import build_stream, station
+
+
+@pytest.fixture
+def served(square_db):
+    engine = ShardedEngine(
+        functools.partial(MLoc, square_db), shards=2,
+        transport="thread",
+        config=ShardConfig(window_s=30.0, batch_size=32),
+        publish_batch=8)
+    engine.run(iter(build_stream(square_db, devices=6, rounds=2)))
+    server = ServiceServer(engine, port=0, allow_chaos=True).start()
+    host, port = server.address
+    yield engine, f"http://{host}:{port}"
+    server.stop()
+    engine.stop()
+
+
+def get(base, path):
+    try:
+        with urllib.request.urlopen(base + path, timeout=10) as reply:
+            return reply.status, reply.read().decode(), dict(
+                reply.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode(), dict(error.headers)
+
+
+def post(base, path):
+    request = urllib.request.Request(base + path, method="POST",
+                                     data=b"")
+    try:
+        with urllib.request.urlopen(request, timeout=10) as reply:
+            return reply.status, reply.read().decode()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode()
+
+
+class TestGetEndpoints:
+    def test_health_is_ok(self, served):
+        _, base = served
+        status, body, _ = get(base, "/health")
+        assert status == 200
+        report = json.loads(body)
+        assert report["healthy"]
+        assert len(report["shards"]) == 2
+
+    def test_locate_known_device(self, served):
+        engine, base = served
+        mobile = station(0)
+        status, body, _ = get(base, f"/locate?device={mobile}")
+        assert status == 200
+        reply = json.loads(body)
+        assert reply["located"]
+        timestamp, estimate = engine.locate(mobile)
+        assert reply["fix"]["timestamp"] == timestamp
+        assert reply["fix"]["x"] == estimate.position.x
+        assert reply["fix"]["algorithm"] == "m-loc"
+
+    def test_locate_unknown_device_is_404(self, served):
+        _, base = served
+        status, body, _ = get(base, "/locate?device=0d:ea:db:ee:f0:00")
+        assert status == 404
+        assert json.loads(body)["located"] is False
+
+    def test_locate_without_device_is_400(self, served):
+        _, base = served
+        assert get(base, "/locate")[0] == 400
+
+    def test_locate_with_garbage_mac_is_400(self, served):
+        _, base = served
+        assert get(base, "/locate?device=not-a-mac")[0] == 400
+
+    def test_snapshot_lists_every_device(self, served):
+        _, base = served
+        status, body, _ = get(base, "/snapshot")
+        assert status == 200
+        snapshot = json.loads(body)
+        assert snapshot["devices"] == 6
+        assert len(snapshot["fixes"]) == 6
+
+    def test_stats_are_merged_engine_stats(self, served):
+        engine, base = served
+        status, body, _ = get(base, "/stats")
+        assert status == 200
+        stats = json.loads(body)
+        assert stats["frames_ingested"] \
+            == engine.stats().frames_ingested
+
+    def test_metrics_is_prometheus_text(self, served):
+        _, base = served
+        status, body, headers = get(base, "/metrics")
+        assert status == 200
+        assert "text/plain" in headers["Content-Type"]
+        assert "# TYPE" in body
+        assert "repro_engine_frames_total" in body
+
+    def test_unknown_route_is_404(self, served):
+        _, base = served
+        assert get(base, "/nope")[0] == 404
+
+
+class TestAdminEndpoints:
+    def test_drain_returns_merged_stats(self, served):
+        _, base = served
+        status, body = post(base, "/drain")
+        assert status == 200
+        reply = json.loads(body)
+        assert reply["drained"]
+        assert reply["stats"]["frames_ingested"] > 0
+
+    def test_chaos_kill_then_reads_recover(self, served):
+        engine, base = served
+        before = get(base, "/snapshot")[1]
+        status, body = post(base, "/chaos/kill?shard=1")
+        assert status == 200
+        assert json.loads(body)["killed"] == 1
+        # A state-touching read restarts the shard and answers
+        # exactly as before the kill.
+        assert get(base, "/snapshot")[1] == before
+        report = json.loads(get(base, "/health")[1])
+        assert report["healthy"]
+        assert report["shards"][1]["restarts"] == 1
+
+    def test_chaos_kill_validates_shard(self, served):
+        _, base = served
+        assert post(base, "/chaos/kill")[0] == 400
+        assert post(base, "/chaos/kill?shard=9")[0] == 400
+
+    def test_chaos_disabled_by_default(self, square_db):
+        engine = ShardedEngine(
+            functools.partial(MLoc, square_db), shards=1,
+            transport="thread", publish_batch=8)
+        server = ServiceServer(engine, port=0).start()
+        host, port = server.address
+        try:
+            status, _ = post(f"http://{host}:{port}",
+                             "/chaos/kill?shard=0")
+            assert status == 403
+        finally:
+            server.stop()
+            engine.stop()

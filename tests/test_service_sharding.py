@@ -1,0 +1,82 @@
+"""Partition function tests: stability, uniformity, routing keys."""
+
+import zlib
+
+from repro.net80211.frames import (
+    beacon,
+    probe_request,
+    probe_response,
+)
+from repro.net80211.mac import MacAddress
+from repro.net80211.medium import ReceivedFrame
+from repro.net80211.ssid import Ssid
+from repro.service import device_shard, routing_key, shard_of
+
+import pytest
+
+
+def received(frame):
+    return ReceivedFrame(frame, rssi_dbm=-70.0, snr_db=20.0,
+                         rx_channel=6, rx_timestamp=frame.timestamp)
+
+
+class TestDeviceShard:
+    def test_is_crc32_of_big_endian_mac(self):
+        # The contract is the *specific* stable function, not just any
+        # hash: remote transports and resumed fleets must agree on it.
+        mac = MacAddress(0x001B63A0B1C2)
+        expected = zlib.crc32(
+            (0x001B63A0B1C2).to_bytes(6, "big")) % 7
+        assert device_shard(mac, 7) == expected
+
+    def test_stable_across_calls(self):
+        mac = MacAddress.parse("aa:bb:cc:dd:ee:ff")
+        assert device_shard(mac, 4) == device_shard(mac, 4)
+
+    def test_single_shard_gets_everything(self):
+        for value in (0, 1, 0xFFFFFFFFFFFF):
+            assert device_shard(MacAddress(value), 1) == 0
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            device_shard(MacAddress(1), 0)
+
+    def test_roughly_uniform_over_devices(self):
+        shards = 4
+        counts = [0] * shards
+        for i in range(2000):
+            counts[device_shard(MacAddress(0x020000000000 + i),
+                                shards)] += 1
+        # CRC32 over sequential MACs should spread well; allow wide
+        # slack — the point is "no shard starves", not perfection.
+        assert min(counts) > 2000 / shards * 0.5
+        assert max(counts) < 2000 / shards * 1.5
+
+
+class TestRoutingKey:
+    def test_evidence_routes_by_mobile_not_transmitter(self):
+        ap = MacAddress(0x001B63000001)
+        mobile = MacAddress(0x020000000007)
+        # A probe *response* is transmitted by the AP but proves the
+        # mobile communicable — the mobile's shard owns it.
+        frame = probe_response(ap, mobile, 6, 1.0, ssid=Ssid("x"))
+        assert routing_key(received(frame)) == mobile
+
+    def test_probe_request_routes_by_source(self):
+        mobile = MacAddress(0x020000000009)
+        frame = probe_request(mobile, 6, 1.0)
+        assert routing_key(received(frame)) == mobile
+
+    def test_beacon_routes_by_transmitter(self):
+        ap = MacAddress(0x001B63000002)
+        frame = beacon(ap, 6, 1.0, ssid=Ssid("net"))
+        assert routing_key(received(frame)) == ap
+
+    def test_all_evidence_for_one_device_lands_on_one_shard(self):
+        mobile = MacAddress(0x020000000042)
+        frames = [probe_response(MacAddress(0x001B63000000 + i),
+                                 mobile, 6, float(i), ssid=Ssid("x"))
+                  for i in range(8)]
+        frames.append(probe_request(mobile, 6, 99.0))
+        shards = {shard_of(received(f), 5) for f in frames}
+        assert len(shards) == 1
