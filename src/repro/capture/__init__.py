@@ -1,0 +1,67 @@
+"""Capture I/O: the codec registry and the columnar capture store.
+
+This package is the single public surface for reading and writing
+capture files.  The two built-in codecs are ``"jsonl"`` (the legacy
+line-per-record format, append-friendly and lenient) and
+``"columnar"`` (memory-mapped NumPy blocks with a time index and
+per-block device bloom filters — the ingest hot path).
+
+Typical use::
+
+    from repro.capture import open_capture, make_capture_writer
+
+    with make_capture_writer("walk.cap") as writer:   # columnar
+        for received in frames:
+            writer.write(received)
+
+    reader = open_capture("walk.cap")                  # format sniffed
+    for batch in reader.iter_batches(device="aa:bb:cc:dd:ee:ff"):
+        ...                                            # bloom-skipped
+
+The old import site :mod:`repro.net80211.capture_file` survives as
+deprecated shims over the JSONL codec.
+"""
+
+from repro.capture.bloom import BloomFilter
+from repro.capture.columnar import (ColumnarReader, ColumnarWriter,
+                                    sniff_columnar)
+from repro.capture.compact import compact_captures, convert_capture
+from repro.capture.jsonl import (FORMAT_VERSION, JsonlReader, JsonlWriter,
+                                 frame_from_dict, frame_to_dict, sniff_jsonl)
+from repro.capture.records import (CAPTURE_DTYPE, FRAME_TYPES, NO_BSSID,
+                                   FrameBatch, decode_row, encode_frames,
+                                   mac_from_int)
+from repro.capture.registry import (CaptureCodec, capture_info, codec_names,
+                                    get_codec, make_capture_writer,
+                                    open_capture, register_codec,
+                                    sniff_format)
+
+__all__ = [
+    "BloomFilter",
+    "CAPTURE_DTYPE",
+    "CaptureCodec",
+    "ColumnarReader",
+    "ColumnarWriter",
+    "FORMAT_VERSION",
+    "FRAME_TYPES",
+    "FrameBatch",
+    "JsonlReader",
+    "JsonlWriter",
+    "NO_BSSID",
+    "capture_info",
+    "codec_names",
+    "compact_captures",
+    "convert_capture",
+    "decode_row",
+    "encode_frames",
+    "frame_from_dict",
+    "frame_to_dict",
+    "get_codec",
+    "mac_from_int",
+    "make_capture_writer",
+    "open_capture",
+    "register_codec",
+    "sniff_columnar",
+    "sniff_format",
+    "sniff_jsonl",
+]

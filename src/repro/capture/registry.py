@@ -1,0 +1,143 @@
+"""The capture codec registry: one public seam for capture I/O.
+
+Every in-repo consumer — replay, the engines, the CLI — opens captures
+through :func:`open_capture` and writes them through
+:func:`make_capture_writer`; neither names a concrete codec class.
+:func:`open_capture` sniffs the on-disk format (columnar magic, else a
+JSONL-looking first byte, else *assume* JSONL so the legacy lenient
+posture — garbage first line, valid records later — still works), and
+third-party formats plug in via :func:`register_codec`.
+
+A codec is three callables plus a name:
+
+* ``sniff(path) -> bool`` — cheap format detection from file bytes;
+* ``reader(path, strict=..., on_skip=..., device=..., **options)`` —
+  an iterable of :class:`~repro.net80211.medium.ReceivedFrame` with a
+  ``skipped`` attribute, ideally also ``iter_batches()`` and
+  ``info()``;
+* ``writer(path, **options)`` — has ``write(received)``/``close()``
+  and works as a context manager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Tuple, Union
+
+from repro.capture import columnar as _columnar
+from repro.capture import jsonl as _jsonl
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class CaptureCodec:
+    """One registered capture format."""
+
+    name: str
+    sniff: Callable[[PathLike], bool]
+    reader: Callable[..., object]
+    writer: Callable[..., object]
+    #: Short human description for ``marauder capture info`` and docs.
+    description: str = field(default="", compare=False)
+
+
+_CODECS: Dict[str, CaptureCodec] = {}
+
+#: The format assumed when nothing sniffs: the legacy JSONL reader's
+#: lenient mode must keep accepting files whose first line is garbage.
+FALLBACK_FORMAT = "jsonl"
+
+
+def register_codec(codec: CaptureCodec, replace: bool = False) -> None:
+    """Add a codec to the registry.
+
+    Sniffing runs in registration order with the fallback last, so
+    register more-specific formats (magic-numbered binaries) before
+    loose text formats.
+    """
+    if not replace and codec.name in _CODECS:
+        raise ValueError(f"capture codec {codec.name!r} already "
+                         "registered (pass replace=True to override)")
+    _CODECS[codec.name] = codec
+
+
+def codec_names() -> Tuple[str, ...]:
+    return tuple(_CODECS)
+
+
+def get_codec(name: str) -> CaptureCodec:
+    try:
+        return _CODECS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown capture format {name!r}; "
+            f"registered: {', '.join(_CODECS) or '(none)'}") from None
+
+
+def sniff_format(path: PathLike) -> str:
+    """Detect a capture file's format from its bytes.
+
+    Raises ``OSError`` if the file cannot be read (missing, perms) —
+    callers that want a friendly message catch that at the seam.
+    Unrecognized content falls back to :data:`FALLBACK_FORMAT`.
+    """
+    for codec in _CODECS.values():
+        if codec.name == FALLBACK_FORMAT:
+            continue
+        if codec.sniff(path):
+            return codec.name
+    fallback = _CODECS.get(FALLBACK_FORMAT)
+    if fallback is not None and fallback.sniff(path):
+        return fallback.name
+    return FALLBACK_FORMAT
+
+
+def open_capture(path: PathLike, format: str = None, **options):
+    """Open a capture for reading, sniffing the format by default.
+
+    ``options`` pass through to the codec's reader — ``strict``,
+    ``on_skip``, and ``device`` are common to the built-ins.
+    """
+    name = format if format is not None else sniff_format(path)
+    return get_codec(name).reader(path, **options)
+
+
+def make_capture_writer(path: PathLike, format: str = "columnar",
+                        **options):
+    """Create a capture writer for the chosen format (columnar default)."""
+    return get_codec(format).writer(path, **options)
+
+
+def capture_info(path: PathLike, format: str = None) -> dict:
+    """Summary statistics for a capture in either format."""
+    reader = open_capture(path, format=format, strict=False)
+    try:
+        return reader.info()
+    finally:
+        close = getattr(reader, "close", None)
+        if close is not None:
+            close()
+
+
+def _register_builtins() -> None:
+    register_codec(CaptureCodec(
+        name="columnar",
+        sniff=_columnar.sniff_columnar,
+        reader=_columnar.ColumnarReader,
+        writer=_columnar.ColumnarWriter,
+        description="memory-mapped columnar blocks with time index "
+                    "and per-block device bloom filters",
+    ), replace=True)
+    register_codec(CaptureCodec(
+        name="jsonl",
+        sniff=_jsonl.sniff_jsonl,
+        reader=_jsonl.JsonlReader,
+        writer=_jsonl.JsonlWriter,
+        description="legacy line-per-record JSON (append-friendly, "
+                    "greppable)",
+    ), replace=True)
+
+
+_register_builtins()

@@ -9,6 +9,9 @@ Subcommands::
     marauder week      — the 7-day probing-feasibility statistics
     marauder engine    — streaming engine (``--metrics-json``/``--trace``
                          export observability data)
+    marauder capture   — capture-file tooling: convert between JSONL and
+                         the columnar block store, compact/merge capture
+                         files, and print block/bloom statistics
     marauder metrics   — inspect a metrics snapshot JSON
 
 Every subcommand accepts ``--seed`` for reproducibility.
@@ -77,7 +80,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_engine = sub.add_parser(
         "engine",
         help="streaming localization engine over a capture file")
-    p_engine.add_argument("capture", help="JSONL capture file")
+    p_engine.add_argument("capture", nargs="?", default=None,
+                          help="capture file (any registered format)")
+    p_engine.add_argument("--capture", dest="capture_flag", metavar="FILE",
+                          default=None,
+                          help="capture file (alternative to the "
+                               "positional argument)")
+    p_engine.add_argument("--format", default=None,
+                          help="capture codec name (default: sniff the "
+                               "file; 'jsonl' or 'columnar' built in)")
+    p_engine.add_argument("--batch-replay", action="store_true",
+                          help="feed the engine whole capture batches "
+                               "(zero-copy for columnar captures) "
+                               "instead of one frame at a time; assumes "
+                               "a time-sorted capture")
+    p_engine.add_argument("--device", metavar="MAC", default=None,
+                          help="replay only records mentioning this "
+                               "device (columnar captures skip whole "
+                               "blocks via per-block bloom filters)")
     p_engine.add_argument("--wigle", required=True,
                           help="WiGLE-style CSV with AP knowledge")
     p_engine.add_argument("--lat", type=float, default=42.6555,
@@ -158,7 +178,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_serve = sub.add_parser(
         "serve",
         help="sharded tracking service over a capture file")
-    p_serve.add_argument("capture", help="JSONL capture file")
+    p_serve.add_argument("capture", nargs="?", default=None,
+                         help="capture file (any registered format)")
+    p_serve.add_argument("--capture", dest="capture_flag", metavar="FILE",
+                         default=None,
+                         help="capture file (alternative to the "
+                              "positional argument)")
+    p_serve.add_argument("--format", default=None,
+                         help="capture codec name (default: sniff the "
+                              "file)")
     p_serve.add_argument("--wigle", required=True,
                          help="WiGLE-style CSV with AP knowledge")
     p_serve.add_argument("--lat", type=float, default=42.6555,
@@ -209,6 +237,54 @@ def main(argv: Optional[List[str]] = None) -> int:
                               "records instead of aborting on the "
                               "first one")
 
+    p_capture = sub.add_parser(
+        "capture",
+        help="capture-file tooling: convert, compact, info")
+    cap_sub = p_capture.add_subparsers(dest="capture_command",
+                                       required=True)
+
+    def _columnar_options(cap_parser):
+        cap_parser.add_argument("--format", default="columnar",
+                                help="output codec (default columnar)")
+        cap_parser.add_argument("--block-records", type=int, default=65536,
+                                help="rows per columnar block")
+        cap_parser.add_argument("--bloom-bits", type=int, default=32768,
+                                help="bloom filter width per block")
+        cap_parser.add_argument("--bloom-hashes", type=int, default=4,
+                                help="bloom probes per device")
+        cap_parser.add_argument("--no-sort", action="store_true",
+                                help="keep arrival order inside blocks "
+                                     "instead of sorting by rx time")
+
+    p_cap_convert = cap_sub.add_parser(
+        "convert", help="convert one capture between formats")
+    p_cap_convert.add_argument("src", help="source capture (any format)")
+    p_cap_convert.add_argument("dst", help="destination path")
+    _columnar_options(p_cap_convert)
+    p_cap_convert.add_argument("--lenient", action="store_true",
+                               help="skip (and count) malformed source "
+                                    "records instead of aborting")
+
+    p_cap_compact = cap_sub.add_parser(
+        "compact",
+        help="merge captures into one globally time-sorted capture")
+    p_cap_compact.add_argument("sources", nargs="+",
+                               help="source captures (formats may mix)")
+    p_cap_compact.add_argument("--output", required=True, metavar="FILE",
+                               help="merged capture destination")
+    _columnar_options(p_cap_compact)
+    p_cap_compact.add_argument("--strict", action="store_true",
+                               help="abort on the first malformed "
+                                    "source record (default: lenient)")
+
+    p_cap_info = cap_sub.add_parser(
+        "info", help="summary, block, and bloom statistics")
+    p_cap_info.add_argument("path", help="capture file")
+    p_cap_info.add_argument("--format", default=None,
+                            help="codec name (default: sniff the file)")
+    p_cap_info.add_argument("--json", action="store_true",
+                            help="emit machine-readable JSON")
+
     p_metrics = sub.add_parser(
         "metrics", help="inspect a metrics snapshot JSON")
     p_metrics.add_argument("snapshot",
@@ -229,6 +305,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "replay": _cmd_replay,
         "engine": _cmd_engine,
         "serve": _cmd_serve,
+        "capture": _cmd_capture,
         "metrics": _cmd_metrics,
     }[args.command]
     return handler(args)
@@ -238,6 +315,86 @@ def _fail(message: str) -> int:
     """Print a clear one-line error (no traceback) and exit non-zero."""
     print(f"error: {message}", file=sys.stderr)
     return 2
+
+
+def _resolve_capture(args) -> Optional[str]:
+    """The capture path from the positional arg or ``--capture``.
+
+    Returns ``None`` when neither or both were given — the caller turns
+    that into a usage error.
+    """
+    positional = getattr(args, "capture", None)
+    flag = getattr(args, "capture_flag", None)
+    if positional and flag:
+        return None
+    return positional or flag
+
+
+def _cmd_capture(args) -> int:
+    import json
+
+    from repro.capture import capture_info, compact_captures
+    from repro.faults import CaptureError
+
+    if args.capture_command == "info":
+        try:
+            info = capture_info(args.path, format=args.format)
+        except OSError as error:
+            return _fail(f"cannot read capture {args.path!r}: {error}")
+        except (CaptureError, ValueError) as error:
+            return _fail(f"corrupt capture {args.path!r}: {error}")
+        if args.json:
+            print(json.dumps(info, indent=2, sort_keys=True))
+            return 0
+        print(f"{info['path']}: {info['format']} capture, "
+              f"{info['records']} records, {info['file_bytes']} bytes")
+        if info.get("time"):
+            t_min, t_max = info["time"]
+            print(f"  time range: {t_min:.3f} .. {t_max:.3f} s "
+                  f"({t_max - t_min:.3f} s)")
+        if info["format"] == "columnar":
+            bloom = info["bloom"]
+            print(f"  {info['blocks']} block(s) of up to "
+                  f"{info['block_records']} x {info['record_bytes']}-byte "
+                  f"records, aux {info['aux_bytes']} bytes, globally "
+                  f"sorted: {info['globally_sorted']}")
+            print(f"  bloom: {bloom['bits']} bits x {bloom['hashes']} "
+                  f"hashes per block, mean fill "
+                  f"{bloom['mean_fill'] * 100.0:.2f}%")
+        else:
+            print(f"  skipped (malformed) records: {info['skipped']}, "
+                  f"distinct devices: {info['devices']}")
+        return 0
+
+    writer_options = {}
+    if args.format == "columnar":
+        writer_options = {
+            "block_records": args.block_records,
+            "bloom_bits": args.bloom_bits,
+            "bloom_hashes": args.bloom_hashes,
+            "sort_within_block": not args.no_sort,
+        }
+    if args.capture_command == "convert":
+        sources, output = [args.src], args.dst
+        strict = not args.lenient
+    else:
+        sources, output = list(args.sources), args.output
+        strict = args.strict
+    try:
+        report = compact_captures(sources, output, format=args.format,
+                                  strict=strict, **writer_options)
+    except OSError as error:
+        return _fail(f"cannot read capture: {error}")
+    except (CaptureError, ValueError) as error:
+        return _fail(f"corrupt capture: {error}")
+    summary = (f"{report['records']} records -> {report['output']} "
+               f"[{report['format']}]")
+    if "blocks" in report:
+        summary += f", {report['blocks']} block(s)"
+    if report["skipped"]:
+        summary += f", {report['skipped']} malformed record(s) skipped"
+    print(f"Compacted {len(report['sources'])} capture(s): {summary}")
+    return 0
 
 
 def _cmd_theory(args) -> int:
@@ -474,8 +631,19 @@ def _cmd_engine(args) -> int:
     from repro.geo.wgs84 import GeodeticCoordinate
     from repro.knowledge.wigle import import_wigle_csv
     from repro.localization import make_localizer
-    from repro.sniffer.replay import iter_capture
+    from repro.net80211.mac import MacAddress
+    from repro.sniffer.replay import iter_capture, iter_capture_batches
 
+    capture_path = _resolve_capture(args)
+    if capture_path is None:
+        return _fail("give the capture file once, either positionally "
+                     "or via --capture")
+    device = None
+    if args.device is not None:
+        try:
+            device = MacAddress.parse(args.device)
+        except ValueError as error:
+            return _fail(f"bad --device MAC {args.device!r}: {error}")
     plane = LocalTangentPlane(GeodeticCoordinate(args.lat, args.lon))
     try:
         database = import_wigle_csv(args.wigle, plane)
@@ -562,11 +730,20 @@ def _cmd_engine(args) -> int:
     recorder = obs.SpanRecorder() if args.trace else None
 
     def run_engine():
-        frames = iter_capture(args.capture, strict=not args.lenient)
+        if args.batch_replay:
+            stream = iter_capture_batches(
+                capture_path, strict=not args.lenient,
+                device=device, format=args.format)
+            run = lambda: engine.run_batches(stream)  # noqa: E731
+        else:
+            stream = iter_capture(
+                capture_path, strict=not args.lenient,
+                device=device, format=args.format)
+            run = lambda: engine.run(stream)  # noqa: E731
         if injector is not None:
             with use_injector(injector):
-                return engine.run(frames)
-        return engine.run(frames)
+                return run()
+        return run()
 
     try:
         if recorder is not None:
@@ -575,9 +752,9 @@ def _cmd_engine(args) -> int:
         else:
             stats = run_engine()
     except OSError as error:
-        return _fail(f"cannot read capture {args.capture!r}: {error}")
+        return _fail(f"cannot read capture {capture_path!r}: {error}")
     except (ValueError, KeyError) as error:
-        return _fail(f"corrupt capture {args.capture!r}: {error}")
+        return _fail(f"corrupt capture {capture_path!r}: {error}")
 
     for mobile, (timestamp, estimate) in sorted(
             fixes.fixes.items(), key=lambda item: str(item[0])):
@@ -632,6 +809,10 @@ def _cmd_serve(args) -> int:
     )
     from repro.sniffer.replay import iter_capture
 
+    capture_path = _resolve_capture(args)
+    if capture_path is None:
+        return _fail("give the capture file once, either positionally "
+                     "or via --capture")
     plane = LocalTangentPlane(GeodeticCoordinate(args.lat, args.lon))
     try:
         database = import_wigle_csv(args.wigle, plane)
@@ -676,16 +857,17 @@ def _cmd_serve(args) -> int:
                   f"on http://{host}:{port}", flush=True)
             try:
                 engine.ingest_stream(
-                    iter_capture(args.capture, strict=not args.lenient))
+                    iter_capture(capture_path, strict=not args.lenient,
+                                 format=args.format))
                 stats = engine.drain()
             except OSError as error:
                 engine.stop()
                 return _fail(
-                    f"cannot read capture {args.capture!r}: {error}")
+                    f"cannot read capture {capture_path!r}: {error}")
             except (ValueError, KeyError) as error:
                 engine.stop()
                 return _fail(
-                    f"corrupt capture {args.capture!r}: {error}")
+                    f"corrupt capture {capture_path!r}: {error}")
             print(f"Ingest complete: {stats.frames_ingested} frames, "
                   f"{stats.devices_seen} devices, "
                   f"{stats.estimates_emitted} localizations.",

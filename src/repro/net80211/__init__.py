@@ -14,8 +14,8 @@ package models exactly that slice of the protocol:
   rescans),
 * :mod:`repro.net80211.medium` — frame delivery through a propagation
   model, SNR, and the cross-channel decode model,
-* :mod:`repro.net80211.capture_file` — a JSONL capture format standing
-  in for tcpdump/pcap.
+* :mod:`repro.net80211.capture_file` — deprecated capture I/O shims;
+  capture persistence lives in :mod:`repro.capture` now.
 """
 
 from repro.net80211.mac import BROADCAST_MAC, MacAddress
@@ -31,7 +31,6 @@ from repro.net80211.frames import (
 from repro.net80211.ap import AccessPoint
 from repro.net80211.station import MobileStation, ScanProfile
 from repro.net80211.medium import Medium, ReceivedFrame
-from repro.net80211.capture_file import CaptureReader, CaptureWriter
 
 __all__ = [
     "MacAddress",
@@ -51,3 +50,20 @@ __all__ = [
     "CaptureWriter",
     "CaptureReader",
 ]
+
+_LAZY_CAPTURE_NAMES = ("CaptureReader", "CaptureWriter")
+
+
+def __getattr__(name):
+    # Resolved lazily (PEP 562): the deprecated capture shims now live
+    # on top of repro.capture, which itself imports this package's
+    # submodules — an eager import here would be a cycle.
+    if name in _LAZY_CAPTURE_NAMES:
+        from repro.net80211 import capture_file
+        return getattr(capture_file, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_CAPTURE_NAMES))

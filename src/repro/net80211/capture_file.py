@@ -1,154 +1,48 @@
-"""Capture persistence: a JSONL stand-in for tcpdump/pcap files.
+"""Deprecated capture I/O shims — use :mod:`repro.capture` instead.
 
-The paper "dumped the wireless traffic by tcpdump for a duration of 7
-days".  We persist captures as one JSON object per line — trivially
-greppable, append-friendly, and sufficient for the management-frame
-metadata the attack consumes.  :class:`CaptureWriter` and
-:class:`CaptureReader` round-trip :class:`ReceivedFrame` records.
+The JSONL capture format that lived here moved to
+:mod:`repro.capture.jsonl` when the codec registry became the single
+public capture I/O surface (``open_capture`` / ``make_capture_writer``
+in :mod:`repro.capture`).  :class:`CaptureReader` and
+:class:`CaptureWriter` keep working as thin subclasses of the moved
+implementation, emitting a :class:`DeprecationWarning` at construction;
+the module-level helpers (:func:`frame_to_dict`, :func:`frame_from_dict`,
+:data:`FORMAT_VERSION`) re-export silently since they moved unchanged.
 """
 
 from __future__ import annotations
 
-import json
-from pathlib import Path
-from typing import Callable, Iterator, Optional, Union
+import warnings
 
-from repro.faults import CaptureError
-from repro.net80211.frames import Dot11Frame, FrameType
-from repro.net80211.mac import MacAddress
-from repro.net80211.medium import ReceivedFrame
-from repro.net80211.ssid import Ssid
+from repro.capture.jsonl import (FORMAT_VERSION, JsonlReader, JsonlWriter,
+                                 frame_from_dict, frame_to_dict)
 
-PathLike = Union[str, Path]
-
-FORMAT_VERSION = 1
-
-
-def frame_to_dict(frame: Dot11Frame) -> dict:
-    """Serialize a frame to plain JSON-compatible types."""
-    return {
-        "type": frame.frame_type.value,
-        "src": str(frame.source),
-        "dst": str(frame.destination),
-        "bssid": str(frame.bssid) if frame.bssid is not None else None,
-        "ssid": frame.ssid.name,
-        "channel": frame.channel,
-        "ts": frame.timestamp,
-        "seq": frame.sequence,
-        "tx_power_dbm": frame.tx_power_dbm,
-        "tx_gain_dbi": frame.tx_antenna_gain_dbi,
-        "elements": dict(frame.elements),
-    }
+__all__ = [
+    "FORMAT_VERSION",
+    "CaptureReader",
+    "CaptureWriter",
+    "frame_from_dict",
+    "frame_to_dict",
+]
 
 
-def frame_from_dict(data: dict) -> Dot11Frame:
-    """Deserialize a frame written by :func:`frame_to_dict`."""
-    bssid = data.get("bssid")
-    return Dot11Frame(
-        frame_type=FrameType(data["type"]),
-        source=MacAddress.parse(data["src"]),
-        destination=MacAddress.parse(data["dst"]),
-        channel=int(data["channel"]),
-        timestamp=float(data["ts"]),
-        ssid=Ssid(data.get("ssid", "")),
-        bssid=MacAddress.parse(bssid) if bssid else None,
-        sequence=int(data.get("seq", 0)),
-        tx_power_dbm=float(data.get("tx_power_dbm", 15.0)),
-        tx_antenna_gain_dbi=float(data.get("tx_gain_dbi", 0.0)),
-        elements=dict(data.get("elements", {})),
-    )
+class CaptureWriter(JsonlWriter):
+    """Deprecated alias of :class:`repro.capture.jsonl.JsonlWriter`."""
+
+    def __init__(self, *args, **kwargs):
+        warnings.warn(
+            "repro.net80211.capture_file.CaptureWriter is deprecated; "
+            "use repro.capture.make_capture_writer(path, format='jsonl')",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(*args, **kwargs)
 
 
-class CaptureWriter:
-    """Append :class:`ReceivedFrame` records to a JSONL capture file."""
+class CaptureReader(JsonlReader):
+    """Deprecated alias of :class:`repro.capture.jsonl.JsonlReader`."""
 
-    def __init__(self, path: PathLike):
-        self.path = Path(path)
-        self._handle = self.path.open("a", encoding="utf-8")
-        if self.path.stat().st_size == 0:
-            header = {"capture_format": FORMAT_VERSION}
-            self._handle.write(json.dumps(header) + "\n")
-
-    def write(self, received: ReceivedFrame) -> None:
-        record = {
-            "frame": frame_to_dict(received.frame),
-            "rssi_dbm": received.rssi_dbm,
-            "snr_db": received.snr_db,
-            "rx_channel": received.rx_channel,
-            "rx_ts": received.rx_timestamp,
-        }
-        self._handle.write(json.dumps(record) + "\n")
-
-    def close(self) -> None:
-        self._handle.close()
-
-    def __enter__(self) -> "CaptureWriter":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
-
-
-class CaptureReader:
-    """Iterate the records of a JSONL capture file.
-
-    ``strict`` (the default) raises a typed
-    :class:`~repro.faults.CaptureError` on the first malformed record —
-    right for tests and for captures this codebase wrote itself.  With
-    ``strict=False`` malformed *records* are skipped and counted
-    (:attr:`skipped`, plus an ``on_skip`` callback per skip), the
-    seven-day-tcpdump posture where one truncated line must not void a
-    week of traffic.  A bad file *header* (unsupported format version)
-    always raises: that is the whole capture, not one record.
-    """
-
-    def __init__(self, path: PathLike, strict: bool = True,
-                 on_skip: Optional[Callable[[int, str], None]] = None):
-        self.path = Path(path)
-        self.strict = strict
-        self.on_skip = on_skip
-        #: Malformed records skipped by the most recent iteration.
-        self.skipped = 0
-
-    def __iter__(self) -> Iterator[ReceivedFrame]:
-        self.skipped = 0
-        with self.path.open("r", encoding="utf-8") as handle:
-            for line_number, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    data = json.loads(line)
-                    if not isinstance(data, dict):
-                        raise CaptureError(
-                            f"record is not a JSON object: {line[:60]!r}")
-                except ValueError as error:
-                    self._skip(line_number, str(error))
-                    continue
-                if "capture_format" in data:
-                    version = data["capture_format"]
-                    if version != FORMAT_VERSION:
-                        raise CaptureError(
-                            f"unsupported capture format {version}")
-                    continue
-                try:
-                    received = ReceivedFrame(
-                        frame=frame_from_dict(data["frame"]),
-                        rssi_dbm=float(data["rssi_dbm"]),
-                        snr_db=float(data["snr_db"]),
-                        rx_channel=int(data["rx_channel"]),
-                        rx_timestamp=float(data["rx_ts"]),
-                    )
-                except (KeyError, TypeError, ValueError) as error:
-                    self._skip(line_number, f"{type(error).__name__}: {error}")
-                    continue
-                yield received
-
-    def _skip(self, line_number: int, reason: str) -> None:
-        if self.strict:
-            raise CaptureError(
-                f"{self.path}:{line_number}: malformed capture record "
-                f"({reason})")
-        self.skipped += 1
-        if self.on_skip is not None:
-            self.on_skip(line_number, reason)
+    def __init__(self, *args, **kwargs):
+        warnings.warn(
+            "repro.net80211.capture_file.CaptureReader is deprecated; "
+            "use repro.capture.open_capture(path)",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(*args, **kwargs)

@@ -343,6 +343,22 @@ class ShardedEngine:
         for received in stream:
             self.ingest(received)
 
+    def ingest_batch(self, batch) -> None:
+        """Route one :class:`~repro.capture.records.FrameBatch`.
+
+        The bus carries :class:`ReceivedFrame` lists (shard workers may
+        live in other processes), so batch replay materializes records
+        here at the routing boundary; the per-shard columnar win is the
+        replay side (zero-copy reads, block skipping), not the publish
+        side.
+        """
+        for received in batch.iter_frames():
+            self.ingest(received)
+
+    def ingest_batches(self, stream) -> None:
+        for batch in stream:
+            self.ingest_batch(batch)
+
     def run(self, stream: Iterable[ReceivedFrame]) -> EngineStats:
         """Consume a whole stream, drain the fleet, return merged stats.
 

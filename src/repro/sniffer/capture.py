@@ -84,8 +84,8 @@ class Sniffer:
     _writer: Optional[object] = field(default=None, repr=False)
 
     def attach_writer(self, writer) -> None:
-        """Stream every capture to a
-        :class:`repro.net80211.capture_file.CaptureWriter`."""
+        """Stream every capture to a capture writer (any codec from
+        :func:`repro.capture.make_capture_writer`)."""
         self._writer = writer
 
     def detach_writer(self) -> None:

@@ -3,10 +3,20 @@
 The paper's pipeline separates capture from analysis ("The extracted
 information is then stored in a database.  ... the adversary uses our
 proposed M-Loc and AP-Rad algorithm ...").  Replay rebuilds the
-observation database from a capture file (written by
-:class:`repro.net80211.capture_file.CaptureWriter`) so localization can
-run long after the antenna came down — the tcpdump-then-analyze
-workflow of the feasibility study.
+observation database from a capture file (any format the
+:mod:`repro.capture` codec registry knows — legacy JSONL or the
+columnar block store) so localization can run long after the antenna
+came down — the tcpdump-then-analyze workflow of the feasibility
+study.
+
+Two replay surfaces:
+
+* :func:`iter_capture` — record-at-a-time :class:`ReceivedFrame`
+  iteration through a reorder buffer, for consumers built on
+  ``StreamingEngine.ingest``;
+* :func:`iter_capture_batches` — whole :class:`FrameBatch` slices
+  (zero-copy for columnar captures), for the vectorized
+  ``StreamingEngine.ingest_batch`` hot path.
 """
 
 from __future__ import annotations
@@ -16,10 +26,10 @@ from pathlib import Path
 from typing import Dict, Iterator, Optional, Set, Union
 
 from repro import faults, obs
+from repro.capture import FrameBatch, open_capture
 from repro.engine.reorder import ReorderBuffer
 from repro.faults import DROPPED, CaptureError
 from repro.localization.base import LocalizationEstimate, Localizer
-from repro.net80211.capture_file import CaptureReader
 from repro.net80211.mac import MacAddress
 from repro.net80211.medium import ReceivedFrame
 from repro.sniffer.observation import ObservationStore
@@ -30,7 +40,9 @@ PathLike = Union[str, Path]
 
 def iter_capture(path: PathLike,
                  reorder_buffer: int = 256,
-                 strict: bool = True) -> Iterator[ReceivedFrame]:
+                 strict: bool = True,
+                 device: Optional[Union[MacAddress, str]] = None,
+                 format: Optional[str] = None) -> Iterator[ReceivedFrame]:
     """Yield a capture's frames in rx-timestamp order, streaming.
 
     The streaming engine's ingest path consumes this: memory stays
@@ -46,6 +58,11 @@ def iter_capture(path: PathLike,
     ``repro.sniffer.replay.skipped``) malformed capture records instead
     of raising :class:`~repro.faults.CaptureError` on the first one —
     the right posture for week-long field captures.
+
+    ``device`` restricts replay to records mentioning one MAC; on
+    columnar captures the per-block bloom filters skip whole blocks
+    (``repro.capture.blocks_skipped``) without touching their bytes.
+    ``format`` pins a codec; default sniffs the file.
     """
     if reorder_buffer < 0:
         raise ValueError(
@@ -56,8 +73,8 @@ def iter_capture(path: PathLike,
     registry = obs.current_registry()
     frames = registry.counter("repro.sniffer.replay.frames")
     skips = registry.counter("repro.sniffer.replay.skipped")
-    reader = CaptureReader(
-        path, strict=strict,
+    reader = open_capture(
+        path, format=format, strict=strict, device=device,
         on_skip=lambda line_number, reason: skips.inc())
 
     def records() -> Iterator[ReceivedFrame]:
@@ -81,6 +98,43 @@ def iter_capture(path: PathLike,
     for received in records():
         yield from buffer.push(received.rx_timestamp, received)
     yield from buffer.drain()
+
+
+def iter_capture_batches(path: PathLike,
+                         batch_records: Optional[int] = None,
+                         strict: bool = True,
+                         device: Optional[Union[MacAddress, str]] = None,
+                         format: Optional[str] = None,
+                         start_ts: Optional[float] = None,
+                         end_ts: Optional[float] = None
+                         ) -> Iterator[FrameBatch]:
+    """Yield a capture as :class:`FrameBatch` slices, block order.
+
+    The batch counterpart of :func:`iter_capture`, feeding
+    ``StreamingEngine.ingest_batch``: columnar captures hand out
+    zero-copy views of the memory-mapped file; JSONL captures decode
+    into batches so both formats drive the same engine path.  No
+    reorder buffer runs here — batch replay assumes a sorted (written
+    in order, or compacted) capture; unsorted columnar blocks are
+    sorted per block on read.  The per-record fault-injection seam
+    (``capture.record``) also does not apply on this path.
+
+    ``device``/``start_ts``/``end_ts`` push down into the codec, where
+    the columnar reader's bloom filters and time index skip whole
+    blocks.
+    """
+    registry = obs.current_registry()
+    frames = registry.counter("repro.sniffer.replay.frames")
+    reader = open_capture(path, format=format, strict=strict)
+    iter_batches = getattr(reader, "iter_batches", None)
+    if iter_batches is None:
+        raise CaptureError(
+            f"capture codec {getattr(reader, 'format', '?')!r} has no "
+            "batch replay support")
+    for batch in iter_batches(batch_records=batch_records, device=device,
+                              start_ts=start_ts, end_ts=end_ts):
+        frames.inc(len(batch))
+        yield batch
 
 
 @dataclass

@@ -1,0 +1,52 @@
+"""Tier-1 smoke for the capture replay bench (a tiny --records run).
+
+Guards the acceptance property — columnar batch replay beats JSONL
+record replay on the same capture, with identical engine output —
+without the full 1M-record bench.  Runs the bench the way an operator
+would, as a standalone process.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH = REPO_ROOT / "benchmarks" / "bench_capture_replay.py"
+
+
+def test_bench_capture_replay_smoke(tmp_path):
+    out_path = tmp_path / "capture_replay.json"
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
+                         if env.get("PYTHONPATH") else src)
+    result = subprocess.run(
+        [sys.executable, str(BENCH), "--records", "8000",
+         "--block-records", "1024", "--engine-frames", "2000",
+         "--json", str(out_path)],
+        capture_output=True, text=True, env=env, timeout=180)
+    assert result.returncode == 0, result.stderr
+    assert "columnar batch path" in result.stdout
+
+    report = json.loads(out_path.read_text())
+    assert report["bench"] == "capture_replay"
+    assert report["config"]["cpu_count"] == os.cpu_count()
+    assert report["corpus"]["records"] == 8000
+
+    seq = report["sequential"]
+    for mode in ("jsonl_records", "columnar_records", "columnar_batches"):
+        assert seq[mode]["records"] == 8000
+    # The acceptance property, at smoke scale: the batch seam is
+    # strictly faster than JSONL decode (full scale shows >= 10x).
+    assert seq["columnar_batches_speedup"] > 1.0
+
+    selective = report["selective"]
+    assert selective["jsonl"]["records"] == selective["columnar"]["records"]
+    assert selective["columnar"]["blocks_skipped"] > 0
+    assert selective["jsonl"]["blocks_skipped"] == 0
+
+    engine = report["engine"]
+    assert engine["outputs_identical"] is True
+    assert engine["frames"] == 2000

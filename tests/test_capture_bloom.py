@@ -1,0 +1,182 @@
+"""Per-block bloom filters and the selective-replay fast path."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.capture import BloomFilter, ColumnarReader, make_capture_writer
+from repro.net80211.frames import probe_request, probe_response
+from repro.net80211.mac import MacAddress
+from repro.net80211.medium import ReceivedFrame
+from repro.net80211.ssid import Ssid
+
+AP = MacAddress.parse("00:15:6d:00:00:01")
+
+
+def mobile(index):
+    return MacAddress(0x020000000000 + index)
+
+
+def make_capture(path, mobiles, frames_per_mobile=8, block_records=16):
+    """Each mobile's traffic is contiguous — later mobiles in later
+    blocks, so a single-device query can skip most blocks."""
+    records = []
+    index = 0
+    for m in range(mobiles):
+        for _ in range(frames_per_mobile):
+            frame = probe_request(mobile(m), channel=6,
+                                  timestamp=float(index),
+                                  ssid=Ssid("campus"))
+            records.append(ReceivedFrame(frame, -70.0, 20.0, 6,
+                                         float(index)))
+            index += 1
+    with make_capture_writer(path, format="columnar",
+                             block_records=block_records) as writer:
+        for record in records:
+            writer.write(record)
+    return records
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter()
+        values = np.arange(1, 5001, dtype=np.uint64) * np.uint64(
+            0x9E3779B97F4A7C15)
+        bloom.add_many(values)
+        for value in values[::97]:
+            assert int(value) in bloom
+
+    def test_false_positive_rate_bounded(self):
+        """~1k keys in 32768 bits / 4 hashes → well under 5% FP."""
+        bloom = BloomFilter()
+        members = np.arange(0, 1000, dtype=np.uint64)
+        bloom.add_many(members)
+        probes = np.arange(1_000_000, 1_010_000, dtype=np.uint64)
+        false_positives = sum(int(v) in bloom for v in probes)
+        assert false_positives / len(probes) < 0.05
+
+    def test_hex_roundtrip(self):
+        bloom = BloomFilter(bits=256, hashes=3)
+        bloom.add(12345)
+        bloom.add(67890)
+        clone = BloomFilter.from_hex(bloom.to_hex(), bits=256, hashes=3)
+        assert 12345 in clone and 67890 in clone
+        assert clone.to_hex() == bloom.to_hex()
+        assert clone.fill_ratio() == bloom.fill_ratio()
+
+    def test_add_scalar_matches_add_many(self):
+        a, b = BloomFilter(bits=512, hashes=4), BloomFilter(bits=512,
+                                                            hashes=4)
+        values = [3, 1 << 47, (1 << 48) - 1]
+        for value in values:
+            a.add(value)
+        b.add_many(np.array(values, dtype=np.uint64))
+        assert a.to_hex() == b.to_hex()
+
+    def test_empty_filter_rejects_everything(self):
+        bloom = BloomFilter(bits=128, hashes=2)
+        assert all(v not in bloom for v in range(100))
+        assert bloom.fill_ratio() == 0.0
+
+
+class TestSelectiveReplay:
+    def test_device_filter_matches_bruteforce(self, tmp_path):
+        path = tmp_path / "capture.cap"
+        records = make_capture(path, mobiles=10)
+        target = mobile(3)
+        expected = [r for r in records
+                    if target in (r.frame.source, r.frame.destination,
+                                  r.frame.bssid)]
+        reader = ColumnarReader(path, device=str(target))
+        assert list(reader) == expected
+        batched = [frame for batch in ColumnarReader(path).iter_batches(
+                       device=str(target)) for frame in batch]
+        assert batched == expected
+
+    def test_blocks_skipped_counter_columnar(self, tmp_path):
+        path = tmp_path / "capture.cap"
+        make_capture(path, mobiles=10, frames_per_mobile=8,
+                     block_records=16)  # 80 records → 5 blocks
+        registry = obs.MetricsRegistry()
+        with obs.use_registry(registry):
+            reader = ColumnarReader(path, device=str(mobile(0)))
+            found = list(reader)
+        assert len(found) == 8
+        skipped = registry.counter("repro.capture.blocks_skipped").value
+        read = registry.counter("repro.capture.blocks_read").value
+        assert skipped == 4
+        assert read == 1
+
+    def test_blocks_skipped_counter_jsonl_stays_zero(self, tmp_path):
+        """JSONL cannot skip blocks; the series still exists at 0."""
+        path = tmp_path / "capture.jsonl"
+        with make_capture_writer(path, format="jsonl") as writer:
+            for i in range(10):
+                frame = probe_request(mobile(i), channel=6,
+                                      timestamp=float(i),
+                                      ssid=Ssid("campus"))
+                writer.write(ReceivedFrame(frame, -70.0, 20.0, 6,
+                                           float(i)))
+        from repro.capture import JsonlReader
+
+        registry = obs.MetricsRegistry()
+        with obs.use_registry(registry):
+            found = list(JsonlReader(path, device=str(mobile(2))))
+        assert len(found) == 1
+        assert registry.counter("repro.capture.blocks_skipped").value == 0
+        filtered = registry.counter("repro.capture.records_filtered").value
+        assert filtered == 9
+
+    def test_bloom_false_positive_counted(self, tmp_path):
+        """A block whose bloom admits a device with no actual rows is
+        read once, fully masked, and counted as a false positive."""
+        path = tmp_path / "capture.cap"
+        records = make_capture(path, mobiles=1, frames_per_mobile=4,
+                               block_records=4)
+        # Tiny 8-bit bloom: find an absent device that collides with
+        # mobile(0)'s bit, so the block is admitted but fully masked.
+        with make_capture_writer(tmp_path / "tiny.cap",
+                                 format="columnar", block_records=4,
+                                 bloom_bits=8, bloom_hashes=1) as writer:
+            for record in records:
+                writer.write(record)
+        reference = BloomFilter(bits=8, hashes=1)
+        reference.add(mobile(0).value)
+        colliding = next(mobile(i) for i in range(1, 10_000)
+                         if mobile(i).value in reference)
+        registry = obs.MetricsRegistry()
+        with obs.use_registry(registry):
+            found = list(ColumnarReader(tmp_path / "tiny.cap",
+                                        device=str(colliding)))
+        assert found == []
+        assert registry.counter("repro.capture.blocks_read").value >= 1
+        assert registry.counter(
+            "repro.capture.bloom.false_positives").value >= 1
+
+    def test_bssid_and_destination_indexed(self, tmp_path):
+        """Bloom indexes src, dst, and bssid — a device only ever seen
+        as a probe-response destination is still found."""
+        path = tmp_path / "capture.cap"
+        target = mobile(77)
+        frame = probe_response(AP, target, channel=6, timestamp=1.0,
+                               ssid=Ssid("campus"))
+        with make_capture_writer(path, format="columnar") as writer:
+            writer.write(ReceivedFrame(frame, -60.0, 18.0, 6, 1.0))
+        found = list(ColumnarReader(path, device=str(target)))
+        assert len(found) == 1
+        found_ap = list(ColumnarReader(path, device=str(AP)))
+        assert len(found_ap) == 1
+
+    def test_time_window_skips_blocks(self, tmp_path):
+        path = tmp_path / "capture.cap"
+        make_capture(path, mobiles=10, frames_per_mobile=8,
+                     block_records=16)  # rx_ts 0..79, 5 blocks
+        registry = obs.MetricsRegistry()
+        with obs.use_registry(registry):
+            reader = ColumnarReader(path)
+            hits = [frame for batch in
+                    reader.iter_batches(start_ts=70.0) for frame in batch]
+        assert all(r.rx_timestamp >= 70.0 for r in hits)
+        assert len(hits) == 10
+        assert registry.counter(
+            "repro.capture.blocks_skipped").value == 4

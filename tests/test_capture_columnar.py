@@ -1,0 +1,274 @@
+"""Columnar capture store: round trips, blocks, and corruption."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.capture import (
+    CAPTURE_DTYPE,
+    ColumnarReader,
+    ColumnarWriter,
+    FrameBatch,
+    sniff_columnar,
+)
+from repro.capture.columnar import FOOTER_MAGIC, MAGIC
+from repro.capture.records import CaptureError, NO_BSSID
+from repro.net80211.frames import (
+    Dot11Frame,
+    FrameType,
+    beacon,
+    deauthentication,
+    probe_request,
+    probe_response,
+)
+from repro.net80211.mac import BROADCAST_MAC, MacAddress
+from repro.net80211.medium import ReceivedFrame
+from repro.net80211.ssid import Ssid
+
+STA = MacAddress.parse("00:1b:63:11:22:33")
+AP = MacAddress.parse("00:15:6d:44:55:66")
+
+
+def make_records(count, t0=0.0, step=0.5):
+    """A varied, deterministic stream of ``count`` captures."""
+    frames = [
+        probe_request(STA, channel=6, timestamp=0.0, ssid=Ssid("home")),
+        probe_response(AP, STA, channel=6, timestamp=0.0,
+                       ssid=Ssid("CampusNet")),
+        beacon(AP, channel=11, timestamp=0.0, ssid=Ssid("CampusNet")),
+        Dot11Frame(frame_type=FrameType.DATA, source=STA, destination=AP,
+                   channel=6, timestamp=0.0, ssid=Ssid(""), bssid=AP),
+        deauthentication(AP, STA, AP, channel=6, timestamp=0.0),
+    ]
+    records = []
+    for i in range(count):
+        template = frames[i % len(frames)]
+        ts = t0 + i * step
+        frame = Dot11Frame(
+            frame_type=template.frame_type, source=template.source,
+            destination=template.destination, channel=template.channel,
+            timestamp=ts, ssid=template.ssid, bssid=template.bssid,
+            sequence=i % 4096)
+        records.append(ReceivedFrame(
+            frame=frame, rssi_dbm=-60.0 - (i % 30), snr_db=25.0 - (i % 7),
+            rx_channel=frame.channel, rx_timestamp=ts))
+    return records
+
+
+def write_columnar(path, records, **options):
+    with ColumnarWriter(path, **options) as writer:
+        for record in records:
+            writer.write(record)
+
+
+class TestRoundTrip:
+    def test_exact_roundtrip(self, tmp_path):
+        path = tmp_path / "capture.cap"
+        records = make_records(57)
+        write_columnar(path, records)
+        assert list(ColumnarReader(path)) == records
+
+    def test_block_boundaries(self, tmp_path):
+        """Records spanning many tiny blocks come back complete."""
+        path = tmp_path / "capture.cap"
+        records = make_records(100)
+        write_columnar(path, records, block_records=7)
+        reader = ColumnarReader(path)
+        assert list(reader) == records
+        assert reader.info()["blocks"] == (100 + 6) // 7
+
+    def test_unsorted_input_sorted_within_blocks(self, tmp_path):
+        """Out-of-order writes are time-sorted inside each block."""
+        path = tmp_path / "capture.cap"
+        records = make_records(40)
+        shuffled = records[::2] + records[1::2]
+        write_columnar(path, shuffled, block_records=10)
+        reader = ColumnarReader(path)
+        recovered = list(reader)
+        assert sorted(r.rx_timestamp for r in recovered) == sorted(
+            r.rx_timestamp for r in records)
+        for start in range(0, 40, 10):
+            block = [r.rx_timestamp for r in recovered[start:start + 10]]
+            assert block == sorted(block)
+        assert not reader.info()["globally_sorted"]
+
+    def test_batch_iteration_matches_record_iteration(self, tmp_path):
+        path = tmp_path / "capture.cap"
+        records = make_records(64)
+        write_columnar(path, records, block_records=16)
+        reader = ColumnarReader(path)
+        batched = [frame for batch in reader.iter_batches(batch_records=9)
+                   for frame in batch]
+        assert batched == records
+
+    def test_no_bssid_sentinel(self, tmp_path):
+        path = tmp_path / "capture.cap"
+        frame = probe_request(STA, channel=6, timestamp=1.0,
+                              ssid=Ssid("x"))
+        assert frame.bssid is None
+        write_columnar(path, [ReceivedFrame(frame, -70.0, 20.0, 6, 1.0)])
+        reader = ColumnarReader(path)
+        batch = next(iter(reader.iter_batches()))
+        assert batch.records["bssid"][0] == np.uint64(NO_BSSID)
+        assert batch.frame_at(0).frame.bssid is None
+
+    def test_aux_overflow_unicode_ssid_and_elements(self, tmp_path):
+        """Edge-case SSIDs and element dicts ride in the aux blob."""
+        path = tmp_path / "capture.cap"
+        long_ssid = Ssid("café-" + "x" * 26)  # exactly 32 UTF-8 bytes
+        frame = Dot11Frame(
+            frame_type=FrameType.BEACON, source=AP,
+            destination=BROADCAST_MAC, channel=11, timestamp=2.0,
+            ssid=long_ssid, bssid=AP,
+            elements={"vendor": "acme", "country": "US"})
+        record = ReceivedFrame(frame, -55.0, 22.0, 11, 2.0)
+        write_columnar(path, [record])
+        (recovered,) = list(ColumnarReader(path))
+        assert recovered == record
+        assert recovered.frame.ssid == long_ssid
+        assert recovered.frame.elements == frame.elements
+
+    def test_float_fields_lossless(self, tmp_path):
+        path = tmp_path / "capture.cap"
+        ts = 1234567.123456789
+        frame = probe_request(STA, channel=6, timestamp=ts, ssid=Ssid("a"))
+        record = ReceivedFrame(frame, rssi_dbm=-67.8125, snr_db=19.375,
+                               rx_channel=6, rx_timestamp=ts + 1e-9)
+        write_columnar(path, [record])
+        (recovered,) = list(ColumnarReader(path))
+        assert recovered.rx_timestamp == record.rx_timestamp
+        assert recovered.rssi_dbm == record.rssi_dbm
+        assert recovered.frame.timestamp == ts
+
+    def test_time_windowed_batches(self, tmp_path):
+        path = tmp_path / "capture.cap"
+        records = make_records(100, step=1.0)
+        write_columnar(path, records, block_records=10)
+        reader = ColumnarReader(path)
+        window = [frame for batch in
+                  reader.iter_batches(start_ts=25.0, end_ts=40.0)
+                  for frame in batch]
+        assert window == [r for r in records
+                          if 25.0 <= r.rx_timestamp <= 40.0]
+
+    def test_sniff(self, tmp_path):
+        path = tmp_path / "capture.cap"
+        write_columnar(path, make_records(3))
+        assert sniff_columnar(path)
+        text = tmp_path / "capture.jsonl"
+        text.write_text('{"capture_format": 1}\n')
+        assert not sniff_columnar(text)
+        with pytest.raises(OSError):
+            sniff_columnar(tmp_path / "missing.cap")
+
+
+class TestCorruption:
+    def _written(self, tmp_path, count=20):
+        path = tmp_path / "capture.cap"
+        write_columnar(path, make_records(count), block_records=8)
+        return path
+
+    def test_bad_magic(self, tmp_path):
+        path = self._written(tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[:8] = b"NOTMRDCP"
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CaptureError):
+            ColumnarReader(path)
+
+    def test_truncated_file(self, tmp_path):
+        path = self._written(tmp_path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(CaptureError):
+            ColumnarReader(path)
+
+    def test_corrupt_footer_json(self, tmp_path):
+        path = self._written(tmp_path)
+        raw = bytearray(path.read_bytes())
+        footer_len = struct.unpack(
+            "<Q", raw[-16:-8])[0]
+        assert raw[-8:] == FOOTER_MAGIC
+        start = len(raw) - 16 - footer_len
+        raw[start: start + 4] = b"\x00\x00\x00\x00"
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CaptureError):
+            ColumnarReader(path)
+
+    def test_block_out_of_bounds(self, tmp_path):
+        """Structural corruption raises even for a lenient reader."""
+        path = self._written(tmp_path)
+        raw = bytearray(path.read_bytes())
+        footer_len = struct.unpack("<Q", raw[-16:-8])[0]
+        start = len(raw) - 16 - footer_len
+        import json as _json
+        footer = _json.loads(bytes(raw[start: start + footer_len]))
+        footer["blocks"][0]["offset"] = 10 ** 9
+        encoded = _json.dumps(footer).encode("utf-8")
+        body = bytes(raw[:start])
+        path.write_bytes(body + encoded
+                         + struct.pack("<Q", len(encoded)) + FOOTER_MAGIC)
+        with pytest.raises(CaptureError):
+            ColumnarReader(path, strict=False)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.cap"
+        path.write_bytes(b"")
+        with pytest.raises(CaptureError):
+            ColumnarReader(path)
+
+    def test_lenient_skips_bad_rows_not_structure(self, tmp_path):
+        """A row with an unknown frame-type code is skipped leniently."""
+        path = self._written(tmp_path, count=10)
+        reader = ColumnarReader(path)
+        entry = reader.blocks[0]
+        raw = bytearray(path.read_bytes())
+        offset = entry["offset"]
+        raw[offset] = 0xEE  # clobber first row's kind code
+        reader.close()
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CaptureError):
+            list(ColumnarReader(path, strict=True))
+        skipped = []
+        lenient = ColumnarReader(
+            path, strict=False,
+            on_skip=lambda index, reason: skipped.append((index, reason)))
+        assert len(list(lenient)) == 9
+        assert len(skipped) == 1
+
+    def test_writer_rejects_bad_block_size(self, tmp_path):
+        with pytest.raises(ValueError):
+            ColumnarWriter(tmp_path / "capture.cap", block_records=0)
+
+
+class TestFrameBatch:
+    def test_filter_device(self, tmp_path):
+        path = tmp_path / "capture.cap"
+        records = make_records(30)
+        write_columnar(path, records)
+        reader = ColumnarReader(path)
+        (batch,) = list(reader.iter_batches())
+        only_sta = batch.filter_device(STA.value)
+        expected = [r for r in records
+                    if STA in (r.frame.source, r.frame.destination,
+                               r.frame.bssid)]
+        assert list(only_sta) == expected
+
+    def test_time_accessors(self, tmp_path):
+        path = tmp_path / "capture.cap"
+        records = make_records(12, t0=5.0)
+        write_columnar(path, records)
+        (batch,) = list(ColumnarReader(path).iter_batches())
+        assert batch.t_min == 5.0
+        assert batch.t_max == records[-1].rx_timestamp
+        assert len(batch) == 12
+
+    def test_capture_dtype_is_packed(self):
+        assert CAPTURE_DTYPE.itemsize == 121
+
+    def test_empty_batch(self):
+        batch = FrameBatch(np.empty(0, dtype=CAPTURE_DTYPE), b"",
+                           frame_types=())
+        assert len(batch) == 0
+        assert list(batch) == []

@@ -1,0 +1,235 @@
+"""Codec registry: sniffing, open/make dispatch, custom codecs, shims."""
+
+import warnings
+
+import pytest
+
+from repro.capture import (
+    CaptureCodec,
+    ColumnarReader,
+    ColumnarWriter,
+    JsonlReader,
+    JsonlWriter,
+    capture_info,
+    codec_names,
+    get_codec,
+    make_capture_writer,
+    open_capture,
+    register_codec,
+    sniff_format,
+)
+from repro.capture.records import CaptureError
+from repro.capture.registry import FALLBACK_FORMAT, _CODECS
+from repro.net80211.frames import probe_request
+from repro.net80211.mac import MacAddress
+from repro.net80211.medium import ReceivedFrame
+from repro.net80211.ssid import Ssid
+
+STA = MacAddress.parse("00:1b:63:11:22:33")
+
+
+def make_records(count):
+    return [
+        ReceivedFrame(
+            frame=probe_request(STA, channel=6, timestamp=float(i),
+                                ssid=Ssid("home")),
+            rssi_dbm=-70.0, snr_db=20.0, rx_channel=6,
+            rx_timestamp=float(i))
+        for i in range(count)
+    ]
+
+
+def write(path, fmt, records):
+    with make_capture_writer(path, format=fmt) as writer:
+        for record in records:
+            writer.write(record)
+
+
+class TestSniffing:
+    def test_builtin_codecs_registered(self):
+        assert {"jsonl", "columnar"} <= set(codec_names())
+
+    def test_sniff_both_formats(self, tmp_path):
+        records = make_records(5)
+        jsonl, columnar = tmp_path / "a.jsonl", tmp_path / "b.cap"
+        write(jsonl, "jsonl", records)
+        write(columnar, "columnar", records)
+        assert sniff_format(jsonl) == "jsonl"
+        assert sniff_format(columnar) == "columnar"
+
+    def test_garbage_falls_back_to_jsonl(self, tmp_path):
+        """Unrecognized bytes sniff as the lenient fallback codec."""
+        path = tmp_path / "garbage.bin"
+        path.write_bytes(b"not a capture at all\n")
+        assert sniff_format(path) == FALLBACK_FORMAT
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            sniff_format(tmp_path / "missing")
+
+
+class TestOpenCapture:
+    def test_open_dispatches_on_content(self, tmp_path):
+        records = make_records(7)
+        jsonl, columnar = tmp_path / "a.jsonl", tmp_path / "b.cap"
+        write(jsonl, "jsonl", records)
+        write(columnar, "columnar", records)
+        opened_jsonl = open_capture(jsonl)
+        opened_columnar = open_capture(columnar)
+        assert isinstance(opened_jsonl, JsonlReader)
+        assert isinstance(opened_columnar, ColumnarReader)
+        assert list(opened_jsonl) == records
+        assert list(opened_columnar) == records
+
+    def test_explicit_format_overrides_sniff(self, tmp_path):
+        path = tmp_path / "a.weird"
+        write(path, "jsonl", make_records(3))
+        reader = open_capture(path, format="jsonl")
+        assert isinstance(reader, JsonlReader)
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        write(path, "jsonl", make_records(1))
+        with pytest.raises(ValueError, match="unknown capture format"):
+            open_capture(path, format="pcapng")
+        with pytest.raises(ValueError, match="unknown capture format"):
+            make_capture_writer(tmp_path / "b", format="pcapng")
+
+    def test_reader_options_forwarded(self, tmp_path):
+        path = tmp_path / "a.cap"
+        write(path, "columnar", make_records(4))
+        reader = open_capture(path, device=str(STA))
+        assert len(list(reader)) == 4  # STA is the source of every frame
+
+    def test_capture_info(self, tmp_path):
+        records = make_records(6)
+        jsonl, columnar = tmp_path / "a.jsonl", tmp_path / "b.cap"
+        write(jsonl, "jsonl", records)
+        write(columnar, "columnar", records)
+        info_j = capture_info(jsonl)
+        info_c = capture_info(columnar)
+        assert info_j["format"] == "jsonl"
+        assert info_c["format"] == "columnar"
+        assert info_j["records"] == info_c["records"] == 6
+
+
+class TestMakeWriter:
+    def test_default_format_is_columnar(self, tmp_path):
+        writer = make_capture_writer(tmp_path / "out.cap")
+        assert isinstance(writer, ColumnarWriter)
+        writer.close()
+
+    def test_jsonl_writer(self, tmp_path):
+        writer = make_capture_writer(tmp_path / "out.jsonl",
+                                     format="jsonl")
+        assert isinstance(writer, JsonlWriter)
+        writer.close()
+
+    def test_writer_options_forwarded(self, tmp_path):
+        path = tmp_path / "out.cap"
+        with make_capture_writer(path, block_records=3) as writer:
+            for record in make_records(10):
+                writer.write(record)
+        assert ColumnarReader(path).info()["blocks"] == 4
+
+
+class TestCustomCodec:
+    def test_register_and_roundtrip(self, tmp_path):
+        """A third-party codec plugs into sniff/open/write dispatch."""
+
+        class ListReader:
+            def __init__(self, path, strict=True, **options):
+                self._records = _STORE[str(path)]
+
+            def __iter__(self):
+                return iter(self._records)
+
+        class ListWriter:
+            format = "memlist"
+
+            def __init__(self, path, **options):
+                self._path, self._records = str(path), []
+
+            def write(self, received):
+                self._records.append(received)
+
+            def close(self):
+                _STORE[self._path] = self._records
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                self.close()
+
+        _STORE = {}
+        marker = b"MEMLIST0"
+        codec = CaptureCodec(
+            name="memlist",
+            sniff=lambda path: open(path, "rb").read(8) == marker,
+            reader=ListReader,
+            writer=ListWriter,
+            description="in-memory list codec (test)")
+        try:
+            register_codec(codec)
+            assert "memlist" in codec_names()
+            assert get_codec("memlist") is codec
+            with pytest.raises(ValueError):
+                register_codec(codec)  # duplicate without replace
+            register_codec(codec, replace=True)
+
+            path = tmp_path / "cap.memlist"
+            records = make_records(3)
+            with make_capture_writer(path, format="memlist") as writer:
+                for record in records:
+                    writer.write(record)
+            path.write_bytes(marker)  # sniffable stand-in on disk
+            assert sniff_format(path) == "memlist"
+            assert list(open_capture(path)) == records
+        finally:
+            _CODECS.pop("memlist", None)
+
+    def test_get_codec_unknown(self):
+        with pytest.raises(ValueError, match="unknown capture format"):
+            get_codec("nope")
+
+
+class TestDeprecatedShims:
+    def test_writer_shim_warns_and_works(self, tmp_path):
+        from repro.net80211.capture_file import CaptureReader, CaptureWriter
+
+        path = tmp_path / "cap.jsonl"
+        records = make_records(2)
+        with pytest.warns(DeprecationWarning):
+            writer = CaptureWriter(path)
+        with writer:
+            for record in records:
+                writer.write(record)
+        with pytest.warns(DeprecationWarning):
+            reader = CaptureReader(path)
+        assert list(reader) == records
+
+    def test_shims_are_the_jsonl_codec(self):
+        from repro.net80211.capture_file import CaptureReader, CaptureWriter
+
+        assert issubclass(CaptureReader, JsonlReader)
+        assert issubclass(CaptureWriter, JsonlWriter)
+
+    def test_lazy_attribute_on_package(self):
+        import repro.net80211 as net80211
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert net80211.CaptureReader is not None
+        assert "CaptureWriter" in dir(net80211)
+        with pytest.raises(AttributeError):
+            net80211.DoesNotExist
+
+
+class TestErrorTaxonomy:
+    def test_capture_error_is_value_error(self):
+        assert issubclass(CaptureError, ValueError)
+
+    def test_open_capture_missing_file(self, tmp_path):
+        with pytest.raises(OSError):
+            open_capture(tmp_path / "missing.cap")

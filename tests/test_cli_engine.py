@@ -221,3 +221,84 @@ class TestCleanFailures:
         code = main(["replay", str(bad), "--wigle", str(wigle_path)])
         assert code == 2
         assert "corrupt capture" in capsys.readouterr().err
+
+
+class TestColumnarCaptureCLI:
+    @pytest.fixture(scope="class")
+    def columnar_capture(self, sim_capture, tmp_path_factory):
+        """The fixture capture converted to a columnar store via CLI."""
+        _, capture_path, _ = sim_capture
+        out = tmp_path_factory.mktemp("columnar") / "capture.cap"
+        assert main(["capture", "convert", str(capture_path),
+                     str(out), "--block-records", "256"]) == 0
+        return out
+
+    def test_capture_info(self, columnar_capture, capsys):
+        assert main(["capture", "info", str(columnar_capture)]) == 0
+        out = capsys.readouterr().out
+        assert "columnar capture" in out
+        assert "bloom" in out
+
+    def test_capture_info_json(self, columnar_capture, capsys):
+        import json
+
+        assert main(["capture", "info", str(columnar_capture),
+                     "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["format"] == "columnar"
+        assert info["records"] > 0
+
+    def test_engine_flag_and_sniffed_format(self, sim_capture,
+                                            columnar_capture, capsys):
+        """--capture with a columnar file needs no --format."""
+        _, _, wigle_path = sim_capture
+        code = main(["engine", "--capture", str(columnar_capture),
+                     "--wigle", str(wigle_path)])
+        assert code == 0
+        assert "PipelineStats" in capsys.readouterr().out
+
+    def test_engine_batch_replay_matches_record_replay(
+            self, sim_capture, columnar_capture, capsys):
+        scenario, _, wigle_path = sim_capture
+        assert main(["engine", str(columnar_capture),
+                     "--wigle", str(wigle_path)]) == 0
+        record_out = capsys.readouterr().out
+        assert main(["engine", str(columnar_capture),
+                     "--wigle", str(wigle_path), "--batch-replay"]) == 0
+        batch_out = capsys.readouterr().out
+        assert str(scenario.victim.mac) in batch_out
+
+        def stat(text, name):
+            match = re.search(rf"{name}\s*:\s*(\d+)", text)
+            assert match, text
+            return int(match.group(1))
+
+        for name in ("frames ingested", "estimates emitted",
+                     "evidence events", "devices seen"):
+            assert stat(record_out, name) == stat(batch_out, name)
+
+    def test_engine_rejects_capture_given_twice(self, sim_capture,
+                                                columnar_capture, capsys):
+        _, capture_path, wigle_path = sim_capture
+        code = main(["engine", str(capture_path),
+                     "--capture", str(columnar_capture),
+                     "--wigle", str(wigle_path)])
+        assert code == 2
+        assert "once" in capsys.readouterr().err
+
+    def test_capture_compact_merges(self, sim_capture, columnar_capture,
+                                    tmp_path, capsys):
+        _, capture_path, _ = sim_capture
+        merged = tmp_path / "merged.cap"
+        code = main(["capture", "compact", str(capture_path),
+                     str(columnar_capture), "--output", str(merged)])
+        assert code == 0
+        assert "Compacted 2 capture(s)" in capsys.readouterr().out
+        assert main(["capture", "info", str(merged)]) == 0
+        assert "globally sorted: True" in capsys.readouterr().out
+
+    def test_capture_convert_missing_source(self, tmp_path, capsys):
+        code = main(["capture", "convert", str(tmp_path / "nope.jsonl"),
+                     str(tmp_path / "out.cap")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
