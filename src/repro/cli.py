@@ -195,10 +195,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="tangent-plane origin longitude")
     p_serve.add_argument("--shards", type=int, default=2,
                          help="engine shards in the fleet (default 2)")
-    p_serve.add_argument("--transport", choices=("thread", "process"),
+    p_serve.add_argument("--transport",
+                         choices=("thread", "process", "socket",
+                                  "socket-process"),
                          default="thread",
-                         help="shard transport: in-process threads or "
-                              "one OS process per shard")
+                         help="shard transport: in-process threads, "
+                              "one OS process per shard, or the TCP "
+                              "SocketBus (with thread or process "
+                              "workers)")
     p_serve.add_argument("--host", default="127.0.0.1",
                          help="HTTP bind address")
     p_serve.add_argument("--port", type=int, default=8737,
@@ -236,6 +240,48 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="skip (and count) malformed capture "
                               "records instead of aborting on the "
                               "first one")
+    p_serve.add_argument("--ingest-port", type=int, default=None,
+                         metavar="PORT",
+                         help="also listen for network ingest (framed "
+                              "capture batches over TCP, see the "
+                              "'ingest' command) on this port "
+                              "(0 picks a free one); with no local "
+                              "capture file the gateway is the only "
+                              "ingest path")
+    p_serve.add_argument("--inject", action="append", metavar="SPEC",
+                         default=None,
+                         help="arm a deterministic fault for chaos "
+                              "testing, e.g. 'socket.recv:drop,times=5' "
+                              "or 'bus.publish:delay=0.01'; repeatable")
+    p_serve.add_argument("--inject-seed", type=int, default=0,
+                         help="seed for the fault injector's "
+                              "probability streams")
+
+    p_ingest = sub.add_parser(
+        "ingest",
+        help="stream a capture file to a serving fleet's ingest "
+             "gateway")
+    p_ingest.add_argument("capture",
+                          help="capture file (any registered format)")
+    p_ingest.add_argument("--connect", required=True, metavar="HOST:PORT",
+                          help="ingest gateway address (a 'serve "
+                               "--ingest-port' listener)")
+    p_ingest.add_argument("--format", default=None,
+                          help="capture codec name (default: sniff the "
+                               "file)")
+    p_ingest.add_argument("--batch-records", type=int, default=128,
+                          help="frames per wire batch (default 128)")
+    p_ingest.add_argument("--window", type=int, default=8,
+                          help="unacked batches in flight (default 8)")
+    p_ingest.add_argument("--client-id", default=None, metavar="ID",
+                          help="stable delivery-stream id; rerunning "
+                               "with the same id against the same "
+                               "server resumes instead of "
+                               "double-ingesting (default: fresh UUID)")
+    p_ingest.add_argument("--lenient", action="store_true",
+                          help="skip (and count) malformed capture "
+                               "records instead of aborting on the "
+                               "first one")
 
     p_capture = sub.add_parser(
         "capture",
@@ -305,6 +351,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "replay": _cmd_replay,
         "engine": _cmd_engine,
         "serve": _cmd_serve,
+        "ingest": _cmd_ingest,
         "capture": _cmd_capture,
         "metrics": _cmd_metrics,
     }[args.command]
@@ -793,15 +840,18 @@ def _cmd_engine(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    import contextlib
     import functools
     import signal
     import threading
 
+    from repro import faults
     from repro.geo.enu import LocalTangentPlane
     from repro.geo.wgs84 import GeodeticCoordinate
     from repro.knowledge.wigle import import_wigle_csv
     from repro.localization import make_localizer
     from repro.service import (
+        FrameIngestServer,
         ServiceError,
         ServiceServer,
         ShardConfig,
@@ -810,9 +860,18 @@ def _cmd_serve(args) -> int:
     from repro.sniffer.replay import iter_capture
 
     capture_path = _resolve_capture(args)
-    if capture_path is None:
-        return _fail("give the capture file once, either positionally "
-                     "or via --capture")
+    if capture_path is None and args.ingest_port is None:
+        return _fail("give a capture file (positionally or via "
+                     "--capture), or --ingest-port for network-only "
+                     "ingest")
+    injector = None
+    if args.inject:
+        try:
+            specs = [faults.parse_fault_spec(text)
+                     for text in args.inject]
+        except ValueError as error:
+            return _fail(str(error))
+        injector = faults.FaultInjector(specs, seed=args.inject_seed)
     plane = LocalTangentPlane(GeodeticCoordinate(args.lat, args.lon))
     try:
         database = import_wigle_csv(args.wigle, plane)
@@ -850,28 +909,43 @@ def _cmd_serve(args) -> int:
                                           lambda *_: stop_event.set())
                     for signum in (signal.SIGINT, signal.SIGTERM)}
     try:
-        with ServiceServer(engine, host=args.host, port=args.port,
-                           allow_chaos=args.chaos) as server:
+        with contextlib.ExitStack() as stack:
+            if injector is not None:
+                # Process-wide: the socket transports' reader/sender
+                # threads must see the faults too.
+                stack.enter_context(
+                    faults.use_injector(injector, all_threads=True))
+            server = stack.enter_context(
+                ServiceServer(engine, host=args.host, port=args.port,
+                              allow_chaos=args.chaos))
             host, port = server.address
             print(f"Serving {args.shards} shard(s) [{args.transport}] "
                   f"on http://{host}:{port}", flush=True)
-            try:
-                engine.ingest_stream(
-                    iter_capture(capture_path, strict=not args.lenient,
-                                 format=args.format))
-                stats = engine.drain()
-            except OSError as error:
-                engine.stop()
-                return _fail(
-                    f"cannot read capture {capture_path!r}: {error}")
-            except (ValueError, KeyError) as error:
-                engine.stop()
-                return _fail(
-                    f"corrupt capture {capture_path!r}: {error}")
-            print(f"Ingest complete: {stats.frames_ingested} frames, "
-                  f"{stats.devices_seen} devices, "
-                  f"{stats.estimates_emitted} localizations.",
-                  flush=True)
+            if args.ingest_port is not None:
+                gateway = stack.enter_context(
+                    FrameIngestServer(engine, host=args.host,
+                                      port=args.ingest_port))
+                ghost, gport = gateway.address
+                print(f"Ingest gateway on {ghost}:{gport}", flush=True)
+            if capture_path is not None:
+                try:
+                    engine.ingest_stream(
+                        iter_capture(capture_path,
+                                     strict=not args.lenient,
+                                     format=args.format))
+                    stats = engine.drain()
+                except OSError as error:
+                    engine.stop()
+                    return _fail(
+                        f"cannot read capture {capture_path!r}: {error}")
+                except (ValueError, KeyError) as error:
+                    engine.stop()
+                    return _fail(
+                        f"corrupt capture {capture_path!r}: {error}")
+                print(f"Ingest complete: {stats.frames_ingested} "
+                      f"frames, {stats.devices_seen} devices, "
+                      f"{stats.estimates_emitted} localizations.",
+                      flush=True)
             # Serve until the deadline or a signal; queries (and chaos
             # kills + supervised restarts) keep flowing meanwhile.
             stop_event.wait(timeout=args.serve_seconds)
@@ -880,9 +954,53 @@ def _cmd_serve(args) -> int:
     finally:
         for signum, handler in previous.items():
             signal.signal(signum, handler)
+    if injector is not None:
+        fired = injector.fired()
+        if fired:
+            summary = ", ".join(f"{site} x{count}"
+                                for site, count in sorted(fired.items()))
+            print(f"Injected faults: {summary}")
+        else:
+            print("Injected faults: none fired")
     final = engine.stats()
     print(f"Served fleet stopped cleanly "
           f"({final.estimates_emitted} localizations total).")
+    return 0
+
+
+def _cmd_ingest(args) -> int:
+    from repro.faults import ReproError
+    from repro.service import stream_capture_to
+
+    host, sep, port_text = args.connect.rpartition(":")
+    if not sep or not host:
+        return _fail(f"--connect must be HOST:PORT, got "
+                     f"{args.connect!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        return _fail(f"--connect port must be an integer, got "
+                     f"{port_text!r}")
+    if args.batch_records < 1:
+        return _fail(f"--batch-records must be >= 1, got "
+                     f"{args.batch_records}")
+    if args.window < 1:
+        return _fail(f"--window must be >= 1, got {args.window}")
+    try:
+        stats = stream_capture_to(
+            args.capture, (host, port),
+            batch_records=args.batch_records, window=args.window,
+            client_id=args.client_id, format=args.format,
+            strict=not args.lenient)
+    except OSError as error:
+        return _fail(f"cannot stream {args.capture!r} to "
+                     f"{args.connect}: {error}")
+    except (ReproError, ValueError, KeyError) as error:
+        return _fail(str(error))
+    print(f"Ingest complete: {stats.frames} frames in {stats.batches} "
+          f"batches to {args.connect} "
+          f"({stats.reconnects} reconnects, "
+          f"{stats.batches_resent} batches resent).")
     return 0
 
 

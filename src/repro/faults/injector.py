@@ -24,7 +24,17 @@ Sites are plain dotted strings; the conventional ones are
 ``lp.solve``       entry of :meth:`repro.lp.LpProblem.solve`
 ``sink.emit``      each (sink, estimate) delivery attempt
 ``worker.chunk``   each worker-chunk dispatch (local or pooled)
+``bus.publish``    each router → shard bus message (key = shard index)
+``bus.collect``    each shard → router bus read (key = shard index)
+``socket.send``    each encoded wire frame before the TCP write
+``socket.recv``    each decoded wire frame after the TCP read
 =================  ====================================================
+
+The socket sites fire inside the transport's background reader and
+sender threads, which never see a :func:`use_injector` block entered on
+the main thread — arm those with ``use_injector(..., all_threads=True)``
+(the CLI's ``--inject`` does this automatically when a socket transport
+is selected).
 
 Spec strings (CLI ``--inject``) look like::
 
@@ -225,6 +235,11 @@ class FaultInjector:
         self._sleep = sleep
         self._hits = [0] * len(self.specs)
         self._fires = [0] * len(self.specs)
+        # Hooks fire from transport background threads when the
+        # injector is armed process-wide; the eligibility bookkeeping
+        # (hit counts, probability streams) stays consistent under one
+        # lock, released before any delay-mode sleep.
+        self._lock = threading.Lock()
         self._rngs = [
             random.Random((seed << 16)
                           ^ zlib.crc32(f"{index}:{spec.site}".encode()))
@@ -264,9 +279,10 @@ class FaultInjector:
         """Apply every eligible spec; returns the (possibly replaced)
         value, or raises / delays per the spec modes."""
         for index, spec in enumerate(self.specs):
-            if not self._eligible(index, spec, site, key):
-                continue
-            self._fires[index] += 1
+            with self._lock:
+                if not self._eligible(index, spec, site, key):
+                    continue
+                self._fires[index] += 1
             obs.current_registry().counter(
                 "repro.faults.injected", site=site, mode=spec.mode).inc()
             if spec.mode == "raise":
@@ -287,15 +303,38 @@ class FaultInjector:
 
 _tls = threading.local()
 
+#: Process-wide fallback injector (``use_injector(all_threads=True)``);
+#: a thread-local injector still wins on threads that armed one.
+_global_injector: Optional[FaultInjector] = None
+
 
 def active_injector() -> Optional[FaultInjector]:
     """The installed injector, or ``None`` (the production default)."""
-    return getattr(_tls, "injector", None)
+    injector = getattr(_tls, "injector", None)
+    return injector if injector is not None else _global_injector
 
 
 @contextmanager
-def use_injector(injector: FaultInjector) -> Iterator[FaultInjector]:
-    """Arm ``injector`` for the duration of the block (this thread)."""
+def use_injector(injector: FaultInjector,
+                 all_threads: bool = False) -> Iterator[FaultInjector]:
+    """Arm ``injector`` for the duration of the block.
+
+    By default the injector is visible only to the arming thread —
+    chaos in one test never leaks into a neighbor.  With
+    ``all_threads=True`` it becomes the process-wide fallback, which
+    the socket transports need: their reader, sender, and heartbeat
+    threads are spawned internally and never enter the caller's
+    ``with`` block.
+    """
+    global _global_injector
+    if all_threads:
+        previous = _global_injector
+        _global_injector = injector
+        try:
+            yield injector
+        finally:
+            _global_injector = previous
+        return
     previous = getattr(_tls, "injector", None)
     _tls.injector = injector
     try:
@@ -313,5 +352,7 @@ def hook(site: str, value=None, key: Optional[str] = None):
     """
     injector = getattr(_tls, "injector", None)
     if injector is None:
-        return value
+        injector = _global_injector
+        if injector is None:
+            return value
     return injector.fire(site, value, key=key)

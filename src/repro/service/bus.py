@@ -13,9 +13,10 @@ so a transport only has to provide queue semantics:
   interpreter (and its own GIL), which is what the throughput bench
   exercises.
 
-A socket transport slots in later behind the same five methods; nothing
-above the bus (the :class:`~repro.service.core.ShardedEngine`, the
-serving layer) would change.
+* :class:`~repro.service.socketbus.SocketBus` — TCP connections behind
+  the same five methods; shards can live on other machines.  Nothing
+  above the bus (the :class:`~repro.service.core.ShardedEngine`, the
+  serving layer) changes.
 
 Inboxes are bounded, so a slow shard back-pressures the router instead
 of buffering the whole capture in memory.  :meth:`Bus.reset` replaces
@@ -30,6 +31,9 @@ import multiprocessing
 import queue
 from typing import Any, List, Optional, Tuple
 
+from repro import faults
+from repro.faults import DROPPED
+
 #: Default inbox bound, in *messages* (a message is a frame batch or a
 #: control record), giving bounded memory with enough slack that the
 #: router rarely blocks.
@@ -38,6 +42,21 @@ DEFAULT_CAPACITY = 256
 
 class BusTimeout(Exception):
     """A bounded receive elapsed with nothing to deliver."""
+
+
+def empty_collect_message(shard: int, timeout: Optional[float],
+                          block: bool) -> str:
+    """The :class:`BusTimeout` text for an empty :meth:`Bus.collect`.
+
+    Distinguishes the non-blocking probe ("nothing queued") from a
+    timed wait, so a poll loop's routine empty read never claims a
+    ``None``-second timeout elapsed.
+    """
+    if not block:
+        return f"no message queued from shard {shard}"
+    if timeout is None:
+        return f"no message from shard {shard}"
+    return f"no message from shard {shard} within {timeout}s"
 
 
 class Bus:
@@ -70,7 +89,13 @@ class Bus:
         ``timeout`` set, raises :class:`BusTimeout` instead of blocking
         forever, which is how the router notices a consumer that died
         with a full inbox.
+
+        Fault-injection seam: ``bus.publish`` (keyed by shard index)
+        may raise, delay, corrupt the message, or drop it outright.
         """
+        message = faults.hook("bus.publish", message, key=str(shard))
+        if message is DROPPED:
+            return
         try:
             self._inboxes[shard].put(message, timeout=timeout)
         except queue.Full:
@@ -85,13 +110,16 @@ class Bus:
 
         Raises :class:`BusTimeout` when nothing arrives in time (or,
         non-blocking, when the outbox is empty).
+
+        Fault-injection seam: ``bus.collect`` (keyed by shard index)
+        may raise or delay before the read.
         """
+        faults.hook("bus.collect", key=str(shard))
         try:
             return self._outboxes[shard].get(block=block, timeout=timeout)
         except queue.Empty:
             raise BusTimeout(
-                f"no message from shard {shard} within {timeout}s"
-            ) from None
+                empty_collect_message(shard, timeout, block)) from None
 
     def reset(self, shard: int) -> None:
         """Replace one shard's endpoints with fresh queues (post-crash)."""

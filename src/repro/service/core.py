@@ -41,11 +41,16 @@ from repro.net80211.medium import ReceivedFrame
 from repro.service.bus import Bus, BusTimeout, MpQueueBus, QueueBus
 from repro.service.shard import LocalizerFactory, ShardConfig, run_shard
 from repro.service.sharding import device_shard, shard_of
+from repro.service.socketbus import SocketBus
 
 PathLike = Union[str, Path]
 
 MANIFEST_NAME = "service.manifest.json"
 MANIFEST_VERSION = 1
+
+#: Transport names and the worker flavor each runs shards as.
+TRANSPORTS = ("thread", "process", "socket", "socket-process")
+_THREAD_TRANSPORTS = ("thread", "socket")
 
 
 class ServiceError(ReproError):
@@ -88,8 +93,12 @@ class ShardedEngine:
     shards:
         Fleet width (>= 1).
     transport:
-        ``"thread"`` (QueueBus, shared process) or ``"process"``
-        (MpQueueBus, one OS process per shard — real parallelism).
+        ``"thread"`` (QueueBus, shared process), ``"process"``
+        (MpQueueBus, one OS process per shard — real parallelism),
+        ``"socket"`` (SocketBus over TCP, shard threads in this
+        process — the single-host shape of a distributed fleet), or
+        ``"socket-process"`` (SocketBus + one OS process per shard,
+        connected over TCP exactly as remote shards would be).
     config:
         Per-shard :class:`~repro.service.shard.ShardConfig`.
     checkpoint_dir:
@@ -108,6 +117,13 @@ class ShardedEngine:
     request_timeout_s:
         Serving-request deadline per shard before the router checks for
         a dead worker.
+    publish_timeout_s:
+        How long one bus publish may block on a full inbox before the
+        router probes the consumer for death (the back-pressure /
+        crash-detection latency trade-off).
+    worker_join_timeout_s:
+        How long :meth:`stop` / :meth:`kill_shard` wait for a worker to
+        exit before giving up on the join.
     restart_retry:
         :class:`~repro.faults.RetryPolicy` supervising shard restarts.
     """
@@ -121,14 +137,24 @@ class ShardedEngine:
                  publish_batch: int = 64,
                  resume: bool = False,
                  request_timeout_s: float = 30.0,
+                 publish_timeout_s: float = 1.0,
+                 worker_join_timeout_s: float = 10.0,
                  restart_retry: Optional[RetryPolicy] = None,
                  registry: Optional[obs.MetricsRegistry] = None):
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
-        if transport not in ("thread", "process"):
+        if transport not in TRANSPORTS:
+            expected = ", ".join(repr(name) for name in TRANSPORTS)
             raise ValueError(
-                f"transport must be 'thread' or 'process', got "
+                f"transport must be one of {expected}, got "
                 f"{transport!r}")
+        if publish_timeout_s <= 0.0:
+            raise ValueError(
+                f"publish_timeout_s must be > 0, got {publish_timeout_s}")
+        if worker_join_timeout_s <= 0.0:
+            raise ValueError(
+                f"worker_join_timeout_s must be > 0, got "
+                f"{worker_join_timeout_s}")
         if checkpoint_every < 0:
             raise ValueError(
                 f"checkpoint_every must be >= 0, got {checkpoint_every}")
@@ -144,6 +170,8 @@ class ShardedEngine:
         self.checkpoint_every = checkpoint_every
         self.publish_batch = publish_batch
         self.request_timeout_s = request_timeout_s
+        self.publish_timeout_s = publish_timeout_s
+        self.worker_join_timeout_s = worker_join_timeout_s
         self.restart_retry = restart_retry if restart_retry is not None \
             else RetryPolicy(max_attempts=3, base_delay=0.05,
                              multiplier=2.0, jitter=0.0)
@@ -159,8 +187,13 @@ class ShardedEngine:
         self._c_barriers = self.registry.counter(
             "repro.service.checkpoint.barriers")
         if bus is None:
-            bus = (QueueBus(shards) if transport == "thread"
-                   else MpQueueBus(shards))
+            if transport == "thread":
+                bus = QueueBus(shards)
+            elif transport == "process":
+                bus = MpQueueBus(shards)
+            else:
+                bus = SocketBus(shards, run_id=self.run_id,
+                                registry=self.registry)
         self.bus = bus
         self._handles = [_ShardHandle(index) for index in range(shards)]
         self._drained: Optional[List[dict]] = None
@@ -216,7 +249,7 @@ class ShardedEngine:
         args = (handle.index, self.localizer_factory, self.config,
                 self._checkpoint_path(handle.index), resume, self.run_id,
                 inbox, outbox)
-        if self.transport == "thread":
+        if self.transport in _THREAD_TRANSPORTS:
             handle.crash_event = threading.Event()
             handle.worker = threading.Thread(
                 target=run_shard, args=args + (handle.crash_event,),
@@ -240,20 +273,36 @@ class ShardedEngine:
         request — triggers the supervised restart path.
         """
         handle = self._handles[index]
-        if self.transport == "thread":
+        if self.transport in _THREAD_TRANSPORTS:
             if handle.crash_event is not None:
                 handle.crash_event.set()
             # Wake a get()-blocked runtime so the event is observed.
             try:
-                self.bus.publish(index, ("crash",), timeout=1.0)
+                self.bus.publish(index, ("crash",),
+                                 timeout=self.publish_timeout_s)
             except BusTimeout:  # pragma: no cover - full inbox
                 pass
             if handle.worker is not None:
-                handle.worker.join(timeout=10.0)
+                handle.worker.join(timeout=self.worker_join_timeout_s)
         else:
             if handle.worker is not None:
                 handle.worker.terminate()
-                handle.worker.join(timeout=10.0)
+                handle.worker.join(timeout=self.worker_join_timeout_s)
+
+    def kill_connection(self, index: int) -> bool:
+        """Sever one shard's transport connection (chaos/testing).
+
+        Socket transports only: the worker stays alive, its TCP
+        connection dies mid-stream, and the heartbeat/supervised-
+        reconnect machinery must stitch the streams back together with
+        no loss.  Returns whether a live connection was killed.
+        """
+        kill = getattr(self.bus, "kill_connection", None)
+        if kill is None:
+            raise ServiceError(
+                f"transport {self.transport!r} has no connections "
+                f"to kill")
+        return kill(index)
 
     def restart_shard(self, index: int) -> None:
         """Supervised restart: fresh endpoints, checkpoint restore,
@@ -391,7 +440,8 @@ class ShardedEngine:
         """Publish with back-pressure, surviving a mid-block crash."""
         while True:
             try:
-                self.bus.publish(handle.index, message, timeout=1.0)
+                self.bus.publish(handle.index, message,
+                                 timeout=self.publish_timeout_s)
                 return
             except BusTimeout:
                 if not handle.alive():
@@ -631,7 +681,7 @@ class ShardedEngine:
                     continue
         for handle in self._handles:
             if handle.worker is not None:
-                handle.worker.join(timeout=10.0)
+                handle.worker.join(timeout=self.worker_join_timeout_s)
         self._stopped = True
         self.bus.close()
 

@@ -1,0 +1,429 @@
+"""The network ingest gateway: capture frames over TCP, not files.
+
+The paper's adversary is geographically distributed — sniffers in the
+field, the tracking core elsewhere — so the capture-to-engine hop must
+survive the network.  Two halves:
+
+* :class:`FrameIngestServer` — router-side listener accepting framed
+  :class:`~repro.net80211.medium.ReceivedFrame` batches
+  (:mod:`repro.service.wire` frames, CRC-covered) and feeding them into
+  an engine's batch-ingest path.
+* :func:`stream_capture_to` — collector-side client streaming any
+  :mod:`repro.capture` codec (legacy JSONL or columnar, via
+  :func:`repro.sniffer.replay.iter_capture`) to a gateway address.
+
+Delivery is **at-least-once + dedup-by-sequence**: the client numbers
+its batches, retains everything unacked, and resends the tail after a
+supervised reconnect (:class:`~repro.faults.RetryPolicy`); the server
+remembers, per ``client_id``, the last contiguous sequence it ingested
+and drops duplicates, so a batch reaches the engine exactly once no
+matter how many times the connection dies mid-stream.  The HELLO
+exchange returns the server's cumulative count, which is also how a
+re-run of the same client id resumes instead of double-ingesting.
+"""
+
+from __future__ import annotations
+
+import collections
+import select
+import socket
+import threading
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Tuple, Union
+
+from repro import obs
+from repro.faults import ReproError, RetryPolicy
+from repro.net80211.mac import MacAddress
+from repro.net80211.medium import ReceivedFrame
+from repro.service import wire
+from repro.service.socketbus import DEFAULT_RECONNECT, _close_socket
+from repro.sniffer.replay import iter_capture
+
+PathLike = Union[str, Path]
+
+
+class _ListBatch:
+    """A plain frame list behind the ``FrameBatch`` ingest surface."""
+
+    __slots__ = ("_frames",)
+
+    def __init__(self, frames: List[ReceivedFrame]):
+        self._frames = frames
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def iter_frames(self):
+        return iter(self._frames)
+
+
+@dataclass
+class IngestStats:
+    """What one :func:`stream_capture_to` call pushed over the wire."""
+
+    frames: int
+    batches: int
+    reconnects: int
+    batches_resent: int
+
+
+class FrameIngestServer:
+    """TCP listener feeding framed capture batches into an engine.
+
+    ``engine`` is anything with ``ingest_batch`` — a
+    :class:`~repro.service.core.ShardedEngine` (the serve CLI's shape)
+    or a bare :class:`~repro.engine.StreamingEngine`.  One lock
+    serializes ingest across client connections, so concurrent
+    collectors interleave at batch granularity, never mid-batch.
+
+    Per-client delivery state (the last contiguous sequence ingested)
+    lives for the server's lifetime: a client that reconnects — or a
+    rerun of the same ``client_id`` — resumes after what already
+    reached the engine.
+    """
+
+    def __init__(self, engine, host: str = "127.0.0.1", port: int = 0,
+                 hello_timeout_s: float = 5.0,
+                 registry: Optional[obs.MetricsRegistry] = None):
+        self.engine = engine
+        self.hello_timeout_s = hello_timeout_s
+        registry = registry if registry is not None else getattr(
+            engine, "registry", None) or obs.current_registry()
+        self._c_connections = registry.counter(
+            "repro.ingest.connections")
+        self._c_batches = registry.counter("repro.ingest.batches")
+        self._c_frames = registry.counter("repro.ingest.frames")
+        self._c_duplicates = registry.counter("repro.ingest.duplicates")
+        self._c_rejects = registry.counter("repro.ingest.rejects")
+        self._clients: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        self._conns: List[socket.socket] = []
+        self._listener = socket.create_server((host, port))
+        self._listener.settimeout(0.5)
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-ingest-accept",
+            daemon=True)
+        self._accept_thread.start()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` collectors connect to."""
+        return self._listener.getsockname()[:2]
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        _close_socket(self._listener)
+        with self._lock:
+            conns, self._conns = self._conns, []
+        for sock in conns:
+            _close_socket(sock)
+
+    def __enter__(self) -> "FrameIngestServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                sock, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            with self._lock:
+                if self._closed:
+                    _close_socket(sock)
+                    return
+                self._conns.append(sock)
+            threading.Thread(target=self._serve_client, args=(sock,),
+                             name="repro-ingest-client",
+                             daemon=True).start()
+
+    def _serve_client(self, sock: socket.socket) -> None:
+        try:
+            self._client_session(sock)
+        except (ReproError, OSError):
+            pass  # the client reconnects and resumes; state is kept
+        finally:
+            _close_socket(sock)
+            with self._lock:
+                if sock in self._conns:
+                    self._conns.remove(sock)
+
+    def _client_session(self, sock: socket.socket) -> None:
+        hello = wire.read_hello(sock, timeout=self.hello_timeout_s)
+        client_id = hello.get("client_id")
+        if hello.get("role") != "ingest" or not isinstance(client_id,
+                                                          str):
+            self._c_rejects.inc()
+            wire.send_frame(sock, wire.HELLO_REJECT, wire.pack_dict(
+                {"reason": "expected an ingest HELLO with a client_id"}))
+            return
+        with self._lock:
+            acked = self._clients.get(client_id, 0)
+        wire.send_frame(sock, wire.HELLO_OK,
+                        wire.pack_dict({"received": acked}))
+        self._c_connections.inc()
+        while True:
+            ftype, payload = wire.read_frame(sock)
+            if ftype == wire.DATA:
+                seq, frames = wire.unpack_data(payload)
+                with self._lock:
+                    acked = self._clients.get(client_id, 0)
+                    if seq <= acked:
+                        # A resend of something already ingested: the
+                        # dedup half of at-least-once.  Re-ack it.
+                        self._c_duplicates.inc()
+                    elif seq == acked + 1:
+                        self.engine.ingest_batch(_ListBatch(frames))
+                        self._clients[client_id] = acked = seq
+                        self._c_batches.inc()
+                        self._c_frames.inc(len(frames))
+                    else:
+                        # A gap means this connection lost a frame the
+                        # client believes it sent; kill it and let the
+                        # reconnect resync from the acked count.
+                        raise wire.ConnectionLost(
+                            f"ingest sequence gap from {client_id!r}: "
+                            f"expected {acked + 1}, got {seq}")
+                wire.send_frame(sock, wire.CREDIT, wire.pack_count(acked))
+            elif ftype == wire.HEARTBEAT:
+                with self._lock:
+                    acked = self._clients.get(client_id, 0)
+                wire.send_frame(sock, wire.HEARTBEAT,
+                                wire.pack_dict({"received": acked}))
+            elif ftype == wire.BYE:
+                # Settle the engine (publish flush + reorder/refit
+                # drain) so every streamed frame is visible to readers
+                # before the end of stream is acknowledged.
+                settle = getattr(self.engine, "drain", None)
+                if settle is None:
+                    settle = getattr(self.engine, "flush_publishes",
+                                     None)
+                if settle is not None:
+                    settle()
+                with self._lock:
+                    acked = self._clients.get(client_id, 0)
+                wire.send_frame(sock, wire.CREDIT, wire.pack_count(acked))
+                return
+            else:
+                raise wire.WireError(
+                    f"unexpected ingest frame type {ftype}")
+
+
+# ----------------------------------------------------------------------
+# Collector-side client
+# ----------------------------------------------------------------------
+
+class _IngestSession:
+    """Sequence/retention bookkeeping for one streaming client."""
+
+    def __init__(self, address: Tuple[str, int], client_id: str,
+                 window: int, reconnect: Dict[str, float],
+                 connect_timeout_s: float, ack_timeout_s: float):
+        self.address = address
+        self.client_id = client_id
+        self.window = window
+        self.reconnect = reconnect
+        self.connect_timeout_s = connect_timeout_s
+        self.ack_timeout_s = ack_timeout_s
+        self.sock: Optional[socket.socket] = None
+        self.seq = 0
+        self.acked = 0
+        self.sent = 0
+        self.max_sent = 0
+        self.connects = 0
+        self.batches_resent = 0
+        self.retained: Deque[Tuple[int, List[ReceivedFrame]]] = \
+            collections.deque()
+
+    # -- connection ---------------------------------------------------
+
+    def _connect_once(self) -> None:
+        sock = socket.create_connection(self.address,
+                                        timeout=self.connect_timeout_s)
+        try:
+            wire.send_frame(sock, wire.HELLO, wire.pack_dict(
+                {"role": "ingest", "client_id": self.client_id}))
+            sock.settimeout(self.ack_timeout_s)
+            ftype, payload = wire.read_frame(sock)
+            if ftype == wire.HELLO_REJECT:
+                reason = wire.unpack_dict(payload).get("reason", "?")
+                raise wire.HelloRejected(
+                    f"gateway rejected ingest: {reason}")
+            if ftype != wire.HELLO_OK:
+                raise wire.WireError(
+                    f"expected HELLO_OK, got frame type {ftype}")
+            acked = int(wire.unpack_dict(payload).get("received", 0))
+        except BaseException:
+            _close_socket(sock)
+            raise
+        self._absorb(acked)
+        self.sent = max(self.acked, min(acked, self.seq))
+        self.sock = sock
+
+    def ensure_connected(self) -> None:
+        if self.sock is not None:
+            return
+        policy = RetryPolicy(retryable=(wire.WireError, OSError),
+                             **self.reconnect)
+        policy.call(self._connect_once)
+        self.connects += 1
+
+    def drop(self) -> None:
+        if self.sock is not None:
+            _close_socket(self.sock)
+            self.sock = None
+
+    # -- the at-least-once pump ---------------------------------------
+
+    def _absorb(self, count: int) -> None:
+        if count > self.acked:
+            self.acked = count
+        self._trim_acked()
+
+    def _trim_acked(self) -> None:
+        """Drop retained batches the server has already ingested.
+
+        Beyond absorbing fresh acks, this is what makes a *resumed*
+        ``client_id`` terminate: batches retained after the connect
+        handshake already reported them ingested (a rerun of the same
+        capture) will never earn a new ack, so they are dropped here
+        instead of waiting for one.
+        """
+        while self.retained and self.retained[0][0] <= self.acked:
+            self.retained.popleft()
+
+    def _pump(self, wait: bool) -> None:
+        """Drain server acks; with ``wait``, block until one arrives."""
+        while True:
+            ready = select.select([self.sock], [], [],
+                                  self.ack_timeout_s if wait else 0.0)[0]
+            if not ready:
+                if wait:
+                    raise wire.ConnectionLost(
+                        f"no ingest ack within {self.ack_timeout_s}s")
+                return
+            ftype, payload = wire.read_frame(self.sock)
+            if ftype == wire.CREDIT:
+                self._absorb(wire.unpack_count(payload))
+            elif ftype == wire.HEARTBEAT:
+                info = wire.unpack_dict(payload)
+                if "received" in info:
+                    self._absorb(int(info["received"]))
+            else:
+                raise wire.WireError(
+                    f"unexpected gateway frame type {ftype}")
+            wait = False
+
+    def _flush(self) -> None:
+        self._trim_acked()
+        for seq, frames in list(self.retained):
+            if seq <= self.sent:
+                continue
+            if seq <= self.max_sent:
+                self.batches_resent += 1
+            wire.send_frame(self.sock, wire.DATA,
+                            wire.pack_data(seq, frames))
+            self.sent = seq
+            if seq > self.max_sent:
+                self.max_sent = seq
+            self._pump(wait=False)
+
+    def send(self, frames: List[ReceivedFrame]) -> None:
+        self.seq += 1
+        self.retained.append((self.seq, frames))
+        while True:
+            # A failed connect exhausts the retry budget and raises out
+            # of here; a failure *after* connecting re-enters the
+            # supervised reconnect with the retained tail intact.
+            self.ensure_connected()
+            try:
+                self._trim_acked()
+                while len(self.retained) > self.window:
+                    self._pump(wait=True)
+                self._flush()
+                return
+            except (wire.WireError, OSError):
+                self.drop()
+
+    def finish(self) -> None:
+        while self.retained:
+            self.ensure_connected()
+            try:
+                self._flush()
+                while self.retained:
+                    self._pump(wait=True)
+            except (wire.WireError, OSError):
+                self.drop()
+            self._trim_acked()
+        if self.sock is not None:
+            try:
+                wire.send_frame(self.sock, wire.BYE)
+                self._pump(wait=True)  # the BYE ack flushes the router
+            except (wire.WireError, OSError):
+                pass
+        self.drop()
+
+
+def stream_capture_to(path: PathLike, address: Tuple[str, int],
+                      batch_records: int = 128,
+                      window: int = 8,
+                      client_id: Optional[str] = None,
+                      device: Optional[Union[MacAddress, str]] = None,
+                      format: Optional[str] = None,
+                      strict: bool = True,
+                      reorder_buffer: int = 256,
+                      reconnect: Optional[Dict[str, float]] = None,
+                      connect_timeout_s: float = 5.0,
+                      ack_timeout_s: float = 30.0) -> IngestStats:
+    """Stream a capture file to a :class:`FrameIngestServer`.
+
+    Any codec the :mod:`repro.capture` registry knows replays through
+    the usual reorder buffer and goes out in ``batch_records``-sized
+    numbered batches, at most ``window`` of them unacked at a time.  A
+    dropped connection triggers a supervised reconnect that resumes
+    from the server's acked count — nothing is lost, nothing is
+    double-ingested (dedup by sequence on the server).
+
+    ``client_id`` names the delivery stream; reusing one against the
+    same server resumes it.  Default: a fresh UUID (one-shot stream).
+    """
+    if batch_records < 1:
+        raise ValueError(
+            f"batch_records must be >= 1, got {batch_records}")
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    session = _IngestSession(
+        address=tuple(address),
+        client_id=client_id if client_id is not None else uuid.uuid4().hex,
+        window=window,
+        reconnect=dict(DEFAULT_RECONNECT, **(reconnect or {})),
+        connect_timeout_s=connect_timeout_s,
+        ack_timeout_s=ack_timeout_s)
+    frames = 0
+    batch: List[ReceivedFrame] = []
+    for received in iter_capture(path, reorder_buffer=reorder_buffer,
+                                 strict=strict, device=device,
+                                 format=format):
+        batch.append(received)
+        if len(batch) >= batch_records:
+            session.send(batch)
+            frames += len(batch)
+            batch = []
+    if batch:
+        session.send(batch)
+        frames += len(batch)
+    session.finish()
+    return IngestStats(frames=frames, batches=session.seq,
+                       reconnects=max(0, session.connects - 1),
+                       batches_resent=session.batches_resent)

@@ -101,6 +101,25 @@ class ServiceHandler(BaseHTTPRequestHandler):
                     return
                 engine.kill_shard(index)
                 self._json(200, {"killed": index})
+            elif parsed.path == "/chaos/kill-connection":
+                if not getattr(self.server, "allow_chaos", False):
+                    self._json(403, {"error": "chaos endpoints disabled "
+                                              "(start with --chaos)"})
+                    return
+                shards = parse_qs(parsed.query).get("shard")
+                if not shards:
+                    self._json(400, {"error": "missing ?shard= parameter"})
+                    return
+                index = int(shards[0])
+                if not 0 <= index < engine.shards:
+                    self._json(400, {"error": f"shard {index} out of "
+                                              f"range 0..{engine.shards - 1}"})
+                    return
+                # Severs the shard's TCP connection without touching
+                # the worker: the reconnect machinery, not the restart
+                # path, must make this invisible.
+                self._json(200, {"shard": index,
+                                 "killed": engine.kill_connection(index)})
             else:
                 self._json(404, {"error": f"no route {parsed.path}"})
         except ServiceError as error:

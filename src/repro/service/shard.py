@@ -239,16 +239,28 @@ def run_shard(shard_id: int, factory: LocalizerFactory,
     A construction failure (corrupt checkpoint, factory error) is
     reported on the outbox instead of silently dying, so the router's
     supervised restart can surface it.
+
+    On the way out — clean stop, simulated crash, or construction
+    failure — endpoints that hold transport resources (the socket
+    transport's :class:`~repro.service.socketbus.ShardChannel`) are
+    closed, so no reconnect thread outlives its worker.  Queue
+    endpoints have no ``close`` and are left alone.
     """
     try:
-        runtime = ShardRuntime(shard_id, factory, config=config,
-                               checkpoint_path=checkpoint_path,
-                               resume=resume,
-                               service_run_id=service_run_id)
-    except Exception as error:
-        outbox.put(("fatal", f"{type(error).__name__}: {error}"))
-        raise
-    runtime.serve(inbox, outbox, crash_event=crash_event)
+        try:
+            runtime = ShardRuntime(shard_id, factory, config=config,
+                                   checkpoint_path=checkpoint_path,
+                                   resume=resume,
+                                   service_run_id=service_run_id)
+        except Exception as error:
+            outbox.put(("fatal", f"{type(error).__name__}: {error}"))
+            raise
+        runtime.serve(inbox, outbox, crash_event=crash_event)
+    finally:
+        from repro.service.socketbus import ShardChannel
+        for endpoint in {id(inbox): inbox, id(outbox): outbox}.values():
+            if isinstance(endpoint, ShardChannel):
+                endpoint.close()
 
 
 # Re-exported for the stats-merging router; keeps shard.py the one

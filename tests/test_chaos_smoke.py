@@ -93,3 +93,39 @@ def test_refit_retry_is_invisible_in_aprad_output(square_db):
     assert stats.retries > 0
     assert stats.refits == baseline.stats().refits > 0
     assert final_tracks(chaotic) == final_tracks(baseline)
+
+
+def test_socket_fleet_survives_killed_connections_and_lost_frames(
+        square_db):
+    """The TCP twin of the canary: a socket fleet under dropped wire
+    frames *and* mid-stream connection kills must match a single
+    fault-free engine exactly."""
+    from tests.test_service_socket import (FAST_SOCKET, socket_fleet,
+                                           wait_connected)
+    from tests.test_service_engine import (build_stream as service_stream,
+                                           fleet_fixes,
+                                           single_engine_fixes)
+
+    frames = service_stream(square_db, devices=12, rounds=4)
+    want = single_engine_fixes(square_db, frames)
+
+    # socket.recv drops exercise the resend path on top of the kills;
+    # all_threads because the transport reads frames on its own
+    # reader threads, never on this one.  The injector arms only once
+    # the fleet is connected, so the drops land on live traffic rather
+    # than stretching the initial handshakes.
+    injector = FaultInjector(
+        [parse_fault_spec("socket.recv:drop,times=4")], seed=5)
+    with socket_fleet(square_db) as engine:
+        half = len(frames) // 2
+        engine.ingest_stream(frames[:half])
+        engine.flush_publishes()
+        wait_connected(engine)
+        with use_injector(injector, all_threads=True):
+            for shard in range(engine.shards):
+                engine.kill_connection(shard)
+            engine.ingest_stream(frames[half:])
+            engine.drain()
+        assert fleet_fixes(engine) == want
+
+    assert injector.total_fired == 4

@@ -1,0 +1,206 @@
+"""Socket service smoke: real processes, TCP shards, network ingest.
+
+The CI canary for the socket stack: spawn `marauder serve` with the
+TCP transport and an ingest gateway (no local capture at all), stream
+the capture in from a separate `marauder ingest` process, sever bus
+connections while the stream is in flight, kill and restart a shard —
+and require the served snapshot to equal, float for float, what one
+in-process engine computes from the same capture.
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.engine import StreamingEngine
+from repro.geo.enu import LocalTangentPlane
+from repro.geo.wgs84 import GeodeticCoordinate
+from repro.knowledge.wigle import export_wigle_csv, import_wigle_csv
+from repro.localization import make_localizer
+from repro.capture import make_capture_writer
+from repro.service import estimate_to_dict
+from repro.sim import build_attack_scenario
+from repro.sniffer.replay import iter_capture
+
+ORIGIN = GeodeticCoordinate(42.6555, -71.3262)
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def get(base, path, timeout=10):
+    try:
+        with urllib.request.urlopen(base + path,
+                                    timeout=timeout) as reply:
+            return reply.status, reply.read().decode()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode()
+
+
+def post(base, path, timeout=10):
+    request = urllib.request.Request(base + path, method="POST",
+                                     data=b"")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as reply:
+            return reply.status, reply.read().decode()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode()
+
+
+@pytest.fixture(scope="module")
+def capture(tmp_path_factory):
+    tmp_path = tmp_path_factory.mktemp("socket_smoke")
+    scenario = build_attack_scenario(seed=13, ap_count=30,
+                                     area_m=300.0, bystander_count=3)
+    scenario.world.sniffer.keep_frames = True
+    scenario.world.run(duration_s=60.0)
+    capture_path = tmp_path / "capture.jsonl"
+    with make_capture_writer(capture_path, format="jsonl") as writer:
+        for received in scenario.world.sniffer.captured:
+            writer.write(received)
+    wigle_path = tmp_path / "wigle.csv"
+    export_wigle_csv(scenario.truth_db, wigle_path,
+                     LocalTangentPlane(ORIGIN))
+    return capture_path, wigle_path, tmp_path
+
+
+def expected_snapshot(capture_path, wigle_path):
+    """What one in-process engine serves for the same capture.
+
+    Matches the serve defaults exactly: m-loc over the WiGLE import
+    with the default fallback range, 30 s window, batch of 32.  The
+    snapshot JSON is deterministic (device-sorted, full floats), so
+    the comparison is exact, not approximate.
+    """
+    plane = LocalTangentPlane(ORIGIN)
+    database = import_wigle_csv(wigle_path, plane)
+    engine = StreamingEngine(
+        make_localizer("m-loc", database=database,
+                       fallback_range_m=150.0),
+        window_s=30.0, batch_size=32)
+    engine.run(iter_capture(capture_path))
+    fixes = {}
+    for mobile in engine.tracker.devices():
+        point = engine.tracker.latest(mobile)
+        fixes[str(mobile)] = estimate_to_dict(point.timestamp,
+                                              point.estimate)
+    return {"devices": len(fixes), "fixes": fixes}
+
+
+def run_ingest(capture_path, address, tmp_path, client_id,
+               batch_records=4):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    log_path = tmp_path / f"ingest-{client_id}.log"
+    with open(log_path, "w", encoding="utf-8") as log:
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "ingest",
+             str(capture_path), "--connect", address,
+             "--batch-records", str(batch_records), "--window", "4",
+             "--client-id", client_id],
+            env=env, stdout=log, stderr=subprocess.STDOUT)
+    return process, log_path
+
+
+def test_socket_serve_ingest_kill_recover(capture):
+    capture_path, wigle_path, tmp_path = capture
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    log_path = tmp_path / "serve.log"
+    with open(log_path, "w", encoding="utf-8") as log:
+        serve = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--wigle", str(wigle_path),
+             "--shards", "2", "--transport", "socket",
+             "--port", "0", "--ingest-port", "0", "--chaos",
+             "--checkpoint-dir", str(tmp_path / "ckpt"),
+             "--checkpoint-every", "10",
+             "--serve-seconds", "180"],
+            env=env, stdout=log, stderr=subprocess.STDOUT)
+    try:
+        # Network-only ingest: serve must come up with no capture and
+        # print both the HTTP and the gateway addresses.
+        base = gateway = None
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            text = log_path.read_text(encoding="utf-8")
+            http_match = re.search(r"on (http://[\d.]+:\d+)", text)
+            gate_match = re.search(
+                r"Ingest gateway on ([\d.]+:\d+)", text)
+            if http_match and gate_match:
+                base = http_match.group(1)
+                gateway = gate_match.group(1)
+                break
+            assert serve.poll() is None, f"serve died:\n{text}"
+            time.sleep(0.25)
+        assert base is not None, "serve never came up"
+        assert gateway is not None, "gateway address never printed"
+
+        # Before any frames: healthy fleet, empty snapshot.
+        assert json.loads(get(base, "/health")[1])["healthy"]
+        assert json.loads(get(base, "/snapshot")[1])["devices"] == 0
+
+        # Stream the capture from a separate process, and sever the
+        # shard TCP connections while the stream is in flight — the
+        # reconnect machinery must make the cuts invisible.
+        ingest, ingest_log = run_ingest(capture_path, gateway,
+                                        tmp_path, "smoke-collector")
+        cuts = 0
+        while ingest.poll() is None:
+            for shard in (0, 1):
+                status, body = post(
+                    base, f"/chaos/kill-connection?shard={shard}")
+                assert status == 200
+                cuts += json.loads(body)["killed"]
+            time.sleep(0.05)
+        assert ingest.wait(timeout=120) == 0, \
+            ingest_log.read_text(encoding="utf-8")
+        assert "Ingest complete:" in ingest_log.read_text(
+            encoding="utf-8")
+        assert cuts >= 1, "no live bus connection was ever severed"
+
+        # The served state equals the single-engine ground truth
+        # exactly, despite the remote hop and the severed connections.
+        want = expected_snapshot(capture_path, wigle_path)
+        snapshot = json.loads(get(base, "/snapshot")[1])
+        assert snapshot == want
+
+        # Kill a whole shard worker; the next read restarts it from
+        # checkpoint + retention replay with identical serving state.
+        status, _ = post(base, "/chaos/kill?shard=1")
+        assert status == 200
+        health = json.loads(get(base, "/health")[1])
+        assert not health["healthy"]
+        assert json.loads(get(base, "/snapshot")[1]) == want
+        health = json.loads(get(base, "/health")[1])
+        assert health["healthy"]
+        assert health["shards"][1]["restarts"] == 1
+
+        # Re-running the same collector id resumes past everything
+        # already acked: a no-op, not a double ingest.
+        rerun, rerun_log = run_ingest(capture_path, gateway, tmp_path,
+                                      "smoke-collector",
+                                      batch_records=4)
+        assert rerun.wait(timeout=120) == 0, \
+            rerun_log.read_text(encoding="utf-8")
+        assert json.loads(get(base, "/snapshot")[1]) == want
+
+        # Socket transport counters made it to the scrape.
+        metrics = get(base, "/metrics")[1]
+        assert "repro_socket_connections_total" in metrics
+        assert "repro_ingest_frames_total" in metrics
+
+        serve.terminate()
+        assert serve.wait(timeout=60) == 0
+        text = log_path.read_text(encoding="utf-8")
+        assert "stopped cleanly" in text
+    finally:
+        if serve.poll() is None:
+            serve.kill()
+            serve.wait(timeout=30)
